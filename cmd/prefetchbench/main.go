@@ -1,0 +1,119 @@
+// Command prefetchbench regenerates the paper's figures and the derived
+// validation tables (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	prefetchbench -list
+//	prefetchbench -run F2              # one experiment, text output
+//	prefetchbench -run all -format csv # everything, CSV
+//	prefetchbench -run T7 -quick       # reduced simulation sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		run    = flag.String("run", "", "experiment id to run, or 'all'")
+		format = flag.String("format", "text", "output format: text, csv, markdown, or plot (figures only)")
+		width  = flag.Int("width", 72, "plot width in characters (plot format)")
+		height = flag.Int("height", 24, "plot height in characters (plot format)")
+		quick  = flag.Bool("quick", false, "shrink simulation sizes (smoke runs)")
+		seed   = flag.Uint64("seed", 1, "random seed for simulation-backed experiments")
+		out    = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "prefetchbench: -run <id|all> or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var targets []experiments.Experiment
+	if *run == "all" {
+		targets = experiments.All()
+	} else {
+		e, err := experiments.Get(*run)
+		if err != nil {
+			fatal(err)
+		}
+		targets = []experiments.Experiment{e}
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	if *format == "plot" {
+		for _, e := range targets {
+			panels, err := experiments.FigurePanels(e.ID)
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range panels {
+				fmt.Fprintln(w, experiments.PanelPlot(p, *width, *height))
+			}
+		}
+		return
+	}
+
+	render, err := renderer(*format)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	for _, e := range targets {
+		fmt.Fprintf(w, "### %s — %s\n\n", e.ID, e.Title)
+		tables, err := e.Run(opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		for _, tb := range tables {
+			fmt.Fprintln(w, render(tb))
+		}
+	}
+}
+
+func renderer(format string) (func(*stats.Table) string, error) {
+	switch format {
+	case "text":
+		return (*stats.Table).Text, nil
+	case "csv":
+		return (*stats.Table).CSV, nil
+	case "markdown":
+		return (*stats.Table).Markdown, nil
+	default:
+		return nil, fmt.Errorf("prefetchbench: unknown format %q (want text, csv or markdown)", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefetchbench:", err)
+	os.Exit(1)
+}

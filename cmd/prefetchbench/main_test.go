@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRendererSelection(t *testing.T) {
+	tb := stats.NewTable("t", "a")
+	tb.AddRow("1")
+	for _, format := range []string{"text", "csv", "markdown"} {
+		render, err := renderer(format)
+		if err != nil {
+			t.Errorf("renderer(%q): %v", format, err)
+			continue
+		}
+		out := render(tb)
+		if !strings.Contains(out, "1") {
+			t.Errorf("format %q lost the cell: %q", format, out)
+		}
+	}
+	if _, err := renderer("pdf"); err == nil {
+		t.Error("unknown format should error")
+	}
+}

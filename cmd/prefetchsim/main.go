@@ -1,0 +1,222 @@
+// Command prefetchsim runs one full-system simulation — clients with
+// caches and predictors, a shared processor-sharing bottleneck, and a
+// configurable prefetch policy — and prints the measured steady-state
+// metrics next to what the paper's closed-form model predicts for the
+// same operating point.
+//
+// Example:
+//
+//	prefetchsim -lambda 30 -b 50 -policy threshold-a -requests 80000
+//	prefetchsim -policy topk:4 -lambda 42         # overload a load-blind policy
+//	prefetchsim -policy static:0.5 -predictor ppm:3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/cache"
+	"repro/internal/predict"
+	"repro/internal/prefetch"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		users    = flag.Int("users", 4, "number of clients behind the proxy")
+		lambda   = flag.Float64("lambda", 30, "aggregate request rate λ")
+		bw       = flag.Float64("b", 50, "shared link bandwidth b")
+		items    = flag.Int("items", 500, "catalog size")
+		size     = flag.Float64("size", 1, "item size s̄")
+		capn     = flag.Int("cache", 80, "per-client cache capacity n̄(C)")
+		policy   = flag.String("policy", "threshold-a", "prefetch policy: none, threshold-a, threshold-b, greedy, static:<θ>, topk:<k>")
+		pred     = flag.String("predictor", "markov1", "access model: markov1, ppm:<k>, depgraph:<w>, popularity")
+		inter    = flag.String("interaction", "A", "prefetch-cache interaction model: A or B")
+		maxPf    = flag.Int("maxprefetch", 2, "cap on prefetches per request (0 = unlimited)")
+		requests = flag.Int("requests", 80000, "total user requests")
+		warmup   = flag.Int("warmup", 0, "warm-up requests excluded from metrics (default requests/4)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		fanout   = flag.Int("fanout", 2, "Markov workload fanout")
+		decay    = flag.Float64("decay", 0.15, "Markov successor weight decay")
+		restart  = flag.Float64("restart", 0.03, "Markov restart probability")
+		trace    = flag.String("trace", "", "replay request sequences from a tracegen file instead of the synthetic Markov workload")
+	)
+	flag.Parse()
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	pf, err := parsePredictor(*pred)
+	if err != nil {
+		fatal(err)
+	}
+	interaction := sim.InteractionA
+	switch strings.ToUpper(*inter) {
+	case "A":
+	case "B":
+		interaction = sim.InteractionB
+	default:
+		fatal(fmt.Errorf("unknown interaction %q (want A or B)", *inter))
+	}
+	if *warmup == 0 {
+		*warmup = *requests / 4
+	}
+
+	newSource := func(u int, src *rng.Source) workload.Source {
+		return workload.NewMarkov(workload.MarkovConfig{
+			N: *items, Fanout: *fanout, Decay: *decay, Restart: *restart,
+		}, src)
+	}
+	if *trace != "" {
+		records, maxItem, err := loadTrace(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		if int(maxItem) >= *items {
+			*items = int(maxItem) + 1 // catalog must cover every traced id
+		}
+		newSource = func(u int, _ *rng.Source) workload.Source {
+			rep, err := workload.NewReplay(records, u, true)
+			if err != nil {
+				// Fall back to replaying the whole trace when the user
+				// id is absent from it.
+				rep, err = workload.NewReplay(records, -1, true)
+				if err != nil {
+					fatal(err)
+				}
+			}
+			return rep
+		}
+	}
+
+	cfg := sim.SystemConfig{
+		Users:         *users,
+		Lambda:        *lambda,
+		Bandwidth:     *bw,
+		Catalog:       workload.NewUniformCatalog(*items, *size),
+		NewSource:     newSource,
+		NewPredictor:  pf,
+		Policy:        pol,
+		Interaction:   interaction,
+		CacheCapacity: *capn,
+		MaxPrefetch:   *maxPf,
+		Requests:      *requests,
+		Warmup:        *warmup,
+		Seed:          *seed,
+	}
+	res, err := sim.RunSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("policy            %s\n", pol.Name())
+	fmt.Printf("interaction       model %s\n", interaction)
+	fmt.Printf("requests          %d measured (%.0f time units)\n", res.Requests, res.Duration)
+	fmt.Printf("hit ratio h       %.4f\n", res.HitRatio)
+	fmt.Printf("access time t̄     %.5f ± %.5f (95%% CI)\n", res.AccessTime, res.AccessTimeCI)
+	fmt.Printf("retrieval R/req   %.5f\n", res.RetrievalPerRequest)
+	fmt.Printf("utilisation ρ     %.4f\n", res.Utilisation)
+	fmt.Printf("n̄(F) observed     %.4f\n", res.NFObserved)
+	fmt.Printf("prefetch accuracy %.4f (%d/%d used)\n", res.Accuracy(), res.PrefetchUseful, res.PrefetchIssued)
+	fmt.Printf("ĥ′ (Section 4)    %.4f\n", res.HPrimeEstimate)
+	fmt.Printf("ρ̂′ online         %.4f\n", res.RhoPrimeEstimate)
+	fmt.Printf("mean occupancy    %.1f items/client\n", res.MeanOccupancy)
+
+	// Closed-form comparison at the measured operating point.
+	par := analytic.Params{
+		Lambda: *lambda, B: *bw, SBar: *size,
+		HPrime: res.HPrimeEstimate, NC: res.MeanOccupancy,
+	}
+	if err := par.Validate(); err == nil {
+		if tPrime, err := par.AccessTimeNoPrefetch(); err == nil {
+			fmt.Printf("\nmodel: t̄′ (no prefetch, eq. 5) = %.5f → measured G = %.5f\n",
+				tPrime, tPrime-res.AccessTime)
+		}
+		if pth, err := analytic.Threshold(analytic.ModelA{}, par); err == nil {
+			fmt.Printf("model: p_th (model A, eq. 13)  = %.4f\n", pth)
+		}
+	}
+}
+
+func parsePolicy(s string) (prefetch.Policy, error) {
+	switch {
+	case s == "none":
+		return prefetch.None{}, nil
+	case s == "threshold-a":
+		return prefetch.Threshold{Model: analytic.ModelA{}}, nil
+	case s == "threshold-b":
+		return prefetch.Threshold{Model: analytic.ModelB{}}, nil
+	case s == "greedy":
+		return prefetch.Greedy{Model: analytic.ModelA{}}, nil
+	case strings.HasPrefix(s, "static:"):
+		theta, err := strconv.ParseFloat(s[len("static:"):], 64)
+		if err != nil || theta < 0 || theta > 1 {
+			return nil, fmt.Errorf("bad static threshold in %q", s)
+		}
+		return prefetch.Static{Theta: theta}, nil
+	case strings.HasPrefix(s, "topk:"):
+		k, err := strconv.Atoi(s[len("topk:"):])
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad k in %q", s)
+		}
+		return prefetch.TopK{K: k}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func parsePredictor(s string) (sim.PredictorFactory, error) {
+	switch {
+	case s == "markov1":
+		return func() predict.Predictor { return predict.NewMarkov1() }, nil
+	case s == "popularity":
+		return func() predict.Predictor { return predict.NewPopularity(16) }, nil
+	case strings.HasPrefix(s, "ppm:"):
+		k, err := strconv.Atoi(s[len("ppm:"):])
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad PPM order in %q", s)
+		}
+		return func() predict.Predictor { return predict.NewPPM(k) }, nil
+	case strings.HasPrefix(s, "depgraph:"):
+		w, err := strconv.Atoi(s[len("depgraph:"):])
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad window in %q", s)
+		}
+		return func() predict.Predictor { return predict.NewDependencyGraph(w) }, nil
+	default:
+		return nil, fmt.Errorf("unknown predictor %q", s)
+	}
+}
+
+// loadTrace reads a tracegen file and returns its records plus the
+// largest item id (for catalog sizing).
+func loadTrace(path string) ([]workload.Record, cache.ID, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	records, err := workload.NewTraceReader(f).ReadAll()
+	if err != nil {
+		return nil, 0, err
+	}
+	var maxItem cache.ID
+	for _, r := range records {
+		if r.Item > maxItem {
+			maxItem = r.Item
+		}
+	}
+	return records, maxItem, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+	os.Exit(1)
+}

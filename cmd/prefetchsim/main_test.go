@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestParsePolicy(t *testing.T) {
+	good := map[string]string{
+		"none":        "none",
+		"threshold-a": "paper-threshold(model=A)",
+		"threshold-b": "paper-threshold(model=B)",
+		"greedy":      "greedy-threshold(model=A)",
+		"static:0.5":  "static(θ=0.5)",
+		"topk:3":      "top3",
+	}
+	for in, wantName := range good {
+		pol, err := parsePolicy(in)
+		if err != nil {
+			t.Errorf("parsePolicy(%q): %v", in, err)
+			continue
+		}
+		if pol.Name() != wantName {
+			t.Errorf("parsePolicy(%q).Name() = %q, want %q", in, pol.Name(), wantName)
+		}
+	}
+	for _, bad := range []string{"", "bogus", "static:", "static:2", "static:x", "topk:0", "topk:x"} {
+		if _, err := parsePolicy(bad); err == nil {
+			t.Errorf("parsePolicy(%q) should error", bad)
+		}
+	}
+}
+
+func TestParsePredictor(t *testing.T) {
+	for _, in := range []string{"markov1", "popularity", "ppm:2", "depgraph:4"} {
+		mk, err := parsePredictor(in)
+		if err != nil {
+			t.Errorf("parsePredictor(%q): %v", in, err)
+			continue
+		}
+		if mk() == nil {
+			t.Errorf("parsePredictor(%q) returned nil factory product", in)
+		}
+	}
+	for _, bad := range []string{"", "oracle", "ppm:0", "ppm:x", "depgraph:0"} {
+		if _, err := parsePredictor(bad); err == nil {
+			t.Errorf("parsePredictor(%q) should error", bad)
+		}
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.NewTraceWriter(f)
+	for i, rec := range []workload.Record{
+		{Time: 1, User: 0, Item: 5, Size: 1},
+		{Time: 2, User: 1, Item: 42, Size: 1},
+	} {
+		if err := w.Write(rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	records, maxItem, err := loadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || maxItem != 42 {
+		t.Errorf("loadTrace = %d records, max %d; want 2, 42", len(records), maxItem)
+	}
+	if _, _, err := loadTrace(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadTrace(bad); err == nil {
+		t.Error("malformed trace should error")
+	}
+}

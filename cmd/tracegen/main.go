@@ -1,0 +1,151 @@
+// Command tracegen generates synthetic request traces in the JSON-lines
+// format of internal/workload, and summarises existing traces. Traces
+// stand in for the production access logs the paper's setting assumes
+// (no public traces were released with the paper).
+//
+// Examples:
+//
+//	tracegen -n 100000 -items 2000 -kind markov -out trace.jsonl
+//	tracegen -inspect trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 100000, "number of requests to generate")
+		items   = flag.Int("items", 1000, "catalog size")
+		users   = flag.Int("users", 4, "number of users")
+		lambda  = flag.Float64("lambda", 30, "aggregate request rate λ")
+		kind    = flag.String("kind", "markov", "workload kind: irm or markov")
+		zipfS   = flag.Float64("zipf", 0.8, "Zipf exponent (irm popularity / markov restarts)")
+		fanout  = flag.Int("fanout", 2, "markov successor fanout")
+		decay   = flag.Float64("decay", 0.15, "markov successor weight decay")
+		restart = flag.Float64("restart", 0.03, "markov restart probability")
+		size    = flag.Float64("size", 1, "mean item size s̄")
+		pareto  = flag.Bool("pareto", false, "heavy-tailed (Pareto α=2.2) item sizes instead of fixed")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+		inspect = flag.String("inspect", "", "summarise an existing trace instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := summarise(*inspect); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var cat *workload.Catalog
+	if *pareto {
+		cat = workload.NewCatalog(*items, rng.NewParetoMean(*size, 2.2),
+			rng.NewStream(*seed, "sizes"))
+	} else {
+		cat = workload.NewUniformCatalog(*items, *size)
+	}
+
+	var src workload.Source
+	stream := rng.NewStream(*seed, "requests")
+	switch *kind {
+	case "irm":
+		src = workload.NewIRM(*items, *zipfS, stream)
+	case "markov":
+		src = workload.NewMarkov(workload.MarkovConfig{
+			N: *items, Fanout: *fanout, Decay: *decay,
+			Restart: *restart, ZipfS: *zipfS,
+		}, stream)
+	default:
+		fatal(fmt.Errorf("unknown workload kind %q (want irm or markov)", *kind))
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	tw := workload.NewTraceWriter(w)
+	arr := workload.NewArrivals(*lambda, rng.NewStream(*seed, "arrivals"))
+	if err := workload.Generate(tw, src, arr, cat, *users, *n); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records (%s workload, %d items, %d users)\n",
+		tw.Count(), src.Name(), *items, *users)
+}
+
+func summarise(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := workload.NewTraceReader(f)
+	var (
+		count     int64
+		users     = map[int]int64{}
+		items     = map[cache.ID]int64{}
+		sizeSum   float64
+		first     = -1.0
+		last      float64
+		repeats   int64
+		prevByUsr = map[int]cache.ID{}
+	)
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		count++
+		users[rec.User]++
+		items[rec.Item]++
+		sizeSum += rec.Size
+		if first < 0 {
+			first = rec.Time
+		}
+		last = rec.Time
+		if prev, ok := prevByUsr[rec.User]; ok && prev == rec.Item {
+			repeats++
+		}
+		prevByUsr[rec.User] = rec.Item
+	}
+	if count == 0 {
+		return fmt.Errorf("tracegen: trace %s is empty", path)
+	}
+	span := last - first
+	rate := 0.0
+	if span > 0 {
+		rate = float64(count) / span
+	}
+	fmt.Printf("records        %d\n", count)
+	fmt.Printf("users          %d\n", len(users))
+	fmt.Printf("distinct items %d\n", len(items))
+	fmt.Printf("mean size s̄    %.4f\n", sizeSum/float64(count))
+	fmt.Printf("time span      %.2f (rate λ ≈ %.2f)\n", span, rate)
+	fmt.Printf("immediate repeats %.2f%%\n", 100*float64(repeats)/float64(count))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

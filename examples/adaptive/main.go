@@ -1,0 +1,98 @@
+// Adaptive: the online estimation loop — Section 4 of the paper — in
+// action. A client-side Advisor watches the live request stream while
+// prefetching is running, estimates λ, s̄ and (with the tagged-cache
+// algorithm) the hypothetical no-prefetch hit ratio h′, and keeps the
+// prefetch threshold p_th = ρ̂′ current as the workload shifts through
+// three phases: quiet browsing, a traffic surge, then a calm period with
+// a warmed-up cache.
+//
+// Watch the same p=0.5 candidate flip from "prefetch" to "skip" and
+// back as the measured load moves — the behaviour that distinguishes the
+// paper's rule from any fixed threshold.
+//
+// Run:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analytic"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/rng"
+)
+
+// phase describes one workload regime.
+type phase struct {
+	name     string
+	lambda   float64 // request rate
+	locality float64 // probability a request re-hits the recent set
+	requests int
+}
+
+func main() {
+	advisor, err := core.NewAdvisor(50, analytic.ModelA{}, 0, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := cache.NewStore(200, cache.NewLRU())
+	store.OnEvict(advisor.OnEvict)
+	src := rng.New(11)
+
+	candidate := []predict.Prediction{{Item: 999999, Prob: 0.5}}
+
+	phases := []phase{
+		{"quiet start (λ=10, cold cache)", 10, 0.2, 1500},
+		{"traffic surge (λ=40)", 40, 0.2, 4000},
+		{"calm, warmed cache (λ=15, high locality)", 15, 0.8, 4000},
+	}
+
+	now := 0.0
+	nextID := cache.ID(0)
+	recent := make([]cache.ID, 0, 256)
+	for _, ph := range phases {
+		inter := rng.Exponential{Rate: ph.lambda}
+		for i := 0; i < ph.requests; i++ {
+			now += inter.Sample(src)
+			advisor.OnRequest(now, 1)
+
+			// Synthesise the request: with probability `locality` revisit
+			// a recent item, otherwise fetch something new.
+			var id cache.ID
+			if len(recent) > 0 && rng.Bernoulli(src, ph.locality) {
+				id = recent[src.Intn(len(recent))]
+			} else {
+				id = nextID
+				nextID++
+			}
+			if store.Access(id) {
+				advisor.OnCacheHit(id)
+			} else {
+				store.Admit(id)
+				advisor.OnRemoteFetch(id, true)
+			}
+			if len(recent) < cap(recent) {
+				recent = append(recent, id)
+			} else {
+				recent[src.Intn(len(recent))] = id
+			}
+		}
+
+		snap := advisor.Snapshot()
+		sel := advisor.Filter(candidate)
+		decision := "SKIP    "
+		if len(sel) > 0 {
+			decision = "PREFETCH"
+		}
+		fmt.Printf("%-42s  λ̂=%5.1f  ĥ′=%.2f  ρ̂′=%.2f  p_th=%.2f → p=0.5: %s\n",
+			ph.name, snap.Lambda, snap.HPrime, snap.RhoPrime,
+			advisor.Threshold(), decision)
+	}
+
+	fmt.Println("\nthe candidate's probability never changed — only the network conditions did;")
+	fmt.Println("a static threshold tuned for any one phase misbehaves in the others (Section 4)")
+}

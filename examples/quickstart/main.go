@@ -1,0 +1,81 @@
+// Quickstart: the paper's decision rule in five minutes.
+//
+// You operate a proxy serving λ=30 requests/s of s̄=1-unit items over a
+// b=50 link, with a client-cache hit ratio of h′=0.3. Your access model
+// just predicted a handful of candidate items. Which are worth
+// prefetching, and what do you gain?
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+)
+
+func main() {
+	par := analytic.Params{
+		Lambda: 30, // aggregate request rate
+		B:      50, // shared bandwidth
+		SBar:   1,  // mean item size
+		HPrime: 0.3,
+	}
+	planner, err := core.NewPlanner(analytic.ModelA{}, par)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pth, err := planner.Threshold()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("no-prefetch utilisation ρ′ = %.2f\n", par.RhoPrime())
+	fmt.Printf("prefetch threshold p_th    = %.2f (model A: p_th = ρ′, eq. 13)\n\n", pth)
+
+	// The paper's rule: prefetch exclusively items with p > p_th.
+	candidates := []struct {
+		name string
+		prob float64
+	}{
+		{"index.html of a followed link", 0.85},
+		{"stylesheet referenced by it", 0.60},
+		{"a related article", 0.45},
+		{"a rarely-followed footer link", 0.10},
+	}
+	fmt.Println("candidate                        p      decision")
+	for _, c := range candidates {
+		ok, err := planner.ShouldPrefetch(c.prob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		decision := "skip  (p ≤ p_th: would *increase* mean access time)"
+		if ok {
+			decision = "PREFETCH"
+		}
+		fmt.Printf("%-32s %.2f   %s\n", c.name, c.prob, decision)
+	}
+
+	// What does prefetching the good candidates buy? Evaluate the
+	// steady state for n̄(F)=0.5 items per request at p=0.85.
+	e, err := planner.Evaluate(0.5, 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprefetching n̄(F)=0.5 items/request at p=0.85:\n")
+	fmt.Printf("  hit ratio    h:  %.3f → %.3f\n", par.HPrime, e.H)
+	fmt.Printf("  access time  t̄:  %.5f → %.5f (G = %.5f, eq. 11)\n", e.TBarPrime, e.TBar, e.G)
+	fmt.Printf("  utilisation  ρ:  %.3f → %.3f\n", par.RhoPrime(), e.Rho)
+	fmt.Printf("  excess cost  C:  %.5f extra retrieval time per request (eq. 27)\n", e.C)
+
+	// The same prefetch below the threshold backfires.
+	bad, err := planner.Evaluate(0.5, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe same n̄(F) at p=0.30 (below threshold): G = %.5f — slower than no prefetch\n", bad.G)
+}

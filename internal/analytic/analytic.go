@@ -1,0 +1,138 @@
+// Package analytic implements the paper's closed-form performance model
+// of speculative prefetching under network load (equations (1)–(27)).
+//
+// The setting: multiple users behind a proxy issue requests at aggregate
+// rate λ for items of mean size s̄ over a shared link of bandwidth b,
+// modelled as an M/G/1 processor-sharing server. Without prefetching a
+// fraction h′ of requests hit the client caches. Prefetching n̄(F) items
+// per request — each with access probability p — raises the hit ratio
+// but also the server utilisation, which inflates retrieval times for
+// everyone.
+//
+// The package provides:
+//
+//   - the no-prefetch baseline: ρ′, r̄′ (eq. 4) and t̄′ (eq. 5);
+//   - interaction models A, B and the interpolating AB (Section 6),
+//     each giving h, ρ, r̄, t̄ (eqs. 7–10, 15–18), the access
+//     improvement G (eqs. 11, 19), the positivity conditions (eqs. 12,
+//     20) and the prefetch threshold p_th (eqs. 13, 21);
+//   - the excess retrieval cost C (eqs. 23–27);
+//   - the bound max(np) on how many items can carry probability ≥ p
+//     (eq. 6) and the n̄(F) limits (eqs. 14, 22).
+//
+// All formulas return errors instead of non-finite values when the
+// offered load reaches capacity.
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrOverload indicates the offered load (demand plus prefetch) meets or
+// exceeds the link capacity, so no finite steady state exists.
+var ErrOverload = errors.New("analytic: offered load >= capacity")
+
+// Params are the system parameters shared by every formula. Symbols
+// follow the paper's appendix.
+type Params struct {
+	// Lambda is the aggregate user request rate λ (requests per unit
+	// time). Prefetching does not change it (transparency assumption).
+	Lambda float64
+	// B is the bandwidth b of the shared server, in units of item size
+	// per unit time.
+	B float64
+	// SBar is the average item size s̄.
+	SBar float64
+	// HPrime is h′, the cache hit ratio when no prefetching is done.
+	HPrime float64
+	// NC is n̄(C), the average number of items in a user's cache. Only
+	// models B and AB use it; model A deliberately has one parameter
+	// fewer (Section 6).
+	NC float64
+}
+
+// Validate checks parameter sanity: positive rates and sizes, h′ in
+// [0,1), and NC positive when a model that needs it will be used (the
+// models check NC themselves, so Validate only rejects negatives here).
+func (par Params) Validate() error {
+	switch {
+	case !(par.Lambda > 0) || math.IsInf(par.Lambda, 0):
+		return fmt.Errorf("analytic: λ = %v must be positive and finite", par.Lambda)
+	case !(par.B > 0) || math.IsInf(par.B, 0):
+		return fmt.Errorf("analytic: b = %v must be positive and finite", par.B)
+	case !(par.SBar > 0) || math.IsInf(par.SBar, 0):
+		return fmt.Errorf("analytic: s̄ = %v must be positive and finite", par.SBar)
+	case par.HPrime < 0 || par.HPrime >= 1 || math.IsNaN(par.HPrime):
+		return fmt.Errorf("analytic: h′ = %v must be in [0,1)", par.HPrime)
+	case par.NC < 0 || math.IsNaN(par.NC):
+		return fmt.Errorf("analytic: n̄(C) = %v must be non-negative", par.NC)
+	}
+	return nil
+}
+
+// FPrime returns the cache fault ratio f′ = 1 − h′.
+func (par Params) FPrime() float64 { return 1 - par.HPrime }
+
+// RhoPrime returns the no-prefetch utilisation ρ′ = f′λs̄/b.
+func (par Params) RhoPrime() float64 {
+	return par.FPrime() * par.Lambda * par.SBar / par.B
+}
+
+// RetrievalTimeNoPrefetch returns r̄′ = s̄/(b − f′λs̄) (eq. 4), the mean
+// time to retrieve one item when no prefetching is performed.
+func (par Params) RetrievalTimeNoPrefetch() (float64, error) {
+	denom := par.B - par.FPrime()*par.Lambda*par.SBar
+	if denom <= 0 {
+		return 0, ErrOverload
+	}
+	return par.SBar / denom, nil
+}
+
+// AccessTimeNoPrefetch returns t̄′ = f′s̄/(b − f′λs̄) (eq. 5), the mean
+// access time over all requests (hits cost zero).
+func (par Params) AccessTimeNoPrefetch() (float64, error) {
+	r, err := par.RetrievalTimeNoPrefetch()
+	if err != nil {
+		return 0, err
+	}
+	return par.FPrime() * r, nil
+}
+
+// MaxPrefetchable returns max(np) = f′/p (eq. 6): for the probability
+// bookkeeping to stay consistent, at most f′/p items can each carry
+// access probability p or larger. It panics if p is not in (0, 1].
+func (par Params) MaxPrefetchable(p float64) float64 {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("analytic: access probability %v must be in (0,1]", p))
+	}
+	return par.FPrime() / p
+}
+
+// RetrievalPerRequest returns R = ρ/(λ(1−ρ)) (eq. 25), the expected
+// total retrieval time per user request at utilisation rho.
+func RetrievalPerRequest(lambda, rho float64) (float64, error) {
+	if rho < 0 || lambda <= 0 {
+		return 0, fmt.Errorf("analytic: invalid R arguments (λ=%v, ρ=%v)", lambda, rho)
+	}
+	if rho >= 1 {
+		return 0, ErrOverload
+	}
+	return rho / (lambda * (1 - rho)), nil
+}
+
+// ExcessCost returns C = (ρ−ρ′)/(λ(1−ρ)(1−ρ′)) (eq. 27): the increase
+// in per-request retrieval time caused by prefetching, the paper's
+// "excess retrieval cost". It is generic in the prefetch-cache
+// interaction: pass the utilisation produced by any model.
+func ExcessCost(lambda, rho, rhoPrime float64) (float64, error) {
+	if lambda <= 0 || rho < 0 || rhoPrime < 0 {
+		return 0, fmt.Errorf("analytic: invalid C arguments (λ=%v, ρ=%v, ρ′=%v)",
+			lambda, rho, rhoPrime)
+	}
+	if rho >= 1 || rhoPrime >= 1 {
+		return 0, ErrOverload
+	}
+	return (rho - rhoPrime) / (lambda * (1 - rho) * (1 - rhoPrime)), nil
+}

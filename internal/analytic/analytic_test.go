@@ -1,0 +1,547 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperParams are the parameters of Figures 2 and 3: s̄=1, λ=30, b=50.
+func paperParams(hPrime float64) Params {
+	return Params{Lambda: 30, B: 50, SBar: 1, HPrime: hPrime, NC: 100}
+}
+
+func TestValidate(t *testing.T) {
+	good := paperParams(0.3)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Lambda: 0, B: 50, SBar: 1},
+		{Lambda: -1, B: 50, SBar: 1},
+		{Lambda: 30, B: 0, SBar: 1},
+		{Lambda: 30, B: 50, SBar: 0},
+		{Lambda: 30, B: 50, SBar: 1, HPrime: -0.1},
+		{Lambda: 30, B: 50, SBar: 1, HPrime: 1.0},
+		{Lambda: 30, B: 50, SBar: 1, HPrime: math.NaN()},
+		{Lambda: 30, B: 50, SBar: 1, NC: -5},
+		{Lambda: math.Inf(1), B: 50, SBar: 1},
+	}
+	for i, par := range bad {
+		if err := par.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, par)
+		}
+	}
+}
+
+func TestRhoPrime(t *testing.T) {
+	// ρ′ = f′λs̄/b = 1·30·1/50 = 0.6 at h′=0.
+	if got := paperParams(0).RhoPrime(); math.Abs(got-0.6) > 1e-15 {
+		t.Errorf("ρ′ = %v, want 0.6", got)
+	}
+	// h′=0.3 → f′=0.7 → ρ′=0.42.
+	if got := paperParams(0.3).RhoPrime(); math.Abs(got-0.42) > 1e-15 {
+		t.Errorf("ρ′ = %v, want 0.42", got)
+	}
+}
+
+func TestNoPrefetchTimes(t *testing.T) {
+	par := paperParams(0)
+	// r̄′ = s̄/(b − f′λs̄) = 1/20 = 0.05; t̄′ = f′·r̄′ = 0.05.
+	r, err := par.RetrievalTimeNoPrefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.05) > 1e-15 {
+		t.Errorf("r̄′ = %v, want 0.05", r)
+	}
+	tp, err := par.AccessTimeNoPrefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tp-0.05) > 1e-15 {
+		t.Errorf("t̄′ = %v, want 0.05", tp)
+	}
+	// With h′=0.3: t̄′ = 0.7·1/(50−21) = 0.7/29.
+	tp3, err := paperParams(0.3).AccessTimeNoPrefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tp3-0.7/29) > 1e-15 {
+		t.Errorf("t̄′(h′=0.3) = %v, want %v", tp3, 0.7/29)
+	}
+}
+
+func TestNoPrefetchOverload(t *testing.T) {
+	par := Params{Lambda: 100, B: 50, SBar: 1} // f′λs̄ = 100 > b
+	if _, err := par.RetrievalTimeNoPrefetch(); err != ErrOverload {
+		t.Error("overloaded baseline should return ErrOverload")
+	}
+	if _, err := par.AccessTimeNoPrefetch(); err != ErrOverload {
+		t.Error("overloaded baseline should return ErrOverload")
+	}
+}
+
+func TestMaxPrefetchable(t *testing.T) {
+	par := paperParams(0.3) // f′ = 0.7
+	if got := par.MaxPrefetchable(0.35); math.Abs(got-2) > 1e-12 {
+		t.Errorf("max(np) = %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=0 should panic")
+		}
+	}()
+	par.MaxPrefetchable(0)
+}
+
+func TestThresholdModelA(t *testing.T) {
+	// Eq. 13: p_th = ρ′.
+	for _, h := range []float64{0, 0.3, 0.6} {
+		par := paperParams(h)
+		got, err := Threshold(ModelA{}, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-par.RhoPrime()) > 1e-15 {
+			t.Errorf("h′=%v: p_th = %v, want ρ′ = %v", h, got, par.RhoPrime())
+		}
+	}
+}
+
+func TestThresholdModelB(t *testing.T) {
+	// Eq. 21: p_th = ρ′ + h′/n̄(C).
+	par := paperParams(0.3)
+	got, err := Threshold(ModelB{}, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := par.RhoPrime() + 0.3/100
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("p_th = %v, want %v", got, want)
+	}
+}
+
+func TestThresholdModelBNeedsNC(t *testing.T) {
+	par := paperParams(0.3)
+	par.NC = 0
+	if _, err := Threshold(ModelB{}, par); err == nil {
+		t.Error("model B with n̄(C)=0 should error")
+	}
+}
+
+func TestModelABInterpolates(t *testing.T) {
+	par := paperParams(0.3)
+	a, _ := Threshold(ModelA{}, par)
+	b, _ := Threshold(ModelB{}, par)
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		ab, err := Threshold(ModelAB{Alpha: alpha}, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a + alpha*(b-a)
+		if math.Abs(ab-want) > 1e-15 {
+			t.Errorf("α=%v: p_th = %v, want %v", alpha, ab, want)
+		}
+	}
+	if _, err := Threshold(ModelAB{Alpha: 1.5}, par); err == nil {
+		t.Error("α > 1 should error")
+	}
+	if _, err := Threshold(ModelAB{Alpha: -0.1}, par); err == nil {
+		t.Error("α < 0 should error")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if ModelA.Name(ModelA{}) != "A" || ModelB.Name(ModelB{}) != "B" {
+		t.Error("model names wrong")
+	}
+	if (ModelAB{Alpha: 0.5}).Name() != "AB(α=0.5)" {
+		t.Errorf("AB name = %q", ModelAB{Alpha: 0.5}.Name())
+	}
+}
+
+func TestEvaluateModelAKnownPoint(t *testing.T) {
+	// Hand-computed at h′=0, p=0.9, nF=1, λ=30, b=50, s̄=1:
+	// h = 0.9; ρ = (1−0.9+1)·0.6 = 0.66; r̄ = 1/(50·0.34) = 1/17;
+	// t̄ = 0.1/17; t̄′ = 0.05; G = 0.05 − 0.1/17.
+	e, err := Evaluate(ModelA{}, paperParams(0), 1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.H-0.9) > 1e-15 {
+		t.Errorf("h = %v, want 0.9", e.H)
+	}
+	if math.Abs(e.Rho-0.66) > 1e-12 {
+		t.Errorf("ρ = %v, want 0.66", e.Rho)
+	}
+	if math.Abs(e.RBar-1.0/17) > 1e-12 {
+		t.Errorf("r̄ = %v, want %v", e.RBar, 1.0/17)
+	}
+	wantG := 0.05 - 0.1/17
+	if math.Abs(e.G-wantG) > 1e-12 {
+		t.Errorf("G = %v, want %v", e.G, wantG)
+	}
+	// Eq. 11 directly: G = 1·1·(0.9·50−30)/((50−30)(50−30−1·0.1·30)) = 15/340.
+	if math.Abs(e.G-15.0/340) > 1e-12 {
+		t.Errorf("G = %v, want 15/340 = %v", e.G, 15.0/340)
+	}
+}
+
+func TestEvaluateModelBKnownPoint(t *testing.T) {
+	// h′=0.3, nC=100, p=0.5, nF=1: d=0.003, h=0.3+0.497=0.797.
+	e, err := Evaluate(ModelB{}, paperParams(0.3), 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.H-0.797) > 1e-12 {
+		t.Errorf("h = %v, want 0.797", e.H)
+	}
+	// Eq. 19 numerator: 1·1·(0.5·50 − 0.7·30 − 50·0.3/100) = 25−21−0.15 = 3.85.
+	// Denominators: (50−21)=29; (50−21−1·(0.3/100)·30−1·0.5·30)=29−0.09−15=13.91.
+	wantG := 3.85 / (29 * 13.91)
+	if math.Abs(e.G-wantG) > 1e-12 {
+		t.Errorf("G = %v, want %v", e.G, wantG)
+	}
+}
+
+func TestEvaluateZeroNF(t *testing.T) {
+	e, err := Evaluate(ModelA{}, paperParams(0.3), 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.G) > 1e-15 || math.Abs(e.C) > 1e-15 {
+		t.Errorf("nF=0 should give G=C=0, got G=%v C=%v", e.G, e.C)
+	}
+	if math.Abs(e.Rho-e.Par.RhoPrime()) > 1e-15 {
+		t.Error("nF=0 utilisation should equal ρ′")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	par := paperParams(0)
+	if _, err := Evaluate(ModelA{}, par, -1, 0.5); err == nil {
+		t.Error("negative nF should error")
+	}
+	if _, err := Evaluate(ModelA{}, par, 1, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+	if _, err := Evaluate(ModelA{}, par, 1, 1.5); err == nil {
+		t.Error("p>1 should error")
+	}
+	// max(np) = f′/p = 1/0.9 ≈ 1.11 < 2.
+	if _, err := Evaluate(ModelA{}, par, 2, 0.9); err == nil {
+		t.Error("nF beyond max(np) should error")
+	}
+	// Overload: p=0.1, nF=1 → ρ = (1−0.1+1)·0.6 = 1.14.
+	if _, err := Evaluate(ModelA{}, par, 1, 0.1); err != ErrOverload {
+		t.Error("saturating load should return ErrOverload")
+	}
+}
+
+// The paper's central claim, eqs. 11–13: sign(G) = sign(p − p_th)
+// whenever the system is stable and n̄(F) ≤ max(np).
+func TestGainSignMatchesThresholdModelA(t *testing.T) {
+	par := paperParams(0)
+	pth, _ := Threshold(ModelA{}, par) // 0.6
+	for _, p := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.8, 0.9} {
+		for _, nF := range []float64{0.1, 0.5, 1.0} {
+			if nF > par.MaxPrefetchable(p) {
+				continue
+			}
+			e, err := Evaluate(ModelA{}, par, nF, p)
+			if err == ErrOverload {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case p > pth && e.G <= 0:
+				t.Errorf("p=%v > p_th but G=%v <= 0", p, e.G)
+			case p < pth && e.G >= 0:
+				t.Errorf("p=%v < p_th but G=%v >= 0", p, e.G)
+			}
+		}
+	}
+	// At exactly p = p_th, G = 0.
+	e, err := Evaluate(ModelA{}, par, 1, pth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.G) > 1e-12 {
+		t.Errorf("G at p=p_th = %v, want 0", e.G)
+	}
+}
+
+// G is monotone in n̄(F) for fixed p (the "no further restriction"
+// result of Section 3.1).
+func TestGainMonotoneInNF(t *testing.T) {
+	par := paperParams(0.3)
+	for _, p := range []float64{0.2, 0.5, 0.7, 0.9} {
+		prev := 0.0
+		first := true
+		for _, nF := range Linspace(0.05, 1.0, 20) {
+			if nF > par.MaxPrefetchable(p) {
+				break
+			}
+			e, err := Evaluate(ModelA{}, par, nF, p)
+			if err == ErrOverload {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !first {
+				pth, _ := Threshold(ModelA{}, par)
+				if p > pth && e.G < prev-1e-12 {
+					t.Errorf("p=%v: G not increasing at nF=%v (%v < %v)", p, nF, e.G, prev)
+				}
+				if p < pth && e.G > prev+1e-12 {
+					t.Errorf("p=%v: G not decreasing at nF=%v (%v > %v)", p, nF, e.G, prev)
+				}
+			}
+			prev, first = e.G, false
+		}
+	}
+}
+
+// Evaluate's first-principles G must agree with the paper's closed-form
+// algebra (eq. 11 / 19) to machine precision, for all three models.
+func TestQuickGainClosedFormAgreement(t *testing.T) {
+	models := []Model{ModelA{}, ModelB{}, ModelAB{Alpha: 0.37}}
+	f := func(lSeed, bSeed, sSeed, hSeed, pSeed, nSeed uint16) bool {
+		par := Params{
+			Lambda: 1 + float64(lSeed%400)/10,   // 1..41
+			B:      5 + float64(bSeed%500),      // 5..505
+			SBar:   0.1 + float64(sSeed%100)/20, // 0.1..5.1
+			HPrime: float64(hSeed%90) / 100,     // 0..0.89
+			NC:     50,
+		}
+		p := 0.05 + float64(pSeed%95)/100 // 0.05..0.99
+		nF := float64(nSeed%200) / 100    // 0..1.99
+		if nF > par.MaxPrefetchable(p) {
+			return true
+		}
+		for _, m := range models {
+			e, err := Evaluate(m, par, nF, p)
+			if err != nil {
+				continue // overload or inconsistent: nothing to compare
+			}
+			cf, err := GainClosedForm(m, par, nF, p)
+			if err != nil {
+				return false // Evaluate succeeded, closed form must too
+			}
+			scale := math.Max(math.Abs(e.G), 1e-12)
+			if math.Abs(e.G-cf)/scale > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Redundancy of conditions 2 and 3 (eqs. 12/14, 20/22): whenever
+// condition 1 holds and n̄(F) ≤ max(np), conditions 2 and 3 follow.
+func TestQuickConditionRedundancy(t *testing.T) {
+	models := []Model{ModelA{}, ModelB{}, ModelAB{Alpha: 0.8}}
+	f := func(lSeed, bSeed, sSeed, hSeed, pSeed, nSeed uint16) bool {
+		par := Params{
+			Lambda: 1 + float64(lSeed%400)/10,
+			B:      5 + float64(bSeed%500),
+			SBar:   0.1 + float64(sSeed%100)/20,
+			HPrime: float64(hSeed%90) / 100,
+			NC:     20,
+		}
+		p := 0.05 + float64(pSeed%95)/100
+		nF := float64(nSeed%150) / 100
+		if nF > par.MaxPrefetchable(p) {
+			return true
+		}
+		for _, m := range models {
+			c1, c2, c3, err := Conditions(m, par, nF, p)
+			if err != nil {
+				return false
+			}
+			if c1 && (!c2 || !c3) {
+				return false // the paper's redundancy claim violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNFLimit(t *testing.T) {
+	par := paperParams(0.3)
+	// Model A, eq. 14: f′/p.
+	got, err := NFLimit(ModelA{}, par, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.7/0.5) > 1e-12 {
+		t.Errorf("model A NF limit = %v, want 1.4", got)
+	}
+	// Model B, eq. 22: f′/(p − h′/n̄(C)); always ≥ max(np) = f′/p.
+	gotB, err := NFLimit(ModelB{}, par, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB < got {
+		t.Errorf("model B limit %v < model A limit %v; eq. 22 should be looser", gotB, got)
+	}
+	// p ≤ d → +Inf.
+	tiny := Params{Lambda: 30, B: 50, SBar: 1, HPrime: 0.5, NC: 1}
+	inf, err := NFLimit(ModelB{}, tiny, 0.4) // d = 0.5 > p
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(inf, 1) {
+		t.Errorf("p <= d should give +Inf, got %v", inf)
+	}
+}
+
+func TestExcessCostProperties(t *testing.T) {
+	// C = 0 when ρ = ρ′ (no prefetching).
+	c, err := ExcessCost(30, 0.6, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("C = %v at ρ=ρ′, want 0", c)
+	}
+	// C > 0 when ρ > ρ′.
+	c, err = ExcessCost(30, 0.8, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Errorf("C = %v, want > 0", c)
+	}
+	// Errors.
+	if _, err := ExcessCost(30, 1.0, 0.6); err != ErrOverload {
+		t.Error("ρ=1 should be overload")
+	}
+	if _, err := ExcessCost(0, 0.5, 0.4); err == nil {
+		t.Error("λ=0 should error")
+	}
+}
+
+// Load impedance (Section 5): adding the same prefetch utilisation delta
+// costs more at higher background load.
+func TestExcessCostLoadImpedance(t *testing.T) {
+	const delta = 0.1
+	prev := -1.0
+	for _, rhoPrime := range []float64{0.1, 0.3, 0.5, 0.7, 0.85} {
+		c, err := ExcessCost(30, rhoPrime+delta, rhoPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= prev {
+			t.Errorf("C(ρ′=%v) = %v not increasing (prev %v)", rhoPrime, c, prev)
+		}
+		prev = c
+	}
+}
+
+// RetrievalPerRequest consistency: C = R − R′ (eq. 23 vs eq. 27).
+func TestExcessCostEqualsRDifference(t *testing.T) {
+	lambda, rho, rhoPrime := 30.0, 0.75, 0.6
+	r, err := RetrievalPerRequest(lambda, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := RetrievalPerRequest(lambda, rhoPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ExcessCost(lambda, rho, rhoPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-(r-rp)) > 1e-12 {
+		t.Errorf("C = %v but R−R′ = %v", c, r-rp)
+	}
+}
+
+func TestRetrievalPerRequestErrors(t *testing.T) {
+	if _, err := RetrievalPerRequest(30, 1); err != ErrOverload {
+		t.Error("ρ=1 should be overload")
+	}
+	if _, err := RetrievalPerRequest(0, 0.5); err == nil {
+		t.Error("λ=0 should error")
+	}
+	if _, err := RetrievalPerRequest(30, -0.1); err == nil {
+		t.Error("negative ρ should error")
+	}
+}
+
+// Section 6, observation 3: models A and B agree as n̄(C) → ∞.
+func TestModelsConvergeForLargeCache(t *testing.T) {
+	par := paperParams(0.3)
+	p, nF := 0.7, 0.5
+	prevGap := math.Inf(1)
+	for _, nc := range []float64{10, 100, 1000, 10000} {
+		par.NC = nc
+		ea, err := Evaluate(ModelA{}, par, nF, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := Evaluate(ModelB{}, par, nF, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := math.Abs(ea.G - eb.G)
+		if gap >= prevGap {
+			t.Errorf("n̄(C)=%v: |G_A−G_B| = %v did not shrink (prev %v)", nc, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 1e-5 {
+		t.Errorf("models should nearly coincide at n̄(C)=10⁴, gap %v", prevGap)
+	}
+}
+
+// Section 6, observation 2: threshold difference is exactly h′/n̄(C),
+// bounded by 1/n̄(C).
+func TestThresholdGapBound(t *testing.T) {
+	par := paperParams(0.3)
+	for _, nc := range []float64{2, 10, 100} {
+		par.NC = nc
+		a, _ := Threshold(ModelA{}, par)
+		b, _ := Threshold(ModelB{}, par)
+		if gap := b - a; math.Abs(gap-0.3/nc) > 1e-15 || gap > 1/nc {
+			t.Errorf("n̄(C)=%v: gap = %v, want h′/n̄(C) = %v ≤ 1/n̄(C)", nc, gap, 0.3/nc)
+		}
+	}
+}
+
+// G under model AB is sandwiched between models A and B (Section 6).
+func TestQuickModelABSandwich(t *testing.T) {
+	f := func(alphaSeed, pSeed, nSeed uint16) bool {
+		par := paperParams(0.4)
+		par.NC = 30
+		alpha := float64(alphaSeed%101) / 100
+		p := 0.05 + float64(pSeed%95)/100
+		nF := float64(nSeed%100) / 100
+		if nF > par.MaxPrefetchable(p) {
+			return true
+		}
+		ea, errA := Evaluate(ModelA{}, par, nF, p)
+		eb, errB := Evaluate(ModelB{}, par, nF, p)
+		eab, errAB := Evaluate(ModelAB{Alpha: alpha}, par, nF, p)
+		if errA != nil || errB != nil || errAB != nil {
+			return true // skip saturated corners
+		}
+		lo, hi := math.Min(ea.G, eb.G), math.Max(ea.G, eb.G)
+		return eab.G >= lo-1e-12 && eab.G <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

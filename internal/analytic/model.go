@@ -1,0 +1,257 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a prefetch-cache interaction model: how prefetched items
+// displace cache occupants, and therefore how prefetching n̄(F) items of
+// probability p changes the hit ratio and everything downstream.
+//
+// The paper's models are unified by a single quantity, the displacement
+// d: the expected hit-ratio value forfeited per prefetched item when it
+// evicts an existing occupant. Model A has d = 0 (victims are worthless,
+// eq. 7); model B has d = h′/n̄(C) (victims carry average value,
+// eq. 15); model AB interpolates. Every formula below reduces to the
+// paper's model-specific equations when d is substituted.
+type Model interface {
+	// Name identifies the model ("A", "B" or "AB(α)").
+	Name() string
+	// Displacement returns d for the given parameters, or an error when
+	// the model's requirements are not met (e.g. model B with NC = 0).
+	Displacement(par Params) (float64, error)
+}
+
+// ModelA assumes prefetched items always evict zero-value occupants
+// (Section 3.1). It needs no cache-size parameter — the practical
+// advantage Section 6 highlights.
+type ModelA struct{}
+
+// Name implements Model.
+func (ModelA) Name() string { return "A" }
+
+// Displacement implements Model: d = 0.
+func (ModelA) Displacement(Params) (float64, error) { return 0, nil }
+
+// ModelB assumes every cache occupant contributes h′/n̄(C) to the hit
+// ratio, so each eviction forfeits that average value (Section 3.2).
+type ModelB struct{}
+
+// Name implements Model.
+func (ModelB) Name() string { return "B" }
+
+// Displacement implements Model: d = h′/n̄(C).
+func (ModelB) Displacement(par Params) (float64, error) {
+	if par.NC <= 0 {
+		return 0, fmt.Errorf("analytic: model B needs n̄(C) > 0, got %v", par.NC)
+	}
+	return par.HPrime / par.NC, nil
+}
+
+// ModelAB is the "more realistic" interpolation of Section 6: evicted
+// items carry a fraction Alpha of the average value h′/n̄(C). Alpha = 0
+// recovers model A; Alpha = 1 recovers model B. The paper argues real
+// caches sit strictly between (one can always evict a below-average
+// item, so Alpha < 1).
+type ModelAB struct {
+	// Alpha ∈ [0,1] scales the victim's value relative to the average
+	// occupant.
+	Alpha float64
+}
+
+// Name implements Model.
+func (m ModelAB) Name() string { return fmt.Sprintf("AB(α=%g)", m.Alpha) }
+
+// Displacement implements Model: d = α·h′/n̄(C).
+func (m ModelAB) Displacement(par Params) (float64, error) {
+	if m.Alpha < 0 || m.Alpha > 1 || math.IsNaN(m.Alpha) {
+		return 0, fmt.Errorf("analytic: model AB α = %v must be in [0,1]", m.Alpha)
+	}
+	if m.Alpha == 0 {
+		return 0, nil
+	}
+	if par.NC <= 0 {
+		return 0, fmt.Errorf("analytic: model AB needs n̄(C) > 0, got %v", par.NC)
+	}
+	return m.Alpha * par.HPrime / par.NC, nil
+}
+
+// Eval computes every model-dependent quantity for prefetching nF items
+// of access probability p per request under the given interaction model.
+type Eval struct {
+	// Par echoes the input parameters.
+	Par Params
+	// NF and P echo the prefetch inputs.
+	NF, P float64
+	// D is the model's displacement value.
+	D float64
+	// H is the hit ratio with prefetching (eq. 7 / 15).
+	H float64
+	// Rho is the server utilisation with prefetching (eq. 8 / 16).
+	Rho float64
+	// RBar is the mean retrieval time with prefetching (eq. 9 / 17).
+	RBar float64
+	// TBar is the mean access time with prefetching (eq. 10 / 18).
+	TBar float64
+	// TBarPrime is the no-prefetch access time t̄′ (eq. 5).
+	TBarPrime float64
+	// G is the access improvement t̄′ − t̄ (eqs. 1, 11, 19).
+	G float64
+	// C is the excess retrieval cost (eq. 27).
+	C float64
+}
+
+// Evaluate computes the full set of steady-state quantities. It returns
+// an error when the inputs are invalid, probabilities exceed their
+// consistency bound max(np) (eq. 6), or the offered load saturates the
+// link. nF = 0 is allowed and yields G = C = 0.
+func Evaluate(m Model, par Params, nF, p float64) (Eval, error) {
+	var e Eval
+	if err := par.Validate(); err != nil {
+		return e, err
+	}
+	if nF < 0 || math.IsNaN(nF) {
+		return e, fmt.Errorf("analytic: n̄(F) = %v must be non-negative", nF)
+	}
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		return e, fmt.Errorf("analytic: access probability %v must be in (0,1]", p)
+	}
+	if maxNP := par.MaxPrefetchable(p); nF > maxNP+1e-12 {
+		return e, fmt.Errorf("analytic: n̄(F) = %v exceeds max(np) = f′/p = %v (eq. 6)",
+			nF, maxNP)
+	}
+	d, err := m.Displacement(par)
+	if err != nil {
+		return e, err
+	}
+
+	e.Par, e.NF, e.P, e.D = par, nF, p, d
+
+	// Hit ratio with prefetching: h = h′ + n̄(F)(p − d). With d = 0 this
+	// is eq. 7; with d = h′/n̄(C) it is eq. 15.
+	e.H = par.HPrime + nF*(p-d)
+	if e.H < 0 {
+		// Only possible when displacement exceeds p for large nF; the
+		// model's assumptions have broken down.
+		return e, fmt.Errorf("analytic: hit ratio h = %v < 0 (displacement %v > p with n̄(F)=%v)",
+			e.H, d, nF)
+	}
+	if e.H > 1 {
+		return e, fmt.Errorf("analytic: hit ratio h = %v > 1 (inconsistent inputs)", e.H)
+	}
+
+	// Utilisation: the server carries demand misses plus prefetches
+	// (eq. 8 / 16): ρ = (1 − h + n̄(F))·λ·s̄/b.
+	e.Rho = (1 - e.H + nF) * par.Lambda * par.SBar / par.B
+	if e.Rho >= 1 {
+		return e, ErrOverload
+	}
+
+	// Retrieval and access times (eqs. 9–10 / 17–18).
+	e.RBar = par.SBar / (par.B * (1 - e.Rho))
+	e.TBar = (1 - e.H) * e.RBar
+
+	tPrime, err := par.AccessTimeNoPrefetch()
+	if err != nil {
+		return e, err
+	}
+	e.TBarPrime = tPrime
+	e.G = tPrime - e.TBar
+
+	c, err := ExcessCost(par.Lambda, e.Rho, par.RhoPrime())
+	if err != nil {
+		return e, err
+	}
+	e.C = c
+	return e, nil
+}
+
+// GainClosedForm evaluates the paper's explicit G formula (eq. 11 for
+// model A, eq. 19 for model B, and the AB generalisation):
+//
+//	G = n̄(F)·s̄·(p·b − f′λs̄ − d·b) /
+//	    [(b − f′λs̄)·(b − f′λs̄ − n̄(F)·d·λs̄ − n̄(F)(1−p)λs̄)]
+//
+// It exists alongside Evaluate (which computes G = t̄′ − t̄ from first
+// principles) so the test suite can verify the paper's algebra: the two
+// must agree to machine precision wherever both are defined.
+func GainClosedForm(m Model, par Params, nF, p float64) (float64, error) {
+	if err := par.Validate(); err != nil {
+		return 0, err
+	}
+	d, err := m.Displacement(par)
+	if err != nil {
+		return 0, err
+	}
+	f := par.FPrime()
+	ls := par.Lambda * par.SBar
+	num := nF * par.SBar * (p*par.B - f*ls - d*par.B)
+	den1 := par.B - f*ls
+	den2 := par.B - f*ls - nF*d*ls - nF*(1-p)*ls
+	if den1 <= 0 || den2 <= 0 {
+		return 0, ErrOverload
+	}
+	return num / (den1 * den2), nil
+}
+
+// Threshold returns p_th, the access-probability threshold above which
+// prefetching an item yields positive access improvement: p_th = ρ′ + d
+// (eq. 13 for model A, eq. 21 for model B). Values above 1 mean no item
+// is worth prefetching at these parameters.
+func Threshold(m Model, par Params) (float64, error) {
+	if err := par.Validate(); err != nil {
+		return 0, err
+	}
+	d, err := m.Displacement(par)
+	if err != nil {
+		return 0, err
+	}
+	return par.RhoPrime() + d, nil
+}
+
+// Conditions reports the three positivity conditions of eq. 12 (model A)
+// / eq. 20 (model B) for the given operating point:
+//
+//	c1: p·b − f′λs̄ − d·b > 0       (probability exceeds threshold)
+//	c2: b − f′λs̄ > 0               (capacity covers demand fetches)
+//	c3: b − f′λs̄ − n̄(F)·d·λs̄ − n̄(F)(1−p)·λs̄ > 0
+//	                                (capacity covers prefetches too)
+//
+// The paper proves c2 and c3 are redundant given c1 and nF ≤ max(np);
+// experiment T5 checks that claim exhaustively.
+func Conditions(m Model, par Params, nF, p float64) (c1, c2, c3 bool, err error) {
+	if err := par.Validate(); err != nil {
+		return false, false, false, err
+	}
+	d, err := m.Displacement(par)
+	if err != nil {
+		return false, false, false, err
+	}
+	f := par.FPrime()
+	ls := par.Lambda * par.SBar
+	c1 = p*par.B-f*ls-d*par.B > 0
+	c2 = par.B-f*ls > 0
+	c3 = par.B-f*ls-nF*d*ls-nF*(1-p)*ls > 0
+	return c1, c2, c3, nil
+}
+
+// NFLimit returns the cap on n̄(F) implied by condition 3 at the
+// least-sufficient bandwidth (eq. 14 for model A: f′/p; eq. 22 for
+// model B: f′/(p − h′/n̄(C))). The paper shows this cap is never
+// tighter than max(np), which is why condition 3 is redundant. It
+// returns +Inf when p ≤ d (the denominator would be non-positive, i.e.
+// prefetching such items can never help anyway).
+func NFLimit(m Model, par Params, p float64) (float64, error) {
+	if err := par.Validate(); err != nil {
+		return 0, err
+	}
+	d, err := m.Displacement(par)
+	if err != nil {
+		return 0, err
+	}
+	if p-d <= 0 {
+		return math.Inf(1), nil
+	}
+	return par.FPrime() / (p - d), nil
+}

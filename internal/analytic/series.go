@@ -1,0 +1,128 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is one sample of a figure series. Valid is false where the
+// formula has no meaningful value at that x (the offered load saturates
+// the link, exactly where the paper's plotted curves exit the axes).
+type Point struct {
+	X, Y  float64
+	Valid bool
+}
+
+// Series is a labelled curve, one per line in a paper figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive
+// (n >= 2), the sampling used by the figure generators.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("analytic: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// ThresholdVsSize generates Figure 1: p_th as a function of item size s̄
+// for each bandwidth in bs, at fixed λ and h′. Threshold values above 1
+// are clamped to 1 — as in the paper's plots, where the curves flatten
+// at the top of the axis (no probability can exceed 1, so prefetching
+// is never worthwhile there).
+func ThresholdVsSize(m Model, lambda, hPrime float64, bs, sizes []float64) ([]Series, error) {
+	out := make([]Series, 0, len(bs))
+	for _, b := range bs {
+		s := Series{Label: fmt.Sprintf("b=%g", b)}
+		for _, size := range sizes {
+			par := Params{Lambda: lambda, B: b, SBar: size, HPrime: hPrime, NC: 0}
+			if size == 0 {
+				// s̄=0 means nothing to transfer: threshold is the
+				// displacement alone (0 for model A); keep the plot's
+				// leftmost point.
+				s.Points = append(s.Points, Point{X: 0, Y: 0, Valid: true})
+				continue
+			}
+			pth, err := Threshold(m, par)
+			if err != nil {
+				return nil, fmt.Errorf("analytic: threshold at b=%g s̄=%g: %w", b, size, err)
+			}
+			if pth > 1 {
+				pth = 1
+			}
+			s.Points = append(s.Points, Point{X: size, Y: pth, Valid: true})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// GainVsNF generates Figure 2: access improvement G as a function of
+// n̄(F) for each access probability in ps, using the paper's closed form
+// (eq. 11 / 19). Points where the denominator is non-positive (load at
+// or beyond capacity) are marked invalid; the paper's curves leave the
+// plotted range there.
+func GainVsNF(m Model, par Params, ps, nFs []float64) ([]Series, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Series, 0, len(ps))
+	for _, p := range ps {
+		s := Series{Label: fmt.Sprintf("p=%g", p)}
+		for _, nF := range nFs {
+			g, err := GainClosedForm(m, par, nF, p)
+			if err == ErrOverload {
+				s.Points = append(s.Points, Point{X: nF, Y: math.NaN(), Valid: false})
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: nF, Y: g, Valid: true})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// CostVsNF generates Figure 3: excess retrieval cost C as a function of
+// n̄(F) for each access probability in ps. Points where the system
+// saturates (ρ >= 1) are invalid.
+func CostVsNF(m Model, par Params, ps, nFs []float64) ([]Series, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := m.Displacement(par)
+	if err != nil {
+		return nil, err
+	}
+	rhoPrime := par.RhoPrime()
+	out := make([]Series, 0, len(ps))
+	for _, p := range ps {
+		s := Series{Label: fmt.Sprintf("p=%g", p)}
+		for _, nF := range nFs {
+			h := par.HPrime + nF*(p-d)
+			rho := (1 - h + nF) * par.Lambda * par.SBar / par.B
+			c, err := ExcessCost(par.Lambda, rho, rhoPrime)
+			if err == ErrOverload {
+				s.Points = append(s.Points, Point{X: nF, Y: math.NaN(), Valid: false})
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: nF, Y: c, Valid: true})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

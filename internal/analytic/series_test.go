@@ -1,0 +1,223 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 10, 11)
+	if len(xs) != 11 || xs[0] != 0 || xs[10] != 10 || xs[5] != 5 {
+		t.Errorf("Linspace(0,10,11) = %v", xs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n<2 should panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+// Figure 1: p_th(s̄) curves are straight lines of slope f′λ/b, clamped
+// at 1, one per bandwidth; more bandwidth means a shallower line.
+func TestThresholdVsSizeFigure1(t *testing.T) {
+	bs := []float64{50, 100, 150, 200, 250, 300, 350, 400, 450}
+	sizes := Linspace(0, 10, 51)
+	for _, hPrime := range []float64{0.0, 0.3} {
+		series, err := ThresholdVsSize(ModelA{}, 30, hPrime, bs, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) != len(bs) {
+			t.Fatalf("got %d series, want %d", len(series), len(bs))
+		}
+		f := 1 - hPrime
+		for si, s := range series {
+			b := bs[si]
+			for _, pt := range s.Points {
+				want := math.Min(1, f*30*pt.X/b)
+				if math.Abs(pt.Y-want) > 1e-12 {
+					t.Errorf("h′=%v b=%v s̄=%v: p_th = %v, want %v",
+						hPrime, b, pt.X, pt.Y, want)
+				}
+			}
+		}
+		// Monotone in s̄ and anti-monotone in b.
+		for si := 1; si < len(series); si++ {
+			for pi := range series[si].Points {
+				if series[si].Points[pi].Y > series[si-1].Points[pi].Y+1e-12 {
+					t.Fatalf("threshold should fall with bandwidth")
+				}
+			}
+		}
+	}
+}
+
+// Figure 1 clamp: at b=50, λ=30, h′=0 the line hits p_th=1 at s̄=5/3 and
+// stays there.
+func TestThresholdVsSizeClamp(t *testing.T) {
+	series, err := ThresholdVsSize(ModelA{}, 30, 0, []float64{50}, []float64{2, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range series[0].Points {
+		if pt.Y != 1 {
+			t.Errorf("s̄=%v: p_th = %v, want clamped 1", pt.X, pt.Y)
+		}
+	}
+}
+
+// Figure 2 structure at the paper's parameters (s̄=1, λ=30, b=50): with
+// h′=0 the threshold is 0.6 — curves with p>0.6 are positive and
+// increasing, p<0.6 negative and decreasing, and the p=0.6 curve is
+// identically zero.
+func TestGainVsNFFigure2Shape(t *testing.T) {
+	par := paperParams(0)
+	ps := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	nFs := Linspace(0, 2, 21)
+	series, err := GainVsNF(ModelA{}, par, ps, nFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, s := range series {
+		p := ps[si]
+		prev := math.Inf(-1)
+		if p < 0.6 {
+			prev = math.Inf(1)
+		}
+		for _, pt := range s.Points {
+			if !pt.Valid {
+				continue // saturated region: curve exits the plot
+			}
+			switch {
+			case p > 0.6 && pt.X > 0:
+				if pt.Y <= 0 {
+					t.Errorf("p=%v nF=%v: G = %v, want > 0", p, pt.X, pt.Y)
+				}
+				if pt.Y < prev-1e-12 && prev != math.Inf(-1) {
+					t.Errorf("p=%v: positive curve not increasing at nF=%v", p, pt.X)
+				}
+				prev = pt.Y
+			case p < 0.6 && pt.X > 0:
+				if pt.Y >= 0 {
+					t.Errorf("p=%v nF=%v: G = %v, want < 0", p, pt.X, pt.Y)
+				}
+			case p == 0.6:
+				if math.Abs(pt.Y) > 1e-12 {
+					t.Errorf("p=p_th curve should be zero, got %v at nF=%v", pt.Y, pt.X)
+				}
+			}
+		}
+	}
+	// Paper's visible magnitude: G(p=0.9, nF=2) = 30/280 ≈ 0.107.
+	last := series[8].Points[len(series[8].Points)-1]
+	if !last.Valid || math.Abs(last.Y-30.0/280) > 1e-9 {
+		t.Errorf("G(p=0.9, nF=2) = %v, want %v", last.Y, 30.0/280)
+	}
+}
+
+// Figure 2, right panel (h′=0.3): threshold falls to 0.42, so p=0.5
+// becomes profitable — the qualitative difference between the panels.
+func TestGainVsNFFigure2CachePanel(t *testing.T) {
+	par := paperParams(0.3)
+	series, err := GainVsNF(ModelA{}, par, []float64{0.5}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := series[0].Points[0]; !g.Valid || g.Y <= 0 {
+		t.Errorf("h′=0.3, p=0.5 should be profitable, G = %v", g.Y)
+	}
+	// ...while at h′=0 it is not.
+	series0, err := GainVsNF(ModelA{}, paperParams(0), []float64{0.5}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := series0[0].Points[0]; !g.Valid || g.Y >= 0 {
+		t.Errorf("h′=0, p=0.5 should be unprofitable, G = %v", g.Y)
+	}
+}
+
+// Figure 3: C is zero at nF=0, positive and increasing in nF while the
+// system is stable, and higher-p curves cost *less* at equal nF (higher
+// hit ratio relieves the demand load).
+func TestCostVsNFFigure3Shape(t *testing.T) {
+	par := paperParams(0)
+	ps := []float64{0.1, 0.5, 0.9}
+	nFs := Linspace(0, 2, 21)
+	series, err := CostVsNF(ModelA{}, par, ps, nFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		prev := -1.0
+		for _, pt := range s.Points {
+			if !pt.Valid {
+				continue
+			}
+			if pt.X == 0 {
+				if math.Abs(pt.Y) > 1e-15 {
+					t.Errorf("%s: C(0) = %v, want 0", s.Label, pt.Y)
+				}
+			} else if pt.Y <= prev {
+				t.Errorf("%s: C not increasing at nF=%v", s.Label, pt.X)
+			}
+			prev = pt.Y
+		}
+	}
+	// Cross-curve comparison at nF=1 (all stable for p=0.9):
+	// C(p=0.9) < C(p=0.5) where both valid.
+	find := func(si int, x float64) Point {
+		for _, pt := range series[si].Points {
+			if pt.X == x {
+				return pt
+			}
+		}
+		t.Fatalf("point %v not found", x)
+		return Point{}
+	}
+	c5, c9 := find(1, 0.5), find(2, 0.5)
+	if c5.Valid && c9.Valid && c9.Y >= c5.Y {
+		t.Errorf("C(p=0.9)=%v should be below C(p=0.5)=%v", c9.Y, c5.Y)
+	}
+}
+
+// Figure 3 saturation: at h′=0 the p=0.1 curve saturates (ρ ≥ 1) before
+// nF=2 — the curve leaves the plotted range, marked invalid here.
+func TestCostVsNFSaturation(t *testing.T) {
+	par := paperParams(0)
+	series, err := CostVsNF(ModelA{}, par, []float64{0.1}, Linspace(0, 2, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawInvalid := false
+	for _, pt := range series[0].Points {
+		if !pt.Valid {
+			sawInvalid = true
+		}
+	}
+	if !sawInvalid {
+		t.Error("p=0.1 curve should saturate before nF=2 at these parameters")
+	}
+	// And the saturation point is where (1 + 0.9·nF)·0.6 ≥ 1 → nF ≥ 0.74.
+	for _, pt := range series[0].Points {
+		rho := (1 - 0.1*pt.X + pt.X) * 0.6
+		if (rho < 1) != pt.Valid {
+			t.Errorf("nF=%v: valid=%v inconsistent with ρ=%v", pt.X, pt.Valid, rho)
+		}
+	}
+}
+
+func TestSeriesInvalidParams(t *testing.T) {
+	bad := Params{Lambda: -1, B: 50, SBar: 1}
+	if _, err := GainVsNF(ModelA{}, bad, []float64{0.5}, []float64{1}); err == nil {
+		t.Error("invalid params should error")
+	}
+	if _, err := CostVsNF(ModelA{}, bad, []float64{0.5}, []float64{1}); err == nil {
+		t.Error("invalid params should error")
+	}
+	par := paperParams(0.3)
+	par.NC = 0
+	if _, err := CostVsNF(ModelB{}, par, []float64{0.5}, []float64{1}); err == nil {
+		t.Error("model B without NC should error")
+	}
+}

@@ -1,0 +1,157 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// SizedClass extends Class with a per-class item size, dropping the
+// paper's uniform-s̄ assumption for the *prefetched* items (the
+// background demand keeps mean size s̄). This models the realistic case
+// where an access predictor nominates objects of very different sizes —
+// thumbnails vs. videos.
+type SizedClass struct {
+	// NF is the average number of items of this class prefetched per
+	// request.
+	NF float64
+	// P is the access probability of each item in the class.
+	P float64
+	// Size is the item size of this class (same units as Params.SBar).
+	Size float64
+}
+
+// EvaluateSized computes the steady state when prefetching classes of
+// heterogeneous sizes. Derivation mirrors the paper's, tracking
+// *traffic* (size mass) and *hit counts* separately:
+//
+//	h  = h′ + Σᵢ n̄(F)ᵢ·(pᵢ − d)
+//	missMass = f′·s̄ − Σᵢ n̄(F)ᵢ·(pᵢ·sᵢ − d·s̄)     (retrieval time mass)
+//	ρ  = λ·(missMass + Σᵢ n̄(F)ᵢ·sᵢ)/b
+//	t̄ = missMass/(b(1−ρ)),  G = t̄′ − t̄,  C per eq. 27.
+//
+// With every sᵢ = s̄ it reduces to EvaluateMixed exactly (tested).
+func EvaluateSized(m Model, par Params, classes []SizedClass) (Eval, error) {
+	var e Eval
+	if err := par.Validate(); err != nil {
+		return e, err
+	}
+	d, err := m.Displacement(par)
+	if err != nil {
+		return e, err
+	}
+	var nfTotal, hitGain, absorbedMass, prefetchMass float64
+	for i, c := range classes {
+		if c.NF < 0 || math.IsNaN(c.NF) {
+			return e, fmt.Errorf("analytic: class %d n̄(F) = %v must be non-negative", i, c.NF)
+		}
+		if c.NF == 0 {
+			continue
+		}
+		if c.P <= 0 || c.P > 1 || math.IsNaN(c.P) {
+			return e, fmt.Errorf("analytic: class %d probability %v must be in (0,1]", i, c.P)
+		}
+		if c.Size <= 0 || math.IsNaN(c.Size) {
+			return e, fmt.Errorf("analytic: class %d size %v must be positive", i, c.Size)
+		}
+		nfTotal += c.NF
+		hitGain += c.NF * c.P
+		absorbedMass += c.NF * (c.P*c.Size - d*par.SBar)
+		prefetchMass += c.NF * c.Size
+	}
+	if hitGain > par.FPrime()+1e-12 {
+		return e, fmt.Errorf("analytic: Σ n̄(F)ᵢ·pᵢ = %v exceeds f′ = %v (eq. 6 jointly violated)",
+			hitGain, par.FPrime())
+	}
+
+	e.Par = par
+	e.NF = nfTotal
+	if nfTotal > 0 {
+		e.P = hitGain / nfTotal
+	}
+	e.D = d
+	e.H = par.HPrime + hitGain - nfTotal*d
+	if e.H < 0 || e.H > 1 {
+		return e, fmt.Errorf("analytic: sized hit ratio h = %v out of [0,1]", e.H)
+	}
+	missMass := par.FPrime()*par.SBar - absorbedMass
+	if missMass < -1e-12 {
+		return e, fmt.Errorf("analytic: absorbed retrieval mass exceeds the baseline miss mass (inconsistent classes)")
+	}
+	if missMass < 0 {
+		missMass = 0
+	}
+	e.Rho = par.Lambda * (missMass + prefetchMass) / par.B
+	if e.Rho >= 1 {
+		return e, ErrOverload
+	}
+	e.TBar = missMass / (par.B * (1 - e.Rho))
+	e.RBar = 0 // undefined per-item mean when sizes differ; see TBar
+	tPrime, err := par.AccessTimeNoPrefetch()
+	if err != nil {
+		return e, err
+	}
+	e.TBarPrime = tPrime
+	e.G = tPrime - e.TBar
+	c, err := ExcessCost(par.Lambda, e.Rho, par.RhoPrime())
+	if err != nil {
+		return e, err
+	}
+	e.C = c
+	return e, nil
+}
+
+// ThresholdSized returns the profitability threshold for prefetching an
+// item of the given size:
+//
+//	p_th(s) = ρ′ + d·(s̄/s)
+//
+// For model A (d = 0) the threshold is **size-independent**: under
+// processor sharing, both the benefit of a prefetched item (avoided
+// retrieval time ∝ s) and its cost (added utilisation ∝ s) scale
+// linearly with size, so size cancels — the paper's rule applies
+// unchanged to heterogeneous objects. Under model B the displacement
+// term is *diluted* for large items (one big item evicts h′/n̄(C) of
+// hit value just like a small one, but carries proportionally more
+// benefit), so large items have a *lower* threshold.
+func ThresholdSized(m Model, par Params, size float64) (float64, error) {
+	if err := par.Validate(); err != nil {
+		return 0, err
+	}
+	if size <= 0 || math.IsNaN(size) {
+		return 0, fmt.Errorf("analytic: size %v must be positive", size)
+	}
+	d, err := m.Displacement(par)
+	if err != nil {
+		return 0, err
+	}
+	return par.RhoPrime() + d*par.SBar/size, nil
+}
+
+// MarginalGainSized returns ∂G/∂n̄(F) at n̄(F)=0 for a candidate class
+// of probability p and the given size. Its sign is positive exactly
+// when p > ThresholdSized (tested against a numerical derivative).
+func MarginalGainSized(m Model, par Params, p, size float64) (float64, error) {
+	if err := par.Validate(); err != nil {
+		return 0, err
+	}
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("analytic: probability %v must be in (0,1]", p)
+	}
+	if size <= 0 || math.IsNaN(size) {
+		return 0, fmt.Errorf("analytic: size %v must be positive", size)
+	}
+	d, err := m.Displacement(par)
+	if err != nil {
+		return 0, err
+	}
+	f := par.FPrime()
+	ls := par.Lambda * par.SBar
+	den1 := par.B - f*ls
+	if den1 <= 0 {
+		return 0, ErrOverload
+	}
+	// d/dn [−missMass/ (b(1−ρ))] at n=0:
+	// ((p·s − d·s̄)·den1 − f′s̄·λ·(s(1−p) + d·s̄)) / den1².
+	num := (p*size-d*par.SBar)*den1 - f*par.SBar*par.Lambda*(size*(1-p)+d*par.SBar)
+	return num / (den1 * den1), nil
+}

@@ -1,0 +1,198 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizedReducesToMixedAtUniformSize(t *testing.T) {
+	par := paperParams(0.3)
+	classes := []Class{{NF: 0.3, P: 0.7}, {NF: 0.2, P: 0.5}}
+	sized := make([]SizedClass, len(classes))
+	for i, c := range classes {
+		sized[i] = SizedClass{NF: c.NF, P: c.P, Size: par.SBar}
+	}
+	for _, m := range []Model{ModelA{}, ModelB{}, ModelAB{Alpha: 0.6}} {
+		em, err := EvaluateMixed(m, par, classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := EvaluateSized(m, par, sized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(em.G-es.G) > 1e-15 || math.Abs(em.TBar-es.TBar) > 1e-15 ||
+			math.Abs(em.Rho-es.Rho) > 1e-15 || math.Abs(em.H-es.H) > 1e-15 {
+			t.Errorf("%s: sized(s=s̄) diverges from mixed: G %v vs %v",
+				m.Name(), es.G, em.G)
+		}
+	}
+}
+
+// The size-independence theorem (model A): p_th is the same for every
+// item size, and the sign of G follows it regardless of size.
+func TestSizedThresholdSizeIndependentModelA(t *testing.T) {
+	par := paperParams(0.3) // ρ′ = 0.42
+	for _, size := range []float64{0.01, 0.5, 1, 3, 50} {
+		pth, err := ThresholdSized(ModelA{}, par, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pth-par.RhoPrime()) > 1e-15 {
+			t.Errorf("size %v: p_th = %v, want ρ′ = %v", size, pth, par.RhoPrime())
+		}
+		// Sign of G at small nF follows the threshold at every size.
+		for _, p := range []float64{0.3, 0.5} {
+			e, err := EvaluateSized(ModelA{}, par, []SizedClass{{NF: 0.05, P: p, Size: size}})
+			if err != nil {
+				continue // huge sizes can saturate; that's fine
+			}
+			if (p > pth) != (e.G > 0) {
+				t.Errorf("size %v p=%v: G = %v inconsistent with threshold", size, p, e.G)
+			}
+		}
+	}
+}
+
+// Model B's displacement dilutes with size: bigger items have lower
+// thresholds.
+func TestSizedThresholdModelBDecreasingInSize(t *testing.T) {
+	par := paperParams(0.3)
+	par.NC = 10 // d = 0.03
+	prev := math.Inf(1)
+	for _, size := range []float64{0.25, 0.5, 1, 2, 4} {
+		pth, err := ThresholdSized(ModelB{}, par, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pth >= prev {
+			t.Errorf("size %v: p_th = %v should decrease with size", size, pth)
+		}
+		prev = pth
+	}
+	// At s = s̄ it equals the paper's eq. 21.
+	pth, _ := ThresholdSized(ModelB{}, par, par.SBar)
+	want, _ := Threshold(ModelB{}, par)
+	if math.Abs(pth-want) > 1e-15 {
+		t.Errorf("p_th(s̄) = %v, want eq. 21 = %v", pth, want)
+	}
+}
+
+func TestSizedValidation(t *testing.T) {
+	par := paperParams(0.3)
+	cases := [][]SizedClass{
+		{{NF: -1, P: 0.5, Size: 1}},
+		{{NF: 1, P: 0, Size: 1}},
+		{{NF: 1, P: 0.5, Size: 0}},
+		{{NF: 1, P: 0.5, Size: -2}},
+		{{NF: 1, P: 0.5, Size: 1}, {NF: 1, P: 0.5, Size: 1}}, // joint eq. 6
+	}
+	for i, cs := range cases {
+		if _, err := EvaluateSized(ModelA{}, par, cs); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+	if _, err := ThresholdSized(ModelA{}, par, 0); err == nil {
+		t.Error("size 0 should error")
+	}
+	if _, err := MarginalGainSized(ModelA{}, par, 0.5, -1); err == nil {
+		t.Error("negative size should error")
+	}
+	if _, err := MarginalGainSized(ModelA{}, par, 2, 1); err == nil {
+		t.Error("p > 1 should error")
+	}
+}
+
+func TestSizedEmpty(t *testing.T) {
+	par := paperParams(0.3)
+	e, err := EvaluateSized(ModelA{}, par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.G) > 1e-15 || math.Abs(e.C) > 1e-15 {
+		t.Errorf("empty sized mixture should be the baseline, got G=%v C=%v", e.G, e.C)
+	}
+}
+
+func TestSizedBigItemCostsMore(t *testing.T) {
+	// Same probability and count, 5× the size: utilisation and excess
+	// cost rise much more, and G (still positive, p > p_th) is larger in
+	// absolute terms — bigger retrievals hidden. (The class is kept
+	// small enough that the absorbed mass Σ n̄(F)·p·s stays within the
+	// baseline miss pool f′s̄.)
+	par := paperParams(0.3)
+	small, err := EvaluateSized(ModelA{}, par, []SizedClass{{NF: 0.05, P: 0.7, Size: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := EvaluateSized(ModelA{}, par, []SizedClass{{NF: 0.05, P: 0.7, Size: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Rho <= small.Rho {
+		t.Errorf("bigger items should load more: ρ %v vs %v", big.Rho, small.Rho)
+	}
+	if big.C <= small.C {
+		t.Errorf("bigger items should cost more: C %v vs %v", big.C, small.C)
+	}
+	if big.G <= small.G {
+		t.Errorf("hiding bigger retrievals should gain more: G %v vs %v", big.G, small.G)
+	}
+}
+
+// MarginalGainSized matches a numerical derivative of EvaluateSized.
+func TestSizedMarginalMatchesNumerical(t *testing.T) {
+	par := paperParams(0.3)
+	par.NC = 20
+	for _, m := range []Model{ModelA{}, ModelB{}} {
+		for _, size := range []float64{0.5, 1, 2} {
+			for _, p := range []float64{0.3, 0.6, 0.9} {
+				mg, err := MarginalGainSized(m, par, p, size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const eps = 1e-7
+				e, err := EvaluateSized(m, par, []SizedClass{{NF: eps, P: p, Size: size}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				numeric := e.G / eps
+				if math.Abs(mg-numeric) > 1e-4*math.Max(1, math.Abs(numeric)) {
+					t.Errorf("%s s=%v p=%v: analytic %v vs numeric %v",
+						m.Name(), size, p, mg, numeric)
+				}
+			}
+		}
+	}
+}
+
+// Property: sign(MarginalGainSized) == sign(p − ThresholdSized) for
+// random parameters, models and sizes.
+func TestQuickSizedMarginalSign(t *testing.T) {
+	f := func(pRaw, sRaw, hRaw uint16, useB bool) bool {
+		par := paperParams(float64(hRaw%80) / 100)
+		par.NC = 15
+		var m Model = ModelA{}
+		if useB {
+			m = ModelB{}
+		}
+		p := 0.05 + float64(pRaw%95)/100
+		size := 0.1 + float64(sRaw%50)/10
+		mg, err := MarginalGainSized(m, par, p, size)
+		if err != nil {
+			return false
+		}
+		pth, err := ThresholdSized(m, par, size)
+		if err != nil {
+			return false
+		}
+		if math.Abs(p-pth) < 1e-9 {
+			return true // boundary: sign indeterminate
+		}
+		return (p > pth) == (mg > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

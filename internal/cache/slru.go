@@ -1,0 +1,93 @@
+package cache
+
+import "fmt"
+
+// SLRU is segmented LRU: entries enter a probationary segment and are
+// promoted to a protected segment on re-reference; victims come from
+// the probationary segment first. SLRU resists the scan pollution that
+// defeats plain LRU — relevant here because *speculative prefetches
+// are exactly a pollution stream*: prefetched-but-never-used items
+// churn through probation without ever displacing the protected
+// working set, which makes SLRU a natural companion to interaction
+// model A ("evict zero-value items first").
+type SLRU struct {
+	protectedCap int
+	probation    *LRU
+	protected    *LRU
+	segment      map[ID]int // 0 = probation, 1 = protected
+	protectedLen int
+}
+
+// NewSLRU creates an SLRU policy whose protected segment holds at most
+// protectedCap entries. It panics if protectedCap < 1.
+func NewSLRU(protectedCap int) *SLRU {
+	if protectedCap < 1 {
+		panic(fmt.Sprintf("cache: SLRU protected capacity %d must be >= 1", protectedCap))
+	}
+	return &SLRU{
+		protectedCap: protectedCap,
+		probation:    NewLRU(),
+		protected:    NewLRU(),
+		segment:      make(map[ID]int),
+	}
+}
+
+// Name implements Policy.
+func (p *SLRU) Name() string { return "slru" }
+
+// Inserted implements Policy: new entries start on probation.
+func (p *SLRU) Inserted(id ID) {
+	p.probation.Inserted(id)
+	p.segment[id] = 0
+}
+
+// Accessed implements Policy: probationary entries are promoted; a full
+// protected segment demotes its LRU entry back to probation.
+func (p *SLRU) Accessed(id ID) {
+	seg, ok := p.segment[id]
+	if !ok {
+		return
+	}
+	if seg == 1 {
+		p.protected.Accessed(id)
+		return
+	}
+	p.probation.Removed(id)
+	p.protected.Inserted(id)
+	p.segment[id] = 1
+	p.protectedLen++
+	if p.protectedLen > p.protectedCap {
+		demote := p.protected.Victim()
+		p.protected.Removed(demote)
+		p.probation.Inserted(demote) // most-recent end of probation
+		p.segment[demote] = 0
+		p.protectedLen--
+	}
+}
+
+// Victim implements Policy: probationary LRU first, protected LRU only
+// when probation is empty.
+func (p *SLRU) Victim() ID {
+	if p.probation.list.len > 0 {
+		return p.probation.Victim()
+	}
+	return p.protected.Victim()
+}
+
+// Removed implements Policy.
+func (p *SLRU) Removed(id ID) {
+	seg, ok := p.segment[id]
+	if !ok {
+		return
+	}
+	if seg == 0 {
+		p.probation.Removed(id)
+	} else {
+		p.protected.Removed(id)
+		p.protectedLen--
+	}
+	delete(p.segment, id)
+}
+
+// ProtectedLen reports the number of protected entries (for tests).
+func (p *SLRU) ProtectedLen() int { return p.protectedLen }

@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSLRUNewEntriesProbationary(t *testing.T) {
+	p := NewSLRU(2)
+	s := NewStore(3, p)
+	s.Admit(1)
+	s.Admit(2)
+	s.Admit(3)
+	if p.ProtectedLen() != 0 {
+		t.Errorf("no entry was re-referenced; protected len = %d", p.ProtectedLen())
+	}
+	// Victim is the probationary LRU: 1.
+	s.Admit(4)
+	if s.Contains(1) {
+		t.Error("SLRU should evict the probationary LRU entry 1")
+	}
+}
+
+func TestSLRUPromotionProtects(t *testing.T) {
+	p := NewSLRU(2)
+	s := NewStore(3, p)
+	s.Admit(1)
+	s.Access(1) // promote 1 to protected
+	if p.ProtectedLen() != 1 {
+		t.Fatalf("protected len = %d, want 1", p.ProtectedLen())
+	}
+	s.Admit(2)
+	s.Admit(3)
+	// A scan of new items must not evict the protected entry.
+	for id := ID(10); id < 20; id++ {
+		s.Admit(id)
+	}
+	if !s.Contains(1) {
+		t.Error("protected entry was evicted by a scan")
+	}
+}
+
+func TestSLRUProtectedCapDemotes(t *testing.T) {
+	p := NewSLRU(2)
+	s := NewStore(10, p)
+	for id := ID(1); id <= 3; id++ {
+		s.Admit(id)
+		s.Access(id) // promote all three; cap is 2 → 1 is demoted
+	}
+	if p.ProtectedLen() != 2 {
+		t.Errorf("protected len = %d, want 2 (cap)", p.ProtectedLen())
+	}
+	// 1 was demoted to probation (most recent end), so the probationary
+	// victim is still 1 (it is the only probationary entry).
+	if v := p.Victim(); v != 1 {
+		t.Errorf("victim = %d, want demoted entry 1", v)
+	}
+}
+
+func TestSLRUFallsBackToProtected(t *testing.T) {
+	p := NewSLRU(5)
+	s := NewStore(2, p)
+	s.Admit(1)
+	s.Access(1)
+	s.Admit(2)
+	s.Access(2) // both protected, probation empty
+	s.Admit(3)  // must evict from protected (LRU = 1)
+	if s.Contains(1) {
+		t.Error("with empty probation the protected LRU should go")
+	}
+	if !s.Contains(2) || !s.Contains(3) {
+		t.Error("wrong survivor set")
+	}
+}
+
+func TestSLRUScanResistanceVsLRU(t *testing.T) {
+	// A loyal working set accessed repeatedly, interleaved with a
+	// one-shot scan: SLRU must retain more of the working set than LRU.
+	run := func(p Policy) int {
+		s := NewStore(8, p)
+		work := []ID{1, 2, 3, 4}
+		scan := ID(100)
+		src := rng.New(7)
+		for i := 0; i < 3000; i++ {
+			w := work[src.Intn(len(work))]
+			if !s.Access(w) {
+				s.Admit(w)
+			}
+			// One-shot scan items, never re-referenced.
+			s.Admit(scan)
+			scan++
+		}
+		kept := 0
+		for _, w := range work {
+			if s.Contains(w) {
+				kept++
+			}
+		}
+		return kept
+	}
+	slruKept := run(NewSLRU(4))
+	lruKept := run(NewLRU())
+	if slruKept < len([]ID{1, 2, 3, 4}) {
+		t.Errorf("SLRU kept only %d/4 working-set entries under scan", slruKept)
+	}
+	if slruKept < lruKept {
+		t.Errorf("SLRU (%d) should keep at least as much as LRU (%d)", slruKept, lruKept)
+	}
+}
+
+func TestSLRUPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("protectedCap < 1 should panic")
+		}
+	}()
+	NewSLRU(0)
+}
+
+func TestSLRUStoreInvariants(t *testing.T) {
+	// Churn through random operations; the store invariant checks
+	// (capacity, residency agreement) must hold with SLRU as with the
+	// other policies.
+	src := rng.New(9)
+	s := NewStore(6, NewSLRU(3))
+	for i := 0; i < 20000; i++ {
+		id := ID(src.Intn(40))
+		if src.Intn(2) == 0 {
+			before := s.Contains(id)
+			if s.Access(id) != before {
+				t.Fatal("Access disagrees with Contains")
+			}
+		} else {
+			s.Admit(id)
+		}
+		if s.Len() > 6 {
+			t.Fatal("capacity exceeded")
+		}
+	}
+}
+
+func TestSLRURemovedCleansSegments(t *testing.T) {
+	p := NewSLRU(2)
+	s := NewStore(4, p)
+	s.Admit(1)
+	s.Access(1) // protected
+	s.Admit(2)  // probation
+	s.Remove(1)
+	s.Remove(2)
+	if p.ProtectedLen() != 0 {
+		t.Errorf("protected len = %d after removals", p.ProtectedLen())
+	}
+	// Removing an unknown id is a no-op.
+	p.Removed(99)
+}

@@ -1,0 +1,119 @@
+package cache
+
+import "fmt"
+
+// Estimator implements the paper's Section-4 online estimator of h′ —
+// the cache hit ratio that would be observed if prefetching were *not*
+// running — while prefetching actually is running. The idea: entries
+// that entered the cache through prefetching are "untagged" until a user
+// request touches them. Hits on tagged entries are hits a no-prefetch
+// cache would also have produced; the first hit on an untagged entry
+// would have been a miss without prefetching (it counts toward naccess
+// but not nhit) and promotes the entry to tagged, because from then on
+// even a no-prefetch cache would have held it (it would have been
+// demand-fetched and admitted).
+//
+// The algorithm transcribed from the paper:
+//
+//	When an item is prefetched:       insert as untagged.
+//	When a tagged entry is accessed:  naccess++, nhit++.
+//	When an untagged entry is hit:    naccess++; promote to tagged.
+//	When a remote item is accessed:   naccess++; if admitted, tag it.
+//
+// Estimate (model A):  ĥ′ = nhit/naccess.
+// Estimate (model B):  ĥ′ = nhit/naccess × n̄(C)/(n̄(C)−n̄(F)),
+// compensating for the tagged occupants model B assumes were displaced
+// by prefetched items.
+type Estimator struct {
+	tagged  map[ID]bool // resident → tagged?
+	naccess int64
+	nhit    int64
+}
+
+// NewEstimator returns an empty estimator. It must observe every cache
+// event; the simulator wires it to the client's cache.
+func NewEstimator() *Estimator {
+	return &Estimator{tagged: make(map[ID]bool)}
+}
+
+// OnPrefetch records that id entered the cache via prefetch (untagged).
+func (e *Estimator) OnPrefetch(id ID) {
+	e.tagged[id] = false
+}
+
+// OnHit records a user request that hit the cache. It updates the
+// counters per the paper's algorithm and reports whether the entry was
+// tagged at the time of access.
+func (e *Estimator) OnHit(id ID) (wasTagged bool) {
+	t, known := e.tagged[id]
+	e.naccess++
+	if !known {
+		// The entry predates the estimator (e.g. warm-up admission
+		// before estimation started). Treat it as tagged: a no-prefetch
+		// cache would hold it too.
+		e.tagged[id] = true
+		e.nhit++
+		return true
+	}
+	if t {
+		e.nhit++
+		return true
+	}
+	e.tagged[id] = true // promote untagged → tagged
+	return false
+}
+
+// OnRemoteAccess records a user request that missed the cache and was
+// fetched remotely; admitted says whether the item was then admitted to
+// the cache (tagged if so).
+func (e *Estimator) OnRemoteAccess(id ID, admitted bool) {
+	e.naccess++
+	if admitted {
+		e.tagged[id] = true
+	}
+}
+
+// OnEvict forgets the tag state of an evicted entry.
+func (e *Estimator) OnEvict(id ID) {
+	delete(e.tagged, id)
+}
+
+// Accesses returns naccess, the total number of user requests observed.
+func (e *Estimator) Accesses() int64 { return e.naccess }
+
+// TaggedHits returns nhit, the number of requests serviced by tagged
+// entries.
+func (e *Estimator) TaggedHits() int64 { return e.nhit }
+
+// Tagged reports whether id is currently resident-and-tagged.
+func (e *Estimator) Tagged(id ID) bool { return e.tagged[id] }
+
+// Resident returns the number of entries the estimator is tracking.
+func (e *Estimator) Resident() int { return len(e.tagged) }
+
+// EstimateA returns the model-A estimate ĥ′ = nhit/naccess
+// (0 before any access).
+func (e *Estimator) EstimateA() float64 {
+	if e.naccess == 0 {
+		return 0
+	}
+	return float64(e.nhit) / float64(e.naccess)
+}
+
+// EstimateB returns the model-B estimate
+// ĥ′ = nhit/naccess × n̄(C)/(n̄(C)−n̄(F)), where nC is the average cache
+// occupancy and nF the average number of prefetched items per request.
+// It returns an error when nC−nF <= 0, where the correction is
+// undefined (the cache would consist entirely of prefetched items).
+func (e *Estimator) EstimateB(nC, nF float64) (float64, error) {
+	if nC <= nF {
+		return 0, fmt.Errorf("cache: model-B correction undefined for n̄(C)=%v <= n̄(F)=%v", nC, nF)
+	}
+	return e.EstimateA() * nC / (nC - nF), nil
+}
+
+// Reset zeroes the counters but keeps tag state, so estimation can be
+// restarted after simulation warm-up without forgetting residency.
+func (e *Estimator) Reset() {
+	e.naccess, e.nhit = 0, 0
+}

@@ -1,0 +1,209 @@
+// Package core is the framework's public face: it packages the paper's
+// result — prefetch exclusively the items whose access probability
+// exceeds p_th = ρ′ (+ h′/n̄(C) under model B) — into two usable
+// components.
+//
+// Planner answers capacity-planning questions offline from known
+// parameters: what is the threshold, what gain does a prefetch policy
+// buy, what does it cost in network load (equations 5–27 of the paper).
+//
+// Advisor makes the same decision online: it ingests the live request
+// stream and cache events, estimates λ, s̄ and h′ (the latter with the
+// paper's Section-4 tagged-cache algorithm), and filters candidate
+// predictions down to the ones worth prefetching right now. Wire it
+// between an access predictor (internal/predict) and a fetcher.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/cache"
+	"repro/internal/predict"
+	"repro/internal/prefetch"
+)
+
+// Planner evaluates the paper's closed-form model for fixed, known
+// parameters.
+type Planner struct {
+	model analytic.Model
+	par   analytic.Params
+}
+
+// NewPlanner validates the parameters and returns a Planner for the
+// given interaction model (analytic.ModelA{}, analytic.ModelB{} or
+// analytic.ModelAB{Alpha: α}).
+func NewPlanner(model analytic.Model, par analytic.Params) (*Planner, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	// Surface model/parameter mismatches (e.g. model B without n̄(C))
+	// at construction instead of first use.
+	if _, err := model.Displacement(par); err != nil {
+		return nil, err
+	}
+	return &Planner{model: model, par: par}, nil
+}
+
+// Params returns the planner's parameters.
+func (p *Planner) Params() analytic.Params { return p.par }
+
+// Model returns the planner's interaction model.
+func (p *Planner) Model() analytic.Model { return p.model }
+
+// Threshold returns p_th: prefetch exactly the items whose access
+// probability exceeds this value (eq. 13 / 21).
+func (p *Planner) Threshold() (float64, error) {
+	return analytic.Threshold(p.model, p.par)
+}
+
+// ShouldPrefetch reports whether an item with the given access
+// probability is worth prefetching — the paper's decision rule.
+func (p *Planner) ShouldPrefetch(prob float64) (bool, error) {
+	pth, err := p.Threshold()
+	if err != nil {
+		return false, err
+	}
+	return prob > pth, nil
+}
+
+// Evaluate returns the full steady-state picture (h, ρ, r̄, t̄, G, C)
+// for prefetching nF items of probability prob per request.
+func (p *Planner) Evaluate(nF, prob float64) (analytic.Eval, error) {
+	return analytic.Evaluate(p.model, p.par, nF, prob)
+}
+
+// Gain returns the access improvement G = t̄′ − t̄ (eq. 11 / 19).
+func (p *Planner) Gain(nF, prob float64) (float64, error) {
+	e, err := p.Evaluate(nF, prob)
+	if err != nil {
+		return 0, err
+	}
+	return e.G, nil
+}
+
+// ExcessCost returns C (eq. 27): the extra retrieval time per request
+// that the prefetching traffic induces.
+func (p *Planner) ExcessCost(nF, prob float64) (float64, error) {
+	e, err := p.Evaluate(nF, prob)
+	if err != nil {
+		return 0, err
+	}
+	return e.C, nil
+}
+
+// MaxPrefetchable returns max(np) = f′/p (eq. 6), the consistency bound
+// on how many items can carry probability ≥ p.
+func (p *Planner) MaxPrefetchable(prob float64) float64 {
+	return p.par.MaxPrefetchable(prob)
+}
+
+// Advisor is the online counterpart: it owns a prefetch.Controller (λ̂,
+// ŝ̄, ĥ′, ρ̂′ estimation) and applies the paper's threshold policy to
+// candidate predictions.
+type Advisor struct {
+	ctrl   *prefetch.Controller
+	policy prefetch.Threshold
+	nc     float64
+}
+
+// NewAdvisor creates an advisor for a link of the given bandwidth using
+// the given interaction model. nc is the expected steady cache occupancy
+// n̄(C) in items (only consulted by models B/AB; pass 0 for model A).
+// alpha is the estimator EWMA weight (0 = default).
+func NewAdvisor(bandwidth float64, model analytic.Model, nc, alpha float64) (*Advisor, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("core: bandwidth %v must be positive", bandwidth)
+	}
+	if nc < 0 {
+		return nil, fmt.Errorf("core: n̄(C) = %v must be non-negative", nc)
+	}
+	return &Advisor{
+		ctrl:   prefetch.NewController(bandwidth, alpha),
+		policy: prefetch.Threshold{Model: model},
+		nc:     nc,
+	}, nil
+}
+
+// OnRequest records a user request at time now for an item of the given
+// size. Call before Filter for the same request.
+func (a *Advisor) OnRequest(now, size float64) { a.ctrl.RecordRequest(now, size) }
+
+// OnCacheHit records that the request hit the local cache; id
+// identifies the entry (tagged-estimator bookkeeping, Section 4).
+func (a *Advisor) OnCacheHit(id cache.ID) { a.ctrl.Estimator().OnHit(id) }
+
+// OnRemoteFetch records that the request was fetched remotely and
+// whether it was admitted to the cache.
+func (a *Advisor) OnRemoteFetch(id cache.ID, admitted bool) {
+	a.ctrl.Estimator().OnRemoteAccess(id, admitted)
+}
+
+// OnPrefetched records that id entered the cache via prefetch.
+func (a *Advisor) OnPrefetched(id cache.ID) {
+	a.ctrl.RecordPrefetch()
+	a.ctrl.Estimator().OnPrefetch(id)
+}
+
+// OnEvict records that id left the cache.
+func (a *Advisor) OnEvict(id cache.ID) { a.ctrl.Estimator().OnEvict(id) }
+
+// Filter returns the candidates worth prefetching under the current
+// load estimates — the paper's rule applied online. Candidates must be
+// sorted by decreasing probability (as predict.Predictor guarantees).
+func (a *Advisor) Filter(cands []predict.Prediction) []predict.Prediction {
+	return a.policy.Select(cands, a.ctrl.State(a.nc))
+}
+
+// Threshold returns the advisor's current estimate of p_th.
+func (a *Advisor) Threshold() float64 {
+	st := a.ctrl.State(a.nc)
+	pth := st.RhoPrime
+	switch m := a.policy.Model.(type) {
+	case analytic.ModelB:
+		if a.nc > 0 {
+			pth += st.HPrime / a.nc
+		}
+	case analytic.ModelAB:
+		if a.nc > 0 {
+			pth += m.Alpha * st.HPrime / a.nc
+		}
+	}
+	return pth
+}
+
+// Snapshot reports the advisor's current estimates.
+func (a *Advisor) Snapshot() Snapshot {
+	return Snapshot{
+		Lambda:   a.ctrl.Lambda(),
+		MeanSize: a.ctrl.MeanSize(),
+		HPrime:   a.ctrl.HPrime(),
+		RhoPrime: a.ctrl.RhoPrime(),
+		NF:       a.ctrl.NF(),
+	}
+}
+
+// Snapshot is a point-in-time view of the advisor's online estimates.
+type Snapshot struct {
+	// Lambda is the estimated request rate λ̂.
+	Lambda float64
+	// MeanSize is the estimated mean item size ŝ̄.
+	MeanSize float64
+	// HPrime is the Section-4 estimate ĥ′.
+	HPrime float64
+	// RhoPrime is ρ̂′ = (1−ĥ′)λ̂ŝ̄/b.
+	RhoPrime float64
+	// NF is the observed prefetches per request.
+	NF float64
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("λ̂=%.4g ŝ̄=%.4g ĥ′=%.4g ρ̂′=%.4g n̄(F)=%.4g",
+		s.Lambda, s.MeanSize, s.HPrime, s.RhoPrime, s.NF)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/cache"
+	"repro/internal/predict"
+)
+
+func params() analytic.Params {
+	return analytic.Params{Lambda: 30, B: 50, SBar: 1, HPrime: 0.3, NC: 100}
+}
+
+func TestNewPlannerValidation(t *testing.T) {
+	if _, err := NewPlanner(nil, params()); err == nil {
+		t.Error("nil model should error")
+	}
+	bad := params()
+	bad.Lambda = -1
+	if _, err := NewPlanner(analytic.ModelA{}, bad); err == nil {
+		t.Error("invalid params should error")
+	}
+	noNC := params()
+	noNC.NC = 0
+	if _, err := NewPlanner(analytic.ModelB{}, noNC); err == nil {
+		t.Error("model B without n̄(C) should error at construction")
+	}
+	if _, err := NewPlanner(analytic.ModelA{}, noNC); err != nil {
+		t.Errorf("model A should not need n̄(C): %v", err)
+	}
+}
+
+func TestPlannerThresholdAndDecision(t *testing.T) {
+	p, err := NewPlanner(analytic.ModelA{}, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pth, err := p.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pth-0.42) > 1e-12 { // ρ′ = 0.7·30/50
+		t.Errorf("p_th = %v, want 0.42", pth)
+	}
+	yes, err := p.ShouldPrefetch(0.5)
+	if err != nil || !yes {
+		t.Errorf("p=0.5 > 0.42 should prefetch (err %v)", err)
+	}
+	no, err := p.ShouldPrefetch(0.42)
+	if err != nil || no {
+		t.Error("p exactly at threshold should not prefetch")
+	}
+}
+
+func TestPlannerGainAndCost(t *testing.T) {
+	p, err := NewPlanner(analytic.ModelA{}, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Gain(0.5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= 0 {
+		t.Errorf("G = %v, want > 0 for p above threshold", g)
+	}
+	c, err := p.ExcessCost(0.5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Errorf("C = %v, want > 0 when prefetching", c)
+	}
+	e, err := p.Evaluate(0.5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.G != g || e.C != c {
+		t.Error("Evaluate disagrees with Gain/ExcessCost")
+	}
+	if p.MaxPrefetchable(0.7) != 0.7/0.7 {
+		t.Errorf("max(np) = %v, want 1", p.MaxPrefetchable(0.7))
+	}
+	if p.Model().Name() != "A" || p.Params().B != 50 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestNewAdvisorValidation(t *testing.T) {
+	if _, err := NewAdvisor(0, analytic.ModelA{}, 0, 0); err == nil {
+		t.Error("zero bandwidth should error")
+	}
+	if _, err := NewAdvisor(50, nil, 0, 0); err == nil {
+		t.Error("nil model should error")
+	}
+	if _, err := NewAdvisor(50, analytic.ModelA{}, -1, 0); err == nil {
+		t.Error("negative n̄(C) should error")
+	}
+}
+
+func TestAdvisorEndToEnd(t *testing.T) {
+	a, err := NewAdvisor(50, analytic.ModelA{}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive a deterministic request stream: rate 30, all misses
+	// (admitted) → ĥ′=0, ρ̂′=0.6.
+	now := 0.0
+	for i := 0; i < 100; i++ {
+		now += 1.0 / 30
+		a.OnRequest(now, 1)
+		a.OnRemoteFetch(cache.ID(i), true)
+	}
+	snap := a.Snapshot()
+	if math.Abs(snap.RhoPrime-0.6) > 0.01 {
+		t.Fatalf("ρ̂′ = %v, want ~0.6 (snapshot %s)", snap.RhoPrime, snap)
+	}
+	if math.Abs(a.Threshold()-snap.RhoPrime) > 1e-12 {
+		t.Error("model A threshold should equal ρ̂′")
+	}
+	cands := []predict.Prediction{
+		{Item: 1, Prob: 0.9},
+		{Item: 2, Prob: 0.5},
+	}
+	sel := a.Filter(cands)
+	if len(sel) != 1 || sel[0].Item != 1 {
+		t.Errorf("Filter = %v, want only the p=0.9 item", sel)
+	}
+
+	// Now hits raise ĥ′, lowering the threshold, letting p=0.5 through:
+	// re-access previously admitted items.
+	for i := 0; i < 300; i++ {
+		now += 1.0 / 30
+		a.OnRequest(now, 1)
+		a.OnCacheHit(cache.ID(i % 100))
+	}
+	if got := a.Snapshot().HPrime; got < 0.7 {
+		t.Fatalf("ĥ′ = %v after hit streak, want > 0.7", got)
+	}
+	sel = a.Filter(cands)
+	if len(sel) != 2 {
+		t.Errorf("lower load should admit both candidates, got %v (p_th=%v)",
+			sel, a.Threshold())
+	}
+}
+
+func TestAdvisorPrefetchBookkeeping(t *testing.T) {
+	a, err := NewAdvisor(50, analytic.ModelA{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.OnRequest(1, 1)
+	a.OnRequest(2, 1)
+	a.OnPrefetched(101)
+	if nf := a.Snapshot().NF; math.Abs(nf-0.5) > 1e-12 {
+		t.Errorf("n̄(F) = %v, want 0.5", nf)
+	}
+	// First use of a prefetched entry: counted as access, not hit
+	// (Section 4), then tagged.
+	a.OnCacheHit(101)
+	a.OnCacheHit(101)
+	snap := a.Snapshot()
+	// naccess=2 (hits only counted in estimator, requests tracked
+	// separately), nhit=1 → ĥ′=0.5.
+	if math.Abs(snap.HPrime-0.5) > 1e-12 {
+		t.Errorf("ĥ′ = %v, want 0.5", snap.HPrime)
+	}
+	a.OnEvict(101)
+	// Re-prefetch after eviction starts untagged again.
+	a.OnPrefetched(101)
+	a.OnCacheHit(101)
+	if got := a.Snapshot().HPrime; math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("ĥ′ = %v, want 1/3", got)
+	}
+}
+
+func TestAdvisorModelBThreshold(t *testing.T) {
+	a, err := NewAdvisor(50, analytic.ModelB{}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	for i := 0; i < 50; i++ {
+		now += 1.0 / 30
+		a.OnRequest(now, 1)
+		id := cache.ID(i % 2) // heavy re-use → ĥ′ ≈ 1
+		if i < 2 {
+			a.OnRemoteFetch(id, true)
+		} else {
+			a.OnCacheHit(id)
+		}
+	}
+	snap := a.Snapshot()
+	wantPth := snap.RhoPrime + snap.HPrime/10
+	if math.Abs(a.Threshold()-wantPth) > 1e-12 {
+		t.Errorf("model B threshold = %v, want ρ̂′+ĥ′/n̄(C) = %v", a.Threshold(), wantPth)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{Lambda: 30, MeanSize: 1, HPrime: 0.5, RhoPrime: 0.3, NF: 0.25}
+	out := s.String()
+	for _, frag := range []string{"30", "0.5", "0.3", "0.25"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("snapshot string missing %q: %s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"F1", "F2", "F3", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12", "T13", "T14"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("position %d: id %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" {
+			t.Errorf("%s has no title", id)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("F9"); err == nil {
+		t.Error("unknown id should error")
+	}
+	e, err := Get("F1")
+	if err != nil || e.ID != "F1" {
+		t.Errorf("Get(F1) = %+v, %v", e, err)
+	}
+}
+
+// Every experiment must run in quick mode and produce non-empty tables
+// with consistent columns.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(Options{Quick: true, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if tb.NumRows() == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tb.Title)
+				}
+				if len(tb.Columns) < 2 {
+					t.Errorf("%s: table %q has too few columns", e.ID, tb.Title)
+				}
+				// Rendering must not panic and must include the title.
+				if !strings.Contains(tb.Text(), tb.Columns[0]) {
+					t.Errorf("%s: text rendering broken", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestFigure1Panels(t *testing.T) {
+	tables, err := mustRun(t, "F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("Figure 1 should have 2 panels, got %d", len(tables))
+	}
+	// 9 bandwidth curves + the s̄ column.
+	if len(tables[0].Columns) != 10 {
+		t.Errorf("panel has %d columns, want 10", len(tables[0].Columns))
+	}
+	// At b=50 (column 1), λ=30, h′=0: p_th = 0.6·s̄ clamped; s̄=10 → 1.
+	last := tables[0].Rows[tables[0].NumRows()-1]
+	if last[1] != "1" {
+		t.Errorf("p_th at s̄=10, b=50 should clamp to 1, got %s", last[1])
+	}
+}
+
+func TestFigure2SignStructure(t *testing.T) {
+	tables, err := mustRun(t, "F2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := tables[0] // h′ = 0, p_th = 0.6
+	// Columns: nF, p=0.1 .. p=0.9. Beyond nF=0, p=0.9 (col 9) positive,
+	// p=0.1 (col 1) negative or saturated.
+	for r := 1; r < panel.NumRows(); r++ {
+		if v, err := strconv.ParseFloat(panel.Cell(r, 9), 64); err == nil && v <= 0 {
+			t.Errorf("row %d: G(p=0.9) = %v, want positive", r, v)
+		}
+		cell := panel.Cell(r, 1)
+		if cell == "sat" {
+			continue
+		}
+		if v, err := strconv.ParseFloat(cell, 64); err == nil && v >= 0 {
+			t.Errorf("row %d: G(p=0.1) = %v, want negative", r, v)
+		}
+	}
+}
+
+func TestFigure3Saturation(t *testing.T) {
+	tables, err := mustRun(t, "F3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := tables[0] // h′ = 0
+	saw := false
+	for r := 0; r < panel.NumRows(); r++ {
+		if panel.Cell(r, 1) == "sat" { // p=0.1 column
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("Figure 3 (h′=0) should mark saturated points for p=0.1")
+	}
+}
+
+func TestTableConditionsNoViolations(t *testing.T) {
+	tables, err := mustRun(t, "T5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	for r := 0; r < tb.NumRows(); r++ {
+		if tb.Cell(r, 3) != "0" || tb.Cell(r, 4) != "0" {
+			t.Errorf("row %d: redundancy violations: c1∧¬c2=%s c1∧¬c3=%s",
+				r, tb.Cell(r, 3), tb.Cell(r, 4))
+		}
+	}
+}
+
+func TestTableLoadImpedanceMonotone(t *testing.T) {
+	tables, err := mustRun(t, "T6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	prev := -1.0
+	for r := 0; r < tb.NumRows(); r++ {
+		c, err := strconv.ParseFloat(tb.Cell(r, 2), 64)
+		if err != nil {
+			t.Fatalf("row %d: bad C cell %q", r, tb.Cell(r, 2))
+		}
+		if c <= prev {
+			t.Errorf("C not increasing with background load at row %d", r)
+		}
+		prev = c
+	}
+}
+
+func TestTableValidationRelErrSmall(t *testing.T) {
+	tables, err := (registry["T2"]).Run(Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	for r := 0; r < tb.NumRows(); r++ {
+		rel, err := strconv.ParseFloat(tb.Cell(r, 9), 64)
+		if err != nil {
+			t.Fatalf("row %d: bad rel cell %q", r, tb.Cell(r, 9))
+		}
+		if rel > 0.15 {
+			t.Errorf("row %d: t̄ relative error %v too large even for quick mode", r, rel)
+		}
+	}
+}
+
+func TestFigurePanelsAndPlots(t *testing.T) {
+	for _, id := range []string{"F1", "F2", "F3"} {
+		panels, err := FigurePanels(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(panels) != 2 {
+			t.Errorf("%s: %d panels, want 2", id, len(panels))
+		}
+		for _, p := range panels {
+			out := PanelPlot(p, 60, 16)
+			if !strings.Contains(out, p.Title) {
+				t.Errorf("%s: plot missing title", id)
+			}
+			for _, s := range p.Series {
+				if !strings.Contains(out, s.Label) {
+					t.Errorf("%s: plot legend missing %s", id, s.Label)
+				}
+			}
+		}
+	}
+	if _, err := FigurePanels("T1"); err == nil {
+		t.Error("table experiments should have no panels")
+	}
+}
+
+func mustRun(t *testing.T, id string) ([]*stats.Table, error) {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run(Options{Quick: true, Seed: 7})
+}

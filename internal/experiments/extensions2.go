@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/cache"
+	"repro/internal/predict"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T12",
+		Title: "Heterogeneous item sizes: the threshold is size-independent under model A",
+		Run:   runTableSized,
+	})
+	register(Experiment{
+		ID:    "T13",
+		Title: "Access-model comparison: precision/recall/calibration of the related-work predictors",
+		Run:   runTablePredictors,
+	})
+	register(Experiment{
+		ID:    "T14",
+		Title: "Bursty (MMPP) arrivals: which conclusions survive the Poisson assumption",
+		Run:   runTableBursty,
+	})
+}
+
+// runTableBursty stresses the paper's Poisson-arrival assumption with a
+// two-state MMPP of the same mean rate: burstiness inflates every
+// response time beyond the M/G/1 formulas, but the *decision* structure
+// — prefetch above the threshold helps, below hurts — survives.
+func runTableBursty(o Options) ([]*stats.Table, error) {
+	const (
+		hPrime = 0.3
+		lambda = 30.0
+	)
+	mmppCfg := workload.MMPPConfig{RateHigh: 75, RateLow: 15, MeanHigh: 1, MeanLow: 3}
+	if g := mmppCfg.MeanRate(); g != lambda {
+		return nil, fmt.Errorf("T14: MMPP mean rate %v != λ %v", g, lambda)
+	}
+	requests := o.requests(200000)
+	run := func(nF, p float64, bursty bool, seedOff uint64) (sim.AbstractResult, error) {
+		cfg := sim.AbstractConfig{
+			Lambda: lambda, Bandwidth: 50, MeanSize: 1, HPrime: hPrime,
+			NF: nF, P: p,
+			Requests: requests, Warmup: requests / 5, Seed: o.seed() + seedOff,
+		}
+		if bursty {
+			cfg.Arrivals = workload.NewMMPP(mmppCfg, rng.NewStream(cfg.Seed, "mmpp"))
+		}
+		return sim.RunAbstract(cfg)
+	}
+	tb := stats.NewTable(
+		"T14: Poisson vs MMPP arrivals at equal mean λ=30 (b=50, s̄=1, h′=0.3, p_th=0.42)",
+		"config", "t̄ Poisson", "t̄ MMPP", "inflation", "G Poisson", "G MMPP")
+	type cse struct {
+		label  string
+		nF, pp float64
+	}
+	cases := []cse{
+		{"no prefetch", 0, 0},
+		{"prefetch p=0.7, n̄(F)=0.5", 0.5, 0.7},
+		{"prefetch p=0.2, n̄(F)=0.5", 0.5, 0.2},
+	}
+	var basePoisson, baseMMPP sim.AbstractResult
+	for i, c := range cases {
+		rp, err := run(c.nF, c.pp, false, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		rm, err := run(c.nF, c.pp, true, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		if c.nF == 0 {
+			basePoisson, baseMMPP = rp, rm
+		}
+		tb.AddRowValues(c.label,
+			rp.AccessTime, rm.AccessTime, rm.AccessTime/rp.AccessTime,
+			basePoisson.AccessTime-rp.AccessTime,
+			baseMMPP.AccessTime-rm.AccessTime)
+	}
+	tb.AddNote("burstiness inflates t̄ well beyond eq. 5/10 (the model understates delays under non-Poisson load), but sign(G) still follows the threshold — the rule is robust, the absolute predictions are not")
+	return []*stats.Table{tb}, nil
+}
+
+// runTableSized demonstrates the sized extension (analytic.SizedClass):
+// under processor sharing an item's prefetch benefit and cost both scale
+// with its size, so model A's threshold does not depend on size at all,
+// while model B's displacement term dilutes for large items.
+func runTableSized(Options) ([]*stats.Table, error) {
+	par := analytic.Params{Lambda: 30, B: 50, SBar: 1, HPrime: 0.3, NC: 10}
+	tb := stats.NewTable("T12: prefetch threshold p_th vs item size (λ=30, b=50, s̄=1, h′=0.3, n̄(C)=10)",
+		"item size s", "p_th model A", "p_th model B", "G(A) for n̄(F)=0.05, p=0.7", "C(A)")
+	for _, size := range []float64{0.1, 0.5, 1, 2, 5} {
+		a, err := analytic.ThresholdSized(analytic.ModelA{}, par, size)
+		if err != nil {
+			return nil, err
+		}
+		b, err := analytic.ThresholdSized(analytic.ModelB{}, par, size)
+		if err != nil {
+			return nil, err
+		}
+		e, err := analytic.EvaluateSized(analytic.ModelA{}, par,
+			[]analytic.SizedClass{{NF: 0.05, P: 0.7, Size: size}})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRowValues(size, a, b, e.G, e.C)
+	}
+	tb.AddNote("model A's column is constant (size cancels under PS); model B's threshold falls with size (a big item forfeits the same h′/n̄(C) eviction value but carries proportionally more benefit); G and C both scale with size")
+	return []*stats.Table{tb}, nil
+}
+
+// runTablePredictors races the related-work access models on the
+// standard Markov workload: the paper assumes *some* model supplies
+// access probabilities; this table records how good each family's
+// probabilities actually are, which determines how well the threshold
+// rule works end-to-end (T7).
+func runTablePredictors(o Options) ([]*stats.Table, error) {
+	const n = 300
+	requests := o.requests(200000)
+	warmup := requests / 4
+
+	wl := workload.NewMarkov(workload.MarkovConfig{
+		N: n, Fanout: 2, Decay: 0.15, Restart: 0.03,
+	}, rng.NewStream(o.seed(), "predictor-race"))
+	stream := make([]cache.ID, requests)
+	for i := range stream {
+		stream[i] = wl.Next()
+	}
+
+	predictors := []func() predict.Predictor{
+		func() predict.Predictor { return predict.NewMarkov1() },
+		func() predict.Predictor { return predict.NewPPM(2) },
+		func() predict.Predictor { return predict.NewPPM(3) },
+		func() predict.Predictor { return predict.NewLZ78() },
+		func() predict.Predictor { return predict.NewDependencyGraph(4) },
+		func() predict.Predictor { return predict.NewPopularity(16) },
+		func() predict.Predictor {
+			return predict.NewEnsemble(predict.NewMarkov1(), predict.NewLZ78())
+		},
+	}
+	const threshold = 0.4
+	tb := stats.NewTable(
+		fmt.Sprintf("T13: predictor quality on the Markov workload (θ=%.1f, %d requests)", threshold, requests),
+		"model", "issued", "precision", "recall", "calibration gap")
+	for _, mk := range predictors {
+		p := mk()
+		q := predict.Evaluate(p, stream, threshold, warmup)
+		// Calibration: mean |claimed − empirical| over populated bins.
+		cal := predict.EvaluateCalibration(mk(), stream, 10, warmup)
+		claimed, empirical, counts := cal.Bins()
+		var gap, weight float64
+		for i := range counts {
+			if counts[i] == 0 {
+				continue
+			}
+			w := float64(counts[i])
+			diff := claimed[i] - empirical[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			gap += w * diff
+			weight += w
+		}
+		if weight > 0 {
+			gap /= weight
+		}
+		tb.AddRowValues(p.Name(), q.Issued, q.Precision(), q.Recall(), gap)
+	}
+	tb.AddNote("first-order Markov and PPM are near-calibrated on this workload (the threshold rule can trust their p); popularity ranks items but its global frequencies are poor next-access probabilities")
+	return []*stats.Table{tb}, nil
+}

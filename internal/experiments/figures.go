@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analytic"
+	"repro/internal/stats"
+)
+
+// paperPanelHPrimes are the two panels of every figure: h′ = 0.0 (no
+// baseline caching) and h′ = 0.3.
+var paperPanelHPrimes = []float64{0.0, 0.3}
+
+// fig2Params returns the operating point of Figures 2 and 3:
+// s̄=1, λ=30, b=50.
+func fig2Params(hPrime float64) analytic.Params {
+	return analytic.Params{Lambda: 30, B: 50, SBar: 1, HPrime: hPrime}
+}
+
+// fmtOrSat formats a point, rendering saturated (invalid) points as
+// "sat" — where the paper's curves exit the plotted range.
+func fmtOrSat(p analytic.Point) string {
+	if !p.Valid || math.IsNaN(p.Y) {
+		return "sat"
+	}
+	return fmt.Sprintf("%.6g", p.Y)
+}
+
+// seriesTable renders a family of curves as a table with the shared X
+// in the first column.
+func seriesTable(title, xName string, series []analytic.Series) *stats.Table {
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, xName)
+	for _, s := range series {
+		cols = append(cols, s.Label)
+	}
+	t := stats.NewTable(title, cols...)
+	if len(series) == 0 {
+		return t
+	}
+	for i := range series[0].Points {
+		row := make([]string, 0, len(cols))
+		row = append(row, fmt.Sprintf("%.4g", series[0].Points[i].X))
+		for _, s := range series {
+			row = append(row, fmtOrSat(s.Points[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "F1",
+		Title: "Figure 1: p_th vs s̄ for b=50..450, λ=30, h′∈{0,0.3} (model A)",
+		Run:   runFigure1,
+	})
+	register(Experiment{
+		ID:    "F2",
+		Title: "Figure 2: G vs n̄(F) for p=0.1..0.9 at s̄=1, λ=30, b=50, h′∈{0,0.3} (model A)",
+		Run:   runFigure2,
+	})
+	register(Experiment{
+		ID:    "F3",
+		Title: "Figure 3: C vs n̄(F) for p=0.1..0.9 at s̄=1, λ=30, b=50, h′∈{0,0.3} (model A)",
+		Run:   runFigure3,
+	})
+}
+
+// Panel is one sub-plot of a figure: a labelled curve family, exposed
+// so cmd/prefetchbench can render figures as ASCII plots as well as
+// tables.
+type Panel struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []analytic.Series
+	// ClipY fixes the plotted y-range to [YMin, YMax], reproducing the
+	// paper's axis limits (curves exit the frame where the paper's do).
+	ClipY      bool
+	YMin, YMax float64
+}
+
+// FigurePanels returns the raw curve families of figure id ("F1", "F2"
+// or "F3"); table experiments have no panels.
+func FigurePanels(id string) ([]Panel, error) {
+	switch id {
+	case "F1":
+		return figure1Panels()
+	case "F2":
+		return figure2Panels()
+	case "F3":
+		return figure3Panels()
+	default:
+		return nil, fmt.Errorf("experiments: %s has no figure panels", id)
+	}
+}
+
+func figure1Panels() ([]Panel, error) {
+	bs := []float64{50, 100, 150, 200, 250, 300, 350, 400, 450}
+	sizes := analytic.Linspace(0, 10, 21)
+	var out []Panel
+	for _, h := range paperPanelHPrimes {
+		series, err := analytic.ThresholdVsSize(analytic.ModelA{}, 30, h, bs, sizes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Panel{
+			Title:  fmt.Sprintf("Figure 1 (λ=30, h′=%.1f): threshold p_th vs item size s̄", h),
+			XLabel: "s̄", YLabel: "p_th", Series: series,
+			ClipY: true, YMin: 0, YMax: 1,
+		})
+	}
+	return out, nil
+}
+
+func runFigure1(Options) ([]*stats.Table, error) {
+	panels, err := figure1Panels()
+	if err != nil {
+		return nil, err
+	}
+	var out []*stats.Table
+	for _, p := range panels {
+		tb := seriesTable(p.Title, p.XLabel, p.Series)
+		tb.AddNote("p_th = f′λs̄/b clamped at 1 (eq. 13); straight lines, steeper for smaller b")
+		out = append(out, tb)
+	}
+	return out, nil
+}
+
+// fig23Ps are the per-curve access probabilities of Figures 2 and 3.
+var fig23Ps = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+func figure2Panels() ([]Panel, error) {
+	nFs := analytic.Linspace(0, 2, 21)
+	var out []Panel
+	for _, h := range paperPanelHPrimes {
+		par := fig2Params(h)
+		series, err := analytic.GainVsNF(analytic.ModelA{}, par, fig23Ps, nFs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Panel{
+			Title:  fmt.Sprintf("Figure 2 (s̄=1, λ=30, b=50, h′=%.1f): access improvement G vs n̄(F)", h),
+			XLabel: "n̄(F)", YLabel: "G", Series: series,
+			ClipY: true, YMin: -0.1, YMax: 0.1, // the paper's axis limits
+		})
+	}
+	return out, nil
+}
+
+func runFigure2(Options) ([]*stats.Table, error) {
+	panels, err := figure2Panels()
+	if err != nil {
+		return nil, err
+	}
+	var out []*stats.Table
+	for i, p := range panels {
+		tb := seriesTable(p.Title, p.XLabel, p.Series)
+		pth, _ := analytic.Threshold(analytic.ModelA{}, fig2Params(paperPanelHPrimes[i]))
+		tb.AddNote("p_th = ρ′ = %.2f: curves with p > p_th are positive and increase monotonically; p < p_th negative; 'sat' marks saturation (ρ ≥ 1)", pth)
+		out = append(out, tb)
+	}
+	return out, nil
+}
+
+func figure3Panels() ([]Panel, error) {
+	nFs := analytic.Linspace(0, 2, 21)
+	var out []Panel
+	for _, h := range paperPanelHPrimes {
+		par := fig2Params(h)
+		series, err := analytic.CostVsNF(analytic.ModelA{}, par, fig23Ps, nFs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Panel{
+			Title:  fmt.Sprintf("Figure 3 (s̄=1, λ=30, b=50, h′=%.1f): excess retrieval cost C vs n̄(F)", h),
+			XLabel: "n̄(F)", YLabel: "C", Series: series,
+			ClipY: true, YMin: 0, YMax: 0.1, // the paper's axis limits
+		})
+	}
+	return out, nil
+}
+
+func runFigure3(Options) ([]*stats.Table, error) {
+	panels, err := figure3Panels()
+	if err != nil {
+		return nil, err
+	}
+	var out []*stats.Table
+	for _, p := range panels {
+		tb := seriesTable(p.Title, p.XLabel, p.Series)
+		tb.AddNote("C = (ρ−ρ′)/(λ(1−ρ)(1−ρ′)) (eq. 27); increasing and convex in n̄(F); low-p curves saturate early")
+		out = append(out, tb)
+	}
+	return out, nil
+}
+
+// PanelPlot renders a Panel as an ASCII plot of the given size.
+func PanelPlot(p Panel, width, height int) string {
+	plot := stats.NewPlot(p.Title, p.XLabel, p.YLabel)
+	if p.ClipY {
+		plot.ClipY(p.YMin, p.YMax)
+	}
+	for _, s := range p.Series {
+		xs := make([]float64, len(s.Points))
+		ys := make([]float64, len(s.Points))
+		for i, pt := range s.Points {
+			xs[i] = pt.X
+			if pt.Valid {
+				ys[i] = pt.Y
+			} else {
+				ys[i] = math.NaN()
+			}
+		}
+		plot.AddSeries(s.Label, xs, ys)
+	}
+	return plot.Render(width, height)
+}

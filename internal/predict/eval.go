@@ -1,0 +1,140 @@
+package predict
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Quality summarises prediction accuracy measured against the
+// immediately-next request, the horizon the paper's per-request prefetch
+// decision cares about.
+type Quality struct {
+	// Requests is the number of evaluated steps.
+	Requests int64
+	// Issued is the number of candidate predictions with Prob >= the
+	// evaluation threshold, summed over steps.
+	Issued int64
+	// Correct counts issued predictions that matched the next request.
+	Correct int64
+	// Covered counts steps whose next request appeared among the issued
+	// predictions.
+	Covered int64
+}
+
+// Precision is Correct/Issued (0 when nothing was issued).
+func (q Quality) Precision() float64 {
+	if q.Issued == 0 {
+		return 0
+	}
+	return float64(q.Correct) / float64(q.Issued)
+}
+
+// Recall is Covered/Requests (0 when nothing was evaluated).
+func (q Quality) Recall() float64 {
+	if q.Requests == 0 {
+		return 0
+	}
+	return float64(q.Covered) / float64(q.Requests)
+}
+
+func (q Quality) String() string {
+	return fmt.Sprintf("requests=%d issued=%d precision=%.3f recall=%.3f",
+		q.Requests, q.Issued, q.Precision(), q.Recall())
+}
+
+// Evaluate feeds the stream to the predictor, measuring how well the
+// candidates with Prob >= threshold anticipate each next request. The
+// first warmup requests train without being scored.
+func Evaluate(p Predictor, stream []cache.ID, threshold float64, warmup int) Quality {
+	var q Quality
+	for i, id := range stream {
+		if i >= warmup {
+			q.Requests++
+			for _, pred := range p.Predict() {
+				if pred.Prob < threshold {
+					break // predictions are sorted by probability
+				}
+				q.Issued++
+				if pred.Item == id {
+					q.Correct++
+					q.Covered++
+				}
+			}
+		}
+		p.Observe(id)
+	}
+	return q
+}
+
+// Calibration buckets predictions by claimed probability and reports the
+// empirical hit frequency per bucket: a well-calibrated model's claimed
+// p should match the measured frequency — exactly the property the
+// paper's threshold rule depends on.
+type Calibration struct {
+	bins    int
+	claimed []float64 // sum of claimed probability per bin
+	hits    []int64
+	counts  []int64
+}
+
+// NewCalibration creates a calibration accumulator with the given number
+// of equal-width probability bins.
+func NewCalibration(bins int) *Calibration {
+	if bins <= 0 {
+		panic("predict: calibration needs at least one bin")
+	}
+	return &Calibration{
+		bins:    bins,
+		claimed: make([]float64, bins),
+		hits:    make([]int64, bins),
+		counts:  make([]int64, bins),
+	}
+}
+
+// Record registers one prediction with claimed probability p and whether
+// the predicted item was in fact requested next.
+func (c *Calibration) Record(p float64, hit bool) {
+	i := int(p * float64(c.bins))
+	if i >= c.bins {
+		i = c.bins - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	c.claimed[i] += p
+	c.counts[i]++
+	if hit {
+		c.hits[i]++
+	}
+}
+
+// Bins returns per-bin (mean claimed probability, empirical frequency,
+// sample count). Bins with no samples report zeros.
+func (c *Calibration) Bins() (claimed, empirical []float64, counts []int64) {
+	claimed = make([]float64, c.bins)
+	empirical = make([]float64, c.bins)
+	counts = append([]int64(nil), c.counts...)
+	for i := 0; i < c.bins; i++ {
+		if c.counts[i] > 0 {
+			claimed[i] = c.claimed[i] / float64(c.counts[i])
+			empirical[i] = float64(c.hits[i]) / float64(c.counts[i])
+		}
+	}
+	return claimed, empirical, counts
+}
+
+// EvaluateCalibration trains the predictor on the stream and records
+// every candidate prediction into a fresh Calibration.
+func EvaluateCalibration(p Predictor, stream []cache.ID, bins, warmup int) *Calibration {
+	cal := NewCalibration(bins)
+	for i, id := range stream {
+		if i >= warmup {
+			for _, pred := range p.Predict() {
+				cal.Record(pred.Prob, pred.Item == id)
+			}
+		}
+		p.Observe(id)
+	}
+	return cal
+}

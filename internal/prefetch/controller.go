@@ -1,0 +1,143 @@
+package prefetch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+)
+
+// Controller maintains the online estimates a Threshold policy needs:
+// the request rate λ, the mean item size s̄, the no-prefetch hit ratio
+// h′ (via the paper's Section-4 tagged-cache estimator), and hence
+// ρ′ = (1−ĥ′)·λ̂·ŝ̄/b. It also tracks n̄(F), the recent prefetches per
+// request, for the model-B correction.
+//
+// Rate and size estimates use exponentially-weighted moving averages so
+// the threshold adapts when load shifts — the property that
+// distinguishes the paper's rule from a static cutoff.
+type Controller struct {
+	bandwidth float64
+	alpha     float64 // EWMA weight for new observations
+
+	est *cache.Estimator
+
+	lastArrival float64
+	interEWMA   float64 // smoothed inter-arrival time
+	haveArrival bool
+	haveInter   bool
+
+	sizeEWMA float64
+	haveSize bool
+
+	requests   int64
+	prefetches int64
+}
+
+// NewController creates a controller for a link of the given bandwidth.
+// alpha is the EWMA weight in (0,1]; 0 selects the default 0.05 (slow,
+// stable adaptation).
+func NewController(bandwidth, alpha float64) *Controller {
+	if bandwidth <= 0 || math.IsNaN(bandwidth) {
+		panic(fmt.Sprintf("prefetch: bandwidth %v must be positive", bandwidth))
+	}
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("prefetch: EWMA weight %v must be in (0,1]", alpha))
+	}
+	return &Controller{
+		bandwidth: bandwidth,
+		alpha:     alpha,
+		est:       cache.NewEstimator(),
+	}
+}
+
+// Estimator exposes the tagged-cache h′ estimator so the cache layer can
+// report hits, misses, prefetches and evictions to it.
+func (c *Controller) Estimator() *cache.Estimator { return c.est }
+
+// Bandwidth returns the configured link bandwidth b.
+func (c *Controller) Bandwidth() float64 { return c.bandwidth }
+
+// RecordRequest notes a user request at time now with the requested
+// item's size. Call once per request, before the prefetch decision.
+func (c *Controller) RecordRequest(now, size float64) {
+	if c.haveArrival {
+		inter := now - c.lastArrival
+		if inter >= 0 {
+			if !c.haveInter {
+				c.interEWMA = inter
+				c.haveInter = true
+			} else {
+				c.interEWMA = (1-c.alpha)*c.interEWMA + c.alpha*inter
+			}
+		}
+	}
+	c.lastArrival = now
+	c.haveArrival = true
+
+	if size > 0 {
+		if !c.haveSize {
+			c.sizeEWMA = size
+			c.haveSize = true
+		} else {
+			c.sizeEWMA = (1-c.alpha)*c.sizeEWMA + c.alpha*size
+		}
+	}
+	c.requests++
+}
+
+// RecordPrefetch notes that one item was prefetched as a consequence of
+// a request.
+func (c *Controller) RecordPrefetch() { c.prefetches++ }
+
+// Lambda returns the estimated request rate λ̂ (0 until two requests
+// have been seen).
+func (c *Controller) Lambda() float64 {
+	if !c.haveInter || c.interEWMA <= 0 {
+		return 0
+	}
+	return 1 / c.interEWMA
+}
+
+// MeanSize returns the estimated mean item size ŝ̄ (0 until a sized
+// request has been seen).
+func (c *Controller) MeanSize() float64 { return c.sizeEWMA }
+
+// HPrime returns the Section-4 estimate ĥ′ under model A.
+func (c *Controller) HPrime() float64 { return c.est.EstimateA() }
+
+// NF returns the observed average number of prefetched items per user
+// request.
+func (c *Controller) NF() float64 {
+	if c.requests == 0 {
+		return 0
+	}
+	return float64(c.prefetches) / float64(c.requests)
+}
+
+// RhoPrime returns the estimated no-prefetch utilisation
+// ρ̂′ = (1−ĥ′)·λ̂·ŝ̄/b, clamped to [0, 1].
+func (c *Controller) RhoPrime() float64 {
+	rho := (1 - c.HPrime()) * c.Lambda() * c.MeanSize() / c.bandwidth
+	if rho < 0 {
+		return 0
+	}
+	if rho > 1 {
+		return 1
+	}
+	return rho
+}
+
+// State snapshots the current estimates for a Policy decision; nc is the
+// caller's cache-occupancy estimate (model B only; pass 0 for model A).
+func (c *Controller) State(nc float64) State {
+	return State{
+		RhoPrime: c.RhoPrime(),
+		HPrime:   c.HPrime(),
+		NC:       nc,
+		NF:       c.NF(),
+	}
+}

@@ -1,0 +1,94 @@
+// Package queue provides the queueing-theoretic substrate of the paper:
+// the M/G/1 processor-sharing (round-robin) server that models "the
+// entire network accessed through the proxy" (Section 2.1), both in
+// closed form and as an event-driven simulation.
+//
+// The closed forms implement Kleinrock's classic results used by the
+// paper: under processor sharing the mean time to complete a job with
+// service requirement x is x/(1−ρ), independent of the service-time
+// distribution beyond its mean (the insensitivity property). The
+// event-driven servers let the test suite and experiment T8 verify that
+// claim empirically, including under heavy-tailed (Pareto) job sizes.
+package queue
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrOverload is returned by analytic formulas when the offered load
+// meets or exceeds capacity (ρ >= 1) and no finite steady state exists.
+var ErrOverload = fmt.Errorf("queue: utilisation >= 1, no steady state")
+
+// PSMeanResponse returns the steady-state mean response time of a job
+// with service requirement x in an M/G/1-PS queue at utilisation rho
+// (paper eq. 2: r̄ = x/(1−ρ)). It returns ErrOverload when rho >= 1 and
+// an error for negative arguments.
+func PSMeanResponse(x, rho float64) (float64, error) {
+	if x < 0 || rho < 0 || math.IsNaN(x) || math.IsNaN(rho) {
+		return 0, fmt.Errorf("queue: negative or NaN argument (x=%v, rho=%v)", x, rho)
+	}
+	if rho >= 1 {
+		return 0, ErrOverload
+	}
+	return x / (1 - rho), nil
+}
+
+// PSSlowdown returns the mean slowdown (response time divided by service
+// requirement) in M/G/1-PS, which is the constant 1/(1−ρ) for every job
+// size — the fairness property that motivates modelling a shared
+// bottleneck link as PS.
+func PSSlowdown(rho float64) (float64, error) {
+	return PSMeanResponse(1, rho)
+}
+
+// Utilisation returns ρ = λ·x̄ / capacity for arrival rate lambda, mean
+// service requirement xbar (work per job) and server capacity (work per
+// unit time). In the paper's units, work is item size s̄ and capacity is
+// bandwidth b, so ρ = λ·s̄/b.
+func Utilisation(lambda, xbar, capacity float64) float64 {
+	if capacity <= 0 {
+		return math.Inf(1)
+	}
+	return lambda * xbar / capacity
+}
+
+// MM1MeanResponse returns the mean response time of an M/M/1 FCFS queue
+// with arrival rate lambda and service rate mu: 1/(μ−λ). Used as a
+// cross-check for the FCFS simulation.
+func MM1MeanResponse(lambda, mu float64) (float64, error) {
+	if lambda < 0 || mu <= 0 {
+		return 0, fmt.Errorf("queue: invalid M/M/1 rates (λ=%v, μ=%v)", lambda, mu)
+	}
+	if lambda >= mu {
+		return 0, ErrOverload
+	}
+	return 1 / (mu - lambda), nil
+}
+
+// MG1FCFSMeanWait returns the Pollaczek–Khinchine mean waiting time of an
+// M/G/1 FCFS queue: W = λ·E[S²] / (2(1−ρ)), where es2 is the second
+// moment of service time and rho = λ·E[S]. Unlike PS, FCFS *is*
+// sensitive to service-time variability — the contrast the insensitivity
+// experiment (T8) demonstrates.
+func MG1FCFSMeanWait(lambda, es2, rho float64) (float64, error) {
+	if lambda < 0 || es2 < 0 || rho < 0 {
+		return 0, fmt.Errorf("queue: negative argument")
+	}
+	if rho >= 1 {
+		return 0, ErrOverload
+	}
+	return lambda * es2 / (2 * (1 - rho)), nil
+}
+
+// PSMeanJobs returns the steady-state mean number of jobs in an
+// M/G/1-PS system, ρ/(1−ρ) (same as M/M/1 by insensitivity).
+func PSMeanJobs(rho float64) (float64, error) {
+	if rho < 0 {
+		return 0, fmt.Errorf("queue: negative utilisation")
+	}
+	if rho >= 1 {
+		return 0, ErrOverload
+	}
+	return rho / (1 - rho), nil
+}

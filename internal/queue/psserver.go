@@ -1,0 +1,227 @@
+package queue
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/stats"
+)
+
+// Job is a unit of work submitted to a server: a file retrieval whose
+// Size is measured in the same units as the server's capacity per unit
+// time (the paper's item size s̄ against bandwidth b).
+type Job struct {
+	// Size is the total service requirement.
+	Size float64
+	// Arrive is the submission time, set by the server.
+	Arrive float64
+	// Done is invoked at completion time with the job's response time
+	// (completion − arrival). Optional.
+	Done func(responseTime float64)
+
+	remaining float64
+}
+
+// PSServer is an event-driven ideal processor-sharing server: when n
+// jobs are present each is served at rate capacity/n. This is the
+// round-robin model of the paper's Section 2.1 in the quantum→0 limit.
+//
+// The implementation keeps the invariant that between consecutive
+// events the set of jobs is fixed, so remaining work decreases linearly
+// and only the job with the least remaining work can complete next. Each
+// arrival or departure re-schedules that single completion event,
+// giving O(n) work per event.
+type PSServer struct {
+	sim      *des.Simulator
+	capacity float64
+	jobs     []*Job
+	lastT    float64
+	next     *des.Event
+
+	// Response accumulates per-job response times.
+	Response stats.Running
+	// InSystem tracks the time-average number of jobs present.
+	InSystem stats.TimeWeighted
+	busy     float64 // total busy time (≥1 job present)
+	served   int64
+}
+
+// NewPSServer creates a processor-sharing server with the given service
+// capacity (work per unit time) attached to the simulator. It panics if
+// capacity is not positive.
+func NewPSServer(sim *des.Simulator, capacity float64) *PSServer {
+	if capacity <= 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("queue: non-positive capacity %v", capacity))
+	}
+	s := &PSServer{sim: sim, capacity: capacity}
+	s.InSystem.Observe(sim.Now(), 0)
+	s.lastT = sim.Now()
+	return s
+}
+
+// Capacity returns the server's total service rate.
+func (s *PSServer) Capacity() float64 { return s.capacity }
+
+// Load returns the number of jobs currently in service.
+func (s *PSServer) Load() int { return len(s.jobs) }
+
+// Served returns the number of completed jobs.
+func (s *PSServer) Served() int64 { return s.served }
+
+// BusyTime returns the cumulative time during which at least one job was
+// present, up to the last event processed.
+func (s *PSServer) BusyTime() float64 { return s.busy }
+
+// advance applies service progress accrued since the last event to all
+// resident jobs.
+func (s *PSServer) advance() {
+	now := s.sim.Now()
+	dt := now - s.lastT
+	if dt > 0 && len(s.jobs) > 0 {
+		rate := s.capacity / float64(len(s.jobs))
+		for _, j := range s.jobs {
+			j.remaining -= rate * dt
+			if j.remaining < 0 {
+				// Tolerate accumulated floating-point error; anything
+				// materially negative is a scheduling bug.
+				if j.remaining < -1e-6*j.Size-1e-12 {
+					panic(fmt.Sprintf("queue: job overshot by %v", -j.remaining))
+				}
+				j.remaining = 0
+			}
+		}
+		s.busy += dt
+	}
+	s.lastT = now
+}
+
+// reschedule cancels any pending completion event and schedules the
+// completion of the job with the least remaining work.
+func (s *PSServer) reschedule() {
+	if s.next != nil {
+		s.sim.Cancel(s.next)
+		s.next = nil
+	}
+	if len(s.jobs) == 0 {
+		return
+	}
+	minIdx := 0
+	for i, j := range s.jobs {
+		if j.remaining < s.jobs[minIdx].remaining {
+			minIdx = i
+		}
+	}
+	eta := s.jobs[minIdx].remaining * float64(len(s.jobs)) / s.capacity
+	idx := minIdx
+	s.next = s.sim.After(eta, func() { s.complete(idx) })
+}
+
+// Submit enters a job into service. The job's Done callback (if any)
+// fires at completion with the job's response time. It panics on
+// non-positive sizes: a zero-size retrieval is a cache hit and should
+// never reach the server.
+func (s *PSServer) Submit(j *Job) {
+	if j.Size <= 0 || math.IsNaN(j.Size) {
+		panic(fmt.Sprintf("queue: job size %v must be positive", j.Size))
+	}
+	s.advance()
+	j.Arrive = s.sim.Now()
+	j.remaining = j.Size
+	s.jobs = append(s.jobs, j)
+	s.InSystem.Observe(s.sim.Now(), float64(len(s.jobs)))
+	s.reschedule()
+}
+
+// complete removes the finished job at index idx and notifies it.
+func (s *PSServer) complete(idx int) {
+	s.advance()
+	j := s.jobs[idx]
+	// The scheduled job must be (one of) the minimum-remaining jobs;
+	// after advance its remaining work is ~0.
+	last := len(s.jobs) - 1
+	s.jobs[idx] = s.jobs[last]
+	s.jobs[last] = nil
+	s.jobs = s.jobs[:last]
+	s.next = nil
+	s.InSystem.Observe(s.sim.Now(), float64(len(s.jobs)))
+
+	resp := s.sim.Now() - j.Arrive
+	s.Response.Add(resp)
+	s.served++
+	if j.Done != nil {
+		j.Done(resp)
+	}
+	s.reschedule()
+}
+
+// MeanJobs returns the time-average number of jobs in the system up to
+// the current simulation time.
+func (s *PSServer) MeanJobs() float64 {
+	return s.InSystem.Mean(s.sim.Now())
+}
+
+// FCFSServer is a first-come-first-served single server, used as the
+// contrast case for the PS insensitivity experiment: under FCFS the mean
+// response time depends on the service-time second moment
+// (Pollaczek–Khinchine), under PS it does not.
+type FCFSServer struct {
+	sim      *des.Simulator
+	capacity float64
+	queue    []*Job
+	inSvc    *Job
+
+	Response stats.Running
+	served   int64
+}
+
+// NewFCFSServer creates a FCFS server with the given capacity.
+func NewFCFSServer(sim *des.Simulator, capacity float64) *FCFSServer {
+	if capacity <= 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("queue: non-positive capacity %v", capacity))
+	}
+	return &FCFSServer{sim: sim, capacity: capacity}
+}
+
+// Load returns the number of jobs waiting or in service.
+func (s *FCFSServer) Load() int {
+	n := len(s.queue)
+	if s.inSvc != nil {
+		n++
+	}
+	return n
+}
+
+// Served returns the number of completed jobs.
+func (s *FCFSServer) Served() int64 { return s.served }
+
+// Submit enqueues a job.
+func (s *FCFSServer) Submit(j *Job) {
+	if j.Size <= 0 || math.IsNaN(j.Size) {
+		panic(fmt.Sprintf("queue: job size %v must be positive", j.Size))
+	}
+	j.Arrive = s.sim.Now()
+	if s.inSvc == nil {
+		s.start(j)
+	} else {
+		s.queue = append(s.queue, j)
+	}
+}
+
+func (s *FCFSServer) start(j *Job) {
+	s.inSvc = j
+	s.sim.After(j.Size/s.capacity, func() {
+		resp := s.sim.Now() - j.Arrive
+		s.Response.Add(resp)
+		s.served++
+		if j.Done != nil {
+			j.Done(resp)
+		}
+		s.inSvc = nil
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.start(next)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package queue
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/stats"
+)
+
+// RRServer is a round-robin time-sliced server: jobs take turns
+// receiving a fixed quantum of service. The paper's Section 2.1 calls
+// its service model "an M/G/1 round-robin queueing system" and then uses
+// the processor-sharing formula r̄ = x/(1−ρ) — which is the quantum→0
+// limit of round robin. RRServer exists to check that identification
+// (ablation T9): with a small quantum its mean response time converges
+// to the PSServer's; with a coarse quantum short jobs suffer
+// head-of-line delays the PS idealisation hides.
+type RRServer struct {
+	sim      *des.Simulator
+	capacity float64
+	quantum  float64
+	ring     []*Job // jobs awaiting their turn, front is next
+	running  bool
+
+	// Response accumulates per-job response times.
+	Response stats.Running
+	served   int64
+	busy     float64
+}
+
+// NewRRServer creates a round-robin server with the given capacity
+// (work per unit time) and quantum (service per turn, in work units).
+func NewRRServer(sim *des.Simulator, capacity, quantum float64) *RRServer {
+	if capacity <= 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("queue: non-positive capacity %v", capacity))
+	}
+	if quantum <= 0 || math.IsNaN(quantum) {
+		panic(fmt.Sprintf("queue: non-positive quantum %v", quantum))
+	}
+	return &RRServer{sim: sim, capacity: capacity, quantum: quantum}
+}
+
+// Load returns the number of jobs in the system.
+func (s *RRServer) Load() int { return len(s.ring) }
+
+// Served returns the number of completed jobs.
+func (s *RRServer) Served() int64 { return s.served }
+
+// BusyTime returns cumulative time spent serving.
+func (s *RRServer) BusyTime() float64 { return s.busy }
+
+// Submit enqueues a job at the back of the ring.
+func (s *RRServer) Submit(j *Job) {
+	if j.Size <= 0 || math.IsNaN(j.Size) {
+		panic(fmt.Sprintf("queue: job size %v must be positive", j.Size))
+	}
+	j.Arrive = s.sim.Now()
+	j.remaining = j.Size
+	s.ring = append(s.ring, j)
+	if !s.running {
+		s.running = true
+		s.serveNext()
+	}
+}
+
+// serveNext gives the head job one quantum (or its remaining work, if
+// smaller) and rotates the ring.
+func (s *RRServer) serveNext() {
+	if len(s.ring) == 0 {
+		s.running = false
+		return
+	}
+	j := s.ring[0]
+	s.ring = s.ring[1:]
+	slice := s.quantum
+	if j.remaining < slice {
+		slice = j.remaining
+	}
+	dt := slice / s.capacity
+	s.sim.After(dt, func() {
+		s.busy += dt
+		j.remaining -= slice
+		if j.remaining <= 1e-12 {
+			resp := s.sim.Now() - j.Arrive
+			s.Response.Add(resp)
+			s.served++
+			if j.Done != nil {
+				j.Done(resp)
+			}
+		} else {
+			s.ring = append(s.ring, j) // back of the ring
+		}
+		s.serveNext()
+	})
+}

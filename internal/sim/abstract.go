@@ -1,0 +1,293 @@
+// Package sim provides two discrete-event simulators of the paper's
+// multi-user proxy system.
+//
+// AbstractSim realises the paper's analytical model *exactly* as a
+// stochastic system: Poisson requests at rate λ, cache hits as a
+// Bernoulli(h) coin per request, demand misses and prefetches submitted
+// as jobs to a shared M/G/1 processor-sharing server of bandwidth b. It
+// exists to validate equations (5), (10), (11) and (27) empirically
+// (experiment T2): whatever the closed forms predict, this simulator
+// must measure, within confidence intervals.
+//
+// SystemSim (system.go) is the full system a practitioner would deploy:
+// real per-client caches with replacement policies, an online access
+// predictor, a prefetch policy with the Section-4 h′ estimator, and the
+// same shared PS server. It exercises every substrate end-to-end
+// (experiments T3 and T7, and the examples).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/queue"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// AbstractConfig parameterises an AbstractSim run. Symbols follow the
+// paper.
+type AbstractConfig struct {
+	// Lambda is the aggregate user request rate λ.
+	Lambda float64
+	// Bandwidth is the shared link capacity b.
+	Bandwidth float64
+	// MeanSize is the average item size s̄.
+	MeanSize float64
+	// SizeDist optionally overrides the item-size distribution (its
+	// mean should equal MeanSize). Nil means deterministic sizes — the
+	// paper's setting. The PS insensitivity property makes the means
+	// agree either way; tests exploit this.
+	SizeDist rng.Dist
+	// HPrime is the no-prefetch hit ratio h′.
+	HPrime float64
+	// NF is the mean number of prefetched items per request n̄(F).
+	NF float64
+	// P is the access probability of each prefetched item.
+	P float64
+	// Requests is the number of user requests to simulate.
+	Requests int
+	// Warmup is the number of initial requests excluded from metrics.
+	Warmup int
+	// Seed drives all randomness; identical configs reproduce exactly.
+	Seed uint64
+	// KeepAccessTimes retains every measured access time in the result,
+	// enabling tail/deadline (QoS) analysis — the multimedia-access
+	// direction the paper's conclusion points at. Costs 8 bytes per
+	// measured request.
+	KeepAccessTimes bool
+	// Arrivals optionally replaces the Poisson request process with an
+	// arbitrary one (e.g. workload.MMPP for bursty traffic). Lambda
+	// must still be set to the process's long-run mean rate: the
+	// stability check and the prefetch stream (rate n̄(F)·λ) use it.
+	Arrivals ArrivalProcess
+}
+
+// ArrivalProcess produces strictly increasing arrival epochs.
+// workload.Arrivals and workload.MMPP implement it.
+type ArrivalProcess interface {
+	Next() float64
+}
+
+func (c AbstractConfig) validate() error {
+	switch {
+	case c.Lambda <= 0:
+		return fmt.Errorf("sim: λ = %v must be positive", c.Lambda)
+	case c.Bandwidth <= 0:
+		return fmt.Errorf("sim: bandwidth = %v must be positive", c.Bandwidth)
+	case c.MeanSize <= 0:
+		return fmt.Errorf("sim: mean size = %v must be positive", c.MeanSize)
+	case c.HPrime < 0 || c.HPrime >= 1:
+		return fmt.Errorf("sim: h′ = %v must be in [0,1)", c.HPrime)
+	case c.NF < 0:
+		return fmt.Errorf("sim: n̄(F) = %v must be non-negative", c.NF)
+	case c.NF > 0 && (c.P <= 0 || c.P > 1):
+		return fmt.Errorf("sim: access probability %v must be in (0,1]", c.P)
+	case c.Requests <= 0:
+		return fmt.Errorf("sim: request count %d must be positive", c.Requests)
+	case c.Warmup < 0 || c.Warmup >= c.Requests:
+		return fmt.Errorf("sim: warmup %d must be in [0, requests)", c.Warmup)
+	}
+	return nil
+}
+
+// AbstractResult carries the measured steady-state quantities of one
+// AbstractSim run, each with a 95% confidence half-width where
+// meaningful.
+type AbstractResult struct {
+	// HitRatio is the measured hit ratio h (should match h′ + n̄(F)·p
+	// under model A).
+	HitRatio float64
+	// AccessTime is the measured mean access time t̄ with its CI.
+	AccessTime, AccessTimeCI float64
+	// RetrievalPerRequest is the measured R: total retrieval time
+	// (demand + prefetch) divided by user requests.
+	RetrievalPerRequest float64
+	// Utilisation is the server's busy fraction over the measured
+	// window.
+	Utilisation float64
+	// Requests is the number of measured (post-warmup) requests.
+	Requests int64
+	// Duration is the simulated time span of the measured window.
+	Duration float64
+	// AccessTimes holds every measured access time (hits contribute 0)
+	// when AbstractConfig.KeepAccessTimes is set; nil otherwise.
+	AccessTimes []float64
+}
+
+// MissProb returns the fraction of measured accesses whose access time
+// exceeded the deadline — the QoS metric for media with a playout
+// budget. It requires the run to have kept access times.
+func (r AbstractResult) MissProb(deadline float64) (float64, error) {
+	if r.AccessTimes == nil {
+		return 0, fmt.Errorf("sim: access times were not kept (set KeepAccessTimes)")
+	}
+	if len(r.AccessTimes) == 0 {
+		return 0, nil
+	}
+	missed := 0
+	for _, t := range r.AccessTimes {
+		if t > deadline {
+			missed++
+		}
+	}
+	return float64(missed) / float64(len(r.AccessTimes)), nil
+}
+
+// RunAbstract executes the abstract model simulation.
+//
+// Hit mechanics: each request is a cache hit with probability
+// h = h′ + n̄(F)·p (model A's eq. 7 — the abstract simulator bakes in
+// model A; SystemSim realises the eviction disciplines operationally).
+// Misses submit a demand job; independently, each request spawns a
+// Poisson-split number of prefetch jobs with mean n̄(F). Access time is
+// 0 for hits and the job response time for misses.
+func RunAbstract(cfg AbstractConfig) (AbstractResult, error) {
+	var res AbstractResult
+	if err := cfg.validate(); err != nil {
+		return res, err
+	}
+	h := cfg.HPrime + cfg.NF*cfg.P
+	if h > 1 {
+		return res, fmt.Errorf("sim: effective hit ratio h = %v > 1; lower n̄(F) or p", h)
+	}
+	// Steady state requires ρ = (1−h+n̄(F))λs̄/b < 1.
+	rho := (1 - h + cfg.NF) * cfg.Lambda * cfg.MeanSize / cfg.Bandwidth
+	if rho >= 1 {
+		return res, fmt.Errorf("sim: offered load ρ = %v >= 1; no steady state", rho)
+	}
+
+	sd := cfg.SizeDist
+	if sd == nil {
+		sd = rng.Deterministic{Value: cfg.MeanSize}
+	}
+
+	sim := des.New()
+	srv := queue.NewPSServer(sim, cfg.Bandwidth)
+	arrivalSrc := rng.NewStream(cfg.Seed, "arrivals")
+	hitSrc := rng.NewStream(cfg.Seed, "hits")
+	sizeSrc := rng.NewStream(cfg.Seed, "sizes")
+	pfSrc := rng.NewStream(cfg.Seed, "prefetch-count")
+	inter := rng.Exponential{Rate: cfg.Lambda}
+
+	var (
+		access       stats.Running
+		retrievalSum float64 // post-warmup total retrieval time
+		hits, total  int64
+		issued       int
+		measuredFrom = math.Inf(1)
+		busyAtStart  float64
+	)
+	record := func(v float64) {
+		access.Add(v)
+		if cfg.KeepAccessTimes {
+			res.AccessTimes = append(res.AccessTimes, v)
+		}
+	}
+
+	// User requests and prefetches form two independent Poisson streams
+	// (rates λ and n̄(F)·λ respectively), matching the model's combined
+	// Poisson arrival assumption. Submitting prefetches in batches at
+	// request instants would create batch arrivals, which M/G/1-PS does
+	// not describe (and measurably inflates delays).
+	// scheduleNext books the next request arrival: Poisson by default,
+	// or the caller-supplied process (absolute epochs).
+	requestsDone := false
+	var arrive func()
+	scheduleNext := func() {
+		if cfg.Arrivals != nil {
+			next := cfg.Arrivals.Next()
+			if next < sim.Now() {
+				panic("sim: arrival process went backwards")
+			}
+			sim.Schedule(next, arrive)
+			return
+		}
+		sim.After(inter.Sample(arrivalSrc), arrive)
+	}
+	arrive = func() {
+		if issued >= cfg.Requests {
+			requestsDone = true
+			return
+		}
+		reqIdx := issued
+		issued++
+		measured := reqIdx >= cfg.Warmup
+		if measured && math.IsInf(measuredFrom, 1) {
+			measuredFrom = sim.Now()
+			busyAtStart = srv.BusyTime()
+		}
+		if measured {
+			total++
+		}
+		if rng.Bernoulli(hitSrc, h) {
+			if measured {
+				hits++
+				record(0)
+			}
+		} else {
+			sz := sd.Sample(sizeSrc)
+			srv.Submit(&queue.Job{Size: sz, Done: func(resp float64) {
+				if measured {
+					record(resp)
+					retrievalSum += resp
+				}
+			}})
+		}
+		scheduleNext()
+	}
+	scheduleNext()
+
+	if cfg.NF > 0 {
+		pfInter := rng.Exponential{Rate: cfg.NF * cfg.Lambda}
+		var prefetchArrive func()
+		prefetchArrive = func() {
+			if requestsDone {
+				return // prefetching stops with the request stream
+			}
+			measured := !math.IsInf(measuredFrom, 1)
+			sz := sd.Sample(sizeSrc)
+			srv.Submit(&queue.Job{Size: sz, Done: func(resp float64) {
+				if measured {
+					retrievalSum += resp
+				}
+			}})
+			sim.After(pfInter.Sample(pfSrc), prefetchArrive)
+		}
+		sim.After(pfInter.Sample(pfSrc), prefetchArrive)
+	}
+	sim.Run() // drains all jobs after the last arrival
+
+	if total == 0 {
+		return res, fmt.Errorf("sim: no measured requests (warmup too large?)")
+	}
+	res.HitRatio = float64(hits) / float64(total)
+	res.AccessTime = access.Mean()
+	res.AccessTimeCI = access.CI95()
+	res.RetrievalPerRequest = retrievalSum / float64(total)
+	res.Requests = total
+	res.Duration = sim.Now() - measuredFrom
+	if res.Duration > 0 {
+		res.Utilisation = (srv.BusyTime() - busyAtStart) / res.Duration
+	}
+	return res, nil
+}
+
+// poisson draws a Poisson(mean) variate by Knuth's method; mean is small
+// (n̄(F) ≤ a few) so the loop is short.
+func poisson(src *rng.Source, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= src.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Paper operating point for the validation: λ=30, b=50, s̄=1.
+func paperAbstract(hPrime, nF, p float64) AbstractConfig {
+	return AbstractConfig{
+		Lambda:    30,
+		Bandwidth: 50,
+		MeanSize:  1,
+		HPrime:    hPrime,
+		NF:        nF,
+		P:         p,
+		Requests:  120000,
+		Warmup:    20000,
+		Seed:      101,
+	}
+}
+
+func TestAbstractValidation(t *testing.T) {
+	bad := []AbstractConfig{
+		{Lambda: 0, Bandwidth: 1, MeanSize: 1, Requests: 10},
+		{Lambda: 1, Bandwidth: 0, MeanSize: 1, Requests: 10},
+		{Lambda: 1, Bandwidth: 1, MeanSize: 0, Requests: 10},
+		{Lambda: 1, Bandwidth: 1, MeanSize: 1, HPrime: 1, Requests: 10},
+		{Lambda: 1, Bandwidth: 1, MeanSize: 1, NF: -1, Requests: 10},
+		{Lambda: 1, Bandwidth: 1, MeanSize: 1, NF: 1, P: 0, Requests: 10},
+		{Lambda: 1, Bandwidth: 1, MeanSize: 1, Requests: 0},
+		{Lambda: 1, Bandwidth: 1, MeanSize: 1, Requests: 10, Warmup: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := RunAbstract(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestAbstractOverloadRejected(t *testing.T) {
+	cfg := paperAbstract(0, 1, 0.1) // ρ = (0.9+1)·0.6 = 1.14
+	if _, err := RunAbstract(cfg); err == nil {
+		t.Error("saturating config should be rejected")
+	}
+}
+
+// No prefetch: measured t̄′ must match eq. 5 = f′s̄/(b−f′λs̄).
+func TestAbstractNoPrefetchMatchesEq5(t *testing.T) {
+	for _, hPrime := range []float64{0, 0.3} {
+		cfg := paperAbstract(hPrime, 0, 0)
+		res, err := RunAbstract(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := analytic.Params{Lambda: 30, B: 50, SBar: 1, HPrime: hPrime}
+		want, err := par.AccessTimeNoPrefetch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := stats.RelErr(res.AccessTime, want); rel > 0.05 {
+			t.Errorf("h′=%v: t̄′ sim %v vs eq.5 %v (rel %.3f)",
+				hPrime, res.AccessTime, want, rel)
+		}
+		if math.Abs(res.HitRatio-hPrime) > 0.01 {
+			t.Errorf("h′=%v: measured hit ratio %v", hPrime, res.HitRatio)
+		}
+		if stats.RelErr(res.Utilisation, par.RhoPrime()) > 0.05 {
+			t.Errorf("h′=%v: utilisation %v vs ρ′ %v", hPrime, res.Utilisation, par.RhoPrime())
+		}
+	}
+}
+
+// With prefetch: measured t̄ must match eq. 10 (model A) at several
+// operating points, and the measured G must match eq. 11.
+func TestAbstractPrefetchMatchesEq10And11(t *testing.T) {
+	cases := []struct{ hPrime, nF, p float64 }{
+		{0, 0.5, 0.9},
+		{0, 1.0, 0.9},
+		{0, 0.5, 0.7},
+		{0.3, 0.5, 0.6},
+		{0.3, 1.0, 0.5},
+	}
+	par0 := analytic.Params{Lambda: 30, B: 50, SBar: 1}
+	for _, c := range cases {
+		par := par0
+		par.HPrime = c.hPrime
+		e, err := analytic.Evaluate(analytic.ModelA{}, par, c.nF, c.p)
+		if err != nil {
+			t.Fatalf("analytic eval (%+v): %v", c, err)
+		}
+		res, err := RunAbstract(paperAbstract(c.hPrime, c.nF, c.p))
+		if err != nil {
+			t.Fatalf("sim (%+v): %v", c, err)
+		}
+		if rel := stats.RelErr(res.AccessTime, e.TBar); rel > 0.08 {
+			t.Errorf("%+v: t̄ sim %v vs eq.10 %v (rel %.3f)", c, res.AccessTime, e.TBar, rel)
+		}
+		if math.Abs(res.HitRatio-e.H) > 0.01 {
+			t.Errorf("%+v: h sim %v vs eq.7 %v", c, res.HitRatio, e.H)
+		}
+		if rel := stats.RelErr(res.Utilisation, e.Rho); rel > 0.05 {
+			t.Errorf("%+v: ρ sim %v vs eq.8 %v", c, res.Utilisation, e.Rho)
+		}
+		// G via baseline run.
+		base, err := RunAbstract(paperAbstract(c.hPrime, 0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gSim := base.AccessTime - res.AccessTime
+		// G is a difference of two noisy means; compare with combined CI
+		// slack plus 10% relative.
+		slack := base.AccessTimeCI + res.AccessTimeCI + 0.1*math.Abs(e.G)
+		if math.Abs(gSim-e.G) > slack {
+			t.Errorf("%+v: G sim %v vs eq.11 %v (slack %v)", c, gSim, e.G, slack)
+		}
+	}
+}
+
+// Excess retrieval cost: measured R − R′ must match eq. 27.
+func TestAbstractExcessCostMatchesEq27(t *testing.T) {
+	c := struct{ hPrime, nF, p float64 }{0.3, 0.5, 0.6}
+	par := analytic.Params{Lambda: 30, B: 50, SBar: 1, HPrime: c.hPrime}
+	e, err := analytic.Evaluate(analytic.ModelA{}, par, c.nF, c.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAbstract(paperAbstract(c.hPrime, c.nF, c.p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunAbstract(paperAbstract(c.hPrime, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cSim := res.RetrievalPerRequest - base.RetrievalPerRequest
+	if rel := stats.RelErr(cSim, e.C); rel > 0.15 {
+		t.Errorf("C sim %v vs eq.27 %v (rel %.3f)", cSim, e.C, rel)
+	}
+	// Also check R itself against eq. 25.
+	wantR, err := analytic.RetrievalPerRequest(30, e.Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := stats.RelErr(res.RetrievalPerRequest, wantR); rel > 0.08 {
+		t.Errorf("R sim %v vs eq.25 %v", res.RetrievalPerRequest, wantR)
+	}
+}
+
+// PS insensitivity carries to the full pipeline: exponential item sizes
+// with the same mean give the same t̄ as deterministic sizes.
+func TestAbstractInsensitivityToSizes(t *testing.T) {
+	det := paperAbstract(0.3, 0.5, 0.6)
+	exp := det
+	exp.SizeDist = rng.Exponential{Rate: 1}
+	exp.Seed = 202
+	rdet, err := RunAbstract(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rexp, err := RunAbstract(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := stats.RelErr(rexp.AccessTime, rdet.AccessTime); rel > 0.10 {
+		t.Errorf("t̄ exp sizes %v vs det sizes %v (rel %.3f)",
+			rexp.AccessTime, rdet.AccessTime, rel)
+	}
+}
+
+// Determinism: identical configs give identical results.
+func TestAbstractDeterministic(t *testing.T) {
+	cfg := paperAbstract(0.3, 0.5, 0.7)
+	cfg.Requests = 5000
+	cfg.Warmup = 500
+	a, err := RunAbstract(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAbstract(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := func(x, y AbstractResult) bool {
+		return x.AccessTime == y.AccessTime && x.HitRatio == y.HitRatio &&
+			x.RetrievalPerRequest == y.RetrievalPerRequest &&
+			x.Utilisation == y.Utilisation && x.Requests == y.Requests &&
+			x.Duration == y.Duration
+	}
+	if !same(a, b) {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed++
+	c, err := RunAbstract(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+// The sign of the measured gain flips across the threshold p_th = ρ′,
+// the paper's headline claim, observed in simulation.
+func TestAbstractGainSignCrossesThreshold(t *testing.T) {
+	base, err := RunAbstract(paperAbstract(0.3, 0, 0)) // ρ′ = 0.42
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := RunAbstract(paperAbstract(0.3, 1.0, 0.7)) // p > p_th
+	if err != nil {
+		t.Fatal(err)
+	}
+	below, err := RunAbstract(paperAbstract(0.3, 1.0, 0.2)) // p < p_th
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := base.AccessTime - above.AccessTime; g <= 0 {
+		t.Errorf("p=0.7 > p_th: G sim = %v, want > 0", g)
+	}
+	if g := base.AccessTime - below.AccessTime; g >= 0 {
+		t.Errorf("p=0.2 < p_th: G sim = %v, want < 0", g)
+	}
+}
+
+func TestAbstractKeepAccessTimes(t *testing.T) {
+	cfg := paperAbstract(0.3, 0, 0)
+	cfg.Requests, cfg.Warmup = 20000, 4000
+	cfg.KeepAccessTimes = true
+	res, err := RunAbstract(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(res.AccessTimes)) != res.Requests {
+		t.Fatalf("kept %d access times for %d requests", len(res.AccessTimes), res.Requests)
+	}
+	// MissProb(0) counts every non-hit access; must equal 1 − h.
+	p0, err := res.MissProb(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p0-(1-res.HitRatio)) > 1e-12 {
+		t.Errorf("MissProb(0) = %v, want 1−h = %v", p0, 1-res.HitRatio)
+	}
+	// Monotone in the deadline, reaching 0 at infinity.
+	p1, _ := res.MissProb(0.05)
+	p2, _ := res.MissProb(0.5)
+	if !(p0 >= p1 && p1 >= p2) {
+		t.Errorf("miss probability not monotone: %v %v %v", p0, p1, p2)
+	}
+	pInf, _ := res.MissProb(math.Inf(1))
+	if pInf != 0 {
+		t.Errorf("MissProb(inf) = %v, want 0", pInf)
+	}
+}
+
+func TestMissProbWithoutKeeping(t *testing.T) {
+	cfg := paperAbstract(0.3, 0, 0)
+	cfg.Requests, cfg.Warmup = 5000, 1000
+	res, err := RunAbstract(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.MissProb(0.1); err == nil {
+		t.Error("MissProb without KeepAccessTimes should error")
+	}
+}
+
+// Above-threshold prefetching must cut the deadline-miss probability;
+// below-threshold prefetching must raise it — the QoS view of the
+// paper's headline result.
+func TestQoSDeadlineMissFollowsThreshold(t *testing.T) {
+	run := func(nF, p float64) AbstractResult {
+		cfg := paperAbstract(0.3, nF, p) // p_th = 0.42
+		cfg.KeepAccessTimes = true
+		res, err := RunAbstract(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	const deadline = 0.04
+	base := run(0, 0)
+	good := run(1, 0.7)
+	bad := run(1, 0.2)
+	pBase, _ := base.MissProb(deadline)
+	pGood, _ := good.MissProb(deadline)
+	pBad, _ := bad.MissProb(deadline)
+	if pGood >= pBase {
+		t.Errorf("good prefetching should cut misses: %v vs %v", pGood, pBase)
+	}
+	if pBad <= pBase {
+		t.Errorf("bad prefetching should raise misses: %v vs %v", pBad, pBase)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	src := rng.New(7)
+	for _, mean := range []float64{0.3, 1.0, 2.5} {
+		sum := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			sum += poisson(src, mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean)/mean > 0.03 {
+			t.Errorf("poisson(%v) sample mean %v", mean, got)
+		}
+	}
+	if poisson(src, 0) != 0 {
+		t.Error("poisson(0) should be 0")
+	}
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders families of curves as ASCII line plots, so the paper's
+// figures can be *seen*, not just tabulated, without any plotting
+// dependency. Non-finite y values break the curve (used for the
+// saturated regions of Figures 2–3).
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	series []plotSeries
+
+	yClipped     bool
+	yMinC, yMaxC float64
+}
+
+// ClipY fixes the rendered y-range; points outside leave the plot (as
+// the curves in the paper's figures exit the axes). It panics if
+// min >= max.
+func (p *Plot) ClipY(min, max float64) {
+	if min >= max {
+		panic(fmt.Sprintf("stats: invalid y clip [%v, %v]", min, max))
+	}
+	p.yClipped = true
+	p.yMinC, p.yMaxC = min, max
+}
+
+type plotSeries struct {
+	label  string
+	xs, ys []float64
+}
+
+// seriesGlyphs mark successive series; they cycle when exhausted.
+var seriesGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'}
+
+// NewPlot creates an empty plot.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends one curve. xs and ys must have equal length; pass
+// NaN ys for gaps. It panics on length mismatch (a harness bug).
+func (p *Plot) AddSeries(label string, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: series %q has %d xs but %d ys", label, len(xs), len(ys)))
+	}
+	p.series = append(p.series, plotSeries{label: label, xs: xs, ys: ys})
+}
+
+// NumSeries returns the number of curves added.
+func (p *Plot) NumSeries() int { return len(p.series) }
+
+// Render draws the plot into a width×height character grid (plus axes,
+// title and legend). Width and height are clamped to sane minimums.
+func (p *Plot) Render(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	inYRange := func(y float64) bool {
+		return !p.yClipped || (y >= p.yMinC && y <= p.yMaxC)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	finite := 0
+	for _, s := range p.series {
+		for i := range s.xs {
+			if math.IsNaN(s.ys[i]) || math.IsInf(s.ys[i], 0) ||
+				math.IsNaN(s.xs[i]) || math.IsInf(s.xs[i], 0) ||
+				!inYRange(s.ys[i]) {
+				continue
+			}
+			finite++
+			xmin = math.Min(xmin, s.xs[i])
+			xmax = math.Max(xmax, s.xs[i])
+			ymin = math.Min(ymin, s.ys[i])
+			ymax = math.Max(ymax, s.ys[i])
+		}
+	}
+	if p.yClipped {
+		ymin, ymax = p.yMinC, p.yMaxC
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if finite == 0 {
+		b.WriteString("(no finite points)\n")
+		return b.String()
+	}
+	// Degenerate ranges get a symmetric pad so everything still draws.
+	if xmax == xmin {
+		xmax, xmin = xmax+1, xmin-1
+	}
+	if ymax == ymin {
+		ymax, ymin = ymax+1, ymin-1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range p.series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		prevOK := false
+		var prevC, prevR int
+		for i := range s.xs {
+			y := s.ys[i]
+			if math.IsNaN(y) || math.IsInf(y, 0) || !inYRange(y) {
+				prevOK = false
+				continue
+			}
+			c, r := col(s.xs[i]), row(y)
+			grid[r][c] = glyph
+			// Linear interpolation between consecutive points keeps
+			// steep curves visually connected.
+			if prevOK {
+				steps := maxInt(absInt(c-prevC), absInt(r-prevR))
+				for k := 1; k < steps; k++ {
+					ic := prevC + (c-prevC)*k/steps
+					ir := prevR + (r-prevR)*k/steps
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = glyph
+					}
+				}
+			}
+			prevC, prevR, prevOK = c, r, true
+		}
+	}
+
+	// y-axis labels on the left, 10 chars wide.
+	for r := 0; r < height; r++ {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.4g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%10.4g", ymin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%10.4g", (ymax+ymin)/2)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	left := fmt.Sprintf("%-10.4g", xmin)
+	right := fmt.Sprintf("%10.4g", xmax)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", 10), left, strings.Repeat(" ", pad), right)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", 10), p.XLabel, p.YLabel)
+	}
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.label)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

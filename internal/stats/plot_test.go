@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasicLine(t *testing.T) {
+	p := NewPlot("line", "x", "y")
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 1, 2, 3, 4}
+	p.AddSeries("diag", xs, ys)
+	out := p.Render(40, 10)
+	if !strings.Contains(out, "line") || !strings.Contains(out, "diag") {
+		t.Fatalf("missing title or legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// The first grid row (y = max) should contain the glyph near the
+	// right edge; the last grid row near the left edge.
+	top := lines[1]
+	bottom := lines[10]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Errorf("diagonal endpoints not drawn:\n%s", out)
+	}
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Errorf("diagonal slope inverted:\n%s", out)
+	}
+	if !strings.Contains(out, "x: x, y: y") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestPlotNaNBreaksCurve(t *testing.T) {
+	p := NewPlot("gap", "", "")
+	p.AddSeries("s", []float64{0, 1, 2, 3}, []float64{0, math.NaN(), math.NaN(), 0})
+	out := p.Render(20, 5)
+	if strings.Count(out, "*") < 2 {
+		t.Errorf("finite endpoints should draw:\n%s", out)
+	}
+}
+
+func TestPlotAllNaN(t *testing.T) {
+	p := NewPlot("empty", "", "")
+	p.AddSeries("s", []float64{0, 1}, []float64{math.NaN(), math.Inf(1)})
+	out := p.Render(20, 5)
+	if !strings.Contains(out, "no finite points") {
+		t.Errorf("all-NaN plot should say so:\n%s", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := NewPlot("const", "", "")
+	p.AddSeries("flat", []float64{0, 1, 2}, []float64{5, 5, 5})
+	out := p.Render(20, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series should still draw:\n%s", out)
+	}
+}
+
+func TestPlotMultipleSeriesGlyphs(t *testing.T) {
+	p := NewPlot("multi", "", "")
+	p.AddSeries("a", []float64{0, 1}, []float64{0, 1})
+	p.AddSeries("b", []float64{0, 1}, []float64{1, 0})
+	out := p.Render(30, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("each series should use its own glyph:\n%s", out)
+	}
+	if p.NumSeries() != 2 {
+		t.Error("NumSeries wrong")
+	}
+}
+
+func TestPlotMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched xs/ys should panic")
+		}
+	}()
+	NewPlot("", "", "").AddSeries("bad", []float64{1}, []float64{1, 2})
+}
+
+func TestPlotClipY(t *testing.T) {
+	p := NewPlot("clip", "", "")
+	p.AddSeries("s", []float64{0, 1, 2}, []float64{0, 5, 100})
+	p.ClipY(0, 10)
+	out := p.Render(20, 5)
+	// The top axis label is the clip maximum, not the data maximum.
+	if !strings.Contains(out, "10") || strings.Contains(out, "100 |") {
+		t.Errorf("clip range not applied:\n%s", out)
+	}
+}
+
+func TestPlotClipYPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("min >= max should panic")
+		}
+	}()
+	NewPlot("", "", "").ClipY(1, 1)
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	p := NewPlot("tiny", "", "")
+	p.AddSeries("s", []float64{0, 1}, []float64{0, 1})
+	out := p.Render(1, 1) // must clamp, not panic
+	if len(out) == 0 {
+		t.Error("clamped render empty")
+	}
+}

@@ -1,0 +1,341 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasic(t *testing.T) {
+	var r Running
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		r.Add(x)
+	}
+	if r.N() != 5 {
+		t.Errorf("N = %d, want 5", r.N())
+	}
+	if r.Mean() != 3 {
+		t.Errorf("Mean = %v, want 3", r.Mean())
+	}
+	if math.Abs(r.Var()-2.5) > 1e-12 {
+		t.Errorf("Var = %v, want 2.5", r.Var())
+	}
+	if r.Min() != 1 || r.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", r.Min(), r.Max())
+	}
+	if math.Abs(r.Sum()-15) > 1e-12 {
+		t.Errorf("Sum = %v, want 15", r.Sum())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.StdErr() != 0 || r.CI95() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+}
+
+func TestRunningSingle(t *testing.T) {
+	var r Running
+	r.Add(7)
+	if r.Var() != 0 {
+		t.Error("variance of one sample should be 0")
+	}
+	if r.Min() != 7 || r.Max() != 7 {
+		t.Error("min/max of single sample wrong")
+	}
+}
+
+func TestRunningAddN(t *testing.T) {
+	var a, b Running
+	a.AddN(2.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(2.5)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() {
+		t.Error("AddN should match repeated Add")
+	}
+}
+
+func TestRunningNumericalStability(t *testing.T) {
+	// Large offset + small variance: naive sum of squares would lose
+	// all precision here.
+	var r Running
+	base := 1e9
+	for i := 0; i < 1000; i++ {
+		r.Add(base + float64(i%2)) // values 1e9 and 1e9+1
+	}
+	if math.Abs(r.Var()-0.25025) > 1e-3 {
+		t.Errorf("Var = %v, want ~0.2503", r.Var())
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	var a, b, whole Running
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	for i, x := range xs {
+		if i < 4 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		whole.Add(x)
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+		t.Errorf("merged mean %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Var()-whole.Var()) > 1e-12 {
+		t.Errorf("merged var %v, want %v", a.Var(), whole.Var())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Error("merged min/max wrong")
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Merge(&b) // merging empty should be a no-op
+	if a.N() != 1 {
+		t.Error("merge with empty changed N")
+	}
+	var c Running
+	c.Merge(&a) // merging into empty should copy
+	if c.N() != 1 || c.Mean() != 1 {
+		t.Error("merge into empty failed")
+	}
+}
+
+// Property: merging any split of a sequence equals processing it whole.
+func TestQuickMergeEquivalence(t *testing.T) {
+	f := func(xs []float64, cut uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip non-finite inputs
+			}
+			if math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(cut) % (len(xs) + 1)
+		var a, b, whole Running
+		for i, x := range xs {
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+			whole.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			return false
+		}
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		return math.Abs(a.Mean()-whole.Mean()) < 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(0, 0) // empty queue at t=0
+	w.Observe(1, 1) // one job from t=1
+	w.Observe(3, 2) // two jobs from t=3
+	w.Observe(4, 0) // empty from t=4
+	// area = 0*1 + 1*2 + 2*1 + 0*1 = 4 over [0,5]
+	got := w.Mean(5)
+	if math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("time average = %v, want 0.8", got)
+	}
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var w TimeWeighted
+	if w.Mean(10) != 0 {
+		t.Error("empty time average should be 0")
+	}
+}
+
+func TestTimeWeightedPanicsOnRegression(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decreasing time should panic")
+		}
+	}()
+	w.Observe(4, 2)
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 100; i++ {
+		b.Add(float64(i % 10)) // every batch has mean 4.5
+	}
+	if b.Batches() != 10 {
+		t.Errorf("Batches = %d, want 10", b.Batches())
+	}
+	if math.Abs(b.Mean()-4.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 4.5", b.Mean())
+	}
+	if b.CI95() != 0 {
+		t.Errorf("identical batches should give zero CI, got %v", b.CI95())
+	}
+}
+
+func TestBatchMeansPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero batch size should panic")
+		}
+	}()
+	NewBatchMeans(0)
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.Total() != 12 {
+		t.Errorf("Total = %d, want 12", h.Total())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Error("under/overflow wrong")
+	}
+	for i := 0; i < h.NumBins(); i++ {
+		if h.Bin(i) != 1 {
+			t.Errorf("bin %d = %d, want 1", i, h.Bin(i))
+		}
+	}
+}
+
+func TestHistogramTopEdge(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(math.Nextafter(1, 0)) // just below the top edge
+	if h.Bin(3) != 1 {
+		t.Error("value just below High should land in the last bin")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if math.Abs(med-50) > 1.5 {
+		t.Errorf("median estimate = %v, want ~50", med)
+	}
+	if h.Quantile(0) < 0 {
+		t.Error("0-quantile below range")
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	for _, c := range []struct {
+		lo, hi float64
+		n      int
+	}{{0, 1, 0}, {1, 1, 5}, {2, 1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) should panic", c.lo, c.hi, c.n)
+				}
+			}()
+			NewHistogram(c.lo, c.hi, c.n)
+		}()
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	data := []float64{5, 1, 4, 2, 3}
+	qs := Quantiles(data, 0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Errorf("quantiles = %v, want [1 3 5]", qs)
+	}
+}
+
+func TestQuantilesInterpolation(t *testing.T) {
+	data := []float64{0, 10}
+	q := Quantiles(data, 0.25)[0]
+	if math.Abs(q-2.5) > 1e-12 {
+		t.Errorf("0.25-quantile = %v, want 2.5", q)
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	qs := Quantiles(nil, 0.5, 0.9)
+	if len(qs) != 2 || qs[0] != 0 || qs[1] != 0 {
+		t.Errorf("empty-data quantiles = %v", qs)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(1.1, 1.0) > 0.1000001 || RelErr(1.1, 1.0) < 0.0999999 {
+		t.Errorf("RelErr(1.1,1) = %v", RelErr(1.1, 1.0))
+	}
+	if RelErr(0.5, 0) != 0.5 {
+		t.Errorf("RelErr with zero want = %v", RelErr(0.5, 0))
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("1", "2")
+	tb.AddRowValues(3.14159, "x")
+	tb.AddNote("n=%d", 2)
+	out := tb.Text()
+	for _, want := range []string{"demo", "a", "3.14159", "note: n=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 || tb.Cell(0, 1) != "2" {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row should panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("q", "col")
+	tb.AddRow(`va"l,ue`)
+	out := tb.CSV()
+	if !strings.Contains(out, `"va""l,ue"`) {
+		t.Errorf("CSV quoting wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "# q\n") {
+		t.Error("CSV should emit title comment")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("md", "x", "y")
+	tb.AddRow("1", "2")
+	out := tb.Markdown()
+	if !strings.Contains(out, "| x | y |") || !strings.Contains(out, "| 1 | 2 |") {
+		t.Errorf("markdown output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-oriented result table used by the experiment
+// harness to print paper figures/tables as aligned text or CSV. Cells
+// are stored as strings; numeric helpers format consistently.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row of pre-formatted cells. It panics if the cell
+// count does not match the number of columns, which catches harness bugs
+// early.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns",
+			len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowValues appends a row of arbitrary values, formatting numbers
+// with %.6g and everything else with %v.
+func (t *Table) AddRowValues(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.6g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%.6g", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// AddNote attaches a free-text footnote rendered below the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Cell returns the cell at (row, col).
+func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }
+
+// Text renders the table as aligned monospace text.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table in RFC-4180-ish CSV (quoting cells that contain
+// commas, quotes or newlines). The title and notes are emitted as
+// comment lines starting with '#'.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table, for
+// pasting into EXPERIMENTS.md.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// MMPP is a two-state Markov-modulated Poisson process: requests arrive
+// at RateHigh during bursts and RateLow between them, with
+// exponentially distributed sojourns in each state. Real request
+// streams are bursty — flash crowds, think-time cycles — and the
+// paper's M/G/1 analysis assumes none of that. Experiment T14 uses this
+// process to check which of the paper's conclusions survive burstiness.
+type MMPP struct {
+	rateHigh, rateLow float64
+	meanHigh, meanLow float64
+	src               *rng.Source
+
+	now        float64
+	inHigh     bool
+	nextSwitch float64
+}
+
+// MMPPConfig parameterises NewMMPP.
+type MMPPConfig struct {
+	// RateHigh and RateLow are the arrival rates in the burst and quiet
+	// states (RateHigh > RateLow >= 0; RateHigh > 0).
+	RateHigh, RateLow float64
+	// MeanHigh and MeanLow are the mean sojourn times in each state.
+	MeanHigh, MeanLow float64
+}
+
+// MeanRate returns the long-run average arrival rate
+// (λ_H·τ_H + λ_L·τ_L)/(τ_H + τ_L).
+func (c MMPPConfig) MeanRate() float64 {
+	return (c.RateHigh*c.MeanHigh + c.RateLow*c.MeanLow) / (c.MeanHigh + c.MeanLow)
+}
+
+// NewMMPP creates the process, starting in the quiet state. It panics
+// on non-positive rates/sojourns (except RateLow = 0, which models
+// fully ON/OFF traffic).
+func NewMMPP(cfg MMPPConfig, src *rng.Source) *MMPP {
+	if cfg.RateHigh <= 0 || cfg.RateLow < 0 || cfg.RateHigh <= cfg.RateLow {
+		panic(fmt.Sprintf("workload: MMPP rates (high=%v, low=%v) must satisfy high > low >= 0",
+			cfg.RateHigh, cfg.RateLow))
+	}
+	if cfg.MeanHigh <= 0 || cfg.MeanLow <= 0 {
+		panic(fmt.Sprintf("workload: MMPP sojourns (%v, %v) must be positive",
+			cfg.MeanHigh, cfg.MeanLow))
+	}
+	m := &MMPP{
+		rateHigh: cfg.RateHigh,
+		rateLow:  cfg.RateLow,
+		meanHigh: cfg.MeanHigh,
+		meanLow:  cfg.MeanLow,
+		src:      src,
+	}
+	m.nextSwitch = rng.Exponential{Rate: 1 / m.meanLow}.Sample(src)
+	return m
+}
+
+// Next returns the next arrival epoch (strictly increasing).
+func (m *MMPP) Next() float64 {
+	for {
+		rate := m.rateLow
+		if m.inHigh {
+			rate = m.rateHigh
+		}
+		if rate > 0 {
+			candidate := m.now + rng.Exponential{Rate: rate}.Sample(m.src)
+			if candidate < m.nextSwitch {
+				m.now = candidate
+				return m.now
+			}
+		}
+		// No arrival before the state switch: advance to it and flip.
+		m.now = m.nextSwitch
+		m.inHigh = !m.inHigh
+		sojourn := m.meanLow
+		if m.inHigh {
+			sojourn = m.meanHigh
+		}
+		m.nextSwitch = m.now + rng.Exponential{Rate: 1 / sojourn}.Sample(m.src)
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMMPPMeanRate(t *testing.T) {
+	cfg := MMPPConfig{RateHigh: 90, RateLow: 10, MeanHigh: 1, MeanLow: 2}
+	want := (90.0*1 + 10.0*2) / 3
+	if math.Abs(cfg.MeanRate()-want) > 1e-12 {
+		t.Fatalf("MeanRate = %v, want %v", cfg.MeanRate(), want)
+	}
+	m := NewMMPP(cfg, rng.New(61))
+	const n = 300000
+	var last float64
+	for i := 0; i < n; i++ {
+		next := m.Next()
+		if next <= last {
+			t.Fatal("MMPP epochs must strictly increase")
+		}
+		last = next
+	}
+	rate := n / last
+	if math.Abs(rate-want)/want > 0.05 {
+		t.Errorf("empirical rate %v, want ~%v", rate, want)
+	}
+}
+
+// Burstiness: the index of dispersion of counts must exceed 1 (Poisson
+// has exactly 1).
+func TestMMPPOverdispersed(t *testing.T) {
+	cfg := MMPPConfig{RateHigh: 100, RateLow: 5, MeanHigh: 0.5, MeanLow: 2}
+	m := NewMMPP(cfg, rng.New(62))
+	// Count arrivals per unit-time window.
+	const windows = 4000
+	counts := make([]float64, windows)
+	w := 0
+	for w < windows {
+		epoch := m.Next()
+		idx := int(epoch)
+		if idx >= windows {
+			break
+		}
+		counts[idx]++
+		w = idx
+	}
+	var mean, m2 float64
+	for i, c := range counts {
+		delta := c - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (c - mean)
+	}
+	variance := m2 / float64(windows-1)
+	idc := variance / mean
+	if idc < 1.5 {
+		t.Errorf("index of dispersion %v; MMPP should be clearly over-dispersed", idc)
+	}
+}
+
+func TestMMPPOnOff(t *testing.T) {
+	// RateLow = 0 is legal: pure ON/OFF traffic.
+	m := NewMMPP(MMPPConfig{RateHigh: 50, RateLow: 0, MeanHigh: 1, MeanLow: 1}, rng.New(63))
+	var last float64
+	for i := 0; i < 10000; i++ {
+		next := m.Next()
+		if next <= last {
+			t.Fatal("epochs must increase")
+		}
+		last = next
+	}
+}
+
+func TestMMPPPanics(t *testing.T) {
+	cases := []MMPPConfig{
+		{RateHigh: 0, RateLow: 0, MeanHigh: 1, MeanLow: 1},
+		{RateHigh: 10, RateLow: 20, MeanHigh: 1, MeanLow: 1}, // high <= low
+		{RateHigh: 10, RateLow: 1, MeanHigh: 0, MeanLow: 1},
+		{RateHigh: 10, RateLow: 1, MeanHigh: 1, MeanLow: -1},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic: %+v", i, cfg)
+				}
+			}()
+			NewMMPP(cfg, rng.New(1))
+		}()
+	}
+}

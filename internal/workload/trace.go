@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+)
+
+// Record is one trace event: user `User` requested item `Item` at
+// simulated time `Time`. Size is recorded so a trace is replayable
+// without the generating catalog.
+type Record struct {
+	Time float64  `json:"t"`
+	User int      `json:"u"`
+	Item cache.ID `json:"i"`
+	Size float64  `json:"s"`
+}
+
+// TraceWriter streams records as JSON lines — a greppable, append-only
+// format that needs no external dependencies.
+type TraceWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int64
+}
+
+// NewTraceWriter wraps w for trace output.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	return &TraceWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record. Records must be written in non-decreasing
+// time order; Write enforces nothing, but TraceReader validates.
+func (t *TraceWriter) Write(r Record) error {
+	if err := t.enc.Encode(r); err != nil {
+		return fmt.Errorf("workload: writing trace record: %w", err)
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *TraceWriter) Count() int64 { return t.n }
+
+// Flush drains buffered output to the underlying writer.
+func (t *TraceWriter) Flush() error { return t.w.Flush() }
+
+// TraceReader reads JSON-lines traces produced by TraceWriter.
+type TraceReader struct {
+	dec   *json.Decoder
+	last  float64
+	count int64
+}
+
+// NewTraceReader wraps r for trace input.
+func NewTraceReader(r io.Reader) *TraceReader {
+	return &TraceReader{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Read returns the next record, io.EOF at the end, or an error for
+// malformed or time-disordered input.
+func (t *TraceReader) Read() (Record, error) {
+	var rec Record
+	if err := t.dec.Decode(&rec); err != nil {
+		if err == io.EOF {
+			return rec, io.EOF
+		}
+		return rec, fmt.Errorf("workload: record %d malformed: %w", t.count+1, err)
+	}
+	if rec.Time < t.last {
+		return rec, fmt.Errorf("workload: record %d time %v before previous %v",
+			t.count+1, rec.Time, t.last)
+	}
+	t.last = rec.Time
+	t.count++
+	return rec, nil
+}
+
+// ReadAll reads records until EOF.
+func (t *TraceReader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := t.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Generate produces a trace of n requests from the given source and
+// Poisson arrivals, assigning users round-robin among `users` clients
+// (user identity does not affect the aggregate analysis, which is what
+// the paper studies, but keeps traces realistic).
+func Generate(w *TraceWriter, src Source, arr *Arrivals, cat *Catalog, users, n int) error {
+	if users <= 0 {
+		users = 1
+	}
+	for i := 0; i < n; i++ {
+		id := src.Next()
+		rec := Record{
+			Time: arr.Next(),
+			User: i % users,
+			Item: id,
+			Size: cat.Size(id),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

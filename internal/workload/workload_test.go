@@ -1,0 +1,314 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/rng"
+)
+
+func TestUniformCatalog(t *testing.T) {
+	c := NewUniformCatalog(10, 2.5)
+	if c.Len() != 10 {
+		t.Errorf("Len = %d, want 10", c.Len())
+	}
+	if c.MeanSize() != 2.5 {
+		t.Errorf("MeanSize = %v, want 2.5", c.MeanSize())
+	}
+	for i := cache.ID(0); i < 10; i++ {
+		if c.Size(i) != 2.5 {
+			t.Errorf("Size(%d) = %v", i, c.Size(i))
+		}
+	}
+}
+
+func TestCatalogSampledSizes(t *testing.T) {
+	src := rng.New(1)
+	c := NewCatalog(5000, rng.Exponential{Rate: 1}, src)
+	if math.Abs(c.MeanSize()-1) > 0.05 {
+		t.Errorf("MeanSize = %v, want ~1", c.MeanSize())
+	}
+	// Sizes are stable: repeated reads agree.
+	if c.Size(7) != c.Size(7) {
+		t.Error("size changed between reads")
+	}
+}
+
+func TestCatalogPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty catalog should panic")
+			}
+		}()
+		NewUniformCatalog(0, 1)
+	}()
+	c := NewUniformCatalog(3, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range id should panic")
+			}
+		}()
+		c.Item(5)
+	}()
+}
+
+func TestIRMMatchesZipf(t *testing.T) {
+	src := rng.New(2)
+	m := NewIRM(50, 1.0, src)
+	counts := make([]int, 50)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[m.Next()]++
+	}
+	for i := 0; i < 10; i++ {
+		got := float64(counts[i]) / n
+		want := m.Prob(cache.ID(i))
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d freq %v, want %v", i, got, want)
+		}
+	}
+	if !strings.Contains(m.Name(), "irm") {
+		t.Error("Name should mention irm")
+	}
+}
+
+func TestMarkovDeterministicStructure(t *testing.T) {
+	cfg := MarkovConfig{N: 100, Fanout: 3}
+	a := NewMarkov(cfg, rng.New(7))
+	b := NewMarkov(cfg, rng.New(7))
+	for s := cache.ID(0); s < 100; s++ {
+		sa, sb := a.Successors(s), b.Successors(s)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("structure differs at state %d", s)
+			}
+		}
+	}
+}
+
+func TestMarkovSuccessorsDistinct(t *testing.T) {
+	m := NewMarkov(MarkovConfig{N: 50, Fanout: 5}, rng.New(8))
+	for s := cache.ID(0); s < 50; s++ {
+		seen := map[cache.ID]bool{}
+		for _, nxt := range m.Successors(s) {
+			if seen[nxt] {
+				t.Fatalf("state %d has duplicate successor %d", s, nxt)
+			}
+			seen[nxt] = true
+		}
+	}
+}
+
+func TestMarkovTransitionProbsSumToOne(t *testing.T) {
+	m := NewMarkov(MarkovConfig{N: 30, Fanout: 4, Restart: 0.2}, rng.New(9))
+	for s := cache.ID(0); s < 30; s++ {
+		sum := 0.0
+		for to := cache.ID(0); to < 30; to++ {
+			sum += m.TransitionProb(s, to)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("state %d transition probs sum to %v", s, sum)
+		}
+	}
+}
+
+func TestMarkovEmpiricalMatchesTransitionProb(t *testing.T) {
+	m := NewMarkov(MarkovConfig{N: 20, Fanout: 3, Restart: 0.15}, rng.New(10))
+	// Count empirical transitions out of each state.
+	counts := make(map[cache.ID]map[cache.ID]int)
+	totals := make(map[cache.ID]int)
+	prev := m.Next()
+	const n = 400000
+	for i := 0; i < n; i++ {
+		next := m.Next()
+		if counts[prev] == nil {
+			counts[prev] = make(map[cache.ID]int)
+		}
+		counts[prev][next]++
+		totals[prev]++
+		prev = next
+	}
+	checked := 0
+	for from, row := range counts {
+		if totals[from] < 5000 {
+			continue
+		}
+		for to, c := range row {
+			want := m.TransitionProb(from, to)
+			got := float64(c) / float64(totals[from])
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("P(%d→%d): empirical %v vs true %v", from, to, got, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no transitions checked")
+	}
+}
+
+func TestMarkovDefaultsApplied(t *testing.T) {
+	m := NewMarkov(MarkovConfig{N: 5}, rng.New(11))
+	if len(m.Successors(0)) != 4 {
+		t.Errorf("default fanout = %d, want 4", len(m.Successors(0)))
+	}
+	m2 := NewMarkov(MarkovConfig{N: 2, Fanout: 10}, rng.New(11))
+	if len(m2.Successors(0)) != 2 {
+		t.Errorf("fanout should clamp to N, got %d", len(m2.Successors(0)))
+	}
+}
+
+func TestMarkovPanicsWithoutN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("N=0 should panic")
+		}
+	}()
+	NewMarkov(MarkovConfig{}, rng.New(1))
+}
+
+func TestArrivalsPoissonRate(t *testing.T) {
+	a := NewArrivals(30, rng.New(12))
+	var last float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		next := a.Next()
+		if next <= last {
+			t.Fatal("arrival epochs must strictly increase")
+		}
+		last = next
+	}
+	rate := n / last
+	if math.Abs(rate-30)/30 > 0.02 {
+		t.Errorf("empirical rate = %v, want ~30", rate)
+	}
+}
+
+func TestArrivalsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive rate should panic")
+		}
+	}()
+	NewArrivals(0, rng.New(1))
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	recs := []Record{
+		{Time: 0.5, User: 0, Item: 3, Size: 1.5},
+		{Time: 1.25, User: 1, Item: 9, Size: 0.25},
+		{Time: 1.25, User: 0, Item: 3, Size: 1.5},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d, want 3", w.Count())
+	}
+	got, err := NewTraceReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestTraceReaderRejectsDisorder(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	w.Write(Record{Time: 2})
+	w.Write(Record{Time: 1})
+	w.Flush()
+	r := NewTraceReader(&buf)
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Error("time regression should error")
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	r := NewTraceReader(strings.NewReader("not json\n"))
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Error("malformed input should produce a real error")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	var buf bytes.Buffer
+	src := rng.New(13)
+	cat := NewUniformCatalog(100, 1)
+	irm := NewIRM(100, 0.8, src)
+	arr := NewArrivals(10, rng.New(14))
+	w := NewTraceWriter(&buf)
+	if err := Generate(w, irm, arr, cat, 4, 500); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := NewTraceReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 500 {
+		t.Fatalf("generated %d records, want 500", len(recs))
+	}
+	users := map[int]bool{}
+	for _, r := range recs {
+		users[r.User] = true
+		if r.Size != 1 {
+			t.Fatalf("record size %v, want 1", r.Size)
+		}
+	}
+	if len(users) != 4 {
+		t.Errorf("saw %d users, want 4", len(users))
+	}
+}
+
+// Property: any generated trace round-trips and is time-ordered.
+func TestQuickTraceRoundTrip(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		count := int(n%100) + 1
+		var buf bytes.Buffer
+		src := rng.New(seed)
+		cat := NewUniformCatalog(50, 2)
+		irm := NewIRM(50, 1.0, src)
+		arr := NewArrivals(5, rng.New(seed+1))
+		w := NewTraceWriter(&buf)
+		if err := Generate(w, irm, arr, cat, 3, count); err != nil {
+			return false
+		}
+		recs, err := NewTraceReader(&buf).ReadAll()
+		if err != nil || len(recs) != count {
+			return false
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Time < recs[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
