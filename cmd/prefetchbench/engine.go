@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+	"repro/prefetcher"
+)
+
+// engineBenchConfig parameterises the live-engine benchmark mode.
+type engineBenchConfig struct {
+	Clients   int
+	Requests  int // per client
+	Bandwidth float64
+	Workers   int
+	CacheCap  int
+	Items     int
+	Seed      uint64
+}
+
+// runEngineBench hammers one shared prefetcher.Engine with concurrent
+// demand traffic — the public-API counterpart of the DES experiments:
+// it measures what the facade itself sustains (lock contention, worker
+// pool, in-flight dedup) rather than simulated network time.
+func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
+	if cfg.Clients < 1 || cfg.Requests < 1 {
+		return fmt.Errorf("engine mode: -clients %d and -requests %d must be >= 1", cfg.Clients, cfg.Requests)
+	}
+	if cfg.CacheCap < 2 {
+		return fmt.Errorf("engine mode: -cache %d must be >= 2 (SLRU needs a protected segment)", cfg.CacheCap)
+	}
+	if cfg.Items < 1 {
+		return fmt.Errorf("engine mode: -items %d must be >= 1", cfg.Items)
+	}
+	fetch := prefetcher.FetcherFunc(func(ctx context.Context, id prefetcher.ID) (prefetcher.Item, error) {
+		return prefetcher.Item{ID: id, Size: 1}, nil
+	})
+	eng, err := prefetcher.New(fetch,
+		prefetcher.WithBandwidth(cfg.Bandwidth),
+		prefetcher.WithCache(prefetcher.NewSLRUCache(cfg.CacheCap, cfg.CacheCap/2)),
+		prefetcher.WithPredictor(prefetcher.NewMarkovPredictor()),
+		prefetcher.WithWorkers(cfg.Workers),
+		prefetcher.WithMaxPrefetch(2),
+	)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		completed int
+	)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Per-client Markov browsing sessions over a shared catalog,
+			// as in the full-system simulator.
+			src := rng.New(cfg.Seed + uint64(c)*1315423911)
+			site := workload.NewMarkov(workload.MarkovConfig{
+				N: cfg.Items, Fanout: 2, Decay: 0.15, Restart: 0.03,
+			}, src)
+			n := 0
+			var clientErr error
+			for i := 0; i < cfg.Requests; i++ {
+				if _, err := eng.Get(ctx, prefetcher.ID(site.Next())); err != nil {
+					clientErr = fmt.Errorf("client %d after %d requests: %w", c, n, err)
+					break
+				}
+				n++
+			}
+			mu.Lock()
+			completed += n
+			if clientErr != nil && firstErr == nil {
+				firstErr = clientErr
+			}
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := eng.Quiesce(ctx); err != nil {
+		return err
+	}
+
+	st := eng.Stats()
+	total := completed
+	fmt.Fprintf(w, "live engine benchmark: %d clients × %d requests, %d workers, b=%g\n",
+		cfg.Clients, cfg.Requests, cfg.Workers, cfg.Bandwidth)
+	fmt.Fprintf(w, "  wall time        %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  throughput       %.0f requests/s\n", float64(total)/elapsed.Seconds())
+	fmt.Fprintf(w, "  hit ratio        %.4f\n", st.HitRatio())
+	fmt.Fprintf(w, "  ĥ′ (Section 4)   %.4f\n", st.HPrime)
+	fmt.Fprintf(w, "  ρ̂′ online        %.4f\n", st.RhoPrime)
+	fmt.Fprintf(w, "  p̂_th             %.4f\n", st.Threshold)
+	fmt.Fprintf(w, "  n̄(F)             %.4f\n", st.NF)
+	fmt.Fprintf(w, "  prefetches       issued=%d used=%d wasted=%d dropped=%d errors=%d (accuracy %.3f)\n",
+		st.PrefetchIssued, st.PrefetchUsed, st.PrefetchWasted,
+		st.PrefetchDropped, st.PrefetchErrors, st.Accuracy())
+	fmt.Fprintf(w, "  joins            %d demand requests coalesced onto in-flight prefetches\n", st.Joins)
+	return nil
+}

@@ -8,6 +8,7 @@
 //	prefetchbench -run F2              # one experiment, text output
 //	prefetchbench -run all -format csv # everything, CSV
 //	prefetchbench -run T7 -quick       # reduced simulation sizes
+//	prefetchbench -engine -clients 8   # throughput of the public engine
 package main
 
 import (
@@ -30,8 +31,32 @@ func main() {
 		quick  = flag.Bool("quick", false, "shrink simulation sizes (smoke runs)")
 		seed   = flag.Uint64("seed", 1, "random seed for simulation-backed experiments")
 		out    = flag.String("o", "", "write output to file instead of stdout")
+
+		engine   = flag.Bool("engine", false, "benchmark the public prefetcher.Engine instead of running experiments")
+		clients  = flag.Int("clients", 8, "engine mode: concurrent client goroutines")
+		requests = flag.Int("requests", 50000, "engine mode: requests per client")
+		ebw      = flag.Float64("b", 1e6, "engine mode: link bandwidth for the adaptive threshold")
+		workers  = flag.Int("workers", 8, "engine mode: speculative-fetch worker pool size")
+		ecache   = flag.Int("cache", 256, "engine mode: cache capacity")
+		eitems   = flag.Int("items", 2000, "engine mode: catalog size")
 	)
 	flag.Parse()
+
+	if *engine {
+		err := runEngineBench(os.Stdout, engineBenchConfig{
+			Clients:   *clients,
+			Requests:  *requests,
+			Bandwidth: *ebw,
+			Workers:   *workers,
+			CacheCap:  *ecache,
+			Items:     *eitems,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/workload"
+	"repro/prefetcher"
 )
 
 func main() {
@@ -129,17 +130,18 @@ func main() {
 	fmt.Printf("ρ̂′ online         %.4f\n", res.RhoPrimeEstimate)
 	fmt.Printf("mean occupancy    %.1f items/client\n", res.MeanOccupancy)
 
-	// Closed-form comparison at the measured operating point.
-	par := analytic.Params{
-		Lambda: *lambda, B: *bw, SBar: *size,
+	// Closed-form comparison at the measured operating point, through
+	// the public planner facade.
+	par := prefetcher.PlanParams{
+		Lambda: *lambda, Bandwidth: *bw, MeanSize: *size,
 		HPrime: res.HPrimeEstimate, NC: res.MeanOccupancy,
 	}
-	if err := par.Validate(); err == nil {
-		if tPrime, err := par.AccessTimeNoPrefetch(); err == nil {
+	if planner, err := prefetcher.NewPlanner(prefetcher.ModelA(), par); err == nil {
+		if tPrime, err := planner.AccessTimeNoPrefetch(); err == nil {
 			fmt.Printf("\nmodel: t̄′ (no prefetch, eq. 5) = %.5f → measured G = %.5f\n",
 				tPrime, tPrime-res.AccessTime)
 		}
-		if pth, err := analytic.Threshold(analytic.ModelA{}, par); err == nil {
+		if pth, err := planner.Threshold(); err == nil {
 			fmt.Printf("model: p_th (model A, eq. 13)  = %.4f\n", pth)
 		}
 	}

@@ -1,14 +1,14 @@
 // Adaptive: the online estimation loop — Section 4 of the paper — in
-// action. A client-side Advisor watches the live request stream while
-// prefetching is running, estimates λ, s̄ and (with the tagged-cache
-// algorithm) the hypothetical no-prefetch hit ratio h′, and keeps the
-// prefetch threshold p_th = ρ̂′ current as the workload shifts through
-// three phases: quiet browsing, a traffic surge, then a calm period with
-// a warmed-up cache.
+// action, through the public engine. The engine watches the live
+// request stream while prefetching is running, estimates λ, s̄ and
+// (with the tagged-cache algorithm) the hypothetical no-prefetch hit
+// ratio h′, and keeps the prefetch threshold p_th = ρ̂′ current as the
+// workload shifts through three phases: quiet browsing, a traffic
+// surge, then a calm period with a warmed-up cache.
 //
 // Watch the same p=0.5 candidate flip from "prefetch" to "skip" and
-// back as the measured load moves — the behaviour that distinguishes the
-// paper's rule from any fixed threshold.
+// back as the measured load moves — the behaviour that distinguishes
+// the paper's rule from any fixed threshold.
 //
 // Run:
 //
@@ -16,14 +16,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"repro/internal/analytic"
-	"repro/internal/cache"
-	"repro/internal/core"
-	"repro/internal/predict"
 	"repro/internal/rng"
+	"repro/prefetcher"
 )
 
 // phase describes one workload regime.
@@ -35,15 +34,23 @@ type phase struct {
 }
 
 func main() {
-	advisor, err := core.NewAdvisor(50, analytic.ModelA{}, 0, 0.05)
+	fetch := prefetcher.FetcherFunc(func(ctx context.Context, id prefetcher.ID) (prefetcher.Item, error) {
+		return prefetcher.Item{ID: id, Size: 1}, nil
+	})
+	clock := prefetcher.NewManualClock(time.Unix(0, 0))
+	eng, err := prefetcher.New(fetch,
+		prefetcher.WithBandwidth(50),
+		prefetcher.WithCache(prefetcher.NewLRUCache(200)),
+		prefetcher.WithClock(clock),
+		prefetcher.WithEWMAAlpha(0.05),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	store := cache.NewStore(200, cache.NewLRU())
-	store.OnEvict(advisor.OnEvict)
-	src := rng.New(11)
+	defer eng.Close()
 
-	candidate := []predict.Prediction{{Item: 999999, Prob: 0.5}}
+	src := rng.New(11)
+	ctx := context.Background()
 
 	phases := []phase{
 		{"quiet start (λ=10, cold cache)", 10, 0.2, 1500},
@@ -51,29 +58,29 @@ func main() {
 		{"calm, warmed cache (λ=15, high locality)", 15, 0.8, 4000},
 	}
 
-	now := 0.0
-	nextID := cache.ID(0)
-	recent := make([]cache.ID, 0, 256)
+	nextID := prefetcher.ID(0)
+	recent := make([]prefetcher.ID, 0, 256)
 	for _, ph := range phases {
 		inter := rng.Exponential{Rate: ph.lambda}
 		for i := 0; i < ph.requests; i++ {
-			now += inter.Sample(src)
-			advisor.OnRequest(now, 1)
+			clock.AdvanceSeconds(inter.Sample(src))
 
 			// Synthesise the request: with probability `locality` revisit
 			// a recent item, otherwise fetch something new.
-			var id cache.ID
+			var id prefetcher.ID
 			if len(recent) > 0 && rng.Bernoulli(src, ph.locality) {
 				id = recent[src.Intn(len(recent))]
 			} else {
 				id = nextID
 				nextID++
 			}
-			if store.Access(id) {
-				advisor.OnCacheHit(id)
-			} else {
-				store.Admit(id)
-				advisor.OnRemoteFetch(id, true)
+			if _, err := eng.Get(ctx, id); err != nil {
+				log.Fatal(err)
+			}
+			// Drain speculation each step so the printed counters are
+			// deterministic run to run.
+			if err := eng.Quiesce(ctx); err != nil {
+				log.Fatal(err)
 			}
 			if len(recent) < cap(recent) {
 				recent = append(recent, id)
@@ -82,17 +89,17 @@ func main() {
 			}
 		}
 
-		snap := advisor.Snapshot()
-		sel := advisor.Filter(candidate)
+		st := eng.Stats()
 		decision := "SKIP    "
-		if len(sel) > 0 {
+		if 0.5 > st.Threshold {
 			decision = "PREFETCH"
 		}
 		fmt.Printf("%-42s  λ̂=%5.1f  ĥ′=%.2f  ρ̂′=%.2f  p_th=%.2f → p=0.5: %s\n",
-			ph.name, snap.Lambda, snap.HPrime, snap.RhoPrime,
-			advisor.Threshold(), decision)
+			ph.name, st.Lambda, st.HPrime, st.RhoPrime, st.Threshold, decision)
 	}
 
+	st := eng.Stats()
+	fmt.Printf("\nengine totals: %v\n", st)
 	fmt.Println("\nthe candidate's probability never changed — only the network conditions did;")
 	fmt.Println("a static threshold tuned for any one phase misbehaves in the others (Section 4)")
 }

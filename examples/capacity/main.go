@@ -17,9 +17,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/analytic"
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/prefetcher"
 )
 
 func main() {
@@ -35,8 +34,8 @@ func main() {
 		"λ", "b", "ρ′", "p_th", "prefetch?", "t̄′ (no PF)", "t̄ (PF)", "speedup", "C")
 	for _, lambda := range []float64{10, 20, 30} {
 		for _, b := range []float64{20, 35, 50, 80} {
-			par := analytic.Params{Lambda: lambda, B: b, SBar: sbar, HPrime: hPrime}
-			planner, err := core.NewPlanner(analytic.ModelA{}, par)
+			par := prefetcher.PlanParams{Lambda: lambda, Bandwidth: b, MeanSize: sbar, HPrime: hPrime}
+			planner, err := prefetcher.NewPlanner(prefetcher.ModelA(), par)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -50,7 +49,7 @@ func main() {
 				log.Fatal(err)
 			}
 			ok, _ := planner.ShouldPrefetch(pGood)
-			tPrime, err := par.AccessTimeNoPrefetch()
+			tPrime, err := planner.AccessTimeNoPrefetch()
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -76,16 +75,20 @@ func main() {
 	// The size-aware view: the decision is the same for every object
 	// size under model A, but the stakes differ.
 	fmt.Println("\nsize-aware view (λ=20, b=50): threshold is size-independent, impact is not")
-	par := analytic.Params{Lambda: 20, B: 50, SBar: sbar, HPrime: hPrime}
+	par := prefetcher.PlanParams{Lambda: 20, Bandwidth: 50, MeanSize: sbar, HPrime: hPrime}
+	sizedPlanner, err := prefetcher.NewPlanner(prefetcher.ModelA(), par)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, size := range []float64{0.1, 1, 5} {
-		pth, err := analytic.ThresholdSized(analytic.ModelA{}, par, size)
+		pth, err := sizedPlanner.ThresholdSized(size)
 		if err != nil {
 			log.Fatal(err)
 		}
 		// n̄(F)=0.1 keeps the absorbed retrieval mass Σ n̄(F)·p·s within
 		// the baseline miss pool f′·s̄ for the largest size.
-		e, err := analytic.EvaluateSized(analytic.ModelA{}, par,
-			[]analytic.SizedClass{{NF: 0.1, P: pGood, Size: size}})
+		e, err := sizedPlanner.EvaluateSized(
+			[]prefetcher.SizedClass{{NF: 0.1, Prob: pGood, Size: size}})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -19,9 +19,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/analytic"
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/prefetcher"
 )
 
 func main() {
@@ -36,8 +35,8 @@ func main() {
 		"wireless link: threshold and gain vs bandwidth (λ=12, s̄=1, h′=0.4, candidate p=0.8)",
 		"b", "ρ′", "p_th", "prefetch p=0.8?", "G at n̄(F)=0.5", "C at n̄(F)=0.5")
 	for _, b := range []float64{8, 10, 12, 16, 24, 48, 96} {
-		par := analytic.Params{Lambda: lambda, B: b, SBar: sbar, HPrime: hPrime}
-		planner, err := core.NewPlanner(analytic.ModelA{}, par)
+		par := prefetcher.PlanParams{Lambda: lambda, Bandwidth: b, MeanSize: sbar, HPrime: hPrime}
+		planner, err := prefetcher.NewPlanner(prefetcher.ModelA(), par)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +66,7 @@ func main() {
 	// Load impedance: the same prefetch during idle vs busy periods.
 	fmt.Println("\nload impedance (eq. 27): one prefetched item (Δρ = 0.1), varying background load")
 	for _, rhoPrime := range []float64{0.1, 0.4, 0.7, 0.85} {
-		c, err := analytic.ExcessCost(lambda, rhoPrime+0.1, rhoPrime)
+		c, err := prefetcher.ExcessCost(lambda, rhoPrime+0.1, rhoPrime)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,9 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Estimator implements the paper's Section-4 online estimator of h′ —
 // the cache hit ratio that would be observed if prefetching were *not*
@@ -24,7 +27,12 @@ import "fmt"
 // Estimate (model B):  ĥ′ = nhit/naccess × n̄(C)/(n̄(C)−n̄(F)),
 // compensating for the tagged occupants model B assumes were displaced
 // by prefetched items.
+//
+// Estimator is safe for concurrent use: a live engine reports demand
+// hits, remote fetches, prefetch completions and evictions from
+// different goroutines.
 type Estimator struct {
+	mu      sync.Mutex
 	tagged  map[ID]bool // resident → tagged?
 	naccess int64
 	nhit    int64
@@ -38,6 +46,8 @@ func NewEstimator() *Estimator {
 
 // OnPrefetch records that id entered the cache via prefetch (untagged).
 func (e *Estimator) OnPrefetch(id ID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.tagged[id] = false
 }
 
@@ -45,6 +55,8 @@ func (e *Estimator) OnPrefetch(id ID) {
 // counters per the paper's algorithm and reports whether the entry was
 // tagged at the time of access.
 func (e *Estimator) OnHit(id ID) (wasTagged bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	t, known := e.tagged[id]
 	e.naccess++
 	if !known {
@@ -67,6 +79,8 @@ func (e *Estimator) OnHit(id ID) (wasTagged bool) {
 // fetched remotely; admitted says whether the item was then admitted to
 // the cache (tagged if so).
 func (e *Estimator) OnRemoteAccess(id ID, admitted bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.naccess++
 	if admitted {
 		e.tagged[id] = true
@@ -75,25 +89,45 @@ func (e *Estimator) OnRemoteAccess(id ID, admitted bool) {
 
 // OnEvict forgets the tag state of an evicted entry.
 func (e *Estimator) OnEvict(id ID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	delete(e.tagged, id)
 }
 
 // Accesses returns naccess, the total number of user requests observed.
-func (e *Estimator) Accesses() int64 { return e.naccess }
+func (e *Estimator) Accesses() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.naccess
+}
 
 // TaggedHits returns nhit, the number of requests serviced by tagged
 // entries.
-func (e *Estimator) TaggedHits() int64 { return e.nhit }
+func (e *Estimator) TaggedHits() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.nhit
+}
 
 // Tagged reports whether id is currently resident-and-tagged.
-func (e *Estimator) Tagged(id ID) bool { return e.tagged[id] }
+func (e *Estimator) Tagged(id ID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tagged[id]
+}
 
 // Resident returns the number of entries the estimator is tracking.
-func (e *Estimator) Resident() int { return len(e.tagged) }
+func (e *Estimator) Resident() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.tagged)
+}
 
 // EstimateA returns the model-A estimate ĥ′ = nhit/naccess
 // (0 before any access).
 func (e *Estimator) EstimateA() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.naccess == 0 {
 		return 0
 	}
@@ -115,5 +149,7 @@ func (e *Estimator) EstimateB(nC, nF float64) (float64, error) {
 // Reset zeroes the counters but keeps tag state, so estimation can be
 // restarted after simulation warm-up without forgetting residency.
 func (e *Estimator) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.naccess, e.nhit = 0, 0
 }

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/cache"
+	"repro/internal/predict"
+)
+
+// TestAdvisorConcurrent drives OnRequest, the cache-event callbacks and
+// Filter from many goroutines at once. Under -race it verifies the
+// advisor stack (Advisor → Controller → Estimator) is goroutine-safe,
+// which the public prefetcher engine depends on.
+func TestAdvisorConcurrent(t *testing.T) {
+	adv, err := NewAdvisor(50, analytic.ModelB{}, 200, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []predict.Prediction{
+		{Item: 7, Prob: 0.95}, {Item: 8, Prob: 0.4},
+	}
+
+	var wg sync.WaitGroup
+	const workers = 8
+	const iters = 1500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := cache.ID(w*iters + i)
+				adv.OnRequest(float64(i)*0.02, 1)
+				switch i % 4 {
+				case 0:
+					adv.OnCacheHit(id)
+				case 1:
+					adv.OnRemoteFetch(id, true)
+				case 2:
+					adv.OnPrefetched(id)
+				case 3:
+					adv.OnEvict(id)
+				}
+				adv.Filter(cands)
+				_ = adv.Threshold()
+				_ = adv.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := adv.Snapshot()
+	if snap.HPrime < 0 || snap.HPrime > 1 {
+		t.Fatalf("ĥ′ = %v out of [0,1]", snap.HPrime)
+	}
+}

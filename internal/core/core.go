@@ -104,6 +104,11 @@ func (p *Planner) MaxPrefetchable(prob float64) float64 {
 // Advisor is the online counterpart: it owns a prefetch.Controller (λ̂,
 // ŝ̄, ĥ′, ρ̂′ estimation) and applies the paper's threshold policy to
 // candidate predictions.
+//
+// Advisor is safe for concurrent use: its own fields are immutable
+// after construction and all mutable state lives in the controller and
+// estimator, which carry their own locks. OnRequest, Filter and the
+// cache-event callbacks may be invoked from multiple goroutines.
 type Advisor struct {
 	ctrl   *prefetch.Controller
 	policy prefetch.Threshold
@@ -163,19 +168,7 @@ func (a *Advisor) Filter(cands []predict.Prediction) []predict.Prediction {
 
 // Threshold returns the advisor's current estimate of p_th.
 func (a *Advisor) Threshold() float64 {
-	st := a.ctrl.State(a.nc)
-	pth := st.RhoPrime
-	switch m := a.policy.Model.(type) {
-	case analytic.ModelB:
-		if a.nc > 0 {
-			pth += st.HPrime / a.nc
-		}
-	case analytic.ModelAB:
-		if a.nc > 0 {
-			pth += m.Alpha * st.HPrime / a.nc
-		}
-	}
-	return pth
+	return prefetch.ThresholdFor(a.policy.Model, a.ctrl.State(a.nc))
 }
 
 // Snapshot reports the advisor's current estimates.

@@ -3,6 +3,7 @@ package prefetch
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cache"
 )
@@ -16,7 +17,14 @@ import (
 // Rate and size estimates use exponentially-weighted moving averages so
 // the threshold adapts when load shifts — the property that
 // distinguishes the paper's rule from a static cutoff.
+//
+// Controller is safe for concurrent use: every method may be called
+// from multiple goroutines (the public prefetcher engine records
+// requests and prefetch completions concurrently). The embedded
+// Estimator carries its own lock, so wiring cache events directly to it
+// remains safe too.
 type Controller struct {
+	mu        sync.Mutex
 	bandwidth float64
 	alpha     float64 // EWMA weight for new observations
 
@@ -64,6 +72,8 @@ func (c *Controller) Bandwidth() float64 { return c.bandwidth }
 // RecordRequest notes a user request at time now with the requested
 // item's size. Call once per request, before the prefetch decision.
 func (c *Controller) RecordRequest(now, size float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.haveArrival {
 		inter := now - c.lastArrival
 		if inter >= 0 {
@@ -91,11 +101,21 @@ func (c *Controller) RecordRequest(now, size float64) {
 
 // RecordPrefetch notes that one item was prefetched as a consequence of
 // a request.
-func (c *Controller) RecordPrefetch() { c.prefetches++ }
+func (c *Controller) RecordPrefetch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prefetches++
+}
 
 // Lambda returns the estimated request rate λ̂ (0 until two requests
 // have been seen).
 func (c *Controller) Lambda() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lambdaLocked()
+}
+
+func (c *Controller) lambdaLocked() float64 {
 	if !c.haveInter || c.interEWMA <= 0 {
 		return 0
 	}
@@ -104,14 +124,25 @@ func (c *Controller) Lambda() float64 {
 
 // MeanSize returns the estimated mean item size ŝ̄ (0 until a sized
 // request has been seen).
-func (c *Controller) MeanSize() float64 { return c.sizeEWMA }
+func (c *Controller) MeanSize() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sizeEWMA
+}
 
-// HPrime returns the Section-4 estimate ĥ′ under model A.
+// HPrime returns the Section-4 estimate ĥ′ under model A. The
+// estimator has its own lock, so this does not take the controller's.
 func (c *Controller) HPrime() float64 { return c.est.EstimateA() }
 
 // NF returns the observed average number of prefetched items per user
 // request.
 func (c *Controller) NF() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nfLocked()
+}
+
+func (c *Controller) nfLocked() float64 {
 	if c.requests == 0 {
 		return 0
 	}
@@ -121,7 +152,14 @@ func (c *Controller) NF() float64 {
 // RhoPrime returns the estimated no-prefetch utilisation
 // ρ̂′ = (1−ĥ′)·λ̂·ŝ̄/b, clamped to [0, 1].
 func (c *Controller) RhoPrime() float64 {
-	rho := (1 - c.HPrime()) * c.Lambda() * c.MeanSize() / c.bandwidth
+	hp := c.est.EstimateA() // estimator lock; take before the controller's
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rhoPrimeLocked(hp)
+}
+
+func (c *Controller) rhoPrimeLocked(hPrime float64) float64 {
+	rho := (1 - hPrime) * c.lambdaLocked() * c.sizeEWMA / c.bandwidth
 	if rho < 0 {
 		return 0
 	}
@@ -134,10 +172,13 @@ func (c *Controller) RhoPrime() float64 {
 // State snapshots the current estimates for a Policy decision; nc is the
 // caller's cache-occupancy estimate (model B only; pass 0 for model A).
 func (c *Controller) State(nc float64) State {
+	hp := c.est.EstimateA()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return State{
-		RhoPrime: c.RhoPrime(),
-		HPrime:   c.HPrime(),
+		RhoPrime: c.rhoPrimeLocked(hp),
+		HPrime:   hp,
 		NC:       nc,
-		NF:       c.NF(),
+		NF:       c.nfLocked(),
 	}
 }

@@ -111,26 +111,31 @@ func (t Threshold) Name() string {
 
 // Select implements Policy.
 func (t Threshold) Select(cands []predict.Prediction, st State) []predict.Prediction {
-	pth := st.RhoPrime + t.Margin
-	// Displacement term: the analytic models derive it from Params, but
-	// at decision time we only have the estimates in State; replicate
-	// the displacement definitions directly.
-	switch m := t.Model.(type) {
-	case analytic.ModelA:
-		// d = 0
+	pth := ThresholdFor(t.Model, st) + t.Margin
+	if pth >= 1 {
+		return nil // no admissible probability can beat the threshold
+	}
+	return takeAbove(cands, pth)
+}
+
+// ThresholdFor returns the paper's cutoff p_th at the estimates in st:
+// ρ′ plus the model's displacement term. The analytic models derive the
+// displacement from Params, but at decision time only the online
+// estimates exist, so the displacement definitions are replicated here
+// — this is the single place they appear outside internal/analytic.
+func ThresholdFor(m analytic.Model, st State) float64 {
+	pth := st.RhoPrime
+	switch mm := m.(type) {
 	case analytic.ModelB:
 		if st.NC > 0 {
 			pth += st.HPrime / st.NC
 		}
 	case analytic.ModelAB:
 		if st.NC > 0 {
-			pth += m.Alpha * st.HPrime / st.NC
+			pth += mm.Alpha * st.HPrime / st.NC
 		}
 	}
-	if pth >= 1 {
-		return nil // no admissible probability can beat the threshold
-	}
-	return takeAbove(cands, pth)
+	return pth
 }
 
 // takeAbove returns the prefix of the sorted candidate list with

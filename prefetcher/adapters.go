@@ -1,0 +1,166 @@
+package prefetcher
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/predict"
+)
+
+// --- Predictor adapters over internal/predict ---------------------------
+
+// predictorAdapter lifts an internal predictor to the public interface.
+type predictorAdapter struct {
+	p predict.Predictor
+}
+
+func (a predictorAdapter) Observe(id ID) { a.p.Observe(cache.ID(id)) }
+
+func (a predictorAdapter) Name() string { return a.p.Name() }
+
+func (a predictorAdapter) Predict() []Prediction {
+	ps := a.p.Predict()
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]Prediction, len(ps))
+	for i, p := range ps {
+		out[i] = Prediction{ID: ID(p.Item), Prob: p.Prob}
+	}
+	return out
+}
+
+// NewMarkovPredictor returns a first-order Markov access model (counts
+// of prev→next transitions) — the default predictor.
+func NewMarkovPredictor() Predictor { return predictorAdapter{predict.NewMarkov1()} }
+
+// NewLZPredictor returns the Vitter–Krishnan LZ78 predictor: the
+// request stream is parsed into a phrase trie whose current node
+// conditions the next-access distribution.
+func NewLZPredictor() Predictor { return predictorAdapter{predict.NewLZ78()} }
+
+// NewPPMPredictor returns an order-k prediction-by-partial-matching
+// model (k >= 1) with escape to shorter contexts.
+func NewPPMPredictor(k int) Predictor { return predictorAdapter{predict.NewPPM(k)} }
+
+// NewDependencyGraphPredictor returns the Padmanabhan–Mogul dependency
+// graph with lookahead window w (w >= 1).
+func NewDependencyGraphPredictor(w int) Predictor {
+	return predictorAdapter{predict.NewDependencyGraph(w)}
+}
+
+// NewPopularityPredictor returns a global-frequency predictor reporting
+// the topK most popular items (topK <= 0 means all).
+func NewPopularityPredictor(topK int) Predictor {
+	return predictorAdapter{predict.NewPopularity(topK)}
+}
+
+// --- Cache adapters over internal/cache ---------------------------------
+
+// storeCache pairs the internal residency store (capacity + replacement
+// policy + hit accounting) with a payload map.
+type storeCache struct {
+	store   *cache.Store
+	values  map[ID]any
+	onEvict func(ID)
+}
+
+func newStoreCache(capacity int, policy cache.Policy) *storeCache {
+	c := &storeCache{
+		store:  cache.NewStore(capacity, policy),
+		values: make(map[ID]any, capacity),
+	}
+	c.store.OnEvict(func(id cache.ID) {
+		delete(c.values, ID(id))
+		if c.onEvict != nil {
+			c.onEvict(ID(id))
+		}
+	})
+	return c
+}
+
+func (c *storeCache) Get(id ID) (any, bool) {
+	if !c.store.Access(cache.ID(id)) {
+		return nil, false
+	}
+	return c.values[id], true
+}
+
+func (c *storeCache) Put(id ID, value any) {
+	c.values[id] = value
+	c.store.Admit(cache.ID(id))
+}
+
+func (c *storeCache) Contains(id ID) bool { return c.store.Contains(cache.ID(id)) }
+
+func (c *storeCache) Len() int { return c.store.Len() }
+
+func (c *storeCache) OnEvict(fn func(ID)) { c.onEvict = fn }
+
+// NewLRUCache returns a least-recently-used cache holding at most
+// capacity items. It panics if capacity < 1.
+func NewLRUCache(capacity int) Cache { return newStoreCache(capacity, cache.NewLRU()) }
+
+// NewSLRUCache returns a segmented-LRU cache: new entries start on
+// probation and are promoted on re-reference, so speculative prefetches
+// that never get used churn through probation without displacing the
+// protected working set. protectedCap bounds the protected segment
+// (capacity/2 is a reasonable default). It panics if capacity < 1 or
+// protectedCap < 1.
+func NewSLRUCache(capacity, protectedCap int) Cache {
+	return newStoreCache(capacity, cache.NewSLRU(protectedCap))
+}
+
+// NewFIFOCache returns a first-in-first-out cache of the given capacity.
+func NewFIFOCache(capacity int) Cache { return newStoreCache(capacity, cache.NewFIFO()) }
+
+// NewCacheWithPolicy returns a cache of the given capacity using a
+// replacement policy selected by name: "lru", "lfu", "fifo" or "clock".
+func NewCacheWithPolicy(capacity int, policy string) (Cache, error) {
+	p, err := cache.NewPolicy(policy)
+	if err != nil {
+		return nil, fmt.Errorf("prefetcher: %w", err)
+	}
+	return newStoreCache(capacity, p), nil
+}
+
+// --- Clocks -------------------------------------------------------------
+
+// systemClock is the default wall-clock time source.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// ManualClock is a Clock whose time only moves when told to — for
+// deterministic tests and trace replay. It is safe for concurrent use.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock returns a manual clock starting at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// AdvanceSeconds moves the clock forward by s seconds (a convenience
+// for simulations whose inter-arrival times are float64 seconds).
+func (c *ManualClock) AdvanceSeconds(s float64) {
+	c.Advance(time.Duration(s * float64(time.Second)))
+}

@@ -1,0 +1,34 @@
+// Package prefetcher is the public face of the reproduction: a
+// concurrency-safe, context-aware speculative prefetch engine built
+// around the paper's adaptive threshold rule — prefetch exclusively the
+// items whose access probability exceeds p_th = ρ′ (interaction model
+// A) or ρ′ + h′/n̄(C) (model B), where both quantities are estimated
+// online while prefetching runs (the Section-4 tagged-cache algorithm).
+//
+// The Engine wires four small pluggable interfaces together:
+//
+//	Fetcher   — retrieves items from the origin (yours to implement)
+//	Predictor — online access model (Markov-1, LZ78, PPM, … provided)
+//	Cache     — bounded client-side store (LRU, SLRU, … provided)
+//	Clock     — time source (wall clock by default, manual for tests)
+//
+// Construction uses functional options:
+//
+//	eng, err := prefetcher.New(fetcher,
+//		prefetcher.WithBandwidth(50),
+//		prefetcher.WithCache(prefetcher.NewLRUCache(1024)),
+//		prefetcher.WithPredictor(prefetcher.NewMarkovPredictor()),
+//		prefetcher.WithWorkers(8),
+//	)
+//
+// The hot path is Get: it records the request with the online
+// estimator, serves the item from cache or fetches it on demand, then
+// dispatches speculative fetches for every above-threshold prediction
+// through a bounded worker pool. A demand Get for an item whose
+// speculative fetch is already in flight joins that fetch instead of
+// refetching. Stats returns a snapshot of the live estimates (ĥ′,
+// ρ̂′, p̂_th) and the prefetch hit/waste counters.
+//
+// For offline capacity planning — what threshold, what gain, what
+// cost, from known parameters instead of live estimates — use Planner.
+package prefetcher

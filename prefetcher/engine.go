@@ -1,0 +1,520 @@
+package prefetcher
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/cache"
+	"repro/internal/predict"
+	"repro/internal/prefetch"
+)
+
+// ErrClosed is returned by Get after Close.
+var ErrClosed = errors.New("prefetcher: engine closed")
+
+// errDropped fails an in-flight registration whose queue slot was shed;
+// joiners fall back to a demand fetch.
+var errDropped = errors.New("prefetcher: speculative fetch dropped")
+
+// flight is one outstanding fetch (demand or speculative). Joiners wait
+// on done; item/err are valid once done is closed.
+type flight struct {
+	done chan struct{}
+	item Item
+	err  error
+}
+
+// job is a queued speculative fetch.
+type job struct {
+	id ID
+	f  *flight
+}
+
+// Engine is the concurrent prefetch engine. Create one with New; all
+// methods are safe for concurrent use.
+type Engine struct {
+	fetcher     Fetcher
+	pred        Predictor
+	cache       Cache
+	clock       Clock
+	policy      prefetch.Policy
+	model       analytic.Model
+	ctrl        *prefetch.Controller
+	nc          float64
+	maxPrefetch int
+	hook        func(Event)
+
+	epoch time.Time // clock origin for the controller's float64 seconds
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	jobs    chan job
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[ID]*flight
+	// specPending counts speculative fetches queued or running; idle is
+	// closed (and cleared) when it drops to zero, waking Quiesce.
+	specPending int
+	idle        chan struct{}
+	sizes       map[ID]float64
+	// unused marks resident prefetched items not yet consumed by a
+	// demand request — the basis of the used/wasted accounting.
+	unused map[ID]struct{}
+
+	requests, hits, misses, joins                                                 int64
+	prefetchIssued, prefetchUsed, prefetchWasted, prefetchDropped, prefetchErrors int64
+}
+
+// New assembles an Engine around the given origin fetcher. With no
+// options it uses a Markov-1 predictor, a 1024-item LRU cache, the wall
+// clock and the paper's adaptive threshold policy under interaction
+// model A — which requires WithBandwidth, the one parameter with no
+// sensible default.
+func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
+	if fetcher == nil {
+		return nil, fmt.Errorf("prefetcher: nil fetcher")
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("prefetcher: nil option")
+		}
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	maxPrefetch := cfg.maxPrefetch
+	if _, none := cfg.policy.p.(prefetch.None); none {
+		// NoPrefetch can never select a candidate; skip prediction on
+		// the hot path entirely rather than predicting into a policy
+		// that discards everything.
+		maxPrefetch = 0
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		fetcher:     fetcher,
+		pred:        cfg.predictor,
+		cache:       cfg.cache,
+		clock:       cfg.clock,
+		policy:      cfg.policy.p,
+		model:       cfg.policy.model.analytic(),
+		ctrl:        prefetch.NewController(cfg.bandwidth, cfg.alpha),
+		nc:          cfg.nc,
+		maxPrefetch: maxPrefetch,
+		hook:        cfg.hook,
+		epoch:       cfg.clock.Now(),
+		baseCtx:     ctx,
+		cancel:      cancel,
+		jobs:        make(chan job, cfg.queueDepth),
+		inflight:    make(map[ID]*flight),
+		sizes:       make(map[ID]float64),
+		unused:      make(map[ID]struct{}),
+	}
+	// Every cache mutation happens under e.mu, so the eviction callback
+	// runs under e.mu too and may touch engine state directly.
+	e.cache.OnEvict(func(id ID) {
+		e.ctrl.Estimator().OnEvict(cache.ID(id))
+		delete(e.sizes, id)
+		if _, ok := e.unused[id]; ok {
+			delete(e.unused, id)
+			e.prefetchWasted++
+		}
+	})
+	for i := 0; i < cfg.workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// now returns the clock reading as seconds since the engine's epoch.
+func (e *Engine) now() float64 { return e.clock.Now().Sub(e.epoch).Seconds() }
+
+// Get serves one demand request: it records the request with the online
+// estimators, returns the item from cache or fetches it (joining an
+// in-flight speculative fetch for the same id if one is pending), then
+// dispatches speculative fetches for every prediction the policy admits
+// at the current threshold. ctx bounds only this call's demand fetch or
+// join wait; speculative fetches run under the engine's own context.
+func (e *Engine) Get(ctx context.Context, id ID) (Item, error) {
+	if err := ctx.Err(); err != nil {
+		return Item{}, err
+	}
+	now := e.now()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return Item{}, ErrClosed
+	}
+	e.requests++
+	e.pred.Observe(id)
+
+	// Hit path.
+	if v, ok := e.cache.Get(id); ok {
+		e.hits++
+		return e.serveLocked(id, now, e.sizes[id], v, EventHit), nil
+	}
+	e.misses++
+
+	// Join in-flight fetches for the same id until one resolves, the
+	// item lands in cache, or no flight remains (then demand-fetch).
+	// The loop matters: while a failed join waits to re-acquire the
+	// lock, another request may have cached the item or registered a
+	// fresh flight, and overwriting that flight would break dedup.
+	joined := false
+	for {
+		f, ok := e.inflight[id]
+		if !ok {
+			break
+		}
+		if !joined {
+			// One count per request, however many flights it retries.
+			e.joins++
+			joined = true
+		}
+		e.mu.Unlock()
+		e.emit([]Event{{Type: EventJoin, ID: id}})
+		item, err, resolved := e.join(ctx, now, id, f)
+		if resolved {
+			return item, err
+		}
+		// The joined fetch failed or was dropped: re-check under the
+		// lock before fetching ourselves.
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return Item{}, ErrClosed
+		}
+		if v, ok := e.cache.Get(id); ok {
+			// Another request cached it while we waited. Serve it; the
+			// request stays counted as the miss it was on arrival.
+			return e.serveLocked(id, now, e.sizes[id], v, -1), nil
+		}
+	}
+
+	return e.demandFetch(ctx, now, id)
+}
+
+// serveLocked finishes a request whose item is resident (or just
+// arrived via a joined prefetch): it records the one estimator access
+// the request gets, consumes the prefetched-unused marker, records the
+// request with the controller, and dispatches speculative planning.
+// Called with e.mu held; returns with it released. evType < 0
+// suppresses the serve event (the join path already emitted one).
+func (e *Engine) serveLocked(id ID, now, size float64, data any, evType EventType) Item {
+	e.ctrl.Estimator().OnHit(cache.ID(id))
+	if _, pending := e.unused[id]; pending {
+		delete(e.unused, id)
+		e.prefetchUsed++
+	}
+	item := Item{ID: id, Size: size, Data: data}
+	e.ctrl.RecordRequest(now, item.Size)
+	events, cands := e.planLocked(id, evType)
+	e.mu.Unlock()
+	e.emit(events)
+	e.schedule(cands)
+	return item
+}
+
+// join waits for an in-flight fetch. resolved is false when the flight
+// failed and the caller should demand-fetch instead.
+func (e *Engine) join(ctx context.Context, now float64, id ID, f *flight) (Item, error, bool) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return Item{}, ctx.Err(), true
+	}
+	if f.err != nil {
+		return Item{}, nil, false
+	}
+	e.mu.Lock()
+	// The prefetched item beat this demand request to the origin:
+	// account it exactly like a first hit on an untagged entry.
+	return e.serveLocked(id, now, f.item.Size, f.item.Data, -1), nil, true
+}
+
+// demandFetch fetches id on the caller's goroutine. Called with e.mu
+// held; returns with it released.
+func (e *Engine) demandFetch(ctx context.Context, now float64, id ID) (Item, error) {
+	f := &flight{done: make(chan struct{})}
+	e.inflight[id] = f
+	e.mu.Unlock()
+
+	item, err := e.fetcher.Fetch(ctx, id)
+
+	e.mu.Lock()
+	if e.inflight[id] == f {
+		delete(e.inflight, id)
+	}
+	var events []Event
+	var cands []predict.Prediction
+	if err != nil {
+		f.err = err
+	} else {
+		item.ID = id
+		if item.Size <= 0 {
+			item.Size = 1
+		}
+		e.sizes[id] = item.Size
+		e.cache.Put(id, item.Data)
+		e.ctrl.Estimator().OnRemoteAccess(cache.ID(id), true)
+		e.ctrl.RecordRequest(now, item.Size)
+		f.item = item
+		events, cands = e.planLocked(id, EventMiss)
+	}
+	close(f.done)
+	e.mu.Unlock()
+
+	if err != nil {
+		return Item{}, err
+	}
+	e.emit(events)
+	e.schedule(cands)
+	return item, nil
+}
+
+// planLocked queries the predictor and wraps the serve event. Called
+// with e.mu held. evType < 0 suppresses the serve event (the join path
+// already emitted one).
+func (e *Engine) planLocked(id ID, evType EventType) ([]Event, []predict.Prediction) {
+	var events []Event
+	if evType >= 0 {
+		events = append(events, Event{Type: evType, ID: id})
+	}
+	if e.maxPrefetch == 0 {
+		return events, nil
+	}
+	preds := e.pred.Predict()
+	if len(preds) == 0 {
+		return events, nil
+	}
+	cands := make([]predict.Prediction, len(preds))
+	for i, p := range preds {
+		cands[i] = predict.Prediction{Item: cache.ID(p.ID), Prob: p.Prob}
+	}
+	return events, cands
+}
+
+// schedule filters candidates through the policy at the current
+// estimates and dispatches the admitted ones to the worker pool.
+func (e *Engine) schedule(cands []predict.Prediction) {
+	if len(cands) == 0 {
+		return
+	}
+	var events []Event
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	st := e.ctrl.State(e.occupancyLocked())
+	sel := e.policy.Select(cands, st)
+	if len(sel) > e.maxPrefetch {
+		sel = sel[:e.maxPrefetch]
+	}
+	for _, c := range sel {
+		id := ID(c.Item)
+		if e.cache.Contains(id) {
+			continue
+		}
+		if _, ok := e.inflight[id]; ok {
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		e.inflight[id] = f
+		select {
+		case e.jobs <- job{id: id, f: f}:
+			e.prefetchIssued++
+			e.specPending++
+			events = append(events, Event{Type: EventPrefetchIssued, ID: id})
+		default: // queue full: shed, never block the demand path
+			delete(e.inflight, id)
+			f.err = errDropped
+			close(f.done)
+			e.prefetchDropped++
+			events = append(events, Event{Type: EventPrefetchDropped, ID: id})
+		}
+	}
+	e.mu.Unlock()
+	e.emit(events)
+}
+
+// worker runs speculative fetches until the engine closes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.baseCtx.Done():
+			return
+		case j := <-e.jobs:
+			e.runPrefetch(j)
+		}
+	}
+}
+
+// runPrefetch executes one speculative fetch under the engine context.
+func (e *Engine) runPrefetch(j job) {
+	item, err := e.fetcher.Fetch(e.baseCtx, j.id)
+
+	e.mu.Lock()
+	if e.inflight[j.id] == j.f {
+		delete(e.inflight, j.id)
+	}
+	var ev Event
+	if err != nil {
+		j.f.err = err
+		e.prefetchErrors++
+		ev = Event{Type: EventPrefetchError, ID: j.id, Err: err}
+	} else {
+		item.ID = j.id
+		if item.Size <= 0 {
+			item.Size = 1
+		}
+		e.sizes[j.id] = item.Size
+		e.cache.Put(j.id, item.Data)
+		e.ctrl.Estimator().OnPrefetch(cache.ID(j.id))
+		e.ctrl.RecordPrefetch()
+		e.unused[j.id] = struct{}{}
+		j.f.item = item
+		ev = Event{Type: EventPrefetchDone, ID: j.id}
+	}
+	close(j.f.done)
+	e.specDoneLocked()
+	e.mu.Unlock()
+	e.emit([]Event{ev})
+}
+
+// specDoneLocked retires one speculative fetch and wakes Quiesce
+// waiters when none remain. Called with e.mu held.
+func (e *Engine) specDoneLocked() {
+	e.specPending--
+	if e.specPending == 0 && e.idle != nil {
+		close(e.idle)
+		e.idle = nil
+	}
+}
+
+// occupancyLocked returns n̄(C): the configured value if set, else the
+// live resident count. Called with e.mu held.
+func (e *Engine) occupancyLocked() float64 {
+	if e.nc > 0 {
+		return e.nc
+	}
+	return float64(e.cache.Len())
+}
+
+// emit delivers events to the hook outside the engine lock.
+func (e *Engine) emit(events []Event) {
+	if e.hook == nil {
+		return
+	}
+	for _, ev := range events {
+		e.hook(ev)
+	}
+}
+
+// Threshold returns the current estimate of the paper's cutoff p̂_th
+// for the engine's interaction model.
+func (e *Engine) Threshold() float64 {
+	e.mu.Lock()
+	nc := e.occupancyLocked()
+	e.mu.Unlock()
+	return prefetch.ThresholdFor(e.model, e.ctrl.State(nc))
+}
+
+// Stats snapshots the engine's counters and online estimates. The
+// estimates and Threshold come from one State snapshot, so they are
+// mutually consistent.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.ctrl.State(e.occupancyLocked())
+	threshold := prefetch.ThresholdFor(e.model, st)
+	return Stats{
+		Requests:        e.requests,
+		Hits:            e.hits,
+		Misses:          e.misses,
+		Joins:           e.joins,
+		PrefetchIssued:  e.prefetchIssued,
+		PrefetchUsed:    e.prefetchUsed,
+		PrefetchWasted:  e.prefetchWasted,
+		PrefetchDropped: e.prefetchDropped,
+		PrefetchErrors:  e.prefetchErrors,
+		Lambda:          e.ctrl.Lambda(),
+		MeanSize:        e.ctrl.MeanSize(),
+		HPrime:          st.HPrime,
+		RhoPrime:        st.RhoPrime,
+		NF:              st.NF,
+		Threshold:       threshold,
+		CacheLen:        e.cache.Len(),
+		InFlight:        len(e.inflight),
+	}
+}
+
+// Quiesce blocks until no speculative fetches are queued or in flight,
+// or ctx expires. Demand fetches are not waited for — they complete
+// under their callers' contexts.
+func (e *Engine) Quiesce(ctx context.Context) error {
+	for {
+		e.mu.Lock()
+		if e.specPending == 0 {
+			e.mu.Unlock()
+			return nil
+		}
+		if e.idle == nil {
+			e.idle = make(chan struct{})
+		}
+		ch := e.idle
+		e.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Close stops the worker pool, cancels outstanding speculative fetches
+// and fails their joiners. Demand fetches already in progress complete
+// under their callers' contexts. Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	e.cancel()
+	e.wg.Wait()
+
+	// Fail queued jobs whose worker never picked them up.
+	e.mu.Lock()
+	for {
+		select {
+		case j := <-e.jobs:
+			if e.inflight[j.id] == j.f {
+				delete(e.inflight, j.id)
+			}
+			j.f.err = ErrClosed
+			close(j.f.done)
+			e.specDoneLocked()
+		default:
+			e.mu.Unlock()
+			return nil
+		}
+	}
+}

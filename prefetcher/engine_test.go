@@ -1,0 +1,374 @@
+package prefetcher
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memFetcher is an in-memory origin with per-fetch accounting and an
+// optional gate that holds fetches open until released.
+type memFetcher struct {
+	mu      sync.Mutex
+	fetches map[ID]int
+	gate    chan struct{} // non-nil: Fetch blocks until closed or ctx done
+	fail    map[ID]error
+}
+
+func newMemFetcher() *memFetcher {
+	return &memFetcher{fetches: make(map[ID]int), fail: make(map[ID]error)}
+}
+
+func (m *memFetcher) Fetch(ctx context.Context, id ID) (Item, error) {
+	m.mu.Lock()
+	gate := m.gate
+	m.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return Item{}, ctx.Err()
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.fail[id]; err != nil {
+		return Item{}, err
+	}
+	m.fetches[id]++
+	return Item{ID: id, Size: 1, Data: fmt.Sprintf("item-%d", id)}, nil
+}
+
+func (m *memFetcher) count(id ID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fetches[id]
+}
+
+func TestOptionValidation(t *testing.T) {
+	fetcher := newMemFetcher()
+	tests := []struct {
+		name    string
+		fetcher Fetcher
+		opts    []Option
+		wantErr string
+	}{
+		{"nil fetcher", nil, nil, "nil fetcher"},
+		{"adaptive policy needs bandwidth", fetcher, nil, "requires WithBandwidth"},
+		{"negative bandwidth", fetcher, []Option{WithBandwidth(-1)}, "must be positive"},
+		{"zero workers", fetcher, []Option{WithBandwidth(50), WithWorkers(0)}, ">= 1"},
+		{"negative max prefetch", fetcher, []Option{WithBandwidth(50), WithMaxPrefetch(-1)}, ">= 0"},
+		{"bad alpha", fetcher, []Option{WithBandwidth(50), WithEWMAAlpha(1.5)}, "(0,1]"},
+		{"zero queue", fetcher, []Option{WithBandwidth(50), WithQueueDepth(0)}, ">= 1"},
+		{"nil predictor", fetcher, []Option{WithBandwidth(50), WithPredictor(nil)}, "nil predictor"},
+		{"nil cache", fetcher, []Option{WithBandwidth(50), WithCache(nil)}, "nil cache"},
+		{"nil clock", fetcher, []Option{WithBandwidth(50), WithClock(nil)}, "nil clock"},
+		{"zero policy", fetcher, []Option{WithBandwidth(50), WithPolicy(Policy{})}, "zero Policy"},
+		{"negative occupancy", fetcher, []Option{WithBandwidth(50), WithCacheOccupancy(-3)}, "non-negative"},
+		{"nil hook", fetcher, []Option{WithBandwidth(50), WithEventHook(nil)}, "nil event hook"},
+		{"ok default", fetcher, []Option{WithBandwidth(50)}, ""},
+		{"ok static without bandwidth", fetcher, []Option{WithPolicy(StaticThreshold(0.5))}, ""},
+		{"ok full", fetcher, []Option{
+			WithBandwidth(50), WithWorkers(2), WithMaxPrefetch(3),
+			WithCache(NewSLRUCache(64, 32)), WithPredictor(NewPPMPredictor(2)),
+			WithPolicy(GreedyThreshold(ModelB())), WithCacheOccupancy(64),
+			WithEWMAAlpha(0.1), WithQueueDepth(8),
+			WithClock(NewManualClock(time.Unix(0, 0))),
+		}, ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := New(tc.fetcher, tc.opts...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				eng.Close()
+				return
+			}
+			if err == nil {
+				eng.Close()
+				t.Fatalf("New succeeded, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestHitMissAndStats(t *testing.T) {
+	fetcher := newMemFetcher()
+	clock := NewManualClock(time.Unix(0, 0))
+	eng, err := New(fetcher,
+		WithBandwidth(50),
+		WithClock(clock),
+		WithPolicy(NoPrefetch()),
+		WithCache(NewLRUCache(8)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	// First access misses and demand-fetches.
+	it, err := eng.Get(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Data != "item-1" || it.ID != 1 {
+		t.Fatalf("got %+v", it)
+	}
+	if n := fetcher.count(1); n != 1 {
+		t.Fatalf("fetches = %d, want 1", n)
+	}
+	// Second access hits.
+	clock.AdvanceSeconds(0.1)
+	if _, err := eng.Get(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := fetcher.count(1); n != 1 {
+		t.Fatalf("hit refetched: fetches = %d, want 1", n)
+	}
+
+	st := eng.Stats()
+	if st.Requests != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CacheLen != 1 {
+		t.Fatalf("cache len = %d, want 1", st.CacheLen)
+	}
+	// One hit out of two accesses → ĥ′ = 0.5 under the tagged scheme
+	// (no prefetching ran, so ĥ′ equals the true hit ratio).
+	if st.HPrime != 0.5 {
+		t.Fatalf("ĥ′ = %v, want 0.5", st.HPrime)
+	}
+	if st.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", st.HitRatio())
+	}
+}
+
+// TestSpeculativePrefetch drives a perfectly predictable cyclic stream
+// through a cache too small to hold the cycle, and checks the engine
+// prefetches the successor ahead of each demand request.
+func TestSpeculativePrefetch(t *testing.T) {
+	fetcher := newMemFetcher()
+	clock := NewManualClock(time.Unix(0, 0))
+	eng, err := New(fetcher,
+		WithBandwidth(1e6), // fat link: threshold ≈ 0, everything qualifies
+		WithClock(clock),
+		// Capacity 2 cannot hold the 3-cycle: without prefetching every
+		// access would miss; with it the successor is staged just in time.
+		WithCache(NewLRUCache(2)),
+		WithWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	// Cycle 1→2→3→1→… so the Markov predictor becomes certain.
+	for i := 0; i < 60; i++ {
+		id := ID(1 + i%3)
+		clock.AdvanceSeconds(0.05)
+		if _, err := eng.Get(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Quiesce(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.PrefetchIssued == 0 {
+		t.Fatalf("no prefetches issued: %+v", st)
+	}
+	if st.PrefetchUsed == 0 {
+		t.Fatalf("no prefetches used: %+v", st)
+	}
+	if acc := st.Accuracy(); acc < 0.5 {
+		t.Fatalf("accuracy = %v, want >= 0.5 on a deterministic stream", acc)
+	}
+}
+
+// TestJoinDeterministic forces the join path: the prefetch for item 2
+// is held open on a gate while a demand Get(2) arrives.
+func TestJoinDeterministic(t *testing.T) {
+	fetcher := newMemFetcher()
+	eng, err := New(fetcher,
+		WithBandwidth(1e6),
+		WithCache(NewLRUCache(4)),
+		WithWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	// Train 1→2, then flush both out of the tiny cache.
+	for i := 0; i < 8; i++ {
+		eng.Get(ctx, 1)
+		eng.Get(ctx, 2)
+		eng.Quiesce(ctx)
+	}
+	for i := 50; i < 60; i++ {
+		eng.Get(ctx, ID(i))
+	}
+	eng.Quiesce(ctx)
+
+	// Gate the origin: the next fetches block.
+	gate := make(chan struct{})
+	fetcher.mu.Lock()
+	fetcher.gate = gate
+	fetcher.mu.Unlock()
+
+	// Get(1) blocks on its demand fetch; run it in the background.
+	g1 := make(chan error, 1)
+	go func() { _, err := eng.Get(ctx, 1); g1 <- err }()
+	waitUntil(t, func() bool { return eng.Stats().InFlight >= 1 })
+
+	// Release the gate only for the demand fetch of 1: swap in a fresh
+	// gate before unblocking so the follow-up prefetch of 2 blocks.
+	gate2 := make(chan struct{})
+	fetcher.mu.Lock()
+	fetcher.gate = gate2
+	fetcher.mu.Unlock()
+	close(gate)
+	if err := <-g1; err != nil {
+		t.Fatal(err)
+	}
+	// The prefetch of 2 is now queued/blocked on gate2.
+	waitUntil(t, func() bool { return eng.Stats().PrefetchIssued >= 1 })
+
+	// Demand Get(2) must join, not refetch.
+	g2 := make(chan Item, 1)
+	g2err := make(chan error, 1)
+	go func() {
+		it, err := eng.Get(ctx, 2)
+		g2 <- it
+		g2err <- err
+	}()
+	waitUntil(t, func() bool { return eng.Stats().Joins >= 1 })
+	before := fetcher.count(2)
+	close(gate2) // let the prefetch finish; the joiner consumes it
+
+	it := <-g2
+	if err := <-g2err; err != nil {
+		t.Fatal(err)
+	}
+	if it.Data != "item-2" {
+		t.Fatalf("joined item = %+v", it)
+	}
+	if got := fetcher.count(2); got != before+1 {
+		t.Fatalf("origin fetches of 2 = %d, want %d (join must not refetch)", got, before+1)
+	}
+	st := eng.Stats()
+	if st.Joins == 0 || st.PrefetchUsed == 0 {
+		t.Fatalf("join accounting: %+v", st)
+	}
+}
+
+// TestContextCancellation covers a caller abandoning a join mid-flight
+// and Close cancelling speculative fetches.
+func TestContextCancellation(t *testing.T) {
+	fetcher := newMemFetcher()
+	gate := make(chan struct{})
+	fetcher.gate = gate
+	eng, err := New(fetcher,
+		WithBandwidth(1e6),
+		WithCache(NewLRUCache(4)),
+		WithWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A Get whose own context is already cancelled returns immediately.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Get(cctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// A Get blocked on a gated demand fetch aborts when its context
+	// does.
+	cctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if _, err := eng.Get(cctx2, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+
+	// Close cancels the engine context; the gated speculative fetch (if
+	// any) and workers exit promptly.
+	doneClose := make(chan struct{})
+	go func() { eng.Close(); close(doneClose) }()
+	select {
+	case <-doneClose:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return with a gated origin")
+	}
+	if _, err := eng.Get(context.Background(), 3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Get err = %v, want ErrClosed", err)
+	}
+	close(gate)
+}
+
+// TestPrefetchError confirms a failing speculative fetch is counted and
+// does not poison the demand path.
+func TestPrefetchError(t *testing.T) {
+	fetcher := newMemFetcher()
+	fetcher.fail[2] = errors.New("origin down")
+	eng, err := New(fetcher,
+		WithBandwidth(1e6),
+		WithCache(NewLRUCache(8)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 6; i++ {
+		eng.Get(ctx, 1)
+		// Let the speculative fetch of 2 run — and fail — before the
+		// origin is repaired for the demand fetch.
+		eng.Quiesce(ctx)
+		fetcher.mu.Lock()
+		delete(fetcher.fail, 2)
+		fetcher.mu.Unlock()
+		if _, err := eng.Get(ctx, 2); err != nil {
+			t.Fatal(err)
+		}
+		eng.Quiesce(ctx)
+		fetcher.mu.Lock()
+		fetcher.fail[2] = errors.New("origin down")
+		fetcher.mu.Unlock()
+		// Push both out of cache so the next round misses again.
+		for j := 50; j < 60; j++ {
+			eng.Get(ctx, ID(j))
+		}
+		eng.Quiesce(ctx)
+	}
+	st := eng.Stats()
+	if st.PrefetchErrors == 0 {
+		t.Fatalf("expected speculative failures to be counted: %+v", st)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}

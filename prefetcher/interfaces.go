@@ -1,0 +1,80 @@
+package prefetcher
+
+import (
+	"context"
+	"time"
+)
+
+// ID identifies a fetchable item. Applications with string keys should
+// intern them to dense integer ids; the predictors and caches all work
+// on integers.
+type ID int64
+
+// Item is a fetched object: its id, its size in whatever unit the
+// engine's bandwidth is expressed in (a size of 0 is treated as 1), and
+// an opaque payload stored in the cache and handed back on hits.
+type Item struct {
+	ID   ID
+	Size float64
+	Data any
+}
+
+// Fetcher retrieves items from the origin. The engine calls it for
+// demand fetches (with the caller's context) and speculative fetches
+// (with the engine's context, cancelled on Close). Implementations must
+// be safe for concurrent use — the worker pool calls Fetch from
+// multiple goroutines.
+type Fetcher interface {
+	Fetch(ctx context.Context, id ID) (Item, error)
+}
+
+// FetcherFunc adapts a plain function to the Fetcher interface.
+type FetcherFunc func(ctx context.Context, id ID) (Item, error)
+
+// Fetch implements Fetcher.
+func (f FetcherFunc) Fetch(ctx context.Context, id ID) (Item, error) { return f(ctx, id) }
+
+// Prediction is one candidate for an upcoming access.
+type Prediction struct {
+	ID ID
+	// Prob is the model's estimate of the probability that ID is
+	// requested next (or within the model's horizon).
+	Prob float64
+}
+
+// Predictor is an online access model: it learns from each observed
+// request and can be queried for a probability-ranked candidate set.
+// The engine serialises all Predictor calls under its own lock, so
+// implementations need not be goroutine-safe. Predict must return
+// candidates sorted by decreasing probability.
+type Predictor interface {
+	Observe(id ID)
+	Predict() []Prediction
+	Name() string
+}
+
+// Cache is the bounded client-side store the engine consults before
+// fetching. The engine serialises all Cache calls under its own lock,
+// so implementations need not be goroutine-safe.
+type Cache interface {
+	// Get returns the cached payload and whether the item was resident,
+	// refreshing recency metadata on a hit.
+	Get(id ID) (value any, ok bool)
+	// Put inserts the payload under id, evicting as needed.
+	Put(id ID, value any)
+	// Contains reports residency without touching metadata or counters.
+	Contains(id ID) bool
+	// Len reports the resident count.
+	Len() int
+	// OnEvict registers a callback invoked with each id the cache
+	// evicts. The engine uses it for the tagged h′ estimator and its
+	// prefetch-waste accounting; the callback is invoked synchronously
+	// from within Put.
+	OnEvict(fn func(id ID))
+}
+
+// Clock supplies the engine's notion of time. The default is the wall
+// clock; simulations and tests inject a ManualClock.
+type Clock interface {
+	Now() time.Time
+}

@@ -1,0 +1,189 @@
+package prefetcher
+
+import (
+	"fmt"
+	"math"
+)
+
+// Option configures an Engine at construction.
+type Option func(*config) error
+
+type config struct {
+	predictor   Predictor
+	cache       Cache
+	clock       Clock
+	policy      Policy
+	bandwidth   float64
+	nc          float64
+	alpha       float64
+	workers     int
+	queueDepth  int
+	maxPrefetch int
+	hook        func(Event)
+}
+
+func defaultConfig() *config {
+	return &config{
+		clock:       systemClock{},
+		policy:      AdaptiveThreshold(ModelA()),
+		workers:     4,
+		queueDepth:  64,
+		maxPrefetch: 4,
+	}
+}
+
+// WithPredictor sets the access model (default: NewMarkovPredictor).
+func WithPredictor(p Predictor) Option {
+	return func(c *config) error {
+		if p == nil {
+			return fmt.Errorf("prefetcher: nil predictor")
+		}
+		c.predictor = p
+		return nil
+	}
+}
+
+// WithCache sets the client-side store (default: NewLRUCache(1024)).
+func WithCache(s Cache) Option {
+	return func(c *config) error {
+		if s == nil {
+			return fmt.Errorf("prefetcher: nil cache")
+		}
+		c.cache = s
+		return nil
+	}
+}
+
+// WithClock sets the time source (default: the wall clock).
+func WithClock(clk Clock) Option {
+	return func(c *config) error {
+		if clk == nil {
+			return fmt.Errorf("prefetcher: nil clock")
+		}
+		c.clock = clk
+		return nil
+	}
+}
+
+// WithPolicy sets the prefetch policy (default:
+// AdaptiveThreshold(ModelA()), which requires WithBandwidth).
+func WithPolicy(p Policy) Option {
+	return func(c *config) error {
+		if !p.valid() {
+			return fmt.Errorf("prefetcher: zero Policy; use a constructor such as AdaptiveThreshold")
+		}
+		c.policy = p
+		return nil
+	}
+}
+
+// WithBandwidth sets the link bandwidth b, in the same units per second
+// as item sizes. It anchors the utilisation estimate ρ̂′ = (1−ĥ′)λ̂ŝ̄/b
+// and is required by the adaptive policies (AdaptiveThreshold,
+// GreedyThreshold).
+func WithBandwidth(b float64) Option {
+	return func(c *config) error {
+		if b <= 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("prefetcher: bandwidth %v must be positive and finite", b)
+		}
+		c.bandwidth = b
+		return nil
+	}
+}
+
+// WithCacheOccupancy fixes the steady-state cache occupancy n̄(C) used
+// by the model-B displacement term. By default the engine uses the live
+// resident count, which is correct once the cache has warmed up.
+func WithCacheOccupancy(nc float64) Option {
+	return func(c *config) error {
+		if nc < 0 || math.IsNaN(nc) {
+			return fmt.Errorf("prefetcher: cache occupancy %v must be non-negative", nc)
+		}
+		c.nc = nc
+		return nil
+	}
+}
+
+// WithEWMAAlpha sets the estimator's EWMA weight for new observations,
+// in (0,1] (default 0.05: slow, stable adaptation).
+func WithEWMAAlpha(a float64) Option {
+	return func(c *config) error {
+		if a <= 0 || a > 1 || math.IsNaN(a) {
+			return fmt.Errorf("prefetcher: EWMA weight %v must be in (0,1]", a)
+		}
+		c.alpha = a
+		return nil
+	}
+}
+
+// WithWorkers sets the size of the speculative-fetch worker pool
+// (default 4). Demand fetches run on the caller's goroutine and are not
+// limited by the pool.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("prefetcher: worker count %d must be >= 1", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithQueueDepth bounds the speculative-fetch queue (default 64). When
+// the queue is full further prefetches are dropped — and counted — so a
+// slow origin cannot pile up unbounded speculative work.
+func WithQueueDepth(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("prefetcher: queue depth %d must be >= 1", n)
+		}
+		c.queueDepth = n
+		return nil
+	}
+}
+
+// WithMaxPrefetch caps how many items may be prefetched per request
+// (default 4). 0 disables speculation entirely while keeping the online
+// estimators running.
+func WithMaxPrefetch(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("prefetcher: max prefetch %d must be >= 0", n)
+		}
+		c.maxPrefetch = n
+		return nil
+	}
+}
+
+// WithEventHook registers a callback observing engine events (hits,
+// misses, prefetch dispatch/completion/drops). The hook is called
+// synchronously from the hot path after the engine's lock is released;
+// it must be fast and must not call back into the engine's Get.
+func WithEventHook(fn func(Event)) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("prefetcher: nil event hook")
+		}
+		c.hook = fn
+		return nil
+	}
+}
+
+// validate applies defaults and cross-checks the assembled config.
+func (c *config) validate() error {
+	if c.predictor == nil {
+		c.predictor = NewMarkovPredictor()
+	}
+	if c.cache == nil {
+		c.cache = NewLRUCache(1024)
+	}
+	if c.policy.adaptive && c.bandwidth == 0 {
+		return fmt.Errorf("prefetcher: policy %s adapts to load and requires WithBandwidth", c.policy.Name())
+	}
+	if c.bandwidth == 0 {
+		// Static policies never consult ρ̂′, but the controller still
+		// needs a positive bandwidth to normalise against.
+		c.bandwidth = 1
+	}
+	return nil
+}

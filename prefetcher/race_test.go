@@ -1,0 +1,150 @@
+package prefetcher
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentGets floods the engine with demand traffic from many
+// goroutines over a shared key space while prefetching runs, then
+// closes the engine mid-traffic. Run with -race this exercises every
+// lock in the facade and the internal controller/estimator stack.
+func TestConcurrentGets(t *testing.T) {
+	fetcher := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
+		if id%97 == 0 {
+			return Item{}, errors.New("origin hiccup")
+		}
+		return Item{ID: id, Size: 1 + float64(id%3), Data: fmt.Sprintf("v%d", id)}, nil
+	})
+	var events sync.Map // EventType → *counter, exercised concurrently
+	eng, err := New(fetcher,
+		WithBandwidth(200),
+		WithCache(NewSLRUCache(256, 128)),
+		WithPredictor(NewMarkovPredictor()),
+		WithPolicy(AdaptiveThreshold(ModelB())),
+		WithWorkers(8),
+		WithQueueDepth(32),
+		WithMaxPrefetch(3),
+		WithEventHook(func(ev Event) {
+			v, _ := events.LoadOrStore(ev.Type, new(int))
+			_ = v
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const workers = 12
+	const iters = 400
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Sequential runs with worker-specific offsets: enough
+				// overlap for shared in-flight fetches, enough structure
+				// for the Markov predictor to fire.
+				id := ID(w*50 + i%60)
+				cctx := ctx
+				if i%17 == 0 {
+					var cancel context.CancelFunc
+					cctx, cancel = context.WithTimeout(ctx, time.Millisecond)
+					defer cancel()
+				}
+				_, err := eng.Get(cctx, id)
+				_ = err // errors (hiccups, timeouts, ErrClosed) are expected
+				if i%31 == 0 {
+					_ = eng.Stats()
+					_ = eng.Threshold()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := eng.Stats()
+	if st.Requests == 0 || st.Hits == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+	if st.HPrime < 0 || st.HPrime > 1 {
+		t.Fatalf("ĥ′ = %v out of range", st.HPrime)
+	}
+
+	// Close while late speculative fetches may still be in flight, then
+	// confirm the engine refuses further traffic.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Get(ctx, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v", err)
+	}
+	// Close is idempotent.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSameKey makes every goroutine hammer the same cold key
+// so the in-flight dedup path is contended directly.
+func TestConcurrentSameKey(t *testing.T) {
+	var mu sync.Mutex
+	fetches := 0
+	gate := make(chan struct{})
+	fetcher := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
+		<-gate
+		mu.Lock()
+		fetches++
+		mu.Unlock()
+		return Item{ID: id, Size: 1, Data: "x"}, nil
+	})
+	eng, err := New(fetcher, WithBandwidth(100), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const callers = 16
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = eng.Get(ctx, 42)
+		}(i)
+	}
+	// Let the callers pile up on the single in-flight fetch, then open
+	// the origin.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	st := eng.Stats()
+	// One demand fetch; the other 15 callers joined it.
+	mu.Lock()
+	got := fetches
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("origin fetches = %d, want 1 (joiners must dedup)", got)
+	}
+	// Every caller but the fetcher either joined the in-flight fetch or
+	// (if it started late) hit the freshly-filled cache.
+	if st.Joins+st.Hits != callers-1 {
+		t.Fatalf("joins=%d hits=%d, want joins+hits=%d", st.Joins, st.Hits, callers-1)
+	}
+	if st.Joins == 0 {
+		t.Fatalf("no caller joined the in-flight fetch: %+v", st)
+	}
+}

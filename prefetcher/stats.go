@@ -1,0 +1,108 @@
+package prefetcher
+
+import "fmt"
+
+// Stats is a point-in-time snapshot of the engine's counters and online
+// estimates.
+type Stats struct {
+	// Requests counts Get calls; Hits and Misses partition them by
+	// cache outcome (a Get that joins an in-flight prefetch counts as a
+	// miss and a Join).
+	Requests, Hits, Misses int64
+	// Joins counts demand Gets that attached to an already in-flight
+	// speculative fetch instead of refetching.
+	Joins int64
+	// PrefetchIssued counts speculative fetches handed to the worker
+	// pool; PrefetchUsed counts prefetched items later consumed by a
+	// demand request; PrefetchWasted counts prefetched items evicted
+	// without ever being used; PrefetchDropped counts prefetches shed
+	// because the queue was full; PrefetchErrors counts speculative
+	// fetches that failed.
+	PrefetchIssued, PrefetchUsed, PrefetchWasted, PrefetchDropped, PrefetchErrors int64
+	// Lambda is the estimated request rate λ̂; MeanSize the estimated
+	// mean item size ŝ̄; HPrime the Section-4 tagged-cache estimate ĥ′
+	// of the no-prefetch hit ratio; RhoPrime the estimated no-prefetch
+	// utilisation ρ̂′; NF the observed prefetches per request.
+	Lambda, MeanSize, HPrime, RhoPrime, NF float64
+	// Threshold is the paper's current cutoff p̂_th for the engine's
+	// interaction model: ρ̂′ (model A) plus ĥ′/n̄(C) (model B).
+	Threshold float64
+	// CacheLen is the resident item count; InFlight the number of
+	// fetches (demand and speculative) currently outstanding.
+	CacheLen, InFlight int
+}
+
+// HitRatio returns Hits/Requests, or 0 before any request.
+func (s Stats) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// Accuracy returns PrefetchUsed/PrefetchIssued, or 0 before any
+// prefetch.
+func (s Stats) Accuracy() float64 {
+	if s.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUsed) / float64(s.PrefetchIssued)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"requests=%d hit=%.3f λ̂=%.3g ĥ′=%.3f ρ̂′=%.3f p̂_th=%.3f prefetch[issued=%d used=%d wasted=%d dropped=%d err=%d]",
+		s.Requests, s.HitRatio(), s.Lambda, s.HPrime, s.RhoPrime, s.Threshold,
+		s.PrefetchIssued, s.PrefetchUsed, s.PrefetchWasted, s.PrefetchDropped, s.PrefetchErrors)
+}
+
+// EventType classifies an engine event.
+type EventType int
+
+// Engine event types, delivered to the WithEventHook callback.
+const (
+	// EventHit: a Get was served from cache.
+	EventHit EventType = iota
+	// EventMiss: a Get missed and was fetched on demand.
+	EventMiss
+	// EventJoin: a Get attached to an in-flight speculative fetch.
+	EventJoin
+	// EventPrefetchIssued: a candidate was dispatched to the pool.
+	EventPrefetchIssued
+	// EventPrefetchDone: a speculative fetch landed in the cache.
+	EventPrefetchDone
+	// EventPrefetchDropped: the queue was full and the candidate shed.
+	EventPrefetchDropped
+	// EventPrefetchError: a speculative fetch failed (Err is set).
+	EventPrefetchError
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventHit:
+		return "hit"
+	case EventMiss:
+		return "miss"
+	case EventJoin:
+		return "join"
+	case EventPrefetchIssued:
+		return "prefetch-issued"
+	case EventPrefetchDone:
+		return "prefetch-done"
+	case EventPrefetchDropped:
+		return "prefetch-dropped"
+	case EventPrefetchError:
+		return "prefetch-error"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// Event is one observable engine action.
+type Event struct {
+	Type EventType
+	ID   ID
+	// Err is set for EventPrefetchError.
+	Err error
+}
