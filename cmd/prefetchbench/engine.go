@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,12 +23,39 @@ type engineBenchConfig struct {
 	CacheCap  int
 	Items     int
 	Seed      uint64
+	// Shards lists the shard counts to sweep; each entry gets its own
+	// run so the report shows throughput per shard count.
+	Shards []int
+}
+
+// parseShardList parses the -shards flag: a comma-separated list of
+// shard counts, e.g. "1,4,8".
+func parseShardList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("engine mode: bad shard count %q (want a positive integer list like 1,4,8)", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("engine mode: -shards lists no counts")
+	}
+	return out, nil
 }
 
 // runEngineBench hammers one shared prefetcher.Engine with concurrent
 // demand traffic — the public-API counterpart of the DES experiments:
 // it measures what the facade itself sustains (lock contention, worker
-// pool, in-flight dedup) rather than simulated network time.
+// pool, in-flight dedup) rather than simulated network time. It repeats
+// the run once per requested shard count and reports throughput per
+// count, so the effect of sharding the hot path is read directly off
+// one invocation.
 func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 	if cfg.Clients < 1 || cfg.Requests < 1 {
 		return fmt.Errorf("engine mode: -clients %d and -requests %d must be >= 1", cfg.Clients, cfg.Requests)
@@ -37,18 +66,67 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 	if cfg.Items < 1 {
 		return fmt.Errorf("engine mode: -items %d must be >= 1", cfg.Items)
 	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1}
+	}
+	fmt.Fprintf(w, "live engine benchmark: %d clients × %d requests, %d workers, b=%g\n",
+		cfg.Clients, cfg.Requests, cfg.Workers, cfg.Bandwidth)
+
+	var baseline float64
+	var baselineShards int
+	for _, shards := range cfg.Shards {
+		rps, eff, err := runEngineBenchOnce(w, cfg, shards)
+		if err != nil {
+			return err
+		}
+		if baseline == 0 {
+			baseline, baselineShards = rps, eff
+		} else {
+			fmt.Fprintf(w, "  speedup          %.2fx vs %d-shard run\n", rps/baseline, baselineShards)
+		}
+	}
+	return nil
+}
+
+// runEngineBenchOnce measures one engine configuration and returns its
+// throughput in requests per second plus the effective (power-of-two
+// rounded) shard count it ran with.
+func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards int) (float64, int, error) {
 	fetch := prefetcher.FetcherFunc(func(ctx context.Context, id prefetcher.ID) (prefetcher.Item, error) {
 		return prefetcher.Item{ID: id, Size: 1}, nil
 	})
+	// The engine rounds the shard count up to a power of two; mirror
+	// that here so the budget guard and the report match the caches the
+	// factory actually builds.
+	for n := 1; ; n <<= 1 {
+		if n >= shards {
+			shards = n
+			break
+		}
+	}
+	// The total cache budget stays fixed while the shard count varies
+	// (remainder spread over the first shards), so the sweep isolates
+	// contention from capacity. Rather than silently inflating tiny
+	// budgets, reject configurations the split cannot honour.
+	if cfg.CacheCap < 2*shards {
+		return 0, 0, fmt.Errorf("engine mode: -cache %d cannot give each of %d shards the >= 2 items SLRU needs", cfg.CacheCap, shards)
+	}
 	eng, err := prefetcher.New(fetch,
 		prefetcher.WithBandwidth(cfg.Bandwidth),
-		prefetcher.WithCache(prefetcher.NewSLRUCache(cfg.CacheCap, cfg.CacheCap/2)),
+		prefetcher.WithShards(shards),
+		prefetcher.WithCacheFactory(func(i, n int) prefetcher.Cache {
+			per := cfg.CacheCap / n
+			if i < cfg.CacheCap%n {
+				per++
+			}
+			return prefetcher.NewSLRUCache(per, (per+1)/2)
+		}),
 		prefetcher.WithPredictor(prefetcher.NewMarkovPredictor()),
 		prefetcher.WithWorkers(cfg.Workers),
 		prefetcher.WithMaxPrefetch(2),
 	)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	defer eng.Close()
 
@@ -90,18 +168,17 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 	if firstErr != nil {
-		return firstErr
+		return 0, 0, firstErr
 	}
 	if err := eng.Quiesce(ctx); err != nil {
-		return err
+		return 0, 0, err
 	}
 
 	st := eng.Stats()
-	total := completed
-	fmt.Fprintf(w, "live engine benchmark: %d clients × %d requests, %d workers, b=%g\n",
-		cfg.Clients, cfg.Requests, cfg.Workers, cfg.Bandwidth)
+	rps := float64(completed) / elapsed.Seconds()
+	fmt.Fprintf(w, "shards=%d\n", st.Shards)
 	fmt.Fprintf(w, "  wall time        %v\n", elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "  throughput       %.0f requests/s\n", float64(total)/elapsed.Seconds())
+	fmt.Fprintf(w, "  throughput       %.0f requests/s\n", rps)
 	fmt.Fprintf(w, "  hit ratio        %.4f\n", st.HitRatio())
 	fmt.Fprintf(w, "  ĥ′ (Section 4)   %.4f\n", st.HPrime)
 	fmt.Fprintf(w, "  ρ̂′ online        %.4f\n", st.RhoPrime)
@@ -111,5 +188,5 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 		st.PrefetchIssued, st.PrefetchUsed, st.PrefetchWasted,
 		st.PrefetchDropped, st.PrefetchErrors, st.Accuracy())
 	fmt.Fprintf(w, "  joins            %d demand requests coalesced onto in-flight prefetches\n", st.Joins)
-	return nil
+	return rps, shards, nil
 }

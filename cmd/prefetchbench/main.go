@@ -37,13 +37,18 @@ func main() {
 		requests = flag.Int("requests", 50000, "engine mode: requests per client")
 		ebw      = flag.Float64("b", 1e6, "engine mode: link bandwidth for the adaptive threshold")
 		workers  = flag.Int("workers", 8, "engine mode: speculative-fetch worker pool size")
-		ecache   = flag.Int("cache", 256, "engine mode: cache capacity")
+		ecache   = flag.Int("cache", 256, "engine mode: cache capacity (total, split across shards)")
 		eitems   = flag.Int("items", 2000, "engine mode: catalog size")
+		eshards  = flag.String("shards", "1,8", "engine mode: comma-separated shard counts to sweep")
 	)
 	flag.Parse()
 
 	if *engine {
-		err := runEngineBench(os.Stdout, engineBenchConfig{
+		shards, err := parseShardList(*eshards)
+		if err != nil {
+			fatal(err)
+		}
+		err = runEngineBench(os.Stdout, engineBenchConfig{
 			Clients:   *clients,
 			Requests:  *requests,
 			Bandwidth: *ebw,
@@ -51,6 +56,7 @@ func main() {
 			CacheCap:  *ecache,
 			Items:     *eitems,
 			Seed:      *seed,
+			Shards:    shards,
 		})
 		if err != nil {
 			fatal(err)

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Estimator implements the paper's Section-4 online estimator of h′ —
@@ -30,48 +31,81 @@ import (
 //
 // Estimator is safe for concurrent use: a live engine reports demand
 // hits, remote fetches, prefetch completions and evictions from
-// different goroutines.
+// different goroutines. The tag state is striped across several
+// independently-locked maps keyed by id, and the counters are atomics,
+// so a sharded engine's hot paths do not serialise on one estimator
+// lock. Each id's tag transitions stay ordered (one stripe owns each
+// id); the aggregate counters are only ever read as a ratio, for which
+// atomic adds suffice.
 type Estimator struct {
-	mu      sync.Mutex
-	tagged  map[ID]bool // resident → tagged?
-	naccess int64
-	nhit    int64
+	stripes [estimatorStripes]estimatorStripe
+	naccess atomic.Int64
+	nhit    atomic.Int64
+}
+
+// estimatorStripeBits sets the number of independently-locked tag maps
+// (2^bits). 16 stripes is plenty to keep engine shards from colliding
+// without bloating the zero-traffic footprint.
+const (
+	estimatorStripeBits = 4
+	estimatorStripes    = 1 << estimatorStripeBits
+)
+
+type estimatorStripe struct {
+	mu     sync.Mutex
+	tagged map[ID]bool // resident → tagged?
 }
 
 // NewEstimator returns an empty estimator. It must observe every cache
 // event; the simulator wires it to the client's cache.
 func NewEstimator() *Estimator {
-	return &Estimator{tagged: make(map[ID]bool)}
+	e := &Estimator{}
+	for i := range e.stripes {
+		e.stripes[i].tagged = make(map[ID]bool)
+	}
+	return e
+}
+
+// stripe returns the stripe owning id. The multiplicative hash spreads
+// sequential ids (the common dense-interned case) across stripes even
+// when the caller's own sharding already used the low bits.
+func (e *Estimator) stripe(id ID) *estimatorStripe {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &e.stripes[h>>(64-estimatorStripeBits)]
 }
 
 // OnPrefetch records that id entered the cache via prefetch (untagged).
 func (e *Estimator) OnPrefetch(id ID) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.tagged[id] = false
+	s := e.stripe(id)
+	s.mu.Lock()
+	s.tagged[id] = false
+	s.mu.Unlock()
 }
 
 // OnHit records a user request that hit the cache. It updates the
 // counters per the paper's algorithm and reports whether the entry was
 // tagged at the time of access.
 func (e *Estimator) OnHit(id ID) (wasTagged bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	t, known := e.tagged[id]
-	e.naccess++
+	s := e.stripe(id)
+	s.mu.Lock()
+	t, known := s.tagged[id]
+	if !known || !t {
+		s.tagged[id] = true // promote untagged → tagged (or adopt unknown)
+	}
+	s.mu.Unlock()
+
+	e.naccess.Add(1)
 	if !known {
 		// The entry predates the estimator (e.g. warm-up admission
 		// before estimation started). Treat it as tagged: a no-prefetch
 		// cache would hold it too.
-		e.tagged[id] = true
-		e.nhit++
+		e.nhit.Add(1)
 		return true
 	}
 	if t {
-		e.nhit++
+		e.nhit.Add(1)
 		return true
 	}
-	e.tagged[id] = true // promote untagged → tagged
 	return false
 }
 
@@ -79,59 +113,61 @@ func (e *Estimator) OnHit(id ID) (wasTagged bool) {
 // fetched remotely; admitted says whether the item was then admitted to
 // the cache (tagged if so).
 func (e *Estimator) OnRemoteAccess(id ID, admitted bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.naccess++
 	if admitted {
-		e.tagged[id] = true
+		s := e.stripe(id)
+		s.mu.Lock()
+		s.tagged[id] = true
+		s.mu.Unlock()
 	}
+	e.naccess.Add(1)
 }
 
 // OnEvict forgets the tag state of an evicted entry.
 func (e *Estimator) OnEvict(id ID) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	delete(e.tagged, id)
+	s := e.stripe(id)
+	s.mu.Lock()
+	delete(s.tagged, id)
+	s.mu.Unlock()
 }
 
 // Accesses returns naccess, the total number of user requests observed.
-func (e *Estimator) Accesses() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.naccess
-}
+func (e *Estimator) Accesses() int64 { return e.naccess.Load() }
 
 // TaggedHits returns nhit, the number of requests serviced by tagged
 // entries.
-func (e *Estimator) TaggedHits() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.nhit
-}
+func (e *Estimator) TaggedHits() int64 { return e.nhit.Load() }
 
 // Tagged reports whether id is currently resident-and-tagged.
 func (e *Estimator) Tagged(id ID) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.tagged[id]
+	s := e.stripe(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tagged[id]
 }
 
 // Resident returns the number of entries the estimator is tracking.
 func (e *Estimator) Resident() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.tagged)
+	n := 0
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		n += len(s.tagged)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // EstimateA returns the model-A estimate ĥ′ = nhit/naccess
-// (0 before any access).
+// (0 before any access). nhit is loaded before naccess: OnHit
+// increments naccess first, so nhit ≤ naccess at every instant and
+// this load order keeps the concurrent snapshot's ratio within [0, 1].
 func (e *Estimator) EstimateA() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.naccess == 0 {
+	nh := e.nhit.Load()
+	na := e.naccess.Load()
+	if na == 0 {
 		return 0
 	}
-	return float64(e.nhit) / float64(e.naccess)
+	return float64(nh) / float64(na)
 }
 
 // EstimateB returns the model-B estimate
@@ -149,7 +185,6 @@ func (e *Estimator) EstimateB(nC, nF float64) (float64, error) {
 // Reset zeroes the counters but keeps tag state, so estimation can be
 // restarted after simulation warm-up without forgetting residency.
 func (e *Estimator) Reset() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.naccess, e.nhit = 0, 0
+	e.naccess.Store(0)
+	e.nhit.Store(0)
 }

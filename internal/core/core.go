@@ -192,7 +192,7 @@ type Snapshot struct {
 	HPrime float64
 	// RhoPrime is ρ̂′ = (1−ĥ′)λ̂ŝ̄/b.
 	RhoPrime float64
-	// NF is the observed prefetches per request.
+	// NF is the recent (EWMA) prefetches per request n̄(F).
 	NF float64
 }
 

@@ -148,15 +148,20 @@ func TestAdvisorEndToEnd(t *testing.T) {
 }
 
 func TestAdvisorPrefetchBookkeeping(t *testing.T) {
-	a, err := NewAdvisor(50, analytic.ModelA{}, 0, 0)
+	// alpha=1: n̄(F) is exactly the prefetches folded at the latest
+	// arrival, making the EWMA bookkeeping directly observable.
+	a, err := NewAdvisor(50, analytic.ModelA{}, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	a.OnRequest(1, 1)
-	a.OnRequest(2, 1)
 	a.OnPrefetched(101)
-	if nf := a.Snapshot().NF; math.Abs(nf-0.5) > 1e-12 {
-		t.Errorf("n̄(F) = %v, want 0.5", nf)
+	if nf := a.Snapshot().NF; nf != 0 {
+		t.Errorf("n̄(F) = %v before the next arrival folds, want 0", nf)
+	}
+	a.OnRequest(2, 1)
+	if nf := a.Snapshot().NF; math.Abs(nf-1) > 1e-12 {
+		t.Errorf("n̄(F) = %v, want 1 (one prefetch since previous arrival)", nf)
 	}
 	// First use of a prefetched entry: counted as access, not hit
 	// (Section 4), then tagged.

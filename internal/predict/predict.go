@@ -21,7 +21,7 @@ package predict
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cache"
 )
@@ -45,15 +45,70 @@ type Predictor interface {
 	Name() string
 }
 
-// sortPredictions orders by decreasing probability, breaking ties by
-// ascending id for determinism.
+// sortPredictions orders by the prediction order better defines —
+// decreasing probability, ties by ascending id — so Predict and
+// PredictTop share one source of truth for the ordering the
+// TopPredictor contract depends on. slices.SortFunc rather than
+// sort.Slice: this runs on the engine's per-request hot path, where the
+// reflection swapper dominated CPU profiles.
 func sortPredictions(ps []Prediction) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].Prob != ps[j].Prob {
-			return ps[i].Prob > ps[j].Prob
+	slices.SortFunc(ps, func(a, b Prediction) int {
+		switch {
+		case better(a, b):
+			return -1
+		case better(b, a):
+			return 1
 		}
-		return ps[i].Item < ps[j].Item
+		return 0
 	})
+}
+
+// TopPredictor is implemented by predictors that can produce just their
+// k most probable candidates without materialising and sorting the full
+// distribution. The result must equal the first k entries of Predict().
+// The prefetch engine only ever consumes a bounded prefix of the
+// candidate list (every threshold policy admits a prefix, truncated to
+// the per-request prefetch cap), so this is its hot-path interface;
+// Predict remains the evaluation-facing full distribution.
+type TopPredictor interface {
+	PredictTop(k int) []Prediction
+}
+
+// better reports whether a precedes b in prediction order (decreasing
+// probability, ties by ascending id).
+func better(a, b Prediction) bool {
+	if a.Prob != b.Prob {
+		return a.Prob > b.Prob
+	}
+	return a.Item < b.Item
+}
+
+// topPredictions keeps the k best of a streamed candidate set in one
+// small sorted buffer: O(n·k) with k bounded by the engine's prefetch
+// cap, no full-row allocation, and the same deterministic order as
+// sortPredictions.
+type topPredictions struct {
+	buf []Prediction
+	k   int
+}
+
+func newTopPredictions(k int) topPredictions {
+	return topPredictions{buf: make([]Prediction, 0, k), k: k}
+}
+
+func (t *topPredictions) offer(p Prediction) {
+	if len(t.buf) == t.k {
+		if !better(p, t.buf[len(t.buf)-1]) {
+			return
+		}
+		t.buf = t.buf[:len(t.buf)-1]
+	}
+	i := len(t.buf)
+	t.buf = append(t.buf, p)
+	for i > 0 && better(t.buf[i], t.buf[i-1]) {
+		t.buf[i], t.buf[i-1] = t.buf[i-1], t.buf[i]
+		i--
+	}
 }
 
 // Markov1 is a first-order Markov model: it counts transitions
@@ -105,6 +160,23 @@ func (m *Markov1) Predict() []Prediction {
 	}
 	sortPredictions(out)
 	return out
+}
+
+// PredictTop implements TopPredictor: the k most probable successors of
+// the current state, without sorting the whole row.
+func (m *Markov1) PredictTop(k int) []Prediction {
+	if !m.seen || k <= 0 {
+		return nil
+	}
+	total := m.totals[m.cur]
+	if total == 0 {
+		return nil
+	}
+	top := newTopPredictions(k)
+	for id, c := range m.counts[m.cur] {
+		top.offer(Prediction{Item: id, Prob: float64(c) / float64(total)})
+	}
+	return top.buf
 }
 
 // Name implements Predictor.

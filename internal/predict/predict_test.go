@@ -349,3 +349,41 @@ func BenchmarkPPMObservePredict(b *testing.B) {
 		_ = p.Predict()
 	}
 }
+
+// TestMarkov1PredictTopMatchesPredict checks the TopPredictor contract:
+// PredictTop(k) must equal the first k entries of the fully sorted
+// Predict, for every k, including ties resolved by ascending id.
+func TestMarkov1PredictTopMatchesPredict(t *testing.T) {
+	m := NewMarkov1()
+	// Build a row with repeats and probability ties: successors of 0.
+	seq := []cache.ID{0, 5, 0, 3, 0, 5, 0, 9, 0, 1, 0, 7, 0, 7, 0, 2, 0}
+	for _, id := range seq {
+		m.Observe(id)
+	}
+	full := m.Predict()
+	if len(full) == 0 {
+		t.Fatal("no predictions")
+	}
+	for k := 0; k <= len(full)+2; k++ {
+		got := m.PredictTop(k)
+		want := full
+		if k < len(full) {
+			want = full[:k]
+		}
+		if k == 0 {
+			want = nil
+		}
+		if len(got) != len(want) {
+			t.Fatalf("PredictTop(%d) len = %d, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("PredictTop(%d)[%d] = %+v, want %+v (full %+v)", k, i, got[i], want[i], full)
+			}
+		}
+	}
+	// Fresh predictor: no candidates at any k.
+	if got := NewMarkov1().PredictTop(3); got != nil {
+		t.Fatalf("empty model PredictTop = %v, want nil", got)
+	}
+}

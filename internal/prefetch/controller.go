@@ -3,10 +3,48 @@ package prefetch
 import (
 	"fmt"
 	"math"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 )
+
+// ewma is a lock-free exponentially-weighted moving average: the current
+// value is stored as float64 bits in an atomic word, NaN meaning "no
+// observation yet", and each fold is a compare-and-swap loop. Concurrent
+// folds may apply in either order, but every sample is folded exactly
+// once, which is all the estimators need.
+type ewma struct {
+	bits atomic.Uint64
+}
+
+var unsetBits = math.Float64bits(math.NaN())
+
+func (e *ewma) init() { e.bits.Store(unsetBits) }
+
+// value returns the current average, or 0 before any observation.
+func (e *ewma) value() float64 {
+	v := math.Float64frombits(e.bits.Load())
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// fold mixes one sample in with weight alpha; the first sample seeds the
+// average directly.
+func (e *ewma) fold(sample, alpha float64) {
+	for {
+		old := e.bits.Load()
+		cur := math.Float64frombits(old)
+		next := sample
+		if !math.IsNaN(cur) {
+			next = (1-alpha)*cur + alpha*sample
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
 
 // Controller maintains the online estimates a Threshold policy needs:
 // the request rate λ, the mean item size s̄, the no-prefetch hit ratio
@@ -14,32 +52,33 @@ import (
 // ρ′ = (1−ĥ′)·λ̂·ŝ̄/b. It also tracks n̄(F), the recent prefetches per
 // request, for the model-B correction.
 //
-// Rate and size estimates use exponentially-weighted moving averages so
-// the threshold adapts when load shifts — the property that
+// Rate, size and n̄(F) estimates use exponentially-weighted moving
+// averages so the threshold adapts when load shifts — the property that
 // distinguishes the paper's rule from a static cutoff.
 //
-// Controller is safe for concurrent use: every method may be called
-// from multiple goroutines (the public prefetcher engine records
-// requests and prefetch completions concurrently). The embedded
-// Estimator carries its own lock, so wiring cache events directly to it
-// remains safe too.
+// Controller is safe for concurrent use and, unlike the earlier
+// mutex-based version, never serialises its callers: every estimate
+// lives in an atomic word, so the sharded engine's hot paths can record
+// requests and prefetch completions from many shards without contending
+// on a controller lock, while Lambda/State/Stats readers still observe
+// globally consistent aggregates. The embedded Estimator carries its own
+// striped locks, so wiring cache events directly to it remains safe too.
 type Controller struct {
-	mu        sync.Mutex
 	bandwidth float64
 	alpha     float64 // EWMA weight for new observations
 
 	est *cache.Estimator
 
-	lastArrival float64
-	interEWMA   float64 // smoothed inter-arrival time
-	haveArrival bool
-	haveInter   bool
+	lastArrival atomic.Uint64 // float64 bits of the last arrival time; NaN = none
+	interEWMA   ewma          // smoothed inter-arrival time
+	sizeEWMA    ewma          // smoothed item size
+	nfEWMA      ewma          // smoothed prefetches per request
 
-	sizeEWMA float64
-	haveSize bool
-
-	requests   int64
-	prefetches int64
+	// nfPending counts prefetches recorded since the last request; each
+	// arrival folds it into nfEWMA as one sample.
+	nfPending  atomic.Int64
+	requests   atomic.Int64
+	prefetches atomic.Int64
 }
 
 // NewController creates a controller for a link of the given bandwidth.
@@ -55,11 +94,16 @@ func NewController(bandwidth, alpha float64) *Controller {
 	if alpha < 0 || alpha > 1 {
 		panic(fmt.Sprintf("prefetch: EWMA weight %v must be in (0,1]", alpha))
 	}
-	return &Controller{
+	c := &Controller{
 		bandwidth: bandwidth,
 		alpha:     alpha,
 		est:       cache.NewEstimator(),
 	}
+	c.lastArrival.Store(unsetBits)
+	c.interEWMA.init()
+	c.sizeEWMA.init()
+	c.nfEWMA.init()
+	return c
 }
 
 // Estimator exposes the tagged-cache h′ estimator so the cache layer can
@@ -69,97 +113,84 @@ func (c *Controller) Estimator() *cache.Estimator { return c.est }
 // Bandwidth returns the configured link bandwidth b.
 func (c *Controller) Bandwidth() float64 { return c.bandwidth }
 
-// RecordRequest notes a user request at time now with the requested
-// item's size. Call once per request, before the prefetch decision.
+// RecordRequest notes a user request at time now. Call once per request,
+// as soon as the request arrives — before any fetch, so that λ̂ and the
+// request count stay consistent even when the origin later fails. size
+// is the requested item's size if already known; pass 0 (skipped by the
+// size estimator) when it is not, and report it via RecordSize once the
+// fetch resolves.
 func (c *Controller) RecordRequest(now, size float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.haveArrival {
-		inter := now - c.lastArrival
-		if inter >= 0 {
-			if !c.haveInter {
-				c.interEWMA = inter
-				c.haveInter = true
-			} else {
-				c.interEWMA = (1-c.alpha)*c.interEWMA + c.alpha*inter
-			}
+	prev := math.Float64frombits(c.lastArrival.Swap(math.Float64bits(now)))
+	if !math.IsNaN(prev) {
+		// Concurrent arrivals can swap out of order; a negative gap
+		// carries no rate information, so skip it.
+		if inter := now - prev; inter >= 0 {
+			c.interEWMA.fold(inter, c.alpha)
 		}
 	}
-	c.lastArrival = now
-	c.haveArrival = true
-
 	if size > 0 {
-		if !c.haveSize {
-			c.sizeEWMA = size
-			c.haveSize = true
-		} else {
-			c.sizeEWMA = (1-c.alpha)*c.sizeEWMA + c.alpha*size
-		}
+		c.sizeEWMA.fold(size, c.alpha)
 	}
-	c.requests++
+	c.nfEWMA.fold(float64(c.nfPending.Swap(0)), c.alpha)
+	c.requests.Add(1)
+}
+
+// RecordSize folds one observed item size into ŝ̄ for a request whose
+// size was unknown at arrival time (demand fetches learn the size only
+// when the origin responds). Sizes <= 0 are ignored.
+func (c *Controller) RecordSize(size float64) {
+	if size > 0 {
+		c.sizeEWMA.fold(size, c.alpha)
+	}
 }
 
 // RecordPrefetch notes that one item was prefetched as a consequence of
 // a request.
 func (c *Controller) RecordPrefetch() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.prefetches++
+	c.nfPending.Add(1)
+	c.prefetches.Add(1)
 }
+
+// Requests returns the number of arrivals recorded. It matches the
+// engine-level request count (minus requests rejected before admission),
+// including requests whose fetch subsequently failed.
+func (c *Controller) Requests() int64 { return c.requests.Load() }
+
+// Prefetches returns the lifetime number of prefetches recorded.
+func (c *Controller) Prefetches() int64 { return c.prefetches.Load() }
 
 // Lambda returns the estimated request rate λ̂ (0 until two requests
 // have been seen).
 func (c *Controller) Lambda() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lambdaLocked()
-}
-
-func (c *Controller) lambdaLocked() float64 {
-	if !c.haveInter || c.interEWMA <= 0 {
+	inter := c.interEWMA.value()
+	if inter <= 0 {
 		return 0
 	}
-	return 1 / c.interEWMA
+	return 1 / inter
 }
 
 // MeanSize returns the estimated mean item size ŝ̄ (0 until a sized
 // request has been seen).
-func (c *Controller) MeanSize() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sizeEWMA
-}
+func (c *Controller) MeanSize() float64 { return c.sizeEWMA.value() }
 
-// HPrime returns the Section-4 estimate ĥ′ under model A. The
-// estimator has its own lock, so this does not take the controller's.
+// HPrime returns the Section-4 estimate ĥ′ under model A.
 func (c *Controller) HPrime() float64 { return c.est.EstimateA() }
 
-// NF returns the observed average number of prefetched items per user
-// request.
-func (c *Controller) NF() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.nfLocked()
-}
-
-func (c *Controller) nfLocked() float64 {
-	if c.requests == 0 {
-		return 0
-	}
-	return float64(c.prefetches) / float64(c.requests)
-}
+// NF returns the *recent* average number of prefetched items per user
+// request n̄(F): an EWMA, folded at each arrival with the same alpha as
+// λ̂ and ŝ̄, of the prefetches recorded since the previous arrival. It
+// adapts when prefetch volume shifts, unlike the lifetime ratio
+// prefetches/requests.
+func (c *Controller) NF() float64 { return c.nfEWMA.value() }
 
 // RhoPrime returns the estimated no-prefetch utilisation
 // ρ̂′ = (1−ĥ′)·λ̂·ŝ̄/b, clamped to [0, 1].
 func (c *Controller) RhoPrime() float64 {
-	hp := c.est.EstimateA() // estimator lock; take before the controller's
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.rhoPrimeLocked(hp)
+	return c.rhoPrime(c.est.EstimateA())
 }
 
-func (c *Controller) rhoPrimeLocked(hPrime float64) float64 {
-	rho := (1 - hPrime) * c.lambdaLocked() * c.sizeEWMA / c.bandwidth
+func (c *Controller) rhoPrime(hPrime float64) float64 {
+	rho := (1 - hPrime) * c.Lambda() * c.MeanSize() / c.bandwidth
 	if rho < 0 {
 		return 0
 	}
@@ -173,12 +204,10 @@ func (c *Controller) rhoPrimeLocked(hPrime float64) float64 {
 // caller's cache-occupancy estimate (model B only; pass 0 for model A).
 func (c *Controller) State(nc float64) State {
 	hp := c.est.EstimateA()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return State{
-		RhoPrime: c.rhoPrimeLocked(hp),
+		RhoPrime: c.rhoPrime(hp),
 		HPrime:   hp,
 		NC:       nc,
-		NF:       c.nfLocked(),
+		NF:       c.NF(),
 	}
 }

@@ -327,14 +327,52 @@ func TestControllerRhoPrime(t *testing.T) {
 }
 
 func TestControllerNF(t *testing.T) {
-	c := NewController(50, 0)
-	c.RecordRequest(1, 1)
-	c.RecordRequest(2, 1)
+	// alpha=1: n̄(F) is exactly the prefetch count folded at the latest
+	// arrival, so the EWMA semantics are directly observable.
+	c := NewController(50, 1)
+	c.RecordRequest(1, 1) // folds the 0 prefetches seen so far
 	c.RecordPrefetch()
 	c.RecordPrefetch()
 	c.RecordPrefetch()
-	if math.Abs(c.NF()-1.5) > 1e-12 {
-		t.Errorf("n̄(F) = %v, want 1.5", c.NF())
+	if c.NF() != 0 {
+		t.Errorf("n̄(F) = %v before the next arrival folds, want 0", c.NF())
+	}
+	c.RecordRequest(2, 1) // folds the 3 pending prefetches
+	if math.Abs(c.NF()-3) > 1e-12 {
+		t.Errorf("n̄(F) = %v, want 3", c.NF())
+	}
+	if c.Requests() != 2 || c.Prefetches() != 3 {
+		t.Errorf("lifetime counters = %d/%d, want 2/3", c.Requests(), c.Prefetches())
+	}
+}
+
+// TestControllerNFConverges drives a steady two-prefetches-per-request
+// pattern and checks the EWMA converges to 2 — then shuts prefetching
+// off and checks n̄(F) decays toward 0, the adaptivity the lifetime
+// ratio prefetches/requests could never show.
+func TestControllerNFConverges(t *testing.T) {
+	c := NewController(50, 0.2)
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		now += 0.1
+		c.RecordRequest(now, 1)
+		c.RecordPrefetch()
+		c.RecordPrefetch()
+	}
+	if math.Abs(c.NF()-2) > 0.01 {
+		t.Fatalf("n̄(F) = %v after steady 2/request, want ~2", c.NF())
+	}
+	// Prefetch volume collapses; the lifetime ratio would stay pinned
+	// near 2 but the EWMA must track the shift.
+	for i := 0; i < 200; i++ {
+		now += 0.1
+		c.RecordRequest(now, 1)
+	}
+	if c.NF() > 0.01 {
+		t.Fatalf("n̄(F) = %v after prefetching stopped, want ~0", c.NF())
+	}
+	if lifetime := float64(c.Prefetches()) / float64(c.Requests()); lifetime < 0.9 {
+		t.Fatalf("lifetime ratio = %v, expected ~1 (sanity: shift really happened)", lifetime)
 	}
 }
 

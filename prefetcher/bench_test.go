@@ -1,0 +1,70 @@
+package prefetcher
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkEngineGet drives concurrent demand traffic through engines
+// with different shard counts. CI runs it with -benchtime=1x as a smoke
+// test so the sharded hot path stays exercised; locally, -benchtime=1s
+// with -cpu 1,4,8 shows how sharding trades off against parallelism.
+func BenchmarkEngineGet(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchEngineGet(b, shards)
+		})
+	}
+}
+
+func benchEngineGet(b *testing.B, shards int) {
+	fetch := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
+		return Item{ID: id, Size: 1}, nil
+	})
+	eng, err := New(fetch,
+		WithBandwidth(1e6),
+		WithShards(shards),
+		WithCacheFactory(func(i, n int) Cache {
+			per := 256 / n
+			if per < 2 {
+				per = 2
+			}
+			return NewSLRUCache(per, (per+1)/2)
+		}),
+		WithWorkers(4),
+		WithMaxPrefetch(2),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine sequential walks with distinct offsets: enough
+		// key overlap for in-flight dedup, enough structure for the
+		// Markov predictor to produce candidates.
+		off := seq.Add(1) * 257
+		i := int64(0)
+		for pb.Next() {
+			id := ID((off + i) % 2000)
+			if i%7 == 0 {
+				id = ID(off % 2000) // revisit: exercises the hit path
+			}
+			if _, err := eng.Get(ctx, id); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	st := eng.Stats()
+	if st.Requests == 0 {
+		b.Fatal("no traffic recorded")
+	}
+}

@@ -29,6 +29,14 @@
 // refetching. Stats returns a snapshot of the live estimates (ĥ′,
 // ρ̂′, p̂_th) and the prefetch hit/waste counters.
 //
+// Internally the keyed state — cache, in-flight dedup, size and
+// used/wasted accounting — is partitioned across power-of-two shards
+// (WithShards, default GOMAXPROCS-derived), each behind its own mutex,
+// so concurrent Gets on disjoint keys do not contend. The adaptive
+// policy's estimates stay global: one shared controller aggregates λ̂,
+// ŝ̄, ĥ′ and n̄(F) with atomic counters, so Threshold and Stats report
+// one globally consistent operating point at any shard count.
+//
 // For offline capacity planning — what threshold, what gain, what
 // cost, from known parameters instead of live estimates — use Planner.
 package prefetcher

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
+	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analytic"
@@ -36,10 +39,20 @@ type job struct {
 
 // Engine is the concurrent prefetch engine. Create one with New; all
 // methods are safe for concurrent use.
+//
+// Internally the keyed state (cache, in-flight dedup, size and
+// used/wasted accounting) is partitioned across power-of-two shards by a
+// hash of the ID, each behind its own mutex, so demand traffic on
+// disjoint keys proceeds in parallel (see WithShards). The adaptive
+// policy's estimates stay global: one shared prefetch.Controller built
+// on atomic counters aggregates λ̂, ŝ̄, ĥ′ and n̄(F) across shards, so
+// Threshold and Stats report the same globally consistent operating
+// point the paper's rule needs regardless of the shard count.
 type Engine struct {
 	fetcher     Fetcher
 	pred        Predictor
-	cache       Cache
+	ipred       predict.Predictor    // non-nil fast path when pred wraps an internal predictor
+	ipredTop    predict.TopPredictor // non-nil when ipred supports bounded top-k prediction
 	clock       Clock
 	policy      prefetch.Policy
 	model       analytic.Model
@@ -50,32 +63,39 @@ type Engine struct {
 
 	epoch time.Time // clock origin for the controller's float64 seconds
 
+	// predMu serialises the shared predictor: Observe and the Predict
+	// that plans each request run in one critical section, so the access
+	// model sees the same globally interleaved request stream it did
+	// under the old single-mutex engine.
+	predMu sync.Mutex
+
+	shards     []*shard
+	shardShift uint
+	// residents tracks Σ cache.Len() across shards so the hot path's
+	// occupancy estimate n̄(C) needs no shard locks.
+	residents atomic.Int64
+
+	closed atomic.Bool
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	jobs    chan job
 	wg      sync.WaitGroup
 
-	mu       sync.Mutex
-	closed   bool
-	inflight map[ID]*flight
+	// qmu guards the speculative-fetch quiesce accounting. Lock order:
+	// a shard mutex may be held when taking qmu, never the reverse.
+	qmu sync.Mutex
 	// specPending counts speculative fetches queued or running; idle is
 	// closed (and cleared) when it drops to zero, waking Quiesce.
 	specPending int
 	idle        chan struct{}
-	sizes       map[ID]float64
-	// unused marks resident prefetched items not yet consumed by a
-	// demand request — the basis of the used/wasted accounting.
-	unused map[ID]struct{}
-
-	requests, hits, misses, joins                                                 int64
-	prefetchIssued, prefetchUsed, prefetchWasted, prefetchDropped, prefetchErrors int64
 }
 
 // New assembles an Engine around the given origin fetcher. With no
-// options it uses a Markov-1 predictor, a 1024-item LRU cache, the wall
-// clock and the paper's adaptive threshold policy under interaction
-// model A — which requires WithBandwidth, the one parameter with no
-// sensible default.
+// options it uses a Markov-1 predictor, a 1024-item LRU cache
+// partitioned across GOMAXPROCS-derived shards, the wall clock and the
+// paper's adaptive threshold policy under interaction model A — which
+// requires WithBandwidth, the one parameter with no sensible default.
 func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 	if fetcher == nil {
 		return nil, fmt.Errorf("prefetcher: nil fetcher")
@@ -105,7 +125,6 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 	e := &Engine{
 		fetcher:     fetcher,
 		pred:        cfg.predictor,
-		cache:       cfg.cache,
 		clock:       cfg.clock,
 		policy:      cfg.policy.p,
 		model:       cfg.policy.model.analytic(),
@@ -117,20 +136,57 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 		baseCtx:     ctx,
 		cancel:      cancel,
 		jobs:        make(chan job, cfg.queueDepth),
-		inflight:    make(map[ID]*flight),
-		sizes:       make(map[ID]float64),
-		unused:      make(map[ID]struct{}),
+		shards:      make([]*shard, cfg.shards),
+		shardShift:  uint(64 - bits.TrailingZeros(uint(cfg.shards))),
 	}
-	// Every cache mutation happens under e.mu, so the eviction callback
-	// runs under e.mu too and may touch engine state directly.
-	e.cache.OnEvict(func(id ID) {
-		e.ctrl.Estimator().OnEvict(cache.ID(id))
-		delete(e.sizes, id)
-		if _, ok := e.unused[id]; ok {
-			delete(e.unused, id)
-			e.prefetchWasted++
+	if pa, ok := cfg.predictor.(predictorAdapter); ok {
+		// Skip the public-type round trip for the built-in predictors:
+		// their candidates are consumed as internal predictions anyway.
+		e.ipred = pa.p
+		// Every policy admits a prefix of the sorted candidates and the
+		// engine truncates to maxPrefetch, so candidates beyond the cap
+		// can never be dispatched — a predictor that can produce just
+		// the top maxPrefetch skips sorting its whole distribution.
+		if tp, ok := pa.p.(predict.TopPredictor); ok {
+			e.ipredTop = tp
 		}
-	})
+	}
+	for i := range e.shards {
+		var c Cache
+		switch {
+		case cfg.cache != nil:
+			c = cfg.cache // validate guarantees a single shard
+		case cfg.cacheFactory != nil:
+			if c = cfg.cacheFactory(i, cfg.shards); c == nil {
+				cancel()
+				return nil, fmt.Errorf("prefetcher: cache factory returned nil for shard %d", i)
+			}
+			// A shared instance would be mutated under two different
+			// shard locks — a data race with a misrouted eviction
+			// callback. Catch the easy closure mistake of returning one
+			// captured cache. (Interface equality is safe here: it can
+			// only panic for two values of the same non-comparable
+			// dynamic type, which the Comparable check excludes.)
+			if reflect.TypeOf(c).Comparable() {
+				for j, prev := range e.shards[:i] {
+					if prev.cache == c {
+						cancel()
+						return nil, fmt.Errorf("prefetcher: cache factory returned the same Cache for shards %d and %d; each shard needs its own instance", j, i)
+					}
+				}
+			}
+		default:
+			per := defaultCacheCapacity / cfg.shards
+			if per < 1 {
+				per = 1
+			}
+			c = NewLRUCache(per)
+		}
+		sh := newShard(c)
+		c.OnEvict(e.onEvict(sh))
+		e.shards[i] = sh
+		e.residents.Add(int64(c.Len())) // prewarmed caches start non-empty
+	}
 	for i := 0; i < cfg.workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -151,22 +207,33 @@ func (e *Engine) Get(ctx context.Context, id ID) (Item, error) {
 	if err := ctx.Err(); err != nil {
 		return Item{}, err
 	}
-	now := e.now()
-
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return Item{}, ErrClosed
 	}
-	e.requests++
-	e.pred.Observe(id)
+	now := e.now()
+	cands := e.observeAndPredict(id)
+	sh := e.shardFor(id)
+
+	sh.mu.Lock()
+	if e.closed.Load() {
+		sh.mu.Unlock()
+		return Item{}, ErrClosed
+	}
+	sh.requests++
 
 	// Hit path.
-	if v, ok := e.cache.Get(id); ok {
-		e.hits++
-		return e.serveLocked(id, now, e.sizes[id], v, EventHit), nil
+	if v, ok := sh.cache.Get(id); ok {
+		sh.hits++
+		return e.serve(sh, id, now, sh.residentSize(id), v, EventHit, true, cands), nil
 	}
-	e.misses++
+	sh.misses++
+	// Record the arrival immediately, before any fetch is attempted: a
+	// demand fetch that errors (or a joiner whose context expires) is
+	// still an arrival, and skipping it would let λ̂ and the
+	// controller's request count drift from Stats.Requests under origin
+	// failures. The size is unknown here; the fetch path folds it into
+	// ŝ̄ via RecordSize once the origin responds.
+	e.ctrl.RecordRequest(now, 0)
 
 	// Join in-flight fetches for the same id until one resolves, the
 	// item lands in cache, or no flight remains (then demand-fetch).
@@ -175,62 +242,106 @@ func (e *Engine) Get(ctx context.Context, id ID) (Item, error) {
 	// fresh flight, and overwriting that flight would break dedup.
 	joined := false
 	for {
-		f, ok := e.inflight[id]
+		f, ok := sh.inflight[id]
 		if !ok {
 			break
 		}
 		if !joined {
 			// One count per request, however many flights it retries.
-			e.joins++
+			sh.joins++
 			joined = true
 		}
-		e.mu.Unlock()
-		e.emit([]Event{{Type: EventJoin, ID: id}})
-		item, err, resolved := e.join(ctx, now, id, f)
+		sh.mu.Unlock()
+		e.emit(Event{Type: EventJoin, ID: id})
+		item, err, resolved := e.join(ctx, sh, id, f, cands)
 		if resolved {
 			return item, err
 		}
 		// The joined fetch failed or was dropped: re-check under the
 		// lock before fetching ourselves.
-		e.mu.Lock()
-		if e.closed {
-			e.mu.Unlock()
+		sh.mu.Lock()
+		if e.closed.Load() {
+			sh.mu.Unlock()
 			return Item{}, ErrClosed
 		}
-		if v, ok := e.cache.Get(id); ok {
+		if v, ok := sh.cache.Get(id); ok {
 			// Another request cached it while we waited. Serve it; the
 			// request stays counted as the miss it was on arrival.
-			return e.serveLocked(id, now, e.sizes[id], v, -1), nil
+			return e.serve(sh, id, now, sh.residentSize(id), v, -1, false, cands), nil
 		}
 	}
 
-	return e.demandFetch(ctx, now, id)
+	return e.demandFetch(ctx, sh, id, cands)
 }
 
-// serveLocked finishes a request whose item is resident (or just
-// arrived via a joined prefetch): it records the one estimator access
-// the request gets, consumes the prefetched-unused marker, records the
-// request with the controller, and dispatches speculative planning.
-// Called with e.mu held; returns with it released. evType < 0
-// suppresses the serve event (the join path already emitted one).
-func (e *Engine) serveLocked(id ID, now, size float64, data any, evType EventType) Item {
-	e.ctrl.Estimator().OnHit(cache.ID(id))
-	if _, pending := e.unused[id]; pending {
-		delete(e.unused, id)
-		e.prefetchUsed++
+// observeAndPredict feeds the request into the shared access model and
+// returns the candidate set for planning, in one predictor critical
+// section. Candidates are only dispatched if the request ultimately
+// succeeds, matching the old plan-on-serve behaviour.
+func (e *Engine) observeAndPredict(id ID) []predict.Prediction {
+	e.predMu.Lock()
+	if e.ipred != nil {
+		e.ipred.Observe(cache.ID(id))
+		if e.maxPrefetch == 0 {
+			e.predMu.Unlock()
+			return nil
+		}
+		var cands []predict.Prediction
+		if e.ipredTop != nil {
+			cands = e.ipredTop.PredictTop(e.maxPrefetch)
+		} else {
+			cands = e.ipred.Predict()
+		}
+		e.predMu.Unlock()
+		return cands
 	}
-	item := Item{ID: id, Size: size, Data: data}
-	e.ctrl.RecordRequest(now, item.Size)
-	events, cands := e.planLocked(id, evType)
-	e.mu.Unlock()
-	e.emit(events)
+	e.pred.Observe(id)
+	if e.maxPrefetch == 0 {
+		e.predMu.Unlock()
+		return nil
+	}
+	preds := e.pred.Predict()
+	e.predMu.Unlock()
+	if len(preds) == 0 {
+		return nil
+	}
+	cands := make([]predict.Prediction, len(preds))
+	for i, p := range preds {
+		cands[i] = predict.Prediction{Item: cache.ID(p.ID), Prob: p.Prob}
+	}
+	return cands
+}
+
+// serve finishes a request whose item is resident (or just arrived via
+// a joined prefetch): it records the one estimator access the request
+// gets, consumes the prefetched-unused marker, records the request with
+// the controller, and dispatches speculative planning. Called with
+// sh.mu held; returns with it released. evType < 0 suppresses the serve
+// event (the join path already emitted one). recordArrival is false
+// when the miss path already recorded the arrival; the size is then
+// folded on its own.
+func (e *Engine) serve(sh *shard, id ID, now, size float64, data any, evType EventType, recordArrival bool, cands []predict.Prediction) Item {
+	e.ctrl.Estimator().OnHit(cache.ID(id))
+	if _, pending := sh.unused[id]; pending {
+		delete(sh.unused, id)
+		sh.prefetchUsed++
+	}
+	sh.mu.Unlock()
+	if recordArrival {
+		e.ctrl.RecordRequest(now, size)
+	} else {
+		e.ctrl.RecordSize(size)
+	}
+	if evType >= 0 {
+		e.emit(Event{Type: evType, ID: id})
+	}
 	e.schedule(cands)
-	return item
+	return Item{ID: id, Size: size, Data: data}
 }
 
 // join waits for an in-flight fetch. resolved is false when the flight
 // failed and the caller should demand-fetch instead.
-func (e *Engine) join(ctx context.Context, now float64, id ID, f *flight) (Item, error, bool) {
+func (e *Engine) join(ctx context.Context, sh *shard, id ID, f *flight, cands []predict.Prediction) (Item, error, bool) {
 	select {
 	case <-f.done:
 	case <-ctx.Done():
@@ -239,116 +350,95 @@ func (e *Engine) join(ctx context.Context, now float64, id ID, f *flight) (Item,
 	if f.err != nil {
 		return Item{}, nil, false
 	}
-	e.mu.Lock()
+	sh.mu.Lock()
 	// The prefetched item beat this demand request to the origin:
-	// account it exactly like a first hit on an untagged entry.
-	return e.serveLocked(id, now, f.item.Size, f.item.Data, -1), nil, true
+	// account it exactly like a first hit on an untagged entry. The
+	// arrival was recorded when the miss was established.
+	return e.serve(sh, id, 0, f.item.Size, f.item.Data, -1, false, cands), nil, true
 }
 
-// demandFetch fetches id on the caller's goroutine. Called with e.mu
-// held; returns with it released.
-func (e *Engine) demandFetch(ctx context.Context, now float64, id ID) (Item, error) {
+// demandFetch fetches id on the caller's goroutine. Called with sh.mu
+// held; returns with it released. The arrival is already recorded.
+func (e *Engine) demandFetch(ctx context.Context, sh *shard, id ID, cands []predict.Prediction) (Item, error) {
 	f := &flight{done: make(chan struct{})}
-	e.inflight[id] = f
-	e.mu.Unlock()
+	sh.inflight[id] = f
+	sh.mu.Unlock()
 
 	item, err := e.fetcher.Fetch(ctx, id)
 
-	e.mu.Lock()
-	if e.inflight[id] == f {
-		delete(e.inflight, id)
+	sh.mu.Lock()
+	if sh.inflight[id] == f {
+		delete(sh.inflight, id)
 	}
-	var events []Event
-	var cands []predict.Prediction
 	if err != nil {
 		f.err = err
-	} else {
-		item.ID = id
-		if item.Size <= 0 {
-			item.Size = 1
-		}
-		e.sizes[id] = item.Size
-		e.cache.Put(id, item.Data)
-		e.ctrl.Estimator().OnRemoteAccess(cache.ID(id), true)
-		e.ctrl.RecordRequest(now, item.Size)
-		f.item = item
-		events, cands = e.planLocked(id, EventMiss)
-	}
-	close(f.done)
-	e.mu.Unlock()
-
-	if err != nil {
+		close(f.done)
+		sh.mu.Unlock()
 		return Item{}, err
 	}
-	e.emit(events)
+	item.ID = id
+	if item.Size <= 0 {
+		item.Size = 1
+	}
+	sh.sizes[id] = item.Size
+	e.putCache(sh, id, item.Data)
+	e.ctrl.Estimator().OnRemoteAccess(cache.ID(id), true)
+	f.item = item
+	close(f.done)
+	sh.mu.Unlock()
+
+	e.ctrl.RecordSize(item.Size)
+	e.emit(Event{Type: EventMiss, ID: id})
 	e.schedule(cands)
 	return item, nil
 }
 
-// planLocked queries the predictor and wraps the serve event. Called
-// with e.mu held. evType < 0 suppresses the serve event (the join path
-// already emitted one).
-func (e *Engine) planLocked(id ID, evType EventType) ([]Event, []predict.Prediction) {
-	var events []Event
-	if evType >= 0 {
-		events = append(events, Event{Type: evType, ID: id})
-	}
-	if e.maxPrefetch == 0 {
-		return events, nil
-	}
-	preds := e.pred.Predict()
-	if len(preds) == 0 {
-		return events, nil
-	}
-	cands := make([]predict.Prediction, len(preds))
-	for i, p := range preds {
-		cands[i] = predict.Prediction{Item: cache.ID(p.ID), Prob: p.Prob}
-	}
-	return events, cands
-}
-
 // schedule filters candidates through the policy at the current
-// estimates and dispatches the admitted ones to the worker pool.
+// estimates and dispatches the admitted ones to the worker pool. Each
+// candidate is registered under its own shard's lock; at most one shard
+// mutex is held at a time.
 func (e *Engine) schedule(cands []predict.Prediction) {
 	if len(cands) == 0 {
 		return
 	}
-	var events []Event
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return
-	}
-	st := e.ctrl.State(e.occupancyLocked())
+	st := e.ctrl.State(e.occupancy())
 	sel := e.policy.Select(cands, st)
 	if len(sel) > e.maxPrefetch {
 		sel = sel[:e.maxPrefetch]
 	}
 	for _, c := range sel {
 		id := ID(c.Item)
-		if e.cache.Contains(id) {
+		sh := e.shardFor(id)
+		sh.mu.Lock()
+		if e.closed.Load() {
+			sh.mu.Unlock()
+			return
+		}
+		if sh.cache.Contains(id) {
+			sh.mu.Unlock()
 			continue
 		}
-		if _, ok := e.inflight[id]; ok {
+		if _, ok := sh.inflight[id]; ok {
+			sh.mu.Unlock()
 			continue
 		}
 		f := &flight{done: make(chan struct{})}
-		e.inflight[id] = f
+		sh.inflight[id] = f
 		select {
 		case e.jobs <- job{id: id, f: f}:
-			e.prefetchIssued++
-			e.specPending++
-			events = append(events, Event{Type: EventPrefetchIssued, ID: id})
+			sh.prefetchIssued++
+			e.specAdd()
+			sh.mu.Unlock()
+			e.emit(Event{Type: EventPrefetchIssued, ID: id})
 		default: // queue full: shed, never block the demand path
-			delete(e.inflight, id)
+			delete(sh.inflight, id)
 			f.err = errDropped
 			close(f.done)
-			e.prefetchDropped++
-			events = append(events, Event{Type: EventPrefetchDropped, ID: id})
+			sh.prefetchDropped++
+			sh.mu.Unlock()
+			e.emit(Event{Type: EventPrefetchDropped, ID: id})
 		}
 	}
-	e.mu.Unlock()
-	e.emit(events)
 }
 
 // worker runs speculative fetches until the engine closes.
@@ -368,59 +458,67 @@ func (e *Engine) worker() {
 func (e *Engine) runPrefetch(j job) {
 	item, err := e.fetcher.Fetch(e.baseCtx, j.id)
 
-	e.mu.Lock()
-	if e.inflight[j.id] == j.f {
-		delete(e.inflight, j.id)
+	sh := e.shardFor(j.id)
+	sh.mu.Lock()
+	if sh.inflight[j.id] == j.f {
+		delete(sh.inflight, j.id)
 	}
 	var ev Event
 	if err != nil {
 		j.f.err = err
-		e.prefetchErrors++
+		sh.prefetchErrors++
 		ev = Event{Type: EventPrefetchError, ID: j.id, Err: err}
 	} else {
 		item.ID = j.id
 		if item.Size <= 0 {
 			item.Size = 1
 		}
-		e.sizes[j.id] = item.Size
-		e.cache.Put(j.id, item.Data)
+		sh.sizes[j.id] = item.Size
+		e.putCache(sh, j.id, item.Data)
 		e.ctrl.Estimator().OnPrefetch(cache.ID(j.id))
 		e.ctrl.RecordPrefetch()
-		e.unused[j.id] = struct{}{}
+		sh.unused[j.id] = struct{}{}
 		j.f.item = item
 		ev = Event{Type: EventPrefetchDone, ID: j.id}
 	}
 	close(j.f.done)
-	e.specDoneLocked()
-	e.mu.Unlock()
-	e.emit([]Event{ev})
+	sh.mu.Unlock()
+	e.specDone()
+	e.emit(ev)
 }
 
-// specDoneLocked retires one speculative fetch and wakes Quiesce
-// waiters when none remain. Called with e.mu held.
-func (e *Engine) specDoneLocked() {
+// specAdd registers one queued speculative fetch with the quiesce
+// accounting. May be called with a shard mutex held (shard → qmu).
+func (e *Engine) specAdd() {
+	e.qmu.Lock()
+	e.specPending++
+	e.qmu.Unlock()
+}
+
+// specDone retires one speculative fetch and wakes Quiesce waiters when
+// none remain.
+func (e *Engine) specDone() {
+	e.qmu.Lock()
 	e.specPending--
 	if e.specPending == 0 && e.idle != nil {
 		close(e.idle)
 		e.idle = nil
 	}
+	e.qmu.Unlock()
 }
 
-// occupancyLocked returns n̄(C): the configured value if set, else the
-// live resident count. Called with e.mu held.
-func (e *Engine) occupancyLocked() float64 {
+// occupancy returns n̄(C): the configured value if set, else the live
+// resident count aggregated across shards.
+func (e *Engine) occupancy() float64 {
 	if e.nc > 0 {
 		return e.nc
 	}
-	return float64(e.cache.Len())
+	return float64(e.residents.Load())
 }
 
-// emit delivers events to the hook outside the engine lock.
-func (e *Engine) emit(events []Event) {
-	if e.hook == nil {
-		return
-	}
-	for _, ev := range events {
+// emit delivers one event to the hook outside the engine's locks.
+func (e *Engine) emit(ev Event) {
+	if e.hook != nil {
 		e.hook(ev)
 	}
 }
@@ -428,39 +526,40 @@ func (e *Engine) emit(events []Event) {
 // Threshold returns the current estimate of the paper's cutoff p̂_th
 // for the engine's interaction model.
 func (e *Engine) Threshold() float64 {
-	e.mu.Lock()
-	nc := e.occupancyLocked()
-	e.mu.Unlock()
-	return prefetch.ThresholdFor(e.model, e.ctrl.State(nc))
+	return prefetch.ThresholdFor(e.model, e.ctrl.State(e.occupancy()))
 }
 
 // Stats snapshots the engine's counters and online estimates. The
 // estimates and Threshold come from one State snapshot, so they are
-// mutually consistent.
+// mutually consistent; the counters are summed across shards, each
+// shard read under its own lock.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st := e.ctrl.State(e.occupancyLocked())
-	threshold := prefetch.ThresholdFor(e.model, st)
-	return Stats{
-		Requests:        e.requests,
-		Hits:            e.hits,
-		Misses:          e.misses,
-		Joins:           e.joins,
-		PrefetchIssued:  e.prefetchIssued,
-		PrefetchUsed:    e.prefetchUsed,
-		PrefetchWasted:  e.prefetchWasted,
-		PrefetchDropped: e.prefetchDropped,
-		PrefetchErrors:  e.prefetchErrors,
-		Lambda:          e.ctrl.Lambda(),
-		MeanSize:        e.ctrl.MeanSize(),
-		HPrime:          st.HPrime,
-		RhoPrime:        st.RhoPrime,
-		NF:              st.NF,
-		Threshold:       threshold,
-		CacheLen:        e.cache.Len(),
-		InFlight:        len(e.inflight),
+	st := e.ctrl.State(e.occupancy())
+	s := Stats{
+		Lambda:    e.ctrl.Lambda(),
+		MeanSize:  e.ctrl.MeanSize(),
+		HPrime:    st.HPrime,
+		RhoPrime:  st.RhoPrime,
+		NF:        st.NF,
+		Threshold: prefetch.ThresholdFor(e.model, st),
+		Shards:    len(e.shards),
 	}
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		s.Requests += sh.requests
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Joins += sh.joins
+		s.PrefetchIssued += sh.prefetchIssued
+		s.PrefetchUsed += sh.prefetchUsed
+		s.PrefetchWasted += sh.prefetchWasted
+		s.PrefetchDropped += sh.prefetchDropped
+		s.PrefetchErrors += sh.prefetchErrors
+		s.CacheLen += sh.cache.Len()
+		s.InFlight += len(sh.inflight)
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // Quiesce blocks until no speculative fetches are queued or in flight,
@@ -468,16 +567,16 @@ func (e *Engine) Stats() Stats {
 // under their callers' contexts.
 func (e *Engine) Quiesce(ctx context.Context) error {
 	for {
-		e.mu.Lock()
+		e.qmu.Lock()
 		if e.specPending == 0 {
-			e.mu.Unlock()
+			e.qmu.Unlock()
 			return nil
 		}
 		if e.idle == nil {
 			e.idle = make(chan struct{})
 		}
 		ch := e.idle
-		e.mu.Unlock()
+		e.qmu.Unlock()
 		select {
 		case <-ch:
 		case <-ctx.Done():
@@ -490,30 +589,38 @@ func (e *Engine) Quiesce(ctx context.Context) error {
 // and fails their joiners. Demand fetches already in progress complete
 // under their callers' contexts. Close is idempotent.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Swap(true) {
 		return nil
 	}
-	e.closed = true
-	e.mu.Unlock()
+
+	// Barrier: every path that enqueues speculative work re-checks the
+	// closed flag under its shard mutex before pushing to the job
+	// queue. Cycling each shard's lock therefore waits out any
+	// goroutine that passed the check before the flag flipped — after
+	// this loop, no new job can enter the queue and the drain below
+	// cannot race a late producer.
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	}
 
 	e.cancel()
 	e.wg.Wait()
 
 	// Fail queued jobs whose worker never picked them up.
-	e.mu.Lock()
 	for {
 		select {
 		case j := <-e.jobs:
-			if e.inflight[j.id] == j.f {
-				delete(e.inflight, j.id)
+			sh := e.shardFor(j.id)
+			sh.mu.Lock()
+			if sh.inflight[j.id] == j.f {
+				delete(sh.inflight, j.id)
 			}
 			j.f.err = ErrClosed
 			close(j.f.done)
-			e.specDoneLocked()
+			sh.mu.Unlock()
+			e.specDone()
 		default:
-			e.mu.Unlock()
 			return nil
 		}
 	}

@@ -372,3 +372,182 @@ func waitUntil(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached within 2s")
 }
+
+// TestFailedFetchAccounting pins the bugfix for λ̂ divergence: a demand
+// fetch that errors must still record the arrival with the controller,
+// so the controller's request count and rate estimate track
+// Stats.Requests even when the origin is failing.
+func TestFailedFetchAccounting(t *testing.T) {
+	fetcher := newMemFetcher()
+	fetcher.fail[7] = errors.New("origin down")
+	clock := NewManualClock(time.Unix(0, 0))
+	eng, err := New(fetcher,
+		WithBandwidth(50),
+		WithClock(clock),
+		WithPolicy(NoPrefetch()),
+		WithCache(NewLRUCache(8)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	// A mix of failing and succeeding requests at a steady 10/s.
+	for i := 0; i < 20; i++ {
+		clock.AdvanceSeconds(0.1)
+		id := ID(7) // permanent origin failure
+		if i%2 == 1 {
+			id = ID(i) // fresh id, succeeds
+		}
+		_, err := eng.Get(ctx, id)
+		if id == 7 && err == nil {
+			t.Fatal("expected origin failure")
+		}
+		if id != 7 && err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := eng.Stats()
+	if st.Requests != 20 {
+		t.Fatalf("requests = %d, want 20", st.Requests)
+	}
+	if got := eng.ctrl.Requests(); got != st.Requests {
+		t.Fatalf("controller recorded %d arrivals, Stats.Requests = %d — failed fetches lost", got, st.Requests)
+	}
+	// All 20 arrivals were evenly spaced, so λ̂ must estimate ~10/s; had
+	// the failing half been dropped the estimate would sit near 5/s.
+	if lam := st.Lambda; lam < 9 || lam > 11 {
+		t.Fatalf("λ̂ = %v under 50%% origin failures, want ~10", lam)
+	}
+}
+
+// TestPrewarmedCacheSize pins the bugfix for hits on entries the engine
+// never fetched: a user-supplied cache already holding items must serve
+// them with the fetch-path default size 1, not 0, and feed ŝ̄.
+func TestPrewarmedCacheSize(t *testing.T) {
+	warm := NewLRUCache(8)
+	warm.Put(5, "warm-payload")
+	fetcher := newMemFetcher()
+	clock := NewManualClock(time.Unix(0, 0))
+	eng, err := New(fetcher,
+		WithBandwidth(50),
+		WithClock(clock),
+		WithPolicy(NoPrefetch()),
+		WithCache(warm),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	clock.AdvanceSeconds(0.1)
+	it, err := eng.Get(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Data != "warm-payload" {
+		t.Fatalf("item = %+v, want prewarmed payload", it)
+	}
+	if it.Size != 1 {
+		t.Fatalf("prewarmed hit served Size = %v, want fallback 1", it.Size)
+	}
+	st := eng.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want a pure hit", st)
+	}
+	if st.MeanSize != 1 {
+		t.Fatalf("ŝ̄ = %v, want 1 — prewarmed hits must not starve the size estimate", st.MeanSize)
+	}
+	if st.CacheLen != 1 {
+		t.Fatalf("CacheLen = %d, want 1 (prewarmed resident counted)", st.CacheLen)
+	}
+	// Repeat hits see the same memoised size.
+	clock.AdvanceSeconds(0.1)
+	if it, err := eng.Get(ctx, 5); err != nil || it.Size != 1 {
+		t.Fatalf("second prewarmed hit = %+v, %v", it, err)
+	}
+}
+
+// TestShardOptions covers the WithShards/WithCache/WithCacheFactory
+// interaction rules and the power-of-two rounding.
+func TestShardOptions(t *testing.T) {
+	fetcher := newMemFetcher()
+	ctx := context.Background()
+
+	// WithShards rounds up to the next power of two.
+	eng, err := New(fetcher, WithBandwidth(50), WithShards(3),
+		WithCacheFactory(func(i, n int) Cache { return NewLRUCache(16) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Shards; got != 4 {
+		t.Fatalf("WithShards(3) → %d shards, want 4", got)
+	}
+	eng.Close()
+
+	// A single supplied cache pins the engine to one shard.
+	eng, err = New(fetcher, WithBandwidth(50), WithCache(NewLRUCache(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Shards; got != 1 {
+		t.Fatalf("WithCache → %d shards, want 1", got)
+	}
+	eng.Close()
+
+	// WithCache + WithShards(>1) is a construction error.
+	if _, err := New(fetcher, WithBandwidth(50), WithCache(NewLRUCache(16)), WithShards(4)); err == nil {
+		t.Fatal("WithCache+WithShards(4) succeeded, want error")
+	}
+	// WithCache and WithCacheFactory are mutually exclusive.
+	if _, err := New(fetcher, WithBandwidth(50), WithCache(NewLRUCache(16)),
+		WithCacheFactory(func(i, n int) Cache { return NewLRUCache(16) })); err == nil {
+		t.Fatal("WithCache+WithCacheFactory succeeded, want error")
+	}
+	// A factory returning nil is rejected.
+	if _, err := New(fetcher, WithBandwidth(50), WithShards(2),
+		WithCacheFactory(func(i, n int) Cache { return nil })); err == nil {
+		t.Fatal("nil-returning factory succeeded, want error")
+	}
+	// A factory returning one shared instance for every shard is a data
+	// race waiting to happen and is rejected.
+	shared := NewLRUCache(16)
+	if _, err := New(fetcher, WithBandwidth(50), WithShards(2),
+		WithCacheFactory(func(i, n int) Cache { return shared })); err == nil {
+		t.Fatal("instance-sharing factory succeeded, want error")
+	}
+	// WithShards(0) is invalid.
+	if _, err := New(fetcher, WithBandwidth(50), WithShards(0)); err == nil {
+		t.Fatal("WithShards(0) succeeded, want error")
+	}
+
+	// Traffic over a wide key space actually lands on every shard, and
+	// aggregate Stats account for all of it.
+	eng, err = New(fetcher, WithBandwidth(50), WithShards(4), WithPolicy(NoPrefetch()),
+		WithCacheFactory(func(i, n int) Cache { return NewLRUCache(64) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	const n = 256
+	for i := 0; i < n; i++ {
+		if _, err := eng.Get(ctx, ID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Requests != n || st.Misses != n {
+		t.Fatalf("aggregate stats lost traffic: %+v", st)
+	}
+	for i, sh := range eng.shards {
+		sh.mu.Lock()
+		reqs := sh.requests
+		sh.mu.Unlock()
+		if reqs == 0 {
+			t.Fatalf("shard %d received no traffic over %d sequential ids", i, n)
+		}
+	}
+}

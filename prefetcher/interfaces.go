@@ -44,9 +44,10 @@ type Prediction struct {
 
 // Predictor is an online access model: it learns from each observed
 // request and can be queried for a probability-ranked candidate set.
-// The engine serialises all Predictor calls under its own lock, so
-// implementations need not be goroutine-safe. Predict must return
-// candidates sorted by decreasing probability.
+// The engine shares one predictor across all shards and serialises all
+// Predictor calls under a dedicated lock, so implementations need not
+// be goroutine-safe. Predict must return candidates sorted by
+// decreasing probability.
 type Predictor interface {
 	Observe(id ID)
 	Predict() []Prediction
@@ -54,8 +55,11 @@ type Predictor interface {
 }
 
 // Cache is the bounded client-side store the engine consults before
-// fetching. The engine serialises all Cache calls under its own lock,
-// so implementations need not be goroutine-safe.
+// fetching. Each engine shard owns exactly one Cache instance and
+// serialises every call on it under that shard's lock, so
+// implementations need not be goroutine-safe — but instances must never
+// be shared between shards (WithCacheFactory must return a fresh Cache
+// per call).
 type Cache interface {
 	// Get returns the cached payload and whether the item was resident,
 	// refreshing recency metadata on a hit.
@@ -66,10 +70,13 @@ type Cache interface {
 	Contains(id ID) bool
 	// Len reports the resident count.
 	Len() int
-	// OnEvict registers a callback invoked with each id the cache
-	// evicts. The engine uses it for the tagged h′ estimator and its
-	// prefetch-waste accounting; the callback is invoked synchronously
-	// from within Put.
+	// OnEvict registers a callback that must be invoked with each id
+	// the cache evicts, synchronously from within whichever Cache call
+	// evicts it (Put for the built-in caches; a TTL cache may also
+	// evict during Get). The engine relies on it for the tagged h′
+	// estimator, its prefetch-waste accounting and its live resident
+	// count — a cache that drops entries without reporting them skews
+	// all three.
 	OnEvict(fn func(id ID))
 }
 

@@ -9,18 +9,24 @@ import (
 type Option func(*config) error
 
 type config struct {
-	predictor   Predictor
-	cache       Cache
-	clock       Clock
-	policy      Policy
-	bandwidth   float64
-	nc          float64
-	alpha       float64
-	workers     int
-	queueDepth  int
-	maxPrefetch int
-	hook        func(Event)
+	predictor    Predictor
+	cache        Cache
+	cacheFactory func(shard, shards int) Cache
+	clock        Clock
+	policy       Policy
+	bandwidth    float64
+	nc           float64
+	alpha        float64
+	shards       int // 0 = derive from GOMAXPROCS (or 1 with WithCache)
+	workers      int
+	queueDepth   int
+	maxPrefetch  int
+	hook         func(Event)
 }
+
+// defaultCacheCapacity is the total capacity of the default LRU cache,
+// split evenly across shards.
+const defaultCacheCapacity = 1024
 
 func defaultConfig() *config {
 	return &config{
@@ -43,13 +49,53 @@ func WithPredictor(p Predictor) Option {
 	}
 }
 
-// WithCache sets the client-side store (default: NewLRUCache(1024)).
+// WithCache sets the client-side store (default: a 1024-item LRU split
+// across shards). A single Cache instance can only serve a single-shard
+// engine: combining WithCache with WithShards(n > 1) is a construction
+// error, and without WithShards a supplied cache pins the shard count to
+// one. Sharded engines wanting a custom cache use WithCacheFactory. A
+// prewarmed cache (entries present before New) is served as-is; hits on
+// entries the engine never fetched report size 1, the same default the
+// fetch path applies.
 func WithCache(s Cache) Option {
 	return func(c *config) error {
 		if s == nil {
 			return fmt.Errorf("prefetcher: nil cache")
 		}
 		c.cache = s
+		return nil
+	}
+}
+
+// WithCacheFactory sets a per-shard cache constructor: fn is called once
+// per shard with the shard index and total shard count, and must return
+// a fresh Cache each time (shards never share an instance — each cache
+// is guarded by its shard's lock). Size per-shard capacities as
+// total/shards. Mutually exclusive with WithCache.
+func WithCacheFactory(fn func(shard, shards int) Cache) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("prefetcher: nil cache factory")
+		}
+		c.cacheFactory = fn
+		return nil
+	}
+}
+
+// WithShards sets how many partitions the engine's keyed hot-path state
+// (cache, in-flight dedup, size/used accounting) is split into; n is
+// rounded up to the next power of two. More shards means demand traffic
+// on disjoint keys contends less on the engine's locks; the adaptive
+// policy is unaffected because its estimates (λ̂, ŝ̄, ĥ′, ρ̂′, n̄(F))
+// are aggregated globally in the shared controller. The default derives
+// from GOMAXPROCS, or 1 when WithCache supplies a single cache
+// instance.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("prefetcher: shard count %d must be >= 1", n)
+		}
+		c.shards = n
 		return nil
 	}
 }
@@ -174,8 +220,20 @@ func (c *config) validate() error {
 	if c.predictor == nil {
 		c.predictor = NewMarkovPredictor()
 	}
-	if c.cache == nil {
-		c.cache = NewLRUCache(1024)
+	if c.cache != nil && c.cacheFactory != nil {
+		return fmt.Errorf("prefetcher: WithCache and WithCacheFactory are mutually exclusive")
+	}
+	if c.shards == 0 {
+		if c.cache != nil {
+			c.shards = 1 // a single supplied instance cannot be partitioned
+		} else {
+			c.shards = defaultShards()
+		}
+	} else {
+		c.shards = nextPow2(c.shards)
+	}
+	if c.cache != nil && c.shards > 1 {
+		return fmt.Errorf("prefetcher: WithCache supplies a single instance but WithShards(%d) needs one cache per shard; use WithCacheFactory or WithShards(1)", c.shards)
 	}
 	if c.policy.adaptive && c.bandwidth == 0 {
 		return fmt.Errorf("prefetcher: policy %s adapts to load and requires WithBandwidth", c.policy.Name())

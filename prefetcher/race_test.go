@@ -148,3 +148,101 @@ func TestConcurrentSameKey(t *testing.T) {
 		t.Fatalf("no caller joined the in-flight fetch: %+v", st)
 	}
 }
+
+// TestConcurrentShardedLifecycle drives demand traffic, Quiesce, Stats
+// and Threshold across shard boundaries while the engine is closed
+// mid-flight. Under -race this exercises the per-shard mutexes, the
+// shared controller's atomics, the estimator stripes, the quiesce
+// accounting and the close barrier together.
+func TestConcurrentShardedLifecycle(t *testing.T) {
+	fetcher := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
+		if id%89 == 0 {
+			return Item{}, errors.New("origin hiccup")
+		}
+		return Item{ID: id, Size: 1 + float64(id%5), Data: int64(id)}, nil
+	})
+	eng, err := New(fetcher,
+		WithBandwidth(500),
+		WithShards(8),
+		WithCacheFactory(func(i, n int) Cache { return NewSLRUCache(64, 32) }),
+		WithPolicy(AdaptiveThreshold(ModelB())),
+		WithWorkers(4),
+		WithQueueDepth(32),
+		WithMaxPrefetch(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Shards; got != 8 {
+		t.Fatalf("shards = %d, want 8", got)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	const getters = 10
+	const iters = 300
+	for w := 0; w < getters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Stride walks that cross shard boundaries on every
+				// request, with overlap between goroutines for dedup.
+				id := ID((w*37 + i*11) % 500)
+				_, err := eng.Get(ctx, id)
+				_ = err // hiccups and ErrClosed are expected
+				if i%23 == 0 {
+					_ = eng.Stats()
+					_ = eng.Threshold()
+				}
+			}
+		}(w)
+	}
+	// Quiescers run concurrently with traffic and the close below.
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				qctx, cancel := context.WithTimeout(ctx, time.Millisecond)
+				_ = eng.Quiesce(qctx)
+				cancel()
+			}
+		}()
+	}
+	// Close mid-traffic from yet another goroutine.
+	closeErr := make(chan error, 1)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		closeErr <- eng.Close()
+	}()
+	wg.Wait()
+	if err := <-closeErr; err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := eng.Get(ctx, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v, want ErrClosed", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After close the quiesce accounting must be drained: Quiesce
+	// returns immediately.
+	if err := eng.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Requests == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+	if st.Hits+st.Misses != st.Requests {
+		t.Fatalf("hits+misses = %d+%d != requests %d", st.Hits, st.Misses, st.Requests)
+	}
+	if st.HPrime < 0 || st.HPrime > 1 {
+		t.Fatalf("ĥ′ = %v out of range", st.HPrime)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight fetches leaked past Close: %+v", st)
+	}
+}

@@ -3,7 +3,10 @@ package prefetcher
 import "fmt"
 
 // Stats is a point-in-time snapshot of the engine's counters and online
-// estimates.
+// estimates. The counters (Requests … PrefetchErrors, CacheLen,
+// InFlight) are maintained per shard on the hot path and summed here;
+// the estimates (Lambda … NF) and Threshold come from the engine's one
+// shared controller and are global regardless of the shard count.
 type Stats struct {
 	// Requests counts Get calls; Hits and Misses partition them by
 	// cache outcome (a Get that joins an in-flight prefetch counts as a
@@ -22,14 +25,17 @@ type Stats struct {
 	// Lambda is the estimated request rate λ̂; MeanSize the estimated
 	// mean item size ŝ̄; HPrime the Section-4 tagged-cache estimate ĥ′
 	// of the no-prefetch hit ratio; RhoPrime the estimated no-prefetch
-	// utilisation ρ̂′; NF the observed prefetches per request.
+	// utilisation ρ̂′; NF the recent (EWMA) prefetches per request.
 	Lambda, MeanSize, HPrime, RhoPrime, NF float64
 	// Threshold is the paper's current cutoff p̂_th for the engine's
 	// interaction model: ρ̂′ (model A) plus ĥ′/n̄(C) (model B).
 	Threshold float64
-	// CacheLen is the resident item count; InFlight the number of
-	// fetches (demand and speculative) currently outstanding.
+	// CacheLen is the resident item count summed across shard caches;
+	// InFlight the number of fetches (demand and speculative) currently
+	// outstanding, summed likewise.
 	CacheLen, InFlight int
+	// Shards is the engine's shard count (see WithShards).
+	Shards int
 }
 
 // HitRatio returns Hits/Requests, or 0 before any request.
