@@ -88,6 +88,45 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 	return nil
 }
 
+// newBenchEngine assembles the identically configured engine both
+// bench modes (-engine and -trace) measure, so their numbers stay
+// comparable: the shard count is rounded up to the power of two the
+// engine itself would use (so the budget guard and the report match
+// the caches the factory actually builds), and the total cache budget
+// stays fixed while the shard count varies (remainder spread over the
+// first shards) — the sweep isolates contention from capacity. Rather
+// than silently inflating tiny budgets, configurations the split
+// cannot honour are rejected. Returns the effective shard count.
+func newBenchEngine(mode string, fetch prefetcher.Fetcher, bandwidth float64, workers, cacheCap, shards int) (*prefetcher.Engine, int, error) {
+	for n := 1; ; n <<= 1 {
+		if n >= shards {
+			shards = n
+			break
+		}
+	}
+	if cacheCap < 2*shards {
+		return nil, 0, fmt.Errorf("%s mode: -cache %d cannot give each of %d shards the >= 2 items SLRU needs", mode, cacheCap, shards)
+	}
+	eng, err := prefetcher.New(fetch,
+		prefetcher.WithBandwidth(bandwidth),
+		prefetcher.WithShards(shards),
+		prefetcher.WithCacheFactory(func(i, n int) prefetcher.Cache {
+			per := cacheCap / n
+			if i < cacheCap%n {
+				per++
+			}
+			return prefetcher.NewSLRUCache(per, (per+1)/2)
+		}),
+		prefetcher.WithPredictor(prefetcher.NewMarkovPredictor()),
+		prefetcher.WithWorkers(workers),
+		prefetcher.WithMaxPrefetch(2),
+	)
+	if err != nil {
+		return nil, 0, err
+	}
+	return eng, shards, nil
+}
+
 // runEngineBenchOnce measures one engine configuration and returns its
 // throughput in requests per second plus the effective (power-of-two
 // rounded) shard count it ran with.
@@ -95,36 +134,7 @@ func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards int) (float64
 	fetch := prefetcher.FetcherFunc(func(ctx context.Context, id prefetcher.ID) (prefetcher.Item, error) {
 		return prefetcher.Item{ID: id, Size: 1}, nil
 	})
-	// The engine rounds the shard count up to a power of two; mirror
-	// that here so the budget guard and the report match the caches the
-	// factory actually builds.
-	for n := 1; ; n <<= 1 {
-		if n >= shards {
-			shards = n
-			break
-		}
-	}
-	// The total cache budget stays fixed while the shard count varies
-	// (remainder spread over the first shards), so the sweep isolates
-	// contention from capacity. Rather than silently inflating tiny
-	// budgets, reject configurations the split cannot honour.
-	if cfg.CacheCap < 2*shards {
-		return 0, 0, fmt.Errorf("engine mode: -cache %d cannot give each of %d shards the >= 2 items SLRU needs", cfg.CacheCap, shards)
-	}
-	eng, err := prefetcher.New(fetch,
-		prefetcher.WithBandwidth(cfg.Bandwidth),
-		prefetcher.WithShards(shards),
-		prefetcher.WithCacheFactory(func(i, n int) prefetcher.Cache {
-			per := cfg.CacheCap / n
-			if i < cfg.CacheCap%n {
-				per++
-			}
-			return prefetcher.NewSLRUCache(per, (per+1)/2)
-		}),
-		prefetcher.WithPredictor(prefetcher.NewMarkovPredictor()),
-		prefetcher.WithWorkers(cfg.Workers),
-		prefetcher.WithMaxPrefetch(2),
-	)
+	eng, shards, err := newBenchEngine("engine", fetch, cfg.Bandwidth, cfg.Workers, cfg.CacheCap, shards)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -177,8 +187,23 @@ func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards int) (float64
 	st := eng.Stats()
 	rps := float64(completed) / elapsed.Seconds()
 	fmt.Fprintf(w, "shards=%d\n", st.Shards)
+	reportRun(w, st, rps, elapsed)
+	return rps, shards, nil
+}
+
+// reportRun prints the per-run block shared by the -engine and -trace
+// modes: throughput, the online estimates, the prefetch accounting, and
+// whether the predictor ran lock-free — a regression in the last line
+// (a built-in predictor falling back to the mutex) is a scaling bug
+// even when a single-threaded run looks healthy.
+func reportRun(w io.Writer, st prefetcher.Stats, rps float64, elapsed time.Duration) {
+	path := "lock-free (ConcurrentPredictor)"
+	if !st.PredictorLockFree {
+		path = "compatibility mutex (serialised)"
+	}
 	fmt.Fprintf(w, "  wall time        %v\n", elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "  throughput       %.0f requests/s\n", rps)
+	fmt.Fprintf(w, "  predictor        %s via %s\n", st.Predictor, path)
 	fmt.Fprintf(w, "  hit ratio        %.4f\n", st.HitRatio())
 	fmt.Fprintf(w, "  ĥ′ (Section 4)   %.4f\n", st.HPrime)
 	fmt.Fprintf(w, "  ρ̂′ online        %.4f\n", st.RhoPrime)
@@ -188,5 +213,4 @@ func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards int) (float64
 		st.PrefetchIssued, st.PrefetchUsed, st.PrefetchWasted,
 		st.PrefetchDropped, st.PrefetchErrors, st.Accuracy())
 	fmt.Fprintf(w, "  joins            %d demand requests coalesced onto in-flight prefetches\n", st.Joins)
-	return rps, shards, nil
 }

@@ -9,6 +9,7 @@
 //	prefetchbench -run all -format csv # everything, CSV
 //	prefetchbench -run T7 -quick       # reduced simulation sizes
 //	prefetchbench -engine -clients 8   # throughput of the public engine
+//	prefetchbench -trace t.jsonl       # replay a recorded trace through it
 package main
 
 import (
@@ -33,15 +34,38 @@ func main() {
 		out    = flag.String("o", "", "write output to file instead of stdout")
 
 		engine   = flag.Bool("engine", false, "benchmark the public prefetcher.Engine instead of running experiments")
+		trace    = flag.String("trace", "", "replay a recorded JSON-lines trace through the public engine (one concurrent client per trace user)")
 		clients  = flag.Int("clients", 8, "engine mode: concurrent client goroutines")
 		requests = flag.Int("requests", 50000, "engine mode: requests per client")
-		ebw      = flag.Float64("b", 1e6, "engine mode: link bandwidth for the adaptive threshold")
-		workers  = flag.Int("workers", 8, "engine mode: speculative-fetch worker pool size")
-		ecache   = flag.Int("cache", 256, "engine mode: cache capacity (total, split across shards)")
+		ebw      = flag.Float64("b", 1e6, "engine/trace mode: link bandwidth for the adaptive threshold")
+		workers  = flag.Int("workers", 8, "engine/trace mode: speculative-fetch worker pool size")
+		ecache   = flag.Int("cache", 256, "engine/trace mode: cache capacity (total, split across shards)")
 		eitems   = flag.Int("items", 2000, "engine mode: catalog size")
-		eshards  = flag.String("shards", "1,8", "engine mode: comma-separated shard counts to sweep")
+		eshards  = flag.String("shards", "1,8", "engine/trace mode: comma-separated shard counts to sweep")
 	)
 	flag.Parse()
+
+	if *engine && *trace != "" {
+		fatal(fmt.Errorf("-engine and -trace are mutually exclusive"))
+	}
+
+	if *trace != "" {
+		shards, err := parseShardList(*eshards)
+		if err != nil {
+			fatal(err)
+		}
+		err = runTraceBench(os.Stdout, traceBenchConfig{
+			Path:      *trace,
+			Bandwidth: *ebw,
+			Workers:   *workers,
+			CacheCap:  *ecache,
+			Shards:    shards,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *engine {
 		shards, err := parseShardList(*eshards)

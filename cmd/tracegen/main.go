@@ -46,28 +46,11 @@ func main() {
 		return
 	}
 
-	var cat *workload.Catalog
-	if *pareto {
-		cat = workload.NewCatalog(*items, rng.NewParetoMean(*size, 2.2),
-			rng.NewStream(*seed, "sizes"))
-	} else {
-		cat = workload.NewUniformCatalog(*items, *size)
-	}
-
-	var src workload.Source
-	stream := rng.NewStream(*seed, "requests")
-	switch *kind {
-	case "irm":
-		src = workload.NewIRM(*items, *zipfS, stream)
-	case "markov":
-		src = workload.NewMarkov(workload.MarkovConfig{
-			N: *items, Fanout: *fanout, Decay: *decay,
-			Restart: *restart, ZipfS: *zipfS,
-		}, stream)
-	default:
+	// Validate before touching the output path: os.Create truncates, and
+	// a typo'd -kind must not destroy an existing trace.
+	if !validKind(*kind) {
 		fatal(fmt.Errorf("unknown workload kind %q (want irm or markov)", *kind))
 	}
-
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -81,13 +64,73 @@ func main() {
 		}()
 		w = f
 	}
-	tw := workload.NewTraceWriter(w)
-	arr := workload.NewArrivals(*lambda, rng.NewStream(*seed, "arrivals"))
-	if err := workload.Generate(tw, src, arr, cat, *users, *n); err != nil {
+	count, name, err := generate(genParams{
+		N: *n, Items: *items, Users: *users, Lambda: *lambda,
+		Kind: *kind, ZipfS: *zipfS, Fanout: *fanout, Decay: *decay,
+		Restart: *restart, Size: *size, Pareto: *pareto, Seed: *seed,
+	}, w)
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: wrote %d records (%s workload, %d items, %d users)\n",
-		tw.Count(), src.Name(), *items, *users)
+		count, name, *items, *users)
+}
+
+// genParams mirrors the generation flags, so the writer side is
+// callable (and testable) without going through the CLI.
+type genParams struct {
+	N, Items, Users int
+	Lambda          float64
+	Kind            string
+	ZipfS           float64
+	Fanout          int
+	Decay, Restart  float64
+	Size            float64
+	Pareto          bool
+	Seed            uint64
+}
+
+// sourceFor is the single registry of supported workload kinds: both
+// the pre-Create CLI validation and generate consult it, so a kind
+// added here works everywhere at once.
+var sourceFor = map[string]func(p genParams, stream *rng.Source) workload.Source{
+	"irm": func(p genParams, stream *rng.Source) workload.Source {
+		return workload.NewIRM(p.Items, p.ZipfS, stream)
+	},
+	"markov": func(p genParams, stream *rng.Source) workload.Source {
+		return workload.NewMarkov(workload.MarkovConfig{
+			N: p.Items, Fanout: p.Fanout, Decay: p.Decay,
+			Restart: p.Restart, ZipfS: p.ZipfS,
+		}, stream)
+	},
+}
+
+// validKind reports whether k names a supported workload kind.
+func validKind(k string) bool { _, ok := sourceFor[k]; return ok }
+
+// generate writes a trace to w and returns the record count and the
+// source's name.
+func generate(p genParams, w io.Writer) (int64, string, error) {
+	var cat *workload.Catalog
+	if p.Pareto {
+		cat = workload.NewCatalog(p.Items, rng.NewParetoMean(p.Size, 2.2),
+			rng.NewStream(p.Seed, "sizes"))
+	} else {
+		cat = workload.NewUniformCatalog(p.Items, p.Size)
+	}
+
+	mkSource, ok := sourceFor[p.Kind]
+	if !ok {
+		return 0, "", fmt.Errorf("unknown workload kind %q (want irm or markov)", p.Kind)
+	}
+	src := mkSource(p, rng.NewStream(p.Seed, "requests"))
+
+	tw := workload.NewTraceWriter(w)
+	arr := workload.NewArrivals(p.Lambda, rng.NewStream(p.Seed, "arrivals"))
+	if err := workload.Generate(tw, src, arr, cat, p.Users, p.N); err != nil {
+		return 0, "", err
+	}
+	return tw.Count(), src.Name(), nil
 }
 
 func summarise(path string) error {

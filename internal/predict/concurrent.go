@@ -1,0 +1,868 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+)
+
+// This file holds the internally concurrent access models. The
+// sequential implementations in predict.go/ppm.go stay the reference
+// semantics (and the evaluation harness keeps using them); the types
+// here reproduce those semantics exactly when driven sequentially,
+// while allowing Observe and PredictTop to be called from many
+// goroutines at once — which is what lets the prefetch engine drop its
+// global predictor mutex.
+//
+// The shared design: the *stream* state (the Markov current item, the
+// PPM history, the dependency-graph window) is tiny and is linearised
+// either by one atomic swap or by a mutex held only long enough to copy
+// a handful of ids — this is what preserves cross-shard transitions,
+// because every observation enters one total order no matter which
+// engine shard it came from. The *model* state (the transition and
+// context tables, which is where all the time goes) is striped by key
+// hash, with the counts themselves plain atomics, so concurrent
+// observers only contend when they touch the same row of the model.
+
+// ConcurrentPredictor is a Predictor whose Observe, Predict and
+// PredictTop are all safe for concurrent use without external locking.
+// Observe and PredictTop are the hot-path pair; Predict remains the
+// evaluation-facing full distribution. A reader that overlaps writers
+// sees some valid recent state (counts are atomics; snapshots are taken
+// per row, not globally); once observers quiesce, Predict returns
+// exactly what the sequential reference model would for the same
+// observation stream.
+type ConcurrentPredictor interface {
+	Predictor
+	TopPredictor
+	// ConcurrentSafe is a marker: implementing it asserts the
+	// goroutine-safety contract above.
+	ConcurrentSafe()
+}
+
+// CoupledPredictor is implemented by concurrent models that can predict
+// *as part of* an observation: ObserveAndPredictTop(id, k) observes id
+// and returns the top-k candidates conditioned on id being the request
+// just served (k <= 0 observes only). With separate Observe/PredictTop
+// calls a racing observer can move the shared stream context between
+// the two, so a lock-free caller would sometimes plan from another
+// request's context; the coupled form never reads the racing context —
+// Markov predicts from id's own row, PPM from the pre-observation
+// history snapshot extended with id, the dependency graph from id's
+// edges — which restores exactly the conditioning a global
+// observe+predict critical section used to give. All four concurrent
+// models implement it.
+type CoupledPredictor interface {
+	ObserveAndPredictTop(id cache.ID, k int) []Prediction
+}
+
+// predStripes is the number of lock stripes each concurrent model
+// spreads its table across. Power of two; 64 comfortably exceeds the
+// hardware parallelism the engine shards across.
+const predStripes = 64
+
+// stripeOfID routes an id to a stripe (Fibonacci hash, same spread the
+// engine uses for its shards).
+func stripeOfID(id cache.ID) int {
+	return int((uint64(id) * 0x9E3779B97F4A7C15) >> 58) // top 6 bits → 0..63
+}
+
+// stripeOfKey routes a context key to a stripe (FNV-1a).
+func stripeOfKey(s string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int(h & (predStripes - 1))
+}
+
+// rowTopK is the size of the cached top-candidate set a tracking row
+// maintains. PredictTop(k) for k <= rowTopK reads only those candidates
+// instead of scanning the whole row; the engine asks for at most its
+// per-request prefetch cap, which sits well inside this.
+const rowTopK = 8
+
+// topEntry is one cached top candidate: the id and a pointer to its
+// live counter (shared with the counts map, so member increments need
+// no set maintenance at all).
+type topEntry struct {
+	id cache.ID
+	c  *atomic.Int64
+}
+
+// worseCount reports whether count/id pair 1 ranks below pair 2 in
+// prediction order (decreasing count, ties by ascending id) — the
+// count-domain mirror of better(), valid whenever both share a
+// normalising total.
+func worseCount(v1 int64, id1 cache.ID, v2 int64, id2 cache.ID) bool {
+	if v1 != v2 {
+		return v1 < v2
+	}
+	return id1 > id2
+}
+
+// countRow is one row of a transition table: successor → atomic count,
+// plus the row total maintained alongside so prediction normalises in a
+// single pass. The RWMutex guards only the map structure and the top
+// set; increments on existing entries are lock-free atomic adds under
+// the read lock.
+//
+// Rows with trackTop additionally keep the rowTopK best candidates
+// cached (exactly — see promote). Counts are monotone, which is what
+// makes an exact incremental top-k cheap: a candidate's rank only
+// changes when *it* is incremented, so checking membership at each
+// increment preserves the invariant, and the set's worst key never
+// decreases.
+type countRow struct {
+	mu       sync.RWMutex
+	counts   map[cache.ID]*atomic.Int64
+	topSet   []topEntry // exact top-rowTopK members, unordered; nil unless trackTop
+	total    atomic.Int64
+	trackTop bool
+}
+
+func newCountRow(trackTop bool) *countRow {
+	return &countRow{counts: make(map[cache.ID]*atomic.Int64), trackTop: trackTop}
+}
+
+// inc adds one to the counter for id, creating it if needed.
+func (r *countRow) inc(id cache.ID) {
+	r.mu.RLock()
+	c := r.counts[id]
+	r.mu.RUnlock()
+	if c == nil {
+		r.mu.Lock()
+		if c = r.counts[id]; c == nil {
+			c = new(atomic.Int64)
+			r.counts[id] = c
+			// While the row has spare candidate slots, every id is a
+			// member — so the "len(top) < rowTopK ⇒ top covers the whole
+			// row" invariant that the fast path relies on holds from
+			// creation onward.
+			if r.trackTop && len(r.topSet) < rowTopK {
+				r.topSet = append(r.topSet, topEntry{id, c})
+			}
+		}
+		r.mu.Unlock()
+	}
+	v := c.Add(1)
+	r.total.Add(1)
+	if r.trackTop {
+		r.promote(id, c, v)
+	}
+}
+
+// promote keeps the cached top set exact after id's counter reached v:
+// a non-member enters when its key now beats the worst member's. Keys
+// are monotone (counts only grow), so a non-member that fails here
+// cannot belong until its own next increment — no other event can
+// demote the set's worst key below a constant non-member key.
+func (r *countRow) promote(id cache.ID, c *atomic.Int64, v int64) {
+	r.mu.RLock()
+	if len(r.topSet) < rowTopK {
+		r.mu.RUnlock() // spare slots: creation already added every id
+		return
+	}
+	wI := -1
+	var wV int64
+	var wID cache.ID
+	for i := range r.topSet {
+		e := &r.topSet[i]
+		if e.c == c {
+			r.mu.RUnlock() // already a member; its counter is shared
+			return
+		}
+		ev := e.c.Load()
+		if wI < 0 || worseCount(ev, e.id, wV, wID) {
+			wI, wV, wID = i, ev, e.id
+		}
+	}
+	r.mu.RUnlock()
+	if !worseCount(wV, wID, v, id) {
+		return // the worst member still outranks us
+	}
+	// Beat the worst member: swap in under the write lock, rechecking
+	// against fresh counts (a racing promote may have got here first).
+	r.mu.Lock()
+	wI = -1
+	for i := range r.topSet {
+		e := &r.topSet[i]
+		if e.c == c {
+			r.mu.Unlock()
+			return
+		}
+		ev := e.c.Load()
+		if wI < 0 || worseCount(ev, e.id, wV, wID) {
+			wI, wV, wID = i, ev, e.id
+		}
+	}
+	if wI >= 0 && worseCount(wV, wID, c.Load(), id) {
+		r.topSet[wI] = topEntry{id, c}
+	}
+	r.mu.Unlock()
+}
+
+// snapshot copies the row into a plain map. The copy is per-row
+// consistent enough for prediction: each count is read once, and the
+// caller normalises by the sum of exactly the counts it read, so the
+// resulting distribution is always valid and equals the sequential
+// model's once observers quiesce. Predict-only: the hot path uses top,
+// which allocates nothing beyond its k-slot buffer.
+func (r *countRow) snapshot() map[cache.ID]int64 {
+	r.mu.RLock()
+	out := make(map[cache.ID]int64, len(r.counts))
+	for id, c := range r.counts {
+		if v := c.Load(); v > 0 {
+			out[id] = v
+		}
+	}
+	r.mu.RUnlock()
+	return out
+}
+
+// top collects the k most probable successors directly under the read
+// lock — no per-call map copy, just the k-slot result buffer, in one
+// pass normalised by the row total. On tracking rows with k inside the
+// cached candidate set, only the (at most rowTopK) candidates are read
+// — O(k), independent of how many successors the row accumulated. A
+// count racing ahead of the total can skew one probability momentarily
+// (clamped to 1); once observers quiesce the result equals the
+// sequential model's Predict()[:k] exactly.
+func (r *countRow) top(k int) []Prediction {
+	if k <= 0 {
+		return nil
+	}
+	total := r.total.Load()
+	if total == 0 {
+		return nil
+	}
+	ft := float64(total)
+	top := newTopPredictions(k)
+	r.mu.RLock()
+	if r.trackTop && k <= rowTopK {
+		for _, e := range r.topSet {
+			offerCount(&top, e.id, e.c.Load(), ft)
+		}
+	} else {
+		for id, c := range r.counts {
+			offerCount(&top, id, c.Load(), ft)
+		}
+	}
+	r.mu.RUnlock()
+	return top.buf
+}
+
+// offerCount feeds one counter into a top-k buffer as a clamped
+// probability.
+func offerCount(top *topPredictions, id cache.ID, v int64, ft float64) {
+	if v <= 0 {
+		return
+	}
+	p := float64(v) / ft
+	if p > 1 {
+		p = 1
+	}
+	top.offer(Prediction{Item: id, Prob: p})
+}
+
+// rowTable is a striped id → countRow map. trackTop is inherited by
+// every row it creates: the Markov table tracks top candidates (its
+// PredictTop ranks by count/total, the same order the cache maintains),
+// the dependency graph's does not (edge probabilities are clamped at 1,
+// which can reorder ties away from raw count order).
+type rowTable struct {
+	stripes [predStripes]struct {
+		mu   sync.RWMutex
+		rows map[cache.ID]*countRow
+	}
+	trackTop bool
+}
+
+func newRowTable(trackTop bool) *rowTable {
+	t := &rowTable{trackTop: trackTop}
+	for i := range t.stripes {
+		t.stripes[i].rows = make(map[cache.ID]*countRow)
+	}
+	return t
+}
+
+// row returns the countRow for id, creating it when create is set.
+func (t *rowTable) row(id cache.ID, create bool) *countRow {
+	s := &t.stripes[stripeOfID(id)]
+	s.mu.RLock()
+	r := s.rows[id]
+	s.mu.RUnlock()
+	if r != nil || !create {
+		return r
+	}
+	s.mu.Lock()
+	if r = s.rows[id]; r == nil {
+		r = newCountRow(t.trackTop)
+		s.rows[id] = r
+	}
+	s.mu.Unlock()
+	return r
+}
+
+// predictionsFromCounts turns a count snapshot into the full sorted
+// distribution, normalising by total.
+func predictionsFromCounts(counts map[cache.ID]int64, total float64) []Prediction {
+	if len(counts) == 0 || total <= 0 {
+		return nil
+	}
+	out := make([]Prediction, 0, len(counts))
+	for id, c := range counts {
+		out = append(out, Prediction{Item: id, Prob: float64(c) / total})
+	}
+	sortPredictions(out)
+	return out
+}
+
+// sumCounts totals a snapshot.
+func sumCounts(counts map[cache.ID]int64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total)
+}
+
+// markovNoState marks "no request observed yet" in the atomic current
+// state. The one id equal to math.MinInt64 is therefore unusable as an
+// item id; real id spaces are dense non-negative integers.
+const markovNoState = math.MinInt64
+
+// ConcurrentMarkov1 is the concurrent first-order Markov model. The
+// current state is a single atomic: Observe swaps the new id in and
+// counts the transition from whatever it swapped out, so concurrent
+// observers each claim a unique predecessor and every observation
+// extends one global chain — the exact multiset of transitions a
+// sequential model would count for the same linearised stream.
+type ConcurrentMarkov1 struct {
+	rows *rowTable
+	cur  atomic.Int64
+}
+
+// NewConcurrentMarkov1 returns an empty concurrent first-order Markov
+// predictor.
+func NewConcurrentMarkov1() *ConcurrentMarkov1 {
+	m := &ConcurrentMarkov1{rows: newRowTable(true)}
+	m.cur.Store(markovNoState)
+	return m
+}
+
+// Observe implements Predictor. Safe for concurrent use.
+func (m *ConcurrentMarkov1) Observe(id cache.ID) {
+	prev := m.cur.Swap(int64(id))
+	if prev == markovNoState {
+		return
+	}
+	m.rows.row(cache.ID(prev), true).inc(id)
+}
+
+// currentRow snapshots the successor counts of the current state.
+func (m *ConcurrentMarkov1) currentRow() map[cache.ID]int64 {
+	cur := m.cur.Load()
+	if cur == markovNoState {
+		return nil
+	}
+	r := m.rows.row(cache.ID(cur), false)
+	if r == nil {
+		return nil
+	}
+	return r.snapshot()
+}
+
+// Predict implements Predictor.
+func (m *ConcurrentMarkov1) Predict() []Prediction {
+	counts := m.currentRow()
+	return predictionsFromCounts(counts, sumCounts(counts))
+}
+
+// PredictTop implements TopPredictor: the engine's hot path, free of
+// per-call map copies.
+func (m *ConcurrentMarkov1) PredictTop(k int) []Prediction {
+	cur := m.cur.Load()
+	if cur == markovNoState {
+		return nil
+	}
+	r := m.rows.row(cache.ID(cur), false)
+	if r == nil {
+		return nil
+	}
+	return r.top(k)
+}
+
+// ObserveAndPredictTop implements CoupledPredictor: the candidates are
+// id's own successors, so a racing Observe moving cur cannot change
+// what this observation's request gets planned against.
+func (m *ConcurrentMarkov1) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
+	m.Observe(id)
+	if k <= 0 {
+		return nil
+	}
+	r := m.rows.row(id, false)
+	if r == nil {
+		return nil
+	}
+	return r.top(k)
+}
+
+// Name implements Predictor.
+func (m *ConcurrentMarkov1) Name() string { return "markov1" }
+
+// ConcurrentSafe implements ConcurrentPredictor.
+func (m *ConcurrentMarkov1) ConcurrentSafe() {}
+
+// ConcurrentPopularity is the concurrent global-frequency model: a
+// lock-free map of atomic counters (sync.Map, so reads and increments
+// of already-seen items take no lock at all — the steady state for a
+// popularity model, whose whole point is that the same items recur).
+type ConcurrentPopularity struct {
+	counts sync.Map // cache.ID → *atomic.Int64
+	total  atomic.Int64
+	topK   int
+}
+
+// NewConcurrentPopularity returns a concurrent popularity predictor
+// reporting the topK most frequent items (topK <= 0 means all).
+func NewConcurrentPopularity(topK int) *ConcurrentPopularity {
+	return &ConcurrentPopularity{topK: topK}
+}
+
+// Observe implements Predictor. Safe for concurrent use.
+func (p *ConcurrentPopularity) Observe(id cache.ID) {
+	if c, ok := p.counts.Load(id); ok {
+		c.(*atomic.Int64).Add(1)
+	} else {
+		c, _ := p.counts.LoadOrStore(id, new(atomic.Int64))
+		c.(*atomic.Int64).Add(1)
+	}
+	p.total.Add(1)
+}
+
+// snapshot copies the live counters.
+func (p *ConcurrentPopularity) snapshot() map[cache.ID]int64 {
+	out := make(map[cache.ID]int64)
+	p.counts.Range(func(k, v any) bool {
+		if c := v.(*atomic.Int64).Load(); c > 0 {
+			out[k.(cache.ID)] = c
+		}
+		return true
+	})
+	return out
+}
+
+// Predict implements Predictor.
+func (p *ConcurrentPopularity) Predict() []Prediction {
+	counts := p.snapshot()
+	out := predictionsFromCounts(counts, sumCounts(counts))
+	if p.topK > 0 && len(out) > p.topK {
+		out = out[:p.topK]
+	}
+	return out
+}
+
+// PredictTop implements TopPredictor: one lock-free pass over the live
+// counters, normalised by the atomic total (equal to the count sum once
+// observers quiesce; momentarily behind it mid-race, so probabilities
+// are clamped to 1).
+func (p *ConcurrentPopularity) PredictTop(k int) []Prediction {
+	if p.topK > 0 && k > p.topK {
+		k = p.topK // Predict truncates to topK; the prefix contract follows it
+	}
+	if k <= 0 {
+		return nil
+	}
+	total := p.total.Load()
+	if total == 0 {
+		return nil
+	}
+	ft := float64(total)
+	top := newTopPredictions(k)
+	p.counts.Range(func(key, v any) bool {
+		offerCount(&top, key.(cache.ID), v.(*atomic.Int64).Load(), ft)
+		return true
+	})
+	return top.buf
+}
+
+// ObserveAndPredictTop implements CoupledPredictor. Popularity is
+// context-free, so the coupled form is just the two calls in sequence.
+func (p *ConcurrentPopularity) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
+	p.Observe(id)
+	if k <= 0 {
+		return nil
+	}
+	return p.PredictTop(k)
+}
+
+// Name implements Predictor.
+func (p *ConcurrentPopularity) Name() string { return "popularity" }
+
+// ConcurrentSafe implements ConcurrentPredictor.
+func (p *ConcurrentPopularity) ConcurrentSafe() {}
+
+// ctxTable is a striped context-key → countRow map (PPM's per-order
+// tables).
+type ctxTable struct {
+	stripes [predStripes]struct {
+		mu  sync.RWMutex
+		tab map[string]*countRow
+	}
+}
+
+func newCtxTable() *ctxTable {
+	t := &ctxTable{}
+	for i := range t.stripes {
+		t.stripes[i].tab = make(map[string]*countRow)
+	}
+	return t
+}
+
+func (t *ctxTable) row(key string, create bool) *countRow {
+	s := &t.stripes[stripeOfKey(key)]
+	s.mu.RLock()
+	r := s.tab[key]
+	s.mu.RUnlock()
+	if r != nil || !create {
+		return r
+	}
+	s.mu.Lock()
+	if r = s.tab[key]; r == nil {
+		r = newCountRow(false)
+		s.tab[key] = r
+	}
+	s.mu.Unlock()
+	return r
+}
+
+// ConcurrentPPM is the concurrent order-k PPM model. The history (at
+// most k ids) is guarded by a mutex held only for the copy-and-append —
+// that serialisation is what defines the context each observation
+// lands in, exactly as the shared stream order did under the engine's
+// old global predictor lock. The per-order context tables, where the
+// real work happens, are striped and atomic.
+type ConcurrentPPM struct {
+	k      int
+	tables []*ctxTable // tables[o] = contexts of length o+1
+
+	mu      sync.Mutex
+	history []cache.ID
+}
+
+// NewConcurrentPPM creates a concurrent PPM predictor of maximum order
+// k (k >= 1).
+func NewConcurrentPPM(k int) *ConcurrentPPM {
+	if k < 1 {
+		panic(fmt.Sprintf("predict: PPM order %d must be >= 1", k))
+	}
+	tables := make([]*ctxTable, k)
+	for i := range tables {
+		tables[i] = newCtxTable()
+	}
+	return &ConcurrentPPM{k: k, tables: tables}
+}
+
+// appendHistory pushes id onto the bounded history and returns a copy
+// of the history as it was just before — the contexts this observation
+// extends.
+func (p *ConcurrentPPM) appendHistory(id cache.ID) []cache.ID {
+	p.mu.Lock()
+	prev := append([]cache.ID(nil), p.history...)
+	p.history = append(p.history, id)
+	if len(p.history) > p.k {
+		p.history = p.history[1:]
+	}
+	p.mu.Unlock()
+	return prev
+}
+
+// historySnapshot copies the current history.
+func (p *ConcurrentPPM) historySnapshot() []cache.ID {
+	p.mu.Lock()
+	h := append([]cache.ID(nil), p.history...)
+	p.mu.Unlock()
+	return h
+}
+
+// Observe implements Predictor. Safe for concurrent use.
+func (p *ConcurrentPPM) Observe(id cache.ID) { p.observe(id) }
+
+// observe records id under every context order and returns the
+// pre-observation history copy.
+func (p *ConcurrentPPM) observe(id cache.ID) []cache.ID {
+	prev := p.appendHistory(id)
+	for o := 1; o <= p.k && o <= len(prev); o++ {
+		key := ctxKey(prev[len(prev)-o:])
+		p.tables[o-1].row(key, true).inc(id)
+	}
+	return prev
+}
+
+// blend runs the PPM-C escape blend over a history snapshot, returning
+// the unsorted probability map. Mirrors the sequential PPM.Predict,
+// reading each order's row in place under its read lock (no per-order
+// map copies); a count racing between the sum pass and the assign pass
+// can skew one term momentarily, and vanishes once observers quiesce.
+func (p *ConcurrentPPM) blend(history []cache.ID) map[cache.ID]float64 {
+	probs := make(map[cache.ID]float64)
+	carry := 1.0
+	excluded := make(map[cache.ID]bool)
+	for o := min(p.k, len(history)); o >= 1 && carry > 1e-12; o-- {
+		key := ctxKey(history[len(history)-o:])
+		r := p.tables[o-1].row(key, false)
+		if r == nil {
+			continue
+		}
+		r.mu.RLock()
+		distinct := int64(len(r.counts))
+		if distinct == 0 {
+			r.mu.RUnlock()
+			continue
+		}
+		total := r.total.Load()
+		var exclCount int64
+		for id := range excluded {
+			if c := r.counts[id]; c != nil {
+				exclCount += c.Load()
+			}
+		}
+		avail := float64(total-exclCount) + float64(distinct)
+		if avail <= 0 {
+			r.mu.RUnlock()
+			continue
+		}
+		for id, c := range r.counts {
+			if excluded[id] {
+				continue
+			}
+			probs[id] += carry * float64(c.Load()) / avail
+			excluded[id] = true
+		}
+		carry *= float64(distinct) / avail
+		r.mu.RUnlock()
+	}
+	return probs
+}
+
+// Predict implements Predictor.
+func (p *ConcurrentPPM) Predict() []Prediction {
+	probs := p.blend(p.historySnapshot())
+	if len(probs) == 0 {
+		return nil
+	}
+	out := make([]Prediction, 0, len(probs))
+	for id, pr := range probs {
+		out = append(out, Prediction{Item: id, Prob: pr})
+	}
+	sortPredictions(out)
+	return out
+}
+
+// PredictTop implements TopPredictor. The PPM blend needs the full
+// per-order rows anyway (exclusion couples the candidates), so the
+// saving over Predict is the final sort, not the table walk.
+func (p *ConcurrentPPM) PredictTop(k int) []Prediction {
+	if k <= 0 {
+		return nil
+	}
+	return topFromProbs(p.blend(p.historySnapshot()), k)
+}
+
+// ObserveAndPredictTop implements CoupledPredictor: the blend runs over
+// the history as this observation left it (the pre-observation snapshot
+// extended with id), not the live shared history a racing observer may
+// already have advanced.
+func (p *ConcurrentPPM) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
+	prev := p.observe(id)
+	if k <= 0 {
+		return nil
+	}
+	hist := append(prev, id) // prev is this call's own copy
+	if len(hist) > p.k {
+		hist = hist[len(hist)-p.k:]
+	}
+	return topFromProbs(p.blend(hist), k)
+}
+
+// topFromProbs reduces an unsorted probability map to its k best
+// entries in prediction order.
+func topFromProbs(probs map[cache.ID]float64, k int) []Prediction {
+	if len(probs) == 0 || k <= 0 {
+		return nil
+	}
+	top := newTopPredictions(k)
+	for id, pr := range probs {
+		top.offer(Prediction{Item: id, Prob: pr})
+	}
+	return top.buf
+}
+
+// Name implements Predictor.
+func (p *ConcurrentPPM) Name() string { return fmt.Sprintf("ppm(k=%d)", p.k) }
+
+// ConcurrentSafe implements ConcurrentPredictor.
+func (p *ConcurrentPPM) ConcurrentSafe() {}
+
+// ConcurrentDependencyGraph is the concurrent Padmanabhan–Mogul model.
+// Like ConcurrentPPM, the lookahead window is linearised under a short
+// mutex (copy of at most w ids) and the edge table is striped with
+// atomic counts; visit counts live in a lock-free map.
+type ConcurrentDependencyGraph struct {
+	w      int
+	edges  *rowTable
+	visits sync.Map // cache.ID → *atomic.Int64
+
+	mu     sync.Mutex
+	window []cache.ID
+}
+
+// NewConcurrentDependencyGraph creates a concurrent dependency-graph
+// predictor with lookahead window w (w >= 1).
+func NewConcurrentDependencyGraph(w int) *ConcurrentDependencyGraph {
+	if w < 1 {
+		panic(fmt.Sprintf("predict: window %d must be >= 1", w))
+	}
+	return &ConcurrentDependencyGraph{w: w, edges: newRowTable(false)}
+}
+
+// Observe implements Predictor. Safe for concurrent use.
+func (g *ConcurrentDependencyGraph) Observe(id cache.ID) {
+	g.mu.Lock()
+	prevs := append([]cache.ID(nil), g.window...)
+	g.window = append(g.window, id)
+	if len(g.window) > g.w {
+		g.window = g.window[1:]
+	}
+	g.mu.Unlock()
+
+	if c, ok := g.visits.Load(id); ok {
+		c.(*atomic.Int64).Add(1)
+	} else {
+		c, _ := g.visits.LoadOrStore(id, new(atomic.Int64))
+		c.(*atomic.Int64).Add(1)
+	}
+	for _, prev := range prevs {
+		if prev == id {
+			continue
+		}
+		g.edges.row(prev, true).inc(id)
+	}
+}
+
+// current returns the most recent request and its visit count.
+func (g *ConcurrentDependencyGraph) current() (cache.ID, int64, bool) {
+	g.mu.Lock()
+	if len(g.window) == 0 {
+		g.mu.Unlock()
+		return 0, 0, false
+	}
+	cur := g.window[len(g.window)-1]
+	g.mu.Unlock()
+	c, ok := g.visits.Load(cur)
+	if !ok {
+		return cur, 0, false
+	}
+	return cur, c.(*atomic.Int64).Load(), true
+}
+
+// successorProbs snapshots the capped edge probabilities of cur.
+func (g *ConcurrentDependencyGraph) successorProbs(cur cache.ID, visits int64) map[cache.ID]float64 {
+	r := g.edges.row(cur, false)
+	if r == nil || visits <= 0 {
+		return nil
+	}
+	counts := r.snapshot()
+	probs := make(map[cache.ID]float64, len(counts))
+	for id, c := range counts {
+		p := float64(c) / float64(visits)
+		if p > 1 {
+			p = 1 // an item can follow multiple times within one window
+		}
+		probs[id] = p
+	}
+	return probs
+}
+
+// Predict implements Predictor.
+func (g *ConcurrentDependencyGraph) Predict() []Prediction {
+	cur, visits, ok := g.current()
+	if !ok {
+		return nil
+	}
+	probs := g.successorProbs(cur, visits)
+	if len(probs) == 0 {
+		return nil
+	}
+	out := make([]Prediction, 0, len(probs))
+	for id, p := range probs {
+		out = append(out, Prediction{Item: id, Prob: p})
+	}
+	sortPredictions(out)
+	return out
+}
+
+// topSuccessors collects the k best successors of cur in one in-place
+// pass over its edge row under the read lock, normalised by cur's visit
+// count (probabilities clamped at 1, as in the sequential model).
+func (g *ConcurrentDependencyGraph) topSuccessors(cur cache.ID, k int) []Prediction {
+	c, ok := g.visits.Load(cur)
+	if !ok {
+		return nil
+	}
+	visits := c.(*atomic.Int64).Load()
+	if visits <= 0 {
+		return nil
+	}
+	r := g.edges.row(cur, false)
+	if r == nil {
+		return nil
+	}
+	fv := float64(visits)
+	top := newTopPredictions(k)
+	r.mu.RLock()
+	for id, cc := range r.counts {
+		offerCount(&top, id, cc.Load(), fv)
+	}
+	r.mu.RUnlock()
+	return top.buf
+}
+
+// PredictTop implements TopPredictor.
+func (g *ConcurrentDependencyGraph) PredictTop(k int) []Prediction {
+	if k <= 0 {
+		return nil
+	}
+	g.mu.Lock()
+	if len(g.window) == 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	cur := g.window[len(g.window)-1]
+	g.mu.Unlock()
+	return g.topSuccessors(cur, k)
+}
+
+// ObserveAndPredictTop implements CoupledPredictor: successors of the
+// observed id itself, untouched by whatever a racing observer appends
+// to the shared window.
+func (g *ConcurrentDependencyGraph) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
+	g.Observe(id)
+	if k <= 0 {
+		return nil
+	}
+	return g.topSuccessors(id, k)
+}
+
+// Name implements Predictor.
+func (g *ConcurrentDependencyGraph) Name() string {
+	return fmt.Sprintf("depgraph(w=%d)", g.w)
+}
+
+// ConcurrentSafe implements ConcurrentPredictor.
+func (g *ConcurrentDependencyGraph) ConcurrentSafe() {}

@@ -1,0 +1,307 @@
+package predict
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// Compile-time contract checks.
+var (
+	_ ConcurrentPredictor = (*ConcurrentMarkov1)(nil)
+	_ ConcurrentPredictor = (*ConcurrentPopularity)(nil)
+	_ ConcurrentPredictor = (*ConcurrentPPM)(nil)
+	_ ConcurrentPredictor = (*ConcurrentDependencyGraph)(nil)
+	_ CoupledPredictor    = (*ConcurrentMarkov1)(nil)
+	_ CoupledPredictor    = (*ConcurrentPopularity)(nil)
+	_ CoupledPredictor    = (*ConcurrentPPM)(nil)
+	_ CoupledPredictor    = (*ConcurrentDependencyGraph)(nil)
+)
+
+// concurrentPair names a concurrent model and its sequential reference.
+type concurrentPair struct {
+	name string
+	seq  func() Predictor
+	conc func() ConcurrentPredictor
+}
+
+func concurrentPairs() []concurrentPair {
+	return []concurrentPair{
+		{"markov1", func() Predictor { return NewMarkov1() },
+			func() ConcurrentPredictor { return NewConcurrentMarkov1() }},
+		{"popularity", func() Predictor { return NewPopularity(8) },
+			func() ConcurrentPredictor { return NewConcurrentPopularity(8) }},
+		{"ppm", func() Predictor { return NewPPM(3) },
+			func() ConcurrentPredictor { return NewConcurrentPPM(3) }},
+		{"depgraph", func() Predictor { return NewDependencyGraph(4) },
+			func() ConcurrentPredictor { return NewConcurrentDependencyGraph(4) }},
+	}
+}
+
+// markovStream draws a learnable request stream.
+func markovStream(n int, seed uint64) []cache.ID {
+	wl := workload.NewMarkov(workload.MarkovConfig{N: 50, Fanout: 3, Restart: 0.1},
+		rng.New(seed))
+	out := make([]cache.ID, n)
+	for i := range out {
+		out[i] = wl.Next()
+	}
+	return out
+}
+
+// samePredictions compares two distributions exactly (same items in the
+// same deterministic tie order, probabilities equal to rounding).
+func samePredictions(t *testing.T, label string, got, want []Prediction) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d predictions, want %d\n got  %v\n want %v",
+			label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i].Item != want[i].Item || math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+			t.Fatalf("%s: prediction %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentSequentialEquivalence drives each concurrent model and
+// its sequential reference with the same stream from one goroutine: the
+// full distributions must agree exactly at several checkpoints, since a
+// single-threaded caller linearises the stream identically for both.
+func TestConcurrentSequentialEquivalence(t *testing.T) {
+	stream := markovStream(4000, 31)
+	for _, pair := range concurrentPairs() {
+		t.Run(pair.name, func(t *testing.T) {
+			seq, conc := pair.seq(), pair.conc()
+			for i, id := range stream {
+				seq.Observe(id)
+				conc.Observe(id)
+				if i%997 == 0 || i == len(stream)-1 {
+					samePredictions(t, pair.name, conc.Predict(), seq.Predict())
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentPredictTopPrefix checks the TopPredictor contract on
+// the concurrent models: PredictTop(k) must equal Predict()[:k] for
+// every k, including ties (resolved by ascending id) and k beyond the
+// candidate count.
+func TestConcurrentPredictTopPrefix(t *testing.T) {
+	stream := markovStream(3000, 32)
+	for _, pair := range concurrentPairs() {
+		t.Run(pair.name, func(t *testing.T) {
+			conc := pair.conc()
+			if got := conc.PredictTop(3); got != nil {
+				t.Fatalf("empty model PredictTop = %v, want nil", got)
+			}
+			for _, id := range stream {
+				conc.Observe(id)
+			}
+			full := conc.Predict()
+			if len(full) == 0 {
+				t.Fatal("trained model predicted nothing")
+			}
+			for k := 0; k <= len(full)+2; k++ {
+				got := conc.PredictTop(k)
+				want := full
+				if k < len(full) {
+					want = full[:k]
+				}
+				if k == 0 {
+					want = nil
+				}
+				if len(got) != len(want) {
+					t.Fatalf("PredictTop(%d) len = %d, want %d", k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Item != want[i].Item || math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+						t.Fatalf("PredictTop(%d)[%d] = %+v, want %+v", k, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCoupledObservePredictEquivalence: driven sequentially, the
+// coupled ObserveAndPredictTop(id, k) must return exactly what
+// Observe(id) followed by PredictTop(k) would — the engine's lock-free
+// path substitutes the former for the latter, and the substitution must
+// be invisible absent concurrency.
+func TestCoupledObservePredictEquivalence(t *testing.T) {
+	stream := markovStream(3000, 38)
+	for _, pair := range concurrentPairs() {
+		t.Run(pair.name, func(t *testing.T) {
+			coupled := pair.conc()
+			split := pair.conc()
+			for _, id := range stream {
+				got := coupled.(CoupledPredictor).ObserveAndPredictTop(id, 4)
+				split.Observe(id)
+				samePredictions(t, pair.name, got, split.PredictTop(4))
+			}
+		})
+	}
+}
+
+// hammer feeds stream to p from `workers` goroutines, interleaving
+// observations with predictions so readers overlap writers (the -race
+// payload), and returns once all observations landed.
+func hammer(p ConcurrentPredictor, stream []cache.ID, workers int) {
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(stream) {
+					return
+				}
+				p.Observe(stream[i])
+				if i%37 == 0 {
+					_ = p.PredictTop(4)
+				}
+				if i%113 == 0 {
+					_ = p.Predict()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentObserveUnderRace hammers every concurrent model from
+// many goroutines and then checks the quiescent state: the distribution
+// must be a valid probability ranking and PredictTop must still be an
+// exact prefix of Predict. Under -race this is also the data-race probe
+// for the striped tables.
+func TestConcurrentObserveUnderRace(t *testing.T) {
+	stream := markovStream(8000, 33)
+	for _, pair := range concurrentPairs() {
+		t.Run(pair.name, func(t *testing.T) {
+			conc := pair.conc()
+			hammer(conc, stream, 8)
+			full := conc.Predict()
+			if len(full) == 0 {
+				t.Fatal("no predictions after concurrent training")
+			}
+			sum := 0.0
+			for i, pr := range full {
+				if pr.Prob < 0 || pr.Prob > 1+1e-9 {
+					t.Fatalf("probability out of range: %+v", pr)
+				}
+				if i > 0 && better(pr, full[i-1]) {
+					t.Fatalf("predictions not in prediction order: %v", full)
+				}
+				sum += pr.Prob
+			}
+			// Popularity and Markov rows are normalised distributions; PPM
+			// reserves escape mass; depgraph caps each edge at 1 but the
+			// row may exceed 1 in sum (it estimates "follows soon", not
+			// "is next") — so only check the sum where it is a law.
+			if pair.name != "depgraph" && sum > 1+1e-6 {
+				t.Fatalf("probabilities sum to %v > 1", sum)
+			}
+			top := conc.PredictTop(5)
+			want := full
+			if len(want) > 5 {
+				want = want[:5]
+			}
+			samePredictions(t, "top-after-hammer", top, want)
+		})
+	}
+}
+
+// TestConcurrentPopularityMultisetEquivalence is the exact concurrency
+// property: popularity depends only on the observation *multiset*, so a
+// concurrently hammered model must equal the sequential reference fed
+// the same stream in any order.
+func TestConcurrentPopularityMultisetEquivalence(t *testing.T) {
+	stream := markovStream(20000, 34)
+	seq := NewPopularity(0)
+	for _, id := range stream {
+		seq.Observe(id)
+	}
+	conc := NewConcurrentPopularity(0)
+	hammer(conc, stream, 8)
+	samePredictions(t, "popularity-multiset", conc.Predict(), seq.Predict())
+}
+
+// TestConcurrentMarkov1ChainConservation checks the swap-chain
+// invariant that makes cross-shard transitions paper-faithful: however
+// the observations interleave, every observation after the first
+// extends the global chain exactly once, so the table holds exactly
+// n-1 transitions and each row is a valid conditional distribution.
+func TestConcurrentMarkov1ChainConservation(t *testing.T) {
+	stream := markovStream(20000, 35)
+	m := NewConcurrentMarkov1()
+	hammer(m, stream, 8)
+	var transitions int64
+	for s := range m.rows.stripes {
+		st := &m.rows.stripes[s]
+		st.mu.RLock()
+		for _, row := range st.rows {
+			row.mu.RLock()
+			for _, c := range row.counts {
+				transitions += c.Load()
+			}
+			row.mu.RUnlock()
+		}
+		st.mu.RUnlock()
+	}
+	if transitions != int64(len(stream)-1) {
+		t.Fatalf("chain recorded %d transitions, want %d (one per observation after the first)",
+			transitions, len(stream)-1)
+	}
+}
+
+// TestConcurrentPPMOrder1Conservation: the same conservation law for
+// PPM's order-1 table — the history mutex linearises the stream, so the
+// order-1 contexts partition the n-1 successive pairs.
+func TestConcurrentPPMOrder1Conservation(t *testing.T) {
+	stream := markovStream(10000, 36)
+	p := NewConcurrentPPM(2)
+	hammer(p, stream, 8)
+	var transitions int64
+	tab := p.tables[0]
+	for s := range tab.stripes {
+		st := &tab.stripes[s]
+		st.mu.RLock()
+		for _, row := range st.tab {
+			row.mu.RLock()
+			for _, c := range row.counts {
+				transitions += c.Load()
+			}
+			row.mu.RUnlock()
+		}
+		st.mu.RUnlock()
+	}
+	if transitions != int64(len(stream)-1) {
+		t.Fatalf("order-1 table holds %d transitions, want %d", transitions, len(stream)-1)
+	}
+}
+
+func BenchmarkConcurrentMarkov1ObservePredictTop(b *testing.B) {
+	wl := workload.NewMarkov(workload.MarkovConfig{N: 1000, Fanout: 4}, rng.New(1))
+	stream := make([]cache.ID, 1<<16)
+	for i := range stream {
+		stream[i] = wl.Next()
+	}
+	m := NewConcurrentMarkov1()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Observe(stream[i&(len(stream)-1)])
+			_ = m.PredictTop(4)
+			i++
+		}
+	})
+}

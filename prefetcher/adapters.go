@@ -11,17 +11,73 @@ import (
 
 // --- Predictor adapters over internal/predict ---------------------------
 
+// internalPredictor is how the engine unwraps built-in predictors at
+// construction: it talks to the internal model directly, so the wrapped
+// model's TopPredictor and ConcurrentPredictor capabilities survive the
+// public round trip with no per-call conversion.
+type internalPredictor interface {
+	internal() predict.Predictor
+}
+
 // predictorAdapter lifts an internal predictor to the public interface.
+// The public methods exist for callers that use a built-in predictor
+// outside an Engine; the engine itself goes through internal().
 type predictorAdapter struct {
 	p predict.Predictor
 }
+
+func (a predictorAdapter) internal() predict.Predictor { return a.p }
 
 func (a predictorAdapter) Observe(id ID) { a.p.Observe(cache.ID(id)) }
 
 func (a predictorAdapter) Name() string { return a.p.Name() }
 
 func (a predictorAdapter) Predict() []Prediction {
-	ps := a.p.Predict()
+	return publicPredictions(a.p.Predict())
+}
+
+// PredictTop implements the public TopPredictor when the wrapped model
+// supports bounded top-k prediction, falling back to the Predict
+// prefix otherwise.
+func (a predictorAdapter) PredictTop(k int) []Prediction {
+	if k <= 0 {
+		return nil
+	}
+	if tp, ok := a.p.(predict.TopPredictor); ok {
+		return publicPredictions(tp.PredictTop(k))
+	}
+	ps := a.Predict()
+	if k < len(ps) {
+		ps = ps[:k]
+	}
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps
+}
+
+// concurrentAdapter is the adapter for internally concurrent models: it
+// additionally carries the public ConcurrentPredictor marker, so a
+// built-in concurrent predictor type-asserts correctly outside an
+// Engine too.
+type concurrentAdapter struct {
+	predictorAdapter
+}
+
+// ConcurrentSafe implements ConcurrentPredictor.
+func (concurrentAdapter) ConcurrentSafe() {}
+
+// adaptPredictor wraps an internal predictor in the adapter matching
+// its concurrency contract.
+func adaptPredictor(p predict.Predictor) Predictor {
+	if _, ok := p.(predict.ConcurrentPredictor); ok {
+		return concurrentAdapter{predictorAdapter{p}}
+	}
+	return predictorAdapter{p}
+}
+
+// publicPredictions converts internal predictions to the public type.
+func publicPredictions(ps []predict.Prediction) []Prediction {
 	if len(ps) == 0 {
 		return nil
 	}
@@ -33,28 +89,37 @@ func (a predictorAdapter) Predict() []Prediction {
 }
 
 // NewMarkovPredictor returns a first-order Markov access model (counts
-// of prev→next transitions) — the default predictor.
-func NewMarkovPredictor() Predictor { return predictorAdapter{predict.NewMarkov1()} }
+// of prev→next transitions) — the default predictor. It satisfies the
+// ConcurrentPredictor contract: transition rows are striped with atomic
+// counts and the current state is an atomic swap chain, so the engine
+// runs it lock-free.
+func NewMarkovPredictor() Predictor { return adaptPredictor(predict.NewConcurrentMarkov1()) }
 
 // NewLZPredictor returns the Vitter–Krishnan LZ78 predictor: the
 // request stream is parsed into a phrase trie whose current node
-// conditions the next-access distribution.
-func NewLZPredictor() Predictor { return predictorAdapter{predict.NewLZ78()} }
+// conditions the next-access distribution. The trie is not (yet)
+// internally concurrent — an engine using it serialises prediction on
+// the compatibility mutex (Stats.PredictorLockFree reports false).
+func NewLZPredictor() Predictor { return adaptPredictor(predict.NewLZ78()) }
 
 // NewPPMPredictor returns an order-k prediction-by-partial-matching
-// model (k >= 1) with escape to shorter contexts.
-func NewPPMPredictor(k int) Predictor { return predictorAdapter{predict.NewPPM(k)} }
+// model (k >= 1) with escape to shorter contexts. Concurrent: context
+// tables are striped, the bounded history sits behind a short mutex.
+func NewPPMPredictor(k int) Predictor { return adaptPredictor(predict.NewConcurrentPPM(k)) }
 
 // NewDependencyGraphPredictor returns the Padmanabhan–Mogul dependency
-// graph with lookahead window w (w >= 1).
+// graph with lookahead window w (w >= 1). Concurrent: the edge table is
+// striped with atomic counts, the lookahead window sits behind a short
+// mutex.
 func NewDependencyGraphPredictor(w int) Predictor {
-	return predictorAdapter{predict.NewDependencyGraph(w)}
+	return adaptPredictor(predict.NewConcurrentDependencyGraph(w))
 }
 
 // NewPopularityPredictor returns a global-frequency predictor reporting
-// the topK most popular items (topK <= 0 means all).
+// the topK most popular items (topK <= 0 means all). Concurrent: counts
+// live in a lock-free map of atomic counters.
 func NewPopularityPredictor(topK int) Predictor {
-	return predictorAdapter{predict.NewPopularity(topK)}
+	return adaptPredictor(predict.NewConcurrentPopularity(topK))
 }
 
 // --- Cache adapters over internal/cache ---------------------------------

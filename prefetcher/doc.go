@@ -37,6 +37,20 @@
 // ŝ̄, ĥ′ and n̄(F) with atomic counters, so Threshold and Stats report
 // one globally consistent operating point at any shard count.
 //
+// The access model is shared across shards but is not a serialisation
+// point: a predictor implementing ConcurrentPredictor (every built-in
+// constructor except NewLZPredictor) is called lock-free from all
+// shards at once — internally it linearises the request stream (an
+// atomic swap chain for Markov, a short history mutex for PPM and the
+// dependency graph) so cross-shard transitions are still learned, while
+// its count tables are striped and atomic. A plain Predictor plugin
+// instead runs under a compatibility mutex, one call at a time, and
+// caps throughput however many shards the engine has;
+// Stats.PredictorLockFree reports which path is active. Predictors
+// implementing TopPredictor serve the hot path with PredictTop(k) — the
+// bounded prefix the policies can actually admit — instead of the full
+// sorted distribution.
+//
 // For offline capacity planning — what threshold, what gain, what
 // cost, from known parameters instead of live estimates — use Planner.
 package prefetcher

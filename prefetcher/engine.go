@@ -47,12 +47,25 @@ type job struct {
 // policy's estimates stay global: one shared prefetch.Controller built
 // on atomic counters aggregates λ̂, ŝ̄, ĥ′ and n̄(F) across shards, so
 // Threshold and Stats report the same globally consistent operating
-// point the paper's rule needs regardless of the shard count.
+// point the paper's rule needs regardless of the shard count. The
+// shared access model is global too, but not serialised: predictors
+// implementing ConcurrentPredictor (every built-in except LZ78) are
+// called lock-free from all shards at once, while plain Predictor
+// plugins run under a compatibility mutex (see Stats.PredictorLockFree).
 type Engine struct {
-	fetcher     Fetcher
-	pred        Predictor
-	ipred       predict.Predictor    // non-nil fast path when pred wraps an internal predictor
-	ipredTop    predict.TopPredictor // non-nil when ipred supports bounded top-k prediction
+	fetcher Fetcher
+	pred    Predictor
+	predTop TopPredictor      // non-nil when pred supports bounded top-k prediction
+	ipred   predict.Predictor // non-nil fast path when pred wraps an internal predictor
+	// ipredCoupled couples observe+predict in one call on the lock-free
+	// path, so each request's candidates are conditioned on that request
+	// — not on whatever a racing Get observed in between.
+	ipredCoupled predict.CoupledPredictor
+	ipredTop     predict.TopPredictor // non-nil when ipred supports bounded top-k prediction
+	predFree     bool                 // predictor is concurrent: predMu is never taken
+	// predName is captured at New: Name() on a plain Predictor is only
+	// guaranteed safe under predMu, and Stats must not take that lock.
+	predName    string
 	clock       Clock
 	policy      prefetch.Policy
 	model       analytic.Model
@@ -63,10 +76,13 @@ type Engine struct {
 
 	epoch time.Time // clock origin for the controller's float64 seconds
 
-	// predMu serialises the shared predictor: Observe and the Predict
-	// that plans each request run in one critical section, so the access
-	// model sees the same globally interleaved request stream it did
-	// under the old single-mutex engine.
+	// predMu is the compatibility path for plain (single-threaded)
+	// Predictor plugins: Observe and the Predict that plans each request
+	// run in one critical section, so such a model sees one globally
+	// interleaved request stream. Predictors that implement the
+	// ConcurrentPredictor contract (every built-in except LZ78) are
+	// called directly — predFree is set and this mutex is never taken,
+	// removing the engine's last global serialisation point.
 	predMu sync.Mutex
 
 	shards     []*shard
@@ -139,18 +155,30 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 		shards:      make([]*shard, cfg.shards),
 		shardShift:  uint(64 - bits.TrailingZeros(uint(cfg.shards))),
 	}
-	if pa, ok := cfg.predictor.(predictorAdapter); ok {
+	if pa, ok := cfg.predictor.(internalPredictor); ok {
 		// Skip the public-type round trip for the built-in predictors:
 		// their candidates are consumed as internal predictions anyway.
-		e.ipred = pa.p
+		e.ipred = pa.internal()
 		// Every policy admits a prefix of the sorted candidates and the
 		// engine truncates to maxPrefetch, so candidates beyond the cap
 		// can never be dispatched — a predictor that can produce just
-		// the top maxPrefetch skips sorting its whole distribution.
-		if tp, ok := pa.p.(predict.TopPredictor); ok {
+		// the top maxPrefetch skips sorting its whole distribution. The
+		// same dispatch rule applies to external predictors through the
+		// public TopPredictor interface below.
+		if tp, ok := e.ipred.(predict.TopPredictor); ok {
 			e.ipredTop = tp
 		}
+		_, e.predFree = e.ipred.(predict.ConcurrentPredictor)
+		if e.predFree {
+			e.ipredCoupled, _ = e.ipred.(predict.CoupledPredictor)
+		}
+	} else {
+		if tp, ok := cfg.predictor.(TopPredictor); ok {
+			e.predTop = tp
+		}
+		_, e.predFree = cfg.predictor.(ConcurrentPredictor)
 	}
+	e.predName = cfg.predictor.Name()
 	for i := range e.shards {
 		var c Cache
 		switch {
@@ -275,33 +303,58 @@ func (e *Engine) Get(ctx context.Context, id ID) (Item, error) {
 }
 
 // observeAndPredict feeds the request into the shared access model and
-// returns the candidate set for planning, in one predictor critical
-// section. Candidates are only dispatched if the request ultimately
-// succeeds, matching the old plan-on-serve behaviour.
+// returns the candidate set for planning. A concurrent predictor
+// (predFree) is called directly — Gets on every shard observe and
+// predict in parallel, and the model itself linearises the stream it
+// learns from — while a plain predictor runs in one predMu critical
+// section so it sees one globally interleaved request stream, exactly
+// as under the old single-mutex engine. Candidates are only dispatched
+// if the request ultimately succeeds, matching the old plan-on-serve
+// behaviour.
 func (e *Engine) observeAndPredict(id ID) []predict.Prediction {
+	if e.predFree {
+		if e.ipredCoupled != nil {
+			// The built-in concurrent models predict as part of the
+			// observation, conditioned on id itself — so a racing Get
+			// moving the shared stream context between an Observe and a
+			// PredictTop cannot hand this request another request's
+			// candidates.
+			return e.ipredCoupled.ObserveAndPredictTop(cache.ID(id), e.maxPrefetch)
+		}
+		return e.observeAndPredictLocked(id)
+	}
 	e.predMu.Lock()
+	cands := e.observeAndPredictLocked(id)
+	e.predMu.Unlock()
+	return cands
+}
+
+// observeAndPredictLocked is the predictor dispatch shared by both
+// paths: with predMu held for plain predictors, with no lock at all for
+// ConcurrentPredictors. Predictors that support bounded top-k get
+// PredictTop(maxPrefetch) — the engine never dispatches more than
+// maxPrefetch candidates, so the prefix is all it needs.
+func (e *Engine) observeAndPredictLocked(id ID) []predict.Prediction {
 	if e.ipred != nil {
 		e.ipred.Observe(cache.ID(id))
 		if e.maxPrefetch == 0 {
-			e.predMu.Unlock()
 			return nil
 		}
-		var cands []predict.Prediction
 		if e.ipredTop != nil {
-			cands = e.ipredTop.PredictTop(e.maxPrefetch)
-		} else {
-			cands = e.ipred.Predict()
+			return e.ipredTop.PredictTop(e.maxPrefetch)
 		}
-		e.predMu.Unlock()
-		return cands
+		return e.ipred.Predict()
 	}
 	e.pred.Observe(id)
 	if e.maxPrefetch == 0 {
-		e.predMu.Unlock()
 		return nil
 	}
-	preds := e.pred.Predict()
-	e.predMu.Unlock()
+	var preds []Prediction
+	if e.predTop != nil {
+		preds = e.predTop.PredictTop(e.maxPrefetch)
+	} else {
+		preds = e.pred.Predict()
+	}
 	if len(preds) == 0 {
 		return nil
 	}
@@ -543,6 +596,11 @@ func (e *Engine) Stats() Stats {
 		NF:        st.NF,
 		Threshold: prefetch.ThresholdFor(e.model, st),
 		Shards:    len(e.shards),
+		Predictor: e.predName,
+		// Lock-free is decided once at New: either the predictor carries
+		// the ConcurrentPredictor marker or every call goes through the
+		// compatibility mutex.
+		PredictorLockFree: e.predFree,
 	}
 	for _, sh := range e.shards {
 		sh.mu.Lock()

@@ -44,14 +44,53 @@ type Prediction struct {
 
 // Predictor is an online access model: it learns from each observed
 // request and can be queried for a probability-ranked candidate set.
-// The engine shares one predictor across all shards and serialises all
-// Predictor calls under a dedicated lock, so implementations need not
-// be goroutine-safe. Predict must return candidates sorted by
+// The engine shares one predictor across all shards. A plain Predictor
+// need not be goroutine-safe: the engine serialises all its calls under
+// a dedicated compatibility mutex. A predictor that is internally
+// concurrent should implement ConcurrentPredictor instead — the engine
+// then drops that mutex entirely, which is what lets prediction scale
+// with the shard count. Predict must return candidates sorted by
 // decreasing probability.
 type Predictor interface {
 	Observe(id ID)
 	Predict() []Prediction
 	Name() string
+}
+
+// TopPredictor is optionally implemented by Predictors that can produce
+// just their k most probable candidates without materialising and
+// sorting the full distribution. The result must equal the first k
+// entries of Predict(). The engine only ever consumes a bounded prefix
+// of the candidate list (WithMaxPrefetch), so when a predictor
+// implements TopPredictor the hot path dispatches PredictTop instead of
+// Predict — this applies on both the lock-free and the mutex
+// compatibility paths.
+type TopPredictor interface {
+	PredictTop(k int) []Prediction
+}
+
+// ConcurrentPredictor marks a Predictor whose Observe, Predict and
+// PredictTop are all safe for concurrent use without external locking.
+// The engine detects the marker at construction and calls the predictor
+// directly from every Get, with no serialisation — the predictor itself
+// must linearise whatever stream state it keeps (see
+// internal/predict's concurrent models for the reference technique:
+// atomic-swap chains and short history mutexes for the stream, striped
+// tables with atomic counts for the model). Note that the engine then
+// calls Observe(id) and PredictTop/Predict back to back without
+// atomicity: a racing Get may observe in between, so an external
+// implementation whose prediction context is "the last observation"
+// should condition its answers on state it derives from the id stream
+// internally if that matters to it (the built-ins condition each
+// prediction on the observed id itself, so a racing observation cannot
+// redirect a request's candidates). All built-in constructors except
+// NewLZPredictor return concurrent predictors; Stats reports which
+// path the engine chose in PredictorLockFree.
+type ConcurrentPredictor interface {
+	Predictor
+	// ConcurrentSafe is a marker: implementing it asserts the
+	// goroutine-safety contract above.
+	ConcurrentSafe()
 }
 
 // Cache is the bounded client-side store the engine consults before

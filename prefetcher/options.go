@@ -39,6 +39,14 @@ func defaultConfig() *config {
 }
 
 // WithPredictor sets the access model (default: NewMarkovPredictor).
+// The engine inspects the predictor once, at New: if it implements
+// ConcurrentPredictor (as every built-in constructor except
+// NewLZPredictor does), Observe/Predict run lock-free from all shards
+// at once; otherwise every call is serialised on a compatibility mutex
+// and prediction becomes the throughput ceiling however many shards
+// the engine has. If it implements TopPredictor, the hot path asks for
+// only the top WithMaxPrefetch candidates instead of the full sorted
+// distribution. Stats.PredictorLockFree reports which path was chosen.
 func WithPredictor(p Predictor) Option {
 	return func(c *config) error {
 		if p == nil {
@@ -203,8 +211,10 @@ func WithMaxPrefetch(n int) Option {
 
 // WithEventHook registers a callback observing engine events (hits,
 // misses, prefetch dispatch/completion/drops). The hook is called
-// synchronously from the hot path after the engine's lock is released;
-// it must be fast and must not call back into the engine's Get.
+// synchronously from the hot path after the engine's locks are released
+// — concurrently from however many goroutines drive Get, and never
+// under the predictor's compatibility mutex — so it must be fast,
+// goroutine-safe, and must not call back into the engine's Get.
 func WithEventHook(fn func(Event)) Option {
 	return func(c *config) error {
 		if fn == nil {

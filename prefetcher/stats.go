@@ -36,6 +36,13 @@ type Stats struct {
 	CacheLen, InFlight int
 	// Shards is the engine's shard count (see WithShards).
 	Shards int
+	// Predictor names the engine's access model; PredictorLockFree
+	// reports whether it runs without the predictor compatibility mutex
+	// (it implements the ConcurrentPredictor contract) — false means
+	// every Get serialises on predMu and prediction caps throughput
+	// regardless of the shard count.
+	Predictor         string
+	PredictorLockFree bool
 }
 
 // HitRatio returns Hits/Requests, or 0 before any request.
