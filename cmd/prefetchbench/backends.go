@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/prefetcher/fetch"
+)
+
+// simBackend simulates one origin link for the multi-backend engine
+// mode. Each fetch costs a base round-trip latency plus transfer time
+// size/bandwidth — and the transfers *queue*: the link serves one
+// transfer at a time, so its throughput genuinely caps at bandwidth
+// items/s and saturation shows up as queueing delay, exactly the
+// signal latency routing, hedging and the idle gate are supposed to
+// react to. All sleeps honour ctx, so hedged losers and Close cancel
+// promptly. It supports FetchBatch — a batch pays the base latency
+// once — so the engine's coalescing path is exercised too.
+type simBackend struct {
+	base time.Duration
+	bw   float64 // size units per second for the transfer component
+
+	mu       sync.Mutex
+	nextFree time.Time // when the link's serializer is next available
+}
+
+func (b *simBackend) wait(ctx context.Context, size float64) error {
+	transfer := time.Duration(size / b.bw * float64(time.Second))
+	now := time.Now()
+	b.mu.Lock()
+	start := b.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	b.nextFree = start.Add(transfer)
+	b.mu.Unlock()
+	// Queueing delay + service time + propagation, in one sleep.
+	d := start.Add(transfer).Sub(now) + b.base
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Fetch implements fetch.Fetcher.
+func (b *simBackend) Fetch(ctx context.Context, id fetch.ID) (fetch.Item, error) {
+	if err := b.wait(ctx, 1); err != nil {
+		return fetch.Item{}, err
+	}
+	return fetch.Item{ID: id, Size: 1}, nil
+}
+
+// FetchBatch implements fetch.BatchFetcher: one base latency for the
+// whole batch, transfer time per item.
+func (b *simBackend) FetchBatch(ctx context.Context, ids []fetch.ID) ([]fetch.Item, error) {
+	if err := b.wait(ctx, float64(len(ids))); err != nil {
+		return nil, err
+	}
+	out := make([]fetch.Item, len(ids))
+	for i, id := range ids {
+		out[i] = fetch.Item{ID: id, Size: 1}
+	}
+	return out, nil
+}
+
+// simBackends builds n heterogeneous backends: backend i has base
+// latency 200µs·2^i and bandwidth totalBW·2^−(i+1) — a fast, fat
+// primary plus progressively slower, thinner mirrors. The profiles do
+// not depend on n, so the single-backend baseline (n=1) is exactly the
+// multi-backend run's primary: comparing the two reads off what the
+// added mirrors (capacity, hedging targets, second ρ̂′) buy.
+func simBackends(n int, totalBW float64) []fetch.Backend {
+	out := make([]fetch.Backend, n)
+	for i := range out {
+		bw := totalBW / float64(int(2)<<i)
+		out[i] = fetch.Backend{
+			Name:      fmt.Sprintf("b%d", i),
+			Fetcher:   &simBackend{base: 200 * time.Microsecond << i, bw: bw},
+			Weight:    bw,
+			Bandwidth: bw,
+		}
+	}
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/workload"
 	"repro/prefetcher"
+	"repro/prefetcher/fetch"
 )
 
 // engineBenchConfig parameterises the live-engine benchmark mode.
@@ -26,6 +27,20 @@ type engineBenchConfig struct {
 	// Shards lists the shard counts to sweep; each entry gets its own
 	// run so the report shows throughput per shard count.
 	Shards []int
+	// Backends selects the multi-backend fabric mode: n >= 1 simulated
+	// heterogeneous backends (fast/fat to slow/thin, see simBackends)
+	// behind the engine's fetch fabric; 0 fetches directly with no
+	// fabric. With n >= 2 each shard count also runs a single-backend
+	// baseline so the fabric's aggregate throughput is compared
+	// against it in one invocation.
+	Backends int
+	// Hedge enables hedged retries (p95-derived delay) in fabric mode.
+	Hedge bool
+	// Watermark sets the idle-gate ρ̂ watermark in fabric mode (0 = no
+	// gate).
+	Watermark float64
+	// JSON emits one machine-readable report instead of text.
+	JSON bool
 }
 
 // parseShardList parses the -shards flag: a comma-separated list of
@@ -49,13 +64,21 @@ func parseShardList(s string) ([]int, error) {
 	return out, nil
 }
 
+// engineRun is one finished benchmark run.
+type engineRun struct {
+	rps    float64
+	shards int
+	rep    runReport
+}
+
 // runEngineBench hammers one shared prefetcher.Engine with concurrent
 // demand traffic — the public-API counterpart of the DES experiments:
 // it measures what the facade itself sustains (lock contention, worker
 // pool, in-flight dedup) rather than simulated network time. It repeats
 // the run once per requested shard count and reports throughput per
-// count, so the effect of sharding the hot path is read directly off
-// one invocation.
+// count; with -backends n it instead drives the multi-backend fetch
+// fabric (hedging, batching, idle gate) over simulated asymmetric
+// links and compares each run against a single-backend baseline.
 func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 	if cfg.Clients < 1 || cfg.Requests < 1 {
 		return fmt.Errorf("engine mode: -clients %d and -requests %d must be >= 1", cfg.Clients, cfg.Requests)
@@ -66,24 +89,74 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 	if cfg.Items < 1 {
 		return fmt.Errorf("engine mode: -items %d must be >= 1", cfg.Items)
 	}
+	if cfg.Backends < 0 {
+		return fmt.Errorf("engine mode: -backends %d must be >= 0", cfg.Backends)
+	}
+	if cfg.Watermark < 0 || cfg.Watermark > 1 {
+		return fmt.Errorf("engine mode: -watermark %v must be in [0,1]", cfg.Watermark)
+	}
+	if (cfg.Hedge || cfg.Watermark > 0) && cfg.Backends == 0 {
+		return fmt.Errorf("engine mode: -hedge/-watermark need -backends >= 1")
+	}
 	if len(cfg.Shards) == 0 {
 		cfg.Shards = []int{1}
 	}
-	fmt.Fprintf(w, "live engine benchmark: %d clients × %d requests, %d workers, b=%g\n",
-		cfg.Clients, cfg.Requests, cfg.Workers, cfg.Bandwidth)
+	text := !cfg.JSON
+	report := &benchReport{Mode: "engine", Config: benchConfig{
+		Clients: cfg.Clients, Requests: cfg.Requests, Bandwidth: cfg.Bandwidth,
+		Workers: cfg.Workers, CacheCap: cfg.CacheCap, Items: cfg.Items,
+		Backends: cfg.Backends, Hedge: cfg.Hedge, Watermark: cfg.Watermark,
+		Seed: cfg.Seed,
+	}}
+	if text {
+		fmt.Fprintf(w, "live engine benchmark: %d clients × %d requests, %d workers, b=%g\n",
+			cfg.Clients, cfg.Requests, cfg.Workers, cfg.Bandwidth)
+		if cfg.Backends > 0 {
+			for _, b := range simBackends(cfg.Backends, cfg.Bandwidth) {
+				sim := b.Fetcher.(*simBackend)
+				fmt.Fprintf(w, "  backend %-8s base latency %v, bandwidth %.3g (weight %.3f)\n",
+					b.Name, sim.base, b.Bandwidth, b.Weight)
+			}
+			fmt.Fprintf(w, "  hedging %v, idle watermark %g\n", cfg.Hedge, cfg.Watermark)
+		}
+	}
 
 	var baseline float64
 	var baselineShards int
 	for _, shards := range cfg.Shards {
-		rps, eff, err := runEngineBenchOnce(w, cfg, shards)
+		if cfg.Backends >= 2 {
+			// Single-backend reference: all traffic on the multi-run's
+			// exact primary (simBackends' profiles are n-independent),
+			// same hedging/gate knobs — the comparison reads off what
+			// the added mirrors buy.
+			base, err := runEngineBenchOnce(w, cfg, shards, 1, true, text)
+			if err != nil {
+				return err
+			}
+			multi, err := runEngineBenchOnce(w, cfg, shards, cfg.Backends, false, text)
+			if err != nil {
+				return err
+			}
+			if text {
+				fmt.Fprintf(w, "  aggregate        %.2fx vs single-backend baseline\n",
+					multi.rps/base.rps)
+			}
+			report.Runs = append(report.Runs, base.rep, multi.rep)
+			continue
+		}
+		res, err := runEngineBenchOnce(w, cfg, shards, cfg.Backends, false, text)
 		if err != nil {
 			return err
 		}
+		report.Runs = append(report.Runs, res.rep)
 		if baseline == 0 {
-			baseline, baselineShards = rps, eff
-		} else {
-			fmt.Fprintf(w, "  speedup          %.2fx vs %d-shard run\n", rps/baseline, baselineShards)
+			baseline, baselineShards = res.rps, res.shards
+		} else if text {
+			fmt.Fprintf(w, "  speedup          %.2fx vs %d-shard run\n", res.rps/baseline, baselineShards)
 		}
+	}
+	if cfg.JSON {
+		return report.emit(w)
 	}
 	return nil
 }
@@ -96,8 +169,9 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 // stays fixed while the shard count varies (remainder spread over the
 // first shards) — the sweep isolates contention from capacity. Rather
 // than silently inflating tiny budgets, configurations the split
-// cannot honour are rejected. Returns the effective shard count.
-func newBenchEngine(mode string, fetch prefetcher.Fetcher, bandwidth float64, workers, cacheCap, shards int) (*prefetcher.Engine, int, error) {
+// cannot honour are rejected. extra options (the fabric knobs) are
+// appended last. Returns the effective shard count.
+func newBenchEngine(mode string, fetch prefetcher.Fetcher, bandwidth float64, workers, cacheCap, shards int, extra ...prefetcher.Option) (*prefetcher.Engine, int, error) {
 	for n := 1; ; n <<= 1 {
 		if n >= shards {
 			shards = n
@@ -107,7 +181,7 @@ func newBenchEngine(mode string, fetch prefetcher.Fetcher, bandwidth float64, wo
 	if cacheCap < 2*shards {
 		return nil, 0, fmt.Errorf("%s mode: -cache %d cannot give each of %d shards the >= 2 items SLRU needs", mode, cacheCap, shards)
 	}
-	eng, err := prefetcher.New(fetch,
+	opts := []prefetcher.Option{
 		prefetcher.WithBandwidth(bandwidth),
 		prefetcher.WithShards(shards),
 		prefetcher.WithCacheFactory(func(i, n int) prefetcher.Cache {
@@ -120,23 +194,50 @@ func newBenchEngine(mode string, fetch prefetcher.Fetcher, bandwidth float64, wo
 		prefetcher.WithPredictor(prefetcher.NewMarkovPredictor()),
 		prefetcher.WithWorkers(workers),
 		prefetcher.WithMaxPrefetch(2),
-	)
+	}
+	opts = append(opts, extra...)
+	eng, err := prefetcher.New(fetch, opts...)
 	if err != nil {
 		return nil, 0, err
 	}
 	return eng, shards, nil
 }
 
-// runEngineBenchOnce measures one engine configuration and returns its
-// throughput in requests per second plus the effective (power-of-two
-// rounded) shard count it ran with.
-func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards int) (float64, int, error) {
-	fetch := prefetcher.FetcherFunc(func(ctx context.Context, id prefetcher.ID) (prefetcher.Item, error) {
-		return prefetcher.Item{ID: id, Size: 1}, nil
-	})
-	eng, shards, err := newBenchEngine("engine", fetch, cfg.Bandwidth, cfg.Workers, cfg.CacheCap, shards)
+// fabricOptions builds the engine options for the multi-backend mode.
+func fabricOptions(cfg engineBenchConfig, backends int) []prefetcher.Option {
+	opts := []prefetcher.Option{
+		prefetcher.WithBackends(simBackends(backends, cfg.Bandwidth)...),
+		prefetcher.WithRouting(fetch.RouteLatency),
+	}
+	if cfg.Hedge {
+		opts = append(opts, prefetcher.WithHedging(fetch.Hedging{}))
+	}
+	if cfg.Watermark > 0 {
+		opts = append(opts, prefetcher.WithIdleWatermark(cfg.Watermark))
+	}
+	return opts
+}
+
+// runEngineBenchOnce measures one engine configuration: shards is the
+// requested shard count (rounded up to a power of two), backends the
+// simulated backend count (0 = direct fetcher).
+func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards, backends int, isBaseline, text bool) (engineRun, error) {
+	var (
+		eng *prefetcher.Engine
+		err error
+	)
+	if backends > 0 {
+		eng, shards, err = newBenchEngine("engine", nil, cfg.Bandwidth, cfg.Workers,
+			cfg.CacheCap, shards, fabricOptions(cfg, backends)...)
+	} else {
+		direct := prefetcher.FetcherFunc(func(ctx context.Context, id prefetcher.ID) (prefetcher.Item, error) {
+			return prefetcher.Item{ID: id, Size: 1}, nil
+		})
+		eng, shards, err = newBenchEngine("engine", direct, cfg.Bandwidth, cfg.Workers,
+			cfg.CacheCap, shards)
+	}
 	if err != nil {
-		return 0, 0, err
+		return engineRun{}, err
 	}
 	defer eng.Close()
 
@@ -178,24 +279,38 @@ func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards int) (float64
 	wg.Wait()
 	elapsed := time.Since(start)
 	if firstErr != nil {
-		return 0, 0, firstErr
+		return engineRun{}, firstErr
 	}
-	if err := eng.Quiesce(ctx); err != nil {
-		return 0, 0, err
+	qctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = eng.Quiesce(qctx)
+	cancel()
+	if err != nil {
+		return engineRun{}, fmt.Errorf("engine mode: quiesce: %w", err)
 	}
 
 	st := eng.Stats()
 	rps := float64(completed) / elapsed.Seconds()
-	fmt.Fprintf(w, "shards=%d\n", st.Shards)
-	reportRun(w, st, rps, elapsed)
-	return rps, shards, nil
+	if text {
+		label := fmt.Sprintf("shards=%d", st.Shards)
+		if backends > 0 {
+			label += fmt.Sprintf(" backends=%d", backends)
+			if isBaseline {
+				label += " (baseline)"
+			}
+		}
+		fmt.Fprintln(w, label)
+		reportRun(w, st, rps, elapsed)
+	}
+	return engineRun{rps: rps, shards: shards, rep: newRunReport(st, completed, rps, elapsed, isBaseline)}, nil
 }
 
 // reportRun prints the per-run block shared by the -engine and -trace
-// modes: throughput, the online estimates, the prefetch accounting, and
-// whether the predictor ran lock-free — a regression in the last line
-// (a built-in predictor falling back to the mutex) is a scaling bug
-// even when a single-threaded run looks healthy.
+// modes: throughput, the online estimates, the prefetch accounting,
+// whether the predictor ran lock-free — a regression in that line (a
+// built-in predictor falling back to the mutex) is a scaling bug even
+// when a single-threaded run looks healthy — and, in fabric mode, one
+// line per backend with its link estimates (distinct ρ̂′ per link is
+// the tentpole observable) and hedging/gate outcomes.
 func reportRun(w io.Writer, st prefetcher.Stats, rps float64, elapsed time.Duration) {
 	path := "lock-free (ConcurrentPredictor)"
 	if !st.PredictorLockFree {
@@ -209,8 +324,17 @@ func reportRun(w io.Writer, st prefetcher.Stats, rps float64, elapsed time.Durat
 	fmt.Fprintf(w, "  ρ̂′ online        %.4f\n", st.RhoPrime)
 	fmt.Fprintf(w, "  p̂_th             %.4f\n", st.Threshold)
 	fmt.Fprintf(w, "  n̄(F)             %.4f\n", st.NF)
-	fmt.Fprintf(w, "  prefetches       issued=%d used=%d wasted=%d dropped=%d errors=%d (accuracy %.3f)\n",
+	fmt.Fprintf(w, "  prefetches       issued=%d used=%d wasted=%d dropped=%d deferred=%d errors=%d (accuracy %.3f)\n",
 		st.PrefetchIssued, st.PrefetchUsed, st.PrefetchWasted,
-		st.PrefetchDropped, st.PrefetchErrors, st.Accuracy())
+		st.PrefetchDropped, st.PrefetchDeferred, st.PrefetchErrors, st.Accuracy())
 	fmt.Fprintf(w, "  joins            %d demand requests coalesced onto in-flight prefetches\n", st.Joins)
+	for _, b := range st.Backends {
+		fmt.Fprintf(w, "  backend %-8s ρ̂=%.3f ρ̂′=%.3f b̂=%.3g lat=%.2fms p95=%.2fms demand=%d spec=%d err=%d batch=%d/%d hedges=%d/%d retries=%d deferred=%d released=%d\n",
+			b.Name, b.Rho, b.RhoPrime, b.Bandwidth,
+			b.LatencySeconds*1e3, b.LatencyP95Seconds*1e3,
+			b.Demand, b.Speculative, b.Errors,
+			b.BatchCalls, b.BatchedItems,
+			b.HedgesWon, b.HedgesLaunched, b.Retries,
+			b.Deferred, b.Released)
+	}
 }

@@ -9,6 +9,8 @@
 //	prefetchbench -run all -format csv # everything, CSV
 //	prefetchbench -run T7 -quick       # reduced simulation sizes
 //	prefetchbench -engine -clients 8   # throughput of the public engine
+//	prefetchbench -engine -backends 2 -hedge -watermark 0.5   # fetch fabric
+//	prefetchbench -engine -json -o bench.json   # machine-readable results
 //	prefetchbench -trace t.jsonl       # replay a recorded trace through it
 package main
 
@@ -33,15 +35,19 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "random seed for simulation-backed experiments")
 		out    = flag.String("o", "", "write output to file instead of stdout")
 
-		engine   = flag.Bool("engine", false, "benchmark the public prefetcher.Engine instead of running experiments")
-		trace    = flag.String("trace", "", "replay a recorded JSON-lines trace through the public engine (one concurrent client per trace user)")
-		clients  = flag.Int("clients", 8, "engine mode: concurrent client goroutines")
-		requests = flag.Int("requests", 50000, "engine mode: requests per client")
-		ebw      = flag.Float64("b", 1e6, "engine/trace mode: link bandwidth for the adaptive threshold")
-		workers  = flag.Int("workers", 8, "engine/trace mode: speculative-fetch worker pool size")
-		ecache   = flag.Int("cache", 256, "engine/trace mode: cache capacity (total, split across shards)")
-		eitems   = flag.Int("items", 2000, "engine mode: catalog size")
-		eshards  = flag.String("shards", "1,8", "engine/trace mode: comma-separated shard counts to sweep")
+		engine    = flag.Bool("engine", false, "benchmark the public prefetcher.Engine instead of running experiments")
+		trace     = flag.String("trace", "", "replay a recorded JSON-lines trace through the public engine (one concurrent client per trace user)")
+		clients   = flag.Int("clients", 8, "engine mode: concurrent client goroutines")
+		requests  = flag.Int("requests", 50000, "engine mode: requests per client")
+		ebw       = flag.Float64("b", 1e6, "engine/trace mode: link bandwidth for the adaptive threshold")
+		workers   = flag.Int("workers", 8, "engine/trace mode: speculative-fetch worker pool size")
+		ecache    = flag.Int("cache", 256, "engine/trace mode: cache capacity (total, split across shards)")
+		eitems    = flag.Int("items", 2000, "engine mode: catalog size")
+		eshards   = flag.String("shards", "1,8", "engine/trace mode: comma-separated shard counts to sweep")
+		backends  = flag.Int("backends", 0, "engine mode: simulated heterogeneous backends behind the fetch fabric (0 = direct fetcher; >= 2 also runs a single-backend baseline)")
+		hedge     = flag.Bool("hedge", false, "engine mode: hedged retries across backends (p95-derived delay; needs -backends)")
+		watermark = flag.Float64("watermark", 0, "engine mode: idle-gate ρ̂ watermark deferring speculative dispatch (0 = off; needs -backends)")
+		asJSON    = flag.Bool("json", false, "engine/trace mode: emit one machine-readable JSON report (honours -o)")
 	)
 	flag.Parse()
 
@@ -49,17 +55,32 @@ func main() {
 		fatal(fmt.Errorf("-engine and -trace are mutually exclusive"))
 	}
 
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
 	if *trace != "" {
 		shards, err := parseShardList(*eshards)
 		if err != nil {
 			fatal(err)
 		}
-		err = runTraceBench(os.Stdout, traceBenchConfig{
+		err = runTraceBench(w, traceBenchConfig{
 			Path:      *trace,
 			Bandwidth: *ebw,
 			Workers:   *workers,
 			CacheCap:  *ecache,
 			Shards:    shards,
+			JSON:      *asJSON,
 		})
 		if err != nil {
 			fatal(err)
@@ -72,7 +93,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		err = runEngineBench(os.Stdout, engineBenchConfig{
+		err = runEngineBench(w, engineBenchConfig{
 			Clients:   *clients,
 			Requests:  *requests,
 			Bandwidth: *ebw,
@@ -81,6 +102,10 @@ func main() {
 			Items:     *eitems,
 			Seed:      *seed,
 			Shards:    shards,
+			Backends:  *backends,
+			Hedge:     *hedge,
+			Watermark: *watermark,
+			JSON:      *asJSON,
 		})
 		if err != nil {
 			fatal(err)
@@ -109,20 +134,6 @@ func main() {
 			fatal(err)
 		}
 		targets = []experiments.Experiment{e}
-	}
-
-	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-		w = f
 	}
 
 	if *format == "plot" {

@@ -21,6 +21,8 @@ type traceBenchConfig struct {
 	CacheCap  int
 	// Shards lists the shard counts to sweep, as in -engine mode.
 	Shards []int
+	// JSON emits one machine-readable report instead of text.
+	JSON bool
 }
 
 // runTraceBench replays a recorded trace through the public engine: one
@@ -65,21 +67,32 @@ func runTraceBench(w io.Writer, cfg traceBenchConfig) error {
 	}
 	sort.Ints(users)
 
-	fmt.Fprintf(w, "trace replay: %s — %d records, %d users (one client each), %d workers, b=%g\n",
-		cfg.Path, len(records), len(users), cfg.Workers, cfg.Bandwidth)
+	text := !cfg.JSON
+	if text {
+		fmt.Fprintf(w, "trace replay: %s — %d records, %d users (one client each), %d workers, b=%g\n",
+			cfg.Path, len(records), len(users), cfg.Workers, cfg.Bandwidth)
+	}
+	report := &benchReport{Mode: "trace", Config: benchConfig{
+		Trace: cfg.Path, Bandwidth: cfg.Bandwidth, Workers: cfg.Workers,
+		CacheCap: cfg.CacheCap,
+	}}
 
 	var baseline float64
 	var baselineShards int
 	for _, shards := range cfg.Shards {
-		rps, eff, err := runTraceBenchOnce(w, cfg, records, users, sizes, shards)
+		res, err := runTraceBenchOnce(w, cfg, records, users, sizes, shards, text)
 		if err != nil {
 			return err
 		}
+		report.Runs = append(report.Runs, res.rep)
 		if baseline == 0 {
-			baseline, baselineShards = rps, eff
-		} else {
-			fmt.Fprintf(w, "  speedup          %.2fx vs %d-shard run\n", rps/baseline, baselineShards)
+			baseline, baselineShards = res.rps, res.shards
+		} else if text {
+			fmt.Fprintf(w, "  speedup          %.2fx vs %d-shard run\n", res.rps/baseline, baselineShards)
 		}
+	}
+	if cfg.JSON {
+		return report.emit(w)
 	}
 	return nil
 }
@@ -87,7 +100,7 @@ func runTraceBench(w io.Writer, cfg traceBenchConfig) error {
 // runTraceBenchOnce replays the whole trace once through a fresh engine
 // with the given shard count.
 func runTraceBenchOnce(w io.Writer, cfg traceBenchConfig, records []workload.Record,
-	users []int, sizes map[prefetcher.ID]float64, shards int) (float64, int, error) {
+	users []int, sizes map[prefetcher.ID]float64, shards int, text bool) (engineRun, error) {
 	fetch := prefetcher.FetcherFunc(func(ctx context.Context, id prefetcher.ID) (prefetcher.Item, error) {
 		size, ok := sizes[id]
 		if !ok {
@@ -97,7 +110,7 @@ func runTraceBenchOnce(w io.Writer, cfg traceBenchConfig, records []workload.Rec
 	})
 	eng, shards, err := newBenchEngine("trace", fetch, cfg.Bandwidth, cfg.Workers, cfg.CacheCap, shards)
 	if err != nil {
-		return 0, 0, err
+		return engineRun{}, err
 	}
 	defer eng.Close()
 
@@ -107,7 +120,7 @@ func runTraceBenchOnce(w io.Writer, cfg traceBenchConfig, records []workload.Rec
 	for i, u := range users {
 		r, err := workload.NewReplay(records, u, false)
 		if err != nil {
-			return 0, 0, fmt.Errorf("trace mode: %w", err)
+			return engineRun{}, fmt.Errorf("trace mode: %w", err)
 		}
 		replays[i] = r
 	}
@@ -145,16 +158,18 @@ func runTraceBenchOnce(w io.Writer, cfg traceBenchConfig, records []workload.Rec
 	wg.Wait()
 	elapsed := time.Since(start)
 	if firstErr != nil {
-		return 0, 0, firstErr
+		return engineRun{}, firstErr
 	}
 	if err := eng.Quiesce(ctx); err != nil {
-		return 0, 0, err
+		return engineRun{}, err
 	}
 
 	st := eng.Stats()
 	rps := float64(completed) / elapsed.Seconds()
-	fmt.Fprintf(w, "shards=%d\n", st.Shards)
-	fmt.Fprintf(w, "  replayed         %d/%d trace requests\n", completed, len(records))
-	reportRun(w, st, rps, elapsed)
-	return rps, shards, nil
+	if text {
+		fmt.Fprintf(w, "shards=%d\n", st.Shards)
+		fmt.Fprintf(w, "  replayed         %d/%d trace requests\n", completed, len(records))
+		reportRun(w, st, rps, elapsed)
+	}
+	return engineRun{rps: rps, shards: shards, rep: newRunReport(st, completed, rps, elapsed, false)}, nil
 }

@@ -40,6 +40,8 @@ func concurrentPairs() []concurrentPair {
 			func() ConcurrentPredictor { return NewConcurrentPPM(3) }},
 		{"depgraph", func() Predictor { return NewDependencyGraph(4) },
 			func() ConcurrentPredictor { return NewConcurrentDependencyGraph(4) }},
+		{"lz78", func() Predictor { return NewLZ78() },
+			func() ConcurrentPredictor { return NewConcurrentLZ78() }},
 	}
 }
 

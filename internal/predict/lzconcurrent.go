@@ -1,0 +1,196 @@
+package predict
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cache"
+)
+
+// ConcurrentLZ78 is the concurrent Vitter–Krishnan LZ78 predictor —
+// the last built-in to join the lock-free path. The stream state (the
+// current trie node) is one atomic pointer: Observe computes the
+// transition from the node it loaded and claims it with a CAS, so
+// every observation extends one global parse no matter which engine
+// shard it came from, exactly like ConcurrentMarkov1's swap chain. The
+// model state is the trie itself: each node's children form a
+// lock-free singly linked list with CAS insertion at the head, and the
+// visit counts are plain atomics — concurrent observers only contend
+// when they extend the same node.
+//
+// Driven sequentially it reproduces LZ78 exactly, with one documented
+// divergence under races: when two observers miss the same child of
+// the same node at once, one inserts it and the other finds it during
+// its own insert attempt and credits a visit instead of inserting —
+// every observation still contributes exactly one visit somewhere
+// (the conservation the tests pin), the phrase parse just restarts for
+// both.
+type ConcurrentLZ78 struct {
+	root  *lzcNode
+	cur   atomic.Pointer[lzcNode]
+	nodes atomic.Int64
+}
+
+// lzcNode is one trie node. id is the edge label from the parent
+// (unused on the root); children is the CAS-insertion sibling list.
+// childVisits caches Σ visits over the children so prediction
+// normalises in one pass without walking the list twice.
+type lzcNode struct {
+	id          cache.ID
+	visits      atomic.Int64
+	next        atomic.Pointer[lzcNode] // sibling
+	children    atomic.Pointer[lzcNode] // head of child list
+	childVisits atomic.Int64
+}
+
+// findChild walks the child list for id.
+func (n *lzcNode) findChild(id cache.ID) *lzcNode {
+	for c := n.children.Load(); c != nil; c = c.next.Load() {
+		if c.id == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// NewConcurrentLZ78 returns an empty concurrent LZ78 predictor.
+func NewConcurrentLZ78() *ConcurrentLZ78 {
+	l := &ConcurrentLZ78{root: &lzcNode{}}
+	l.cur.Store(l.root)
+	l.nodes.Store(1)
+	return l
+}
+
+// Nodes returns the trie size (phrases parsed so far + 1).
+func (l *ConcurrentLZ78) Nodes() int { return int(l.nodes.Load()) }
+
+// observe implements the parse step: follow the trie edge for id,
+// extending the trie and restarting the parse at the root on a phrase
+// boundary. Safe for concurrent use; returns the node the observation
+// moved the parse to (the coupled-prediction context — the child on a
+// hit, the root on a boundary, exactly the node a sequential
+// observe-then-predict would read from).
+func (l *ConcurrentLZ78) observe(id cache.ID) *lzcNode {
+	for {
+		cur := l.cur.Load()
+		child := cur.findChild(id)
+		next := l.root
+		if child != nil {
+			next = child
+		}
+		// Claim the transition: the CAS linearises the stream, so each
+		// observation extends the parse from exactly the node it read.
+		// A loser re-reads the winner's new state and retries. (A
+		// node revisited between our load and CAS — ABA — is harmless:
+		// the side effects below apply to cur, which is the current
+		// node either way, and its child set only grows.)
+		if !l.cur.CompareAndSwap(cur, next) {
+			continue
+		}
+		if child != nil {
+			child.visits.Add(1)
+			cur.childVisits.Add(1)
+			return child
+		}
+		l.addChild(cur, id)
+		return l.root
+	}
+}
+
+// Observe implements Predictor. Safe for concurrent use.
+func (l *ConcurrentLZ78) Observe(id cache.ID) { l.observe(id) }
+
+// addChild inserts a new child with one visit under n, or credits the
+// visit to a child a racing observer inserted first.
+func (l *ConcurrentLZ78) addChild(n *lzcNode, id cache.ID) {
+	nd := &lzcNode{id: id}
+	nd.visits.Store(1)
+	for {
+		head := n.children.Load()
+		// Re-scan from the current head: a racing inserter may have
+		// added this id since our miss (or since the last CAS failure).
+		for c := head; c != nil; c = c.next.Load() {
+			if c.id == id {
+				c.visits.Add(1)
+				n.childVisits.Add(1)
+				return
+			}
+		}
+		nd.next.Store(head)
+		if n.children.CompareAndSwap(head, nd) {
+			n.childVisits.Add(1)
+			l.nodes.Add(1)
+			return
+		}
+	}
+}
+
+// predictNode builds the distribution over node's children: visit
+// counts normalised with one count of escape mass reserved, as in the
+// sequential model. Counts racing ahead of the cached child total are
+// clamped at 1 and vanish once observers quiesce.
+func (l *ConcurrentLZ78) predictNode(n *lzcNode) []Prediction {
+	total := n.childVisits.Load() + 1 // escape
+	if total <= 1 {
+		return nil
+	}
+	ft := float64(total)
+	var out []Prediction
+	for c := n.children.Load(); c != nil; c = c.next.Load() {
+		if v := c.visits.Load(); v > 0 {
+			p := float64(v) / ft
+			if p > 1 {
+				p = 1
+			}
+			out = append(out, Prediction{Item: c.id, Prob: p})
+		}
+	}
+	sortPredictions(out)
+	return out
+}
+
+// topNode is predictNode bounded to the k best children — no full-row
+// allocation or sort.
+func (l *ConcurrentLZ78) topNode(n *lzcNode, k int) []Prediction {
+	if k <= 0 {
+		return nil
+	}
+	total := n.childVisits.Load() + 1
+	if total <= 1 {
+		return nil
+	}
+	ft := float64(total)
+	top := newTopPredictions(k)
+	for c := n.children.Load(); c != nil; c = c.next.Load() {
+		offerCount(&top, c.id, c.visits.Load(), ft)
+	}
+	return top.buf
+}
+
+// Predict implements Predictor: the children of the current trie node,
+// weighted by visit counts, with escape mass reserved.
+func (l *ConcurrentLZ78) Predict() []Prediction {
+	return l.predictNode(l.cur.Load())
+}
+
+// PredictTop implements TopPredictor.
+func (l *ConcurrentLZ78) PredictTop(k int) []Prediction {
+	return l.topNode(l.cur.Load(), k)
+}
+
+// ObserveAndPredictTop implements CoupledPredictor: the candidates
+// come from the node this observation's own parse step landed on, so a
+// racing observer moving the shared parse cannot hand this request
+// another request's context.
+func (l *ConcurrentLZ78) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
+	n := l.observe(id)
+	if k <= 0 {
+		return nil
+	}
+	return l.topNode(n, k)
+}
+
+// Name implements Predictor.
+func (l *ConcurrentLZ78) Name() string { return "lz78" }
+
+// ConcurrentSafe implements ConcurrentPredictor.
+func (l *ConcurrentLZ78) ConcurrentSafe() {}

@@ -1,0 +1,108 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// Compile-time contract checks (the table-driven equivalence, top-k
+// prefix, coupled and -race hammer tests in concurrent_test.go cover
+// ConcurrentLZ78 through concurrentPairs).
+var (
+	_ ConcurrentPredictor = (*ConcurrentLZ78)(nil)
+	_ CoupledPredictor    = (*ConcurrentLZ78)(nil)
+)
+
+// sumVisits walks the trie, totalling visit counts and counting nodes.
+func sumVisits(n *lzcNode) (visits, nodes int64) {
+	nodes = 1
+	for c := n.children.Load(); c != nil; c = c.next.Load() {
+		visits += c.visits.Load()
+		v, m := sumVisits(c)
+		visits += v
+		nodes += m
+	}
+	return visits, nodes
+}
+
+// TestConcurrentLZ78VisitConservation pins the CAS-trie invariant:
+// every observation contributes exactly one visit somewhere in the
+// trie — a descent increments an existing child, a phrase boundary
+// inserts a child carrying one visit, and the insert race credits the
+// racing winner's child — however the observations interleave.
+func TestConcurrentLZ78VisitConservation(t *testing.T) {
+	stream := markovStream(20000, 37)
+	l := NewConcurrentLZ78()
+	hammer(l, stream, 8)
+	visits, nodes := sumVisits(l.root)
+	if visits != int64(len(stream)) {
+		t.Fatalf("trie holds %d visits, want %d (one per observation)", visits, len(stream))
+	}
+	if got := int64(l.Nodes()); got != nodes {
+		t.Fatalf("Nodes() = %d, but the trie holds %d nodes", got, nodes)
+	}
+	// Per-node child totals must agree with the children they cache.
+	var check func(n *lzcNode)
+	fail := false
+	check = func(n *lzcNode) {
+		var sum int64
+		for c := n.children.Load(); c != nil; c = c.next.Load() {
+			sum += c.visits.Load()
+			check(c)
+		}
+		if sum != n.childVisits.Load() {
+			fail = true
+		}
+	}
+	check(l.root)
+	if fail {
+		t.Fatal("a node's cached childVisits disagrees with its children")
+	}
+}
+
+// TestConcurrentLZ78MatchesSequentialTrie drives both tries with one
+// stream from one goroutine and compares their shapes: same node
+// count, and the same prediction at every phrase position (the
+// distribution check in concurrent_test.go samples sparsely; this one
+// is exhaustive over a shorter stream).
+func TestConcurrentLZ78MatchesSequentialTrie(t *testing.T) {
+	stream := markovStream(1500, 39)
+	seq := NewLZ78()
+	conc := NewConcurrentLZ78()
+	for i, id := range stream {
+		seq.Observe(id)
+		conc.Observe(id)
+		if seq.Nodes() != conc.Nodes() {
+			t.Fatalf("after %d observations: sequential trie has %d nodes, concurrent %d",
+				i+1, seq.Nodes(), conc.Nodes())
+		}
+		samePredictions(t, "lz78-trie", conc.Predict(), seq.Predict())
+	}
+}
+
+// TestConcurrentLZ78EmptyAndRoot covers the degenerate states: an
+// empty model predicts nothing, and a single observation leaves the
+// parse at the root with one single-symbol phrase recorded.
+func TestConcurrentLZ78EmptyAndRoot(t *testing.T) {
+	l := NewConcurrentLZ78()
+	if got := l.Predict(); got != nil {
+		t.Fatalf("empty Predict = %v, want nil", got)
+	}
+	if got := l.PredictTop(4); got != nil {
+		t.Fatalf("empty PredictTop = %v, want nil", got)
+	}
+	if l.Nodes() != 1 {
+		t.Fatalf("empty trie has %d nodes, want 1 (the root)", l.Nodes())
+	}
+	l.Observe(cache.ID(7))
+	if l.Nodes() != 2 {
+		t.Fatalf("one observation grew the trie to %d nodes, want 2", l.Nodes())
+	}
+	// The parse restarted at the root, whose one child is the phrase
+	// {7} with probability 1/(1+1): one visit against one escape count.
+	got := l.Predict()
+	if len(got) != 1 || got[0].Item != 7 || got[0].Prob != 0.5 {
+		t.Fatalf("Predict after one observation = %v, want [{7 0.5}]", got)
+	}
+}

@@ -1,0 +1,218 @@
+package prefetch
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// linkFlow is one traffic stream on a link: the dispatch rate (EWMA of
+// inter-dispatch gaps, same fold as the controller's λ̂) and the mean
+// item size, both lock-free. Unlike the controller's global λ̂, the
+// rate a flow reports is evaluated *at* a point in time: once the link
+// goes quiet, the elapsed gap since the last dispatch bounds the
+// current rate, so utilisation decays toward zero during idle periods
+// instead of holding the last busy-period estimate forever — which is
+// what lets an idle-period dispatch gate ever reopen.
+type linkFlow struct {
+	last  atomic.Uint64 // float64 bits of the last dispatch time; NaN = none
+	inter ewma          // smoothed inter-dispatch gap
+	size  ewma          // smoothed item size
+}
+
+func (f *linkFlow) init() {
+	f.last.Store(unsetBits)
+	f.inter.init()
+	f.size.init()
+}
+
+// record notes one dispatch on the flow at time now.
+func (f *linkFlow) record(now, alpha float64) {
+	prev := math.Float64frombits(f.last.Swap(math.Float64bits(now)))
+	if !math.IsNaN(prev) {
+		// Concurrent dispatches can swap out of order; a negative gap
+		// carries no rate information, so skip it (as RecordRequest does).
+		if inter := now - prev; inter >= 0 {
+			f.inter.fold(inter, alpha)
+		}
+	}
+}
+
+// recordSize folds one observed item size (sizes become known only when
+// the backend responds, after the dispatch was recorded).
+func (f *linkFlow) recordSize(size, alpha float64) {
+	if size > 0 {
+		f.size.fold(size, alpha)
+	}
+}
+
+// offered returns the flow's offered load in size units per second as
+// of time now: ŝ̄ times the current rate, where the rate estimate is
+// the smoothed inter-dispatch gap *bounded below by the elapsed gap
+// since the last dispatch* — so it decays as the link idles.
+func (f *linkFlow) offered(now float64) float64 {
+	last := math.Float64frombits(f.last.Load())
+	if math.IsNaN(last) {
+		return 0
+	}
+	inter := f.inter.value()
+	if gap := now - last; gap > inter {
+		inter = gap
+	}
+	if inter <= 0 {
+		return 0 // a single dispatch with no elapsed time: no rate estimate yet
+	}
+	return f.size.value() / inter
+}
+
+// sinceLast returns the elapsed time since the flow's last dispatch,
+// or -1 before any dispatch.
+func (f *linkFlow) sinceLast(now float64) float64 {
+	last := math.Float64frombits(f.last.Load())
+	if math.IsNaN(last) {
+		return -1
+	}
+	return now - last
+}
+
+// Link tracks the online utilisation of one backend link, so a
+// multi-backend fetch fabric can feed a *separate* ρ̂′ per link into
+// the threshold rule — the admission decision then reflects the link a
+// candidate's fetch would actually compete with, not a global average.
+//
+// Two flows are kept: demand (miss fetches only — the link's
+// no-prefetch traffic, giving ρ̂′) and total (demand plus speculative,
+// giving ρ̂, the quantity an idle-period dispatch gate compares against
+// its watermark). Demand fetches are observed directly, so per-link
+// ρ̂′ needs no (1−h′) correction — the cache has already absorbed the
+// hits before traffic reaches the link.
+//
+// All methods are safe for concurrent use; the counters are the same
+// lock-free EWMA words the Controller uses.
+type Link struct {
+	alpha  float64
+	bw     atomic.Uint64 // float64 bits: configured or estimated bandwidth
+	demand linkFlow
+	total  linkFlow
+}
+
+// NewLink creates a link estimator. bandwidth is the link capacity in
+// size units per second; pass 0 when unknown — utilisation then reads
+// 0 until SetBandwidth supplies an online estimate. alpha is the EWMA
+// weight in (0,1]; 0 selects the controller's default 0.05.
+func NewLink(bandwidth, alpha float64) *Link {
+	if bandwidth < 0 || math.IsNaN(bandwidth) {
+		panic(fmt.Sprintf("prefetch: link bandwidth %v must be non-negative", bandwidth))
+	}
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("prefetch: EWMA weight %v must be in (0,1]", alpha))
+	}
+	l := &Link{alpha: alpha}
+	l.bw.Store(math.Float64bits(bandwidth))
+	l.demand.init()
+	l.total.init()
+	return l
+}
+
+// SetBandwidth replaces the link's bandwidth estimate (size units per
+// second). Non-positive and non-finite values are ignored.
+func (l *Link) SetBandwidth(b float64) {
+	if b > 0 && !math.IsInf(b, 0) && !math.IsNaN(b) {
+		l.bw.Store(math.Float64bits(b))
+	}
+}
+
+// Bandwidth returns the current bandwidth (configured or estimated);
+// 0 means no estimate yet.
+func (l *Link) Bandwidth() float64 { return math.Float64frombits(l.bw.Load()) }
+
+// RecordDemand notes one demand (miss) fetch dispatched on the link at
+// time now. Demand traffic contributes to both ρ̂′ and ρ̂.
+func (l *Link) RecordDemand(now float64) {
+	l.demand.record(now, l.alpha)
+	l.total.record(now, l.alpha)
+}
+
+// RecordDemandSize folds the size of a completed demand fetch.
+func (l *Link) RecordDemandSize(size float64) {
+	l.demand.recordSize(size, l.alpha)
+	l.total.recordSize(size, l.alpha)
+}
+
+// RecordSpeculative notes one speculative fetch dispatched on the link
+// at time now. Speculative traffic contributes to ρ̂ only — ρ̂′ is by
+// definition the utilisation prefetching would leave behind.
+func (l *Link) RecordSpeculative(now float64) {
+	l.total.record(now, l.alpha)
+}
+
+// RecordSpeculativeSize folds the size of a completed speculative
+// fetch.
+func (l *Link) RecordSpeculativeSize(size float64) {
+	l.total.recordSize(size, l.alpha)
+}
+
+// RhoPrime returns the link's estimated demand-only utilisation ρ̂′ at
+// time now, clamped to [0, 1]. 0 when the bandwidth is still unknown.
+func (l *Link) RhoPrime(now float64) float64 {
+	return clampRho(l.demand.offered(now), l.Bandwidth())
+}
+
+// Rho returns the link's estimated total utilisation ρ̂ (demand plus
+// speculative traffic) at time now, clamped to [0, 1].
+func (l *Link) Rho(now float64) float64 {
+	return clampRho(l.total.offered(now), l.Bandwidth())
+}
+
+// IdleWait returns how many seconds past now the link's ρ̂ needs, with
+// no further dispatches, to decay below watermark — 0 when it is
+// already below (or no estimate exists). An idle-period gate can sleep
+// exactly this long instead of polling.
+func (l *Link) IdleWait(now, watermark float64) float64 {
+	b := l.Bandwidth()
+	if b <= 0 || watermark <= 0 {
+		return 0
+	}
+	s := l.total.size.value()
+	if s <= 0 {
+		return 0
+	}
+	since := l.total.sinceLast(now)
+	if since < 0 {
+		return 0
+	}
+	// ρ̂(t) = ŝ̄ / (gap(t)·b) once the elapsed gap dominates the EWMA;
+	// it crosses the watermark when gap > ŝ̄/(watermark·b).
+	if wait := s/(watermark*b) - since; wait > 0 {
+		return wait
+	}
+	return 0
+}
+
+func clampRho(offered, bandwidth float64) float64 {
+	if bandwidth <= 0 || offered <= 0 {
+		return 0
+	}
+	rho := offered / bandwidth
+	if rho > 1 {
+		return 1
+	}
+	return rho
+}
+
+// StateForLink snapshots a policy State whose utilisation term is the
+// given link's ρ̂′ at time now instead of the global estimate — the
+// cache-side quantities (ĥ′, n̄(F)) stay global, because hits and
+// prefetch volume are properties of the client cache, not of any one
+// link. nc is the caller's cache-occupancy estimate, as in State.
+func (c *Controller) StateForLink(l *Link, now, nc float64) State {
+	return State{
+		RhoPrime: l.RhoPrime(now),
+		HPrime:   c.est.EstimateA(),
+		NC:       nc,
+		NF:       c.NF(),
+	}
+}

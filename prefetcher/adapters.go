@@ -97,10 +97,11 @@ func NewMarkovPredictor() Predictor { return adaptPredictor(predict.NewConcurren
 
 // NewLZPredictor returns the Vitter–Krishnan LZ78 predictor: the
 // request stream is parsed into a phrase trie whose current node
-// conditions the next-access distribution. The trie is not (yet)
-// internally concurrent — an engine using it serialises prediction on
-// the compatibility mutex (Stats.PredictorLockFree reports false).
-func NewLZPredictor() Predictor { return adaptPredictor(predict.NewLZ78()) }
+// conditions the next-access distribution. Concurrent: the parse
+// position is an atomic swap chain (so every observation extends one
+// global parse) and the trie grows by CAS child insertion, so the
+// engine runs it lock-free like the other built-ins.
+func NewLZPredictor() Predictor { return adaptPredictor(predict.NewConcurrentLZ78()) }
 
 // NewPPMPredictor returns an order-k prediction-by-partial-matching
 // model (k >= 1) with escape to shorter contexts. Concurrent: context

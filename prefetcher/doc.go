@@ -39,17 +39,34 @@
 //
 // The access model is shared across shards but is not a serialisation
 // point: a predictor implementing ConcurrentPredictor (every built-in
-// constructor except NewLZPredictor) is called lock-free from all
-// shards at once — internally it linearises the request stream (an
-// atomic swap chain for Markov, a short history mutex for PPM and the
-// dependency graph) so cross-shard transitions are still learned, while
-// its count tables are striped and atomic. A plain Predictor plugin
+// constructor) is called lock-free from all shards at once — internally
+// it linearises the request stream (an atomic swap chain for Markov and
+// the LZ78 parse, a short history mutex for PPM and the dependency
+// graph) so cross-shard transitions are still learned, while its count
+// tables are striped and atomic (the LZ78 trie grows by CAS child
+// insertion). A plain Predictor plugin
 // instead runs under a compatibility mutex, one call at a time, and
 // caps throughput however many shards the engine has;
 // Stats.PredictorLockFree reports which path is active. Predictors
 // implementing TopPredictor serve the hot path with PredictTop(k) — the
 // bounded prefix the policies can actually admit — instead of the full
 // sorted distribution.
+//
+// The origin side can be a single Fetcher or a backend fetch fabric
+// (package repro/prefetcher/fetch, assembled with WithBackends): named
+// backends with static-weight or estimated-latency routing, failover
+// and hedged retries on the demand path (WithHedging — the next
+// backend is raced once the preferred one overruns its p95-derived
+// hedge delay, the loser cancelled via context), and batch coalescing
+// of adjacent speculative candidates for backends implementing
+// BatchFetcher. Each backend link carries its own latency, bandwidth
+// and utilisation estimators, and the admission threshold for a
+// candidate is evaluated against the ρ̂′ of the link its fetch would
+// actually use. WithIdleWatermark adds the paper's load-impedance
+// result as a dispatch rule: speculative fetches for a link whose ρ̂
+// sits above the watermark are parked and dispatched only in that
+// link's idle periods (demand fetches are never gated). Per-backend
+// counters and link estimates appear in Stats.Backends.
 //
 // For offline capacity planning — what threshold, what gain, what
 // cost, from known parameters instead of live estimates — use Planner.

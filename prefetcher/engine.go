@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/predict"
 	"repro/internal/prefetch"
+	"repro/prefetcher/fetch"
 )
 
 // ErrClosed is returned by Get after Close.
@@ -31,10 +32,24 @@ type flight struct {
 	err  error
 }
 
-// job is a queued speculative fetch.
+// job is a queued speculative fetch. backend is the fabric backend the
+// candidate was routed to (unused without a fabric); batch, when
+// non-nil, carries a multi-candidate batch coalesced for one
+// batch-capable backend — id and f are then unused.
 type job struct {
-	id ID
-	f  *flight
+	id      ID
+	f       *flight
+	backend int
+	batch   *batchJob
+}
+
+// batchJob is one coalesced speculative fetch: several candidates
+// routed to the same batch-capable backend, dispatched as a single
+// FetchBatch call. ids and fs are index-aligned.
+type batchJob struct {
+	backend int
+	ids     []ID
+	fs      []*flight
 }
 
 // Engine is the concurrent prefetch engine. Create one with New; all
@@ -49,11 +64,16 @@ type job struct {
 // Threshold and Stats report the same globally consistent operating
 // point the paper's rule needs regardless of the shard count. The
 // shared access model is global too, but not serialised: predictors
-// implementing ConcurrentPredictor (every built-in except LZ78) are
-// called lock-free from all shards at once, while plain Predictor
+// implementing ConcurrentPredictor (every built-in) are called
+// lock-free from all shards at once, while plain Predictor
 // plugins run under a compatibility mutex (see Stats.PredictorLockFree).
 type Engine struct {
 	fetcher Fetcher
+	// fabric is the multi-backend fetch fabric (WithBackends, or a
+	// single fetcher wrapped for WithHedging/WithIdleWatermark); nil
+	// for a plain single-fetcher engine. When set, fetcher is nil and
+	// every demand and speculative fetch goes through it.
+	fabric  *fetch.Fabric
 	pred    Predictor
 	predTop TopPredictor      // non-nil when pred supports bounded top-k prediction
 	ipred   predict.Predictor // non-nil fast path when pred wraps an internal predictor
@@ -80,7 +100,7 @@ type Engine struct {
 	// Predictor plugins: Observe and the Predict that plans each request
 	// run in one critical section, so such a model sees one globally
 	// interleaved request stream. Predictors that implement the
-	// ConcurrentPredictor contract (every built-in except LZ78) are
+	// ConcurrentPredictor contract (every built-in) are
 	// called directly — predFree is set and this mutex is never taken,
 	// removing the engine's last global serialisation point.
 	predMu sync.Mutex
@@ -113,9 +133,6 @@ type Engine struct {
 // paper's adaptive threshold policy under interaction model A — which
 // requires WithBandwidth, the one parameter with no sensible default.
 func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
-	if fetcher == nil {
-		return nil, fmt.Errorf("prefetcher: nil fetcher")
-	}
 	cfg := defaultConfig()
 	for _, opt := range opts {
 		if opt == nil {
@@ -124,6 +141,12 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 		if err := opt(cfg); err != nil {
 			return nil, err
 		}
+	}
+	if fetcher == nil && len(cfg.backends) == 0 {
+		return nil, fmt.Errorf("prefetcher: nil fetcher")
+	}
+	if fetcher != nil && len(cfg.backends) > 0 {
+		return nil, fmt.Errorf("prefetcher: WithBackends replaces the origin fetcher; pass nil to New")
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -214,6 +237,18 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 		c.OnEvict(e.onEvict(sh))
 		e.shards[i] = sh
 		e.residents.Add(int64(c.Len())) // prewarmed caches start non-empty
+	}
+	// The fabric is built last: it starts idle-gate drainer goroutines,
+	// and every earlier construction failure returns without anything
+	// to tear down (cancel() alone suffices — no workers, no fabric).
+	fab, err := e.newFabric(fetcher, cfg)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	e.fabric = fab
+	if fab != nil {
+		e.fetcher = nil // every fetch goes through the fabric
 	}
 	for i := 0; i < cfg.workers; i++ {
 		e.wg.Add(1)
@@ -417,7 +452,13 @@ func (e *Engine) demandFetch(ctx context.Context, sh *shard, id ID, cands []pred
 	sh.inflight[id] = f
 	sh.mu.Unlock()
 
-	item, err := e.fetcher.Fetch(ctx, id)
+	var item Item
+	var err error
+	if e.fabric != nil {
+		item, err = e.fabricDemandFetch(ctx, id)
+	} else {
+		item, err = e.fetcher.Fetch(ctx, id)
+	}
 
 	sh.mu.Lock()
 	if sh.inflight[id] == f {
@@ -449,9 +490,14 @@ func (e *Engine) demandFetch(ctx context.Context, sh *shard, id ID, cands []pred
 // schedule filters candidates through the policy at the current
 // estimates and dispatches the admitted ones to the worker pool. Each
 // candidate is registered under its own shard's lock; at most one shard
-// mutex is held at a time.
+// mutex is held at a time. With a fetch fabric the admission threshold
+// is evaluated per link instead (scheduleRouted).
 func (e *Engine) schedule(cands []predict.Prediction) {
 	if len(cands) == 0 {
+		return
+	}
+	if e.fabric != nil {
+		e.scheduleRouted(cands)
 		return
 	}
 	st := e.ctrl.State(e.occupancy())
@@ -460,38 +506,50 @@ func (e *Engine) schedule(cands []predict.Prediction) {
 		sel = sel[:e.maxPrefetch]
 	}
 	for _, c := range sel {
-		id := ID(c.Item)
-		sh := e.shardFor(id)
-		sh.mu.Lock()
-		if e.closed.Load() {
-			sh.mu.Unlock()
+		if !e.enqueue(job{id: ID(c.Item), f: &flight{done: make(chan struct{})}}) {
 			return
 		}
-		if sh.cache.Contains(id) {
-			sh.mu.Unlock()
-			continue
-		}
-		if _, ok := sh.inflight[id]; ok {
-			sh.mu.Unlock()
-			continue
-		}
-		f := &flight{done: make(chan struct{})}
-		sh.inflight[id] = f
-		select {
-		case e.jobs <- job{id: id, f: f}:
-			sh.prefetchIssued++
-			e.specAdd()
-			sh.mu.Unlock()
-			e.emit(Event{Type: EventPrefetchIssued, ID: id})
-		default: // queue full: shed, never block the demand path
-			delete(sh.inflight, id)
-			f.err = errDropped
-			close(f.done)
-			sh.prefetchDropped++
-			sh.mu.Unlock()
-			e.emit(Event{Type: EventPrefetchDropped, ID: id})
-		}
 	}
+}
+
+// enqueue registers j.f as j.id's in-flight fetch and hands the job to
+// the worker pool — the single-candidate dispatch shared by schedule
+// and the fabric's routed path. Dedup against the cache and in-flight
+// table, the closed re-check and the queue push all happen under the
+// shard lock, so Close's barrier covers them. Returns false only when
+// the engine is closed.
+func (e *Engine) enqueue(j job) bool {
+	id := j.id
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	if e.closed.Load() {
+		sh.mu.Unlock()
+		return false
+	}
+	if sh.cache.Contains(id) {
+		sh.mu.Unlock()
+		return true
+	}
+	if _, ok := sh.inflight[id]; ok {
+		sh.mu.Unlock()
+		return true
+	}
+	sh.inflight[id] = j.f
+	select {
+	case e.jobs <- j:
+		sh.prefetchIssued++
+		e.specAdd()
+		sh.mu.Unlock()
+		e.emit(Event{Type: EventPrefetchIssued, ID: id})
+	default: // queue full: shed, never block the demand path
+		delete(sh.inflight, id)
+		j.f.err = errDropped
+		close(j.f.done)
+		sh.prefetchDropped++
+		sh.mu.Unlock()
+		e.emit(Event{Type: EventPrefetchDropped, ID: id})
+	}
+	return true
 }
 
 // worker runs speculative fetches until the engine closes.
@@ -507,36 +565,54 @@ func (e *Engine) worker() {
 	}
 }
 
-// runPrefetch executes one speculative fetch under the engine context.
+// runPrefetch executes one speculative fetch (or one coalesced batch)
+// under the engine context.
 func (e *Engine) runPrefetch(j job) {
-	item, err := e.fetcher.Fetch(e.baseCtx, j.id)
+	if j.batch != nil {
+		e.runPrefetchBatch(j.batch)
+		return
+	}
+	var item Item
+	var err error
+	if e.fabric != nil {
+		fi, ferr := e.fabric.FetchSpeculative(e.baseCtx, j.backend, fetch.ID(j.id))
+		item, err = Item{ID: ID(fi.ID), Size: fi.Size, Data: fi.Data}, ferr
+	} else {
+		item, err = e.fetcher.Fetch(e.baseCtx, j.id)
+	}
+	e.completePrefetch(j.id, j.f, item, err)
+	e.specDone()
+}
 
-	sh := e.shardFor(j.id)
+// completePrefetch lands one finished speculative fetch: the flight is
+// resolved, the item cached and accounted (or the error recorded), and
+// the event emitted outside the shard lock.
+func (e *Engine) completePrefetch(id ID, f *flight, item Item, err error) {
+	sh := e.shardFor(id)
 	sh.mu.Lock()
-	if sh.inflight[j.id] == j.f {
-		delete(sh.inflight, j.id)
+	if sh.inflight[id] == f {
+		delete(sh.inflight, id)
 	}
 	var ev Event
 	if err != nil {
-		j.f.err = err
+		f.err = err
 		sh.prefetchErrors++
-		ev = Event{Type: EventPrefetchError, ID: j.id, Err: err}
+		ev = Event{Type: EventPrefetchError, ID: id, Err: err}
 	} else {
-		item.ID = j.id
+		item.ID = id
 		if item.Size <= 0 {
 			item.Size = 1
 		}
-		sh.sizes[j.id] = item.Size
-		e.putCache(sh, j.id, item.Data)
-		e.ctrl.Estimator().OnPrefetch(cache.ID(j.id))
+		sh.sizes[id] = item.Size
+		e.putCache(sh, id, item.Data)
+		e.ctrl.Estimator().OnPrefetch(cache.ID(id))
 		e.ctrl.RecordPrefetch()
-		sh.unused[j.id] = struct{}{}
-		j.f.item = item
-		ev = Event{Type: EventPrefetchDone, ID: j.id}
+		sh.unused[id] = struct{}{}
+		f.item = item
+		ev = Event{Type: EventPrefetchDone, ID: id}
 	}
-	close(j.f.done)
+	close(f.done)
 	sh.mu.Unlock()
-	e.specDone()
 	e.emit(ev)
 }
 
@@ -617,12 +693,23 @@ func (e *Engine) Stats() Stats {
 		s.InFlight += len(sh.inflight)
 		sh.mu.Unlock()
 	}
+	if e.fabric != nil {
+		s.Backends = e.fabric.Stats(e.now())
+		for _, b := range s.Backends {
+			s.PrefetchDeferred += b.Deferred
+		}
+	}
 	return s
 }
 
 // Quiesce blocks until no speculative fetches are queued or in flight,
 // or ctx expires. Demand fetches are not waited for — they complete
-// under their callers' contexts.
+// under their callers' contexts. Candidates parked by the idle gate
+// (WithIdleWatermark) are intentions, not fetches: Quiesce does not
+// wait for them — under sustained load they may stay parked
+// indefinitely — and the gate may dispatch them after Quiesce returns
+// once their link idles (Stats.Backends reports Pending per backend;
+// Close sheds whatever is still parked).
 func (e *Engine) Quiesce(ctx context.Context) error {
 	for {
 		e.qmu.Lock()
@@ -666,20 +753,34 @@ func (e *Engine) Close() error {
 	e.wg.Wait()
 
 	// Fail queued jobs whose worker never picked them up.
+drain:
 	for {
 		select {
 		case j := <-e.jobs:
-			sh := e.shardFor(j.id)
-			sh.mu.Lock()
-			if sh.inflight[j.id] == j.f {
-				delete(sh.inflight, j.id)
+			ids, fs := []ID{j.id}, []*flight{j.f}
+			if j.batch != nil {
+				ids, fs = j.batch.ids, j.batch.fs
 			}
-			j.f.err = ErrClosed
-			close(j.f.done)
-			sh.mu.Unlock()
-			e.specDone()
+			for i, id := range ids {
+				sh := e.shardFor(id)
+				sh.mu.Lock()
+				if sh.inflight[id] == fs[i] {
+					delete(sh.inflight, id)
+				}
+				fs[i].err = ErrClosed
+				close(fs[i].done)
+				sh.mu.Unlock()
+				e.specDone()
+			}
 		default:
-			return nil
+			break drain
 		}
 	}
+	if e.fabric != nil {
+		// Stops the idle-gate drainers and sheds parked candidates.
+		// Releases racing the closed flag were rejected by enqueue's
+		// shard-locked re-check above.
+		return e.fabric.Close()
+	}
+	return nil
 }

@@ -1,0 +1,362 @@
+package prefetcher
+
+import (
+	"context"
+	"slices"
+
+	"repro/internal/predict"
+	"repro/prefetcher/fetch"
+)
+
+// This file wires the backend fetch fabric (package prefetcher/fetch)
+// into the engine: construction from the configured backends, the
+// routed speculative dispatch path with per-link admission thresholds,
+// batch coalescing, and the idle-gate release callback. The demand
+// side is one branch in demandFetch — the fabric sits entirely behind
+// the Fetcher seam.
+
+// fetcherAdapter lifts a public Fetcher to the fabric's vocabulary, so
+// a plain single-origin engine can still be given hedged retries and
+// the idle gate by wrapping its fetcher as one backend.
+type fetcherAdapter struct{ f Fetcher }
+
+func (a fetcherAdapter) Fetch(ctx context.Context, id fetch.ID) (fetch.Item, error) {
+	item, err := a.f.Fetch(ctx, ID(id))
+	return fetch.Item{ID: fetch.ID(item.ID), Size: item.Size, Data: item.Data}, err
+}
+
+// batchFetcherAdapter additionally forwards the batch capability.
+type batchFetcherAdapter struct {
+	fetcherAdapter
+	bf BatchFetcher
+}
+
+func (a batchFetcherAdapter) FetchBatch(ctx context.Context, ids []fetch.ID) ([]fetch.Item, error) {
+	pids := make([]ID, len(ids))
+	for i, id := range ids {
+		pids[i] = ID(id)
+	}
+	items, err := a.bf.FetchBatch(ctx, pids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fetch.Item, len(items))
+	for i, it := range items {
+		out[i] = fetch.Item{ID: fetch.ID(it.ID), Size: it.Size, Data: it.Data}
+	}
+	return out, nil
+}
+
+// adaptFetcher wraps a public Fetcher for use as a fabric backend,
+// preserving an implemented BatchFetcher.
+func adaptFetcher(f Fetcher) fetch.Fetcher {
+	if bf, ok := f.(BatchFetcher); ok {
+		return batchFetcherAdapter{fetcherAdapter{f}, bf}
+	}
+	return fetcherAdapter{f}
+}
+
+// newFabric assembles the engine's fetch fabric from the validated
+// config, or returns nil when the engine runs a plain fetcher with no
+// hedging and no idle gate. Called from New after e.epoch is set, so
+// the fabric's link estimates share the controller's timeline.
+func (e *Engine) newFabric(fetcher Fetcher, cfg *config) (*fetch.Fabric, error) {
+	backends := cfg.backends
+	if len(backends) == 0 {
+		if cfg.hedging == nil && cfg.idleWatermark == 0 {
+			return nil, nil
+		}
+		// Hedging/idle gating on a single origin: wrap the fetcher as
+		// the fabric's one backend, on the engine's configured link.
+		backends = []fetch.Backend{{
+			Name:      "origin",
+			Fetcher:   adaptFetcher(fetcher),
+			Bandwidth: cfg.bandwidth,
+		}}
+	}
+	return fetch.New(fetch.Config{
+		Backends:      backends,
+		Routing:       cfg.routing,
+		Hedging:       cfg.hedging,
+		IdleWatermark: cfg.idleWatermark,
+		Alpha:         cfg.alpha,
+		Now:           e.now,
+		OnRelease:     e.releaseDeferred,
+	})
+}
+
+// fabricDemandFetch serves one demand fetch through the fabric.
+func (e *Engine) fabricDemandFetch(ctx context.Context, id ID) (Item, error) {
+	fi, err := e.fabric.Fetch(ctx, fetch.ID(id))
+	return Item{ID: ID(fi.ID), Size: fi.Size, Data: fi.Data}, err
+}
+
+// scheduleRouted is schedule's fabric-mode counterpart: candidates are
+// partitioned by the backend the router would fetch them from, each
+// group is admitted against the threshold computed from *that link's*
+// ρ̂′ — the load the candidate's own fetch would compete with — and
+// the admitted ones are dispatched per backend: parked when the link
+// sits above the idle watermark, coalesced into one batch call when
+// the backend supports it, individual jobs otherwise.
+func (e *Engine) scheduleRouted(cands []predict.Prediction) {
+	nb := e.fabric.NumBackends()
+	nc := e.occupancy()
+	now := e.now()
+
+	groups := make([][]predict.Prediction, nb)
+	if nb == 1 {
+		groups[0] = cands
+	} else {
+		for _, c := range cands {
+			b := e.fabric.Route(fetch.ID(c.Item))
+			groups[b] = append(groups[b], c)
+		}
+	}
+	sels := make([][]predict.Prediction, nb)
+	total := 0
+	for b, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		st := e.ctrl.StateForLink(e.fabric.Link(b), now, nc)
+		sel := e.policy.Select(g, st)
+		if len(sel) > e.maxPrefetch {
+			sel = sel[:e.maxPrefetch]
+		}
+		sels[b] = sel
+		total += len(sel)
+	}
+	// The per-request cap is global: when per-link admission together
+	// exceeds it, keep the most probable candidates across links.
+	if total > e.maxPrefetch {
+		flat := make([]predict.Prediction, 0, total)
+		for _, sel := range sels {
+			flat = append(flat, sel...)
+		}
+		slices.SortFunc(flat, func(a, b predict.Prediction) int {
+			switch {
+			case a.Prob > b.Prob || (a.Prob == b.Prob && a.Item < b.Item):
+				return -1
+			default:
+				return 1
+			}
+		})
+		keep := make(map[ID]bool, e.maxPrefetch)
+		for _, c := range flat[:e.maxPrefetch] {
+			keep[ID(c.Item)] = true
+		}
+		for b, sel := range sels {
+			kept := sel[:0]
+			for _, c := range sel {
+				if keep[ID(c.Item)] {
+					kept = append(kept, c)
+				}
+			}
+			sels[b] = kept
+		}
+	}
+	for b, sel := range sels {
+		if len(sel) == 0 {
+			continue
+		}
+		ids := make([]ID, len(sel))
+		for i, c := range sel {
+			ids[i] = ID(c.Item)
+		}
+		if e.fabric.Busy(b) {
+			// The link is in a busy period: park the candidates with
+			// the fabric's idle gate instead of adding speculative
+			// traffic on top of demand load. No flight is registered —
+			// a demand Get for a parked id simply fetches it. Resident
+			// and in-flight candidates are filtered first (the same
+			// dedup dispatch applies), so the Deferred count and the
+			// bounded queue only carry work an idle period could
+			// actually use; the fabric additionally drops ids already
+			// parked.
+			fids := make([]fetch.ID, 0, len(ids))
+			for _, id := range ids {
+				sh := e.shardFor(id)
+				sh.mu.Lock()
+				_, inflight := sh.inflight[id]
+				resident := sh.cache.Contains(id)
+				sh.mu.Unlock()
+				if !inflight && !resident {
+					fids = append(fids, fetch.ID(id))
+				}
+			}
+			if len(fids) == 0 {
+				continue
+			}
+			for _, fid := range e.fabric.Defer(b, fids...) {
+				e.emit(Event{Type: EventPrefetchDeferred, ID: ID(fid)})
+			}
+			continue
+		}
+		e.dispatchRouted(b, ids)
+	}
+}
+
+// dispatchRouted registers flights for the given candidates and hands
+// them to the worker pool: one batch job when the backend can coalesce
+// and more than one candidate survived dedup, individual jobs
+// otherwise. Also the landing path for idle-gate releases.
+func (e *Engine) dispatchRouted(backend int, ids []ID) {
+	if len(ids) < 2 || !e.fabric.BatchCapable(backend) {
+		for _, id := range ids {
+			e.enqueue(job{id: id, f: &flight{done: make(chan struct{})}, backend: backend})
+		}
+		return
+	}
+	// Register a flight per id first (one shard lock at a time), then
+	// enqueue the whole batch as one job. Registration and queue push
+	// cannot share one critical section across shards, so the counters
+	// are settled per id after the push: issued on success, dropped —
+	// with the flight failed so joiners fall back to a demand fetch —
+	// when the queue is full or the engine closed underneath us.
+	bj := &batchJob{backend: backend}
+	for _, id := range ids {
+		sh := e.shardFor(id)
+		sh.mu.Lock()
+		if e.closed.Load() {
+			sh.mu.Unlock()
+			e.failBatch(bj, ErrClosed)
+			return
+		}
+		if sh.cache.Contains(id) {
+			sh.mu.Unlock()
+			continue
+		}
+		if _, ok := sh.inflight[id]; ok {
+			sh.mu.Unlock()
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		sh.inflight[id] = f
+		sh.mu.Unlock()
+		bj.ids = append(bj.ids, id)
+		bj.fs = append(bj.fs, f)
+	}
+	switch len(bj.ids) {
+	case 0:
+		return
+	case 1:
+		e.finishEnqueue(job{id: bj.ids[0], f: bj.fs[0], backend: backend})
+		return
+	}
+	e.finishEnqueue(job{batch: bj})
+}
+
+// finishEnqueue pushes a job whose flights are already registered and
+// settles the per-id accounting for the outcome. Two invariants from
+// the single-item path are preserved across the multi-shard batch:
+// the quiesce count covers every flight *before* a worker can retire
+// it (specAdd precedes the push; a failed push undoes it), and the
+// push happens under a shard lock with the closed flag re-checked, so
+// Close's lock-cycling barrier still guarantees no job enters the
+// queue after the drain — a batch that loses that race fails its
+// flights with ErrClosed instead.
+func (e *Engine) finishEnqueue(j job) {
+	ids, fs := []ID{j.id}, []*flight{j.f}
+	if j.batch != nil {
+		ids, fs = j.batch.ids, j.batch.fs
+	}
+	for range ids {
+		e.specAdd()
+	}
+	anchor := e.shardFor(ids[0])
+	anchor.mu.Lock()
+	closed := e.closed.Load()
+	pushed := false
+	if !closed {
+		select {
+		case e.jobs <- j:
+			pushed = true
+		default: // queue full: shed, never block
+		}
+	}
+	anchor.mu.Unlock()
+	if pushed {
+		// The issued counters trail the push by one lock hop per id;
+		// a worker may even complete a flight before its counter
+		// lands. Stats only sums monotonic counters, so the lag is
+		// invisible outside a mid-flight snapshot.
+		for _, id := range ids {
+			sh := e.shardFor(id)
+			sh.mu.Lock()
+			sh.prefetchIssued++
+			sh.mu.Unlock()
+			e.emit(Event{Type: EventPrefetchIssued, ID: id})
+		}
+		return
+	}
+	err := errDropped
+	if closed {
+		err = ErrClosed
+	}
+	for i, id := range ids {
+		sh := e.shardFor(id)
+		sh.mu.Lock()
+		if sh.inflight[id] == fs[i] {
+			delete(sh.inflight, id)
+		}
+		fs[i].err = err
+		close(fs[i].done)
+		if !closed {
+			sh.prefetchDropped++
+		}
+		sh.mu.Unlock()
+		e.specDone()
+		if !closed {
+			e.emit(Event{Type: EventPrefetchDropped, ID: id})
+		}
+	}
+}
+
+// failBatch deregisters and fails every flight already registered for
+// a batch that cannot be dispatched.
+func (e *Engine) failBatch(bj *batchJob, err error) {
+	for i, id := range bj.ids {
+		sh := e.shardFor(id)
+		sh.mu.Lock()
+		if sh.inflight[id] == bj.fs[i] {
+			delete(sh.inflight, id)
+		}
+		bj.fs[i].err = err
+		close(bj.fs[i].done)
+		sh.mu.Unlock()
+	}
+}
+
+// releaseDeferred is the fabric's idle-gate callback: candidates
+// parked during a busy period re-enter the normal dispatch path once
+// their link idles. Dedup against the cache and in-flight table
+// happens in dispatchRouted; the admission decision was made when the
+// candidate was planned and is not revisited.
+func (e *Engine) releaseDeferred(backend int, fids []fetch.ID) {
+	if e.closed.Load() {
+		return // dispatchRouted re-checks under the shard locks
+	}
+	ids := make([]ID, len(fids))
+	for i, id := range fids {
+		ids[i] = ID(id)
+	}
+	e.dispatchRouted(backend, ids)
+}
+
+// runPrefetchBatch executes one coalesced speculative fetch and
+// completes every flight it carried.
+func (e *Engine) runPrefetchBatch(bj *batchJob) {
+	fids := make([]fetch.ID, len(bj.ids))
+	for i, id := range bj.ids {
+		fids[i] = fetch.ID(id)
+	}
+	items, err := e.fabric.FetchSpeculativeBatch(e.baseCtx, bj.backend, fids)
+	for i, id := range bj.ids {
+		var item Item
+		if err == nil {
+			item = Item{ID: ID(items[i].ID), Size: items[i].Size, Data: items[i].Data}
+		}
+		e.completePrefetch(id, bj.fs[i], item, err)
+		e.specDone()
+	}
+}

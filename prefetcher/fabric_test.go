@@ -1,0 +1,463 @@
+package prefetcher
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/prefetcher/fetch"
+)
+
+// okBackend answers immediately with size-1 items.
+type okBackend struct {
+	calls atomic.Int64
+}
+
+func (b *okBackend) Fetch(ctx context.Context, id fetch.ID) (fetch.Item, error) {
+	b.calls.Add(1)
+	return fetch.Item{ID: id, Size: 1}, nil
+}
+
+// downBackend always errors.
+type downBackend struct {
+	calls atomic.Int64
+}
+
+func (b *downBackend) Fetch(ctx context.Context, id fetch.ID) (fetch.Item, error) {
+	b.calls.Add(1)
+	return fetch.Item{}, errors.New("backend down")
+}
+
+// hangBackend blocks until its context is cancelled, counting entries
+// and observed cancellations.
+type hangBackend struct {
+	entered   atomic.Int64
+	cancelled atomic.Int64
+}
+
+func (b *hangBackend) Fetch(ctx context.Context, id fetch.ID) (fetch.Item, error) {
+	b.entered.Add(1)
+	<-ctx.Done()
+	b.cancelled.Add(1)
+	return fetch.Item{}, ctx.Err()
+}
+
+// batchBackend supports FetchBatch and records batch shapes.
+type batchBackend struct {
+	okBackend
+	batches atomic.Int64
+	items   atomic.Int64
+}
+
+func (b *batchBackend) FetchBatch(ctx context.Context, ids []fetch.ID) ([]fetch.Item, error) {
+	b.batches.Add(1)
+	b.items.Add(int64(len(ids)))
+	out := make([]fetch.Item, len(ids))
+	for i, id := range ids {
+		out[i] = fetch.Item{ID: id, Size: 1}
+	}
+	return out, nil
+}
+
+func TestWithBackendsValidation(t *testing.T) {
+	fetcher := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
+		return Item{ID: id, Size: 1}, nil
+	})
+	ok := fetch.Backend{Name: "a", Fetcher: &okBackend{}}
+	if _, err := New(nil); err == nil {
+		t.Fatal("New(nil) without backends must error")
+	}
+	if _, err := New(fetcher, WithBackends(ok)); err == nil {
+		t.Fatal("both a fetcher and WithBackends must error")
+	}
+	if _, err := New(nil, WithBackends()); err == nil {
+		t.Fatal("WithBackends() with no backends must error")
+	}
+	if _, err := New(nil, WithBackends(ok), WithIdleWatermark(2)); err == nil {
+		t.Fatal("out-of-range watermark must error")
+	}
+	if _, err := New(nil, WithBackends(ok), WithHedging(fetch.Hedging{MaxAttempts: -1})); err == nil {
+		t.Fatal("negative hedging must error")
+	}
+	if _, err := New(nil, WithBackends(ok), WithRouting(fetch.Routing(99))); err == nil {
+		t.Fatal("unknown routing must error")
+	}
+	if _, err := New(fetcher, WithBandwidth(100), WithRouting(fetch.RouteLatency)); err == nil {
+		t.Fatal("WithRouting without a fetch fabric must error, not be silently dropped")
+	}
+	eng, err := New(nil, WithBackends(ok), WithBandwidth(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Get(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if len(st.Backends) != 1 || st.Backends[0].Name != "a" || st.Backends[0].Demand != 1 {
+		t.Fatalf("Stats.Backends = %+v", st.Backends)
+	}
+}
+
+func TestSingleFetcherWrappedForIdleGate(t *testing.T) {
+	var calls atomic.Int64
+	fetcher := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
+		calls.Add(1)
+		return Item{ID: id, Size: 1}, nil
+	})
+	eng, err := New(fetcher, WithBandwidth(100), WithIdleWatermark(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Get(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if len(st.Backends) != 1 || st.Backends[0].Name != "origin" {
+		t.Fatalf("plain fetcher must be wrapped as the origin backend: %+v", st.Backends)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("wrapped fetcher never called")
+	}
+}
+
+// TestBackendFailoverUnderLoad drives concurrent demand traffic at a
+// fabric whose preferred backend is down: every Get must succeed via
+// failover, under -race.
+func TestBackendFailoverUnderLoad(t *testing.T) {
+	bad := &downBackend{}
+	good := &okBackend{}
+	eng, err := New(nil,
+		WithBandwidth(1e6),
+		WithBackends(
+			fetch.Backend{Name: "bad", Fetcher: bad, Weight: 1e9},
+			fetch.Backend{Name: "good", Fetcher: good, Weight: 1e-9},
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := eng.Get(ctx, ID(g*1000+i%50)); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := eng.Stats()
+	if len(st.Backends) != 2 {
+		t.Fatalf("backends = %+v", st.Backends)
+	}
+	if st.Backends[0].Errors == 0 {
+		t.Fatal("the down backend was never tried (routing weight should prefer it)")
+	}
+	if st.Backends[1].Retries == 0 {
+		t.Fatal("no failover retries recorded on the good backend")
+	}
+}
+
+// TestCloseCancelsHedgedSpeculativeFetches checks the lifecycle
+// promise: speculative fetches hung inside backends are cancelled
+// promptly by Close, every backend invocation observes its context
+// ending, and no goroutine leaks.
+func TestCloseCancelsHedgedSpeculativeFetches(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	hangA := &hangBackend{}
+	hangB := &hangBackend{}
+	eng, err := New(nil,
+		WithBandwidth(1e6),
+		WithPolicy(StaticThreshold(0)),
+		WithHedging(fetch.Hedging{Delay: time.Millisecond}),
+		WithBackends(
+			fetch.Backend{Name: "a", Fetcher: hangA},
+			fetch.Backend{Name: "b", Fetcher: hangB},
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Demand Gets run under a caller context we cancel; their hedged
+	// attempts hang in the backends until then. A couple of sequential
+	// requests also plant predictions so speculative fetches hang too.
+	ctx, cancelGets := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				_, err := eng.Get(ctx, ID(i%2)) // tight loop: 0,1,0 → predictions exist
+				if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, ErrClosed) {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Wait until fetches are actually hanging inside the backends.
+	deadline := time.Now().Add(2 * time.Second)
+	for hangA.entered.Load()+hangB.entered.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no backend fetch ever started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelGets() // demand fetches (and their hedges) unblock via the caller ctx
+	wg.Wait()
+	start := time.Now()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v with hung speculative fetches", elapsed)
+	}
+
+	// Every backend entry must have observed its cancellation…
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		entered := hangA.entered.Load() + hangB.entered.Load()
+		cancelled := hangA.cancelled.Load() + hangB.cancelled.Load()
+		if entered == cancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d backend fetches entered, only %d saw cancellation", entered, cancelled)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// …and the goroutine count must settle back (workers, drainers,
+	// hedge goroutines all gone; allow slack for runtime/timer noise).
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after Close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPerBackendRhoPrimeDistinct pins the tentpole estimate: each link
+// reports its own ρ̂′, reflecting the demand traffic routed to it.
+func TestPerBackendRhoPrimeDistinct(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	eng, err := New(nil,
+		WithBandwidth(1e6),
+		WithClock(clock),
+		WithEWMAAlpha(0.5),
+		WithPolicy(NoPrefetch()),
+		WithBackends(
+			// Same capacity, 4:1 routing weight: the heavy link must
+			// end up with the higher demand utilisation.
+			fetch.Backend{Name: "heavy", Fetcher: &okBackend{}, Weight: 4, Bandwidth: 1000},
+			fetch.Backend{Name: "light", Fetcher: &okBackend{}, Weight: 1, Bandwidth: 1000},
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	for i := 0; i < 2000; i++ {
+		clock.AdvanceSeconds(0.001)
+		if _, err := eng.Get(ctx, ID(i)); err != nil { // unique ids: all misses
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if len(st.Backends) != 2 {
+		t.Fatalf("backends = %+v", st.Backends)
+	}
+	heavy, light := st.Backends[0], st.Backends[1]
+	if heavy.Demand <= light.Demand {
+		t.Fatalf("weighted routing: heavy=%d light=%d demand fetches", heavy.Demand, light.Demand)
+	}
+	if heavy.RhoPrime <= 0 || light.RhoPrime <= 0 {
+		t.Fatalf("both links need a live ρ̂′: heavy=%v light=%v", heavy.RhoPrime, light.RhoPrime)
+	}
+	if heavy.RhoPrime <= light.RhoPrime {
+		t.Fatalf("ρ̂′ must differ with the load: heavy=%v light=%v", heavy.RhoPrime, light.RhoPrime)
+	}
+}
+
+// TestIdleWatermarkDefersAndReleases drives the engine into a busy
+// period on a thin link, sees admitted candidates parked instead of
+// dispatched, then idles the link and sees them released and fetched.
+func TestIdleWatermarkDefersAndReleases(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	backend := &okBackend{}
+	eng, err := New(nil,
+		WithBandwidth(1e6),
+		WithClock(clock),
+		WithEWMAAlpha(0.5),
+		WithPolicy(StaticThreshold(0)), // admit every prediction: the gate does the load control
+		WithIdleWatermark(0.5),
+		// A 4-item cache keeps predicted candidates evictable, so
+		// released ids are still worth fetching when the link idles.
+		WithCache(NewLRUCache(4)),
+		WithBackends(fetch.Backend{Name: "thin", Fetcher: backend, Bandwidth: 10}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	// Alternate a two-page loop (so the Markov model always has
+	// predictions) with fresh ids (so demand misses keep the link
+	// saturated): 200 fetches/s of size 1 against b=10 pins ρ̂ at 1.
+	for i := 0; i < 200; i++ {
+		clock.AdvanceSeconds(0.01)
+		if _, err := eng.Get(ctx, ID(i%2)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Get(ctx, ID(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.PrefetchDeferred == 0 {
+		t.Fatalf("no candidates deferred under saturation: %+v", st.Backends[0])
+	}
+	if st.Backends[0].Speculative != 0 {
+		t.Fatalf("speculative traffic dispatched through a saturated gate: %+v", st.Backends[0])
+	}
+
+	// Idle period: with the clock advancing and no demand traffic, ρ̂
+	// decays and the drainer (bounded wall-time polls) releases parked
+	// candidates, which now dispatch as speculative fetches.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		clock.AdvanceSeconds(10)
+		st = eng.Stats()
+		if st.Backends[0].Released > 0 && st.Backends[0].Speculative > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parked candidates never released and fetched: %+v", st.Backends[0])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	qctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := eng.Quiesce(qctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineBatchesAdjacentCandidates checks that several candidates
+// admitted for one batch-capable backend travel as one FetchBatch call.
+func TestEngineBatchesAdjacentCandidates(t *testing.T) {
+	backend := &batchBackend{}
+	eng, err := New(nil,
+		WithBandwidth(1e6),
+		WithPolicy(TopK(2)),
+		WithMaxPrefetch(2),
+		// A 1-item cache: the trained successor pages are evicted by
+		// the time page 1 recurs, so both candidates need fetching.
+		WithCache(NewLRUCache(1)),
+		WithBackends(fetch.Backend{Name: "batched", Fetcher: backend}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	// 1→2 and 1→3 transitions make two predictions for page 1.
+	for _, id := range []ID{1, 2, 1, 3, 1} {
+		if _, err := eng.Get(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Quiesce(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Backends[0].BatchCalls == 0 {
+		t.Fatalf("no batch calls despite a batch-capable backend: %+v", st.Backends[0])
+	}
+	if backend.items.Load() < 2 {
+		t.Fatalf("batched %d items, want >= 2", backend.items.Load())
+	}
+}
+
+// TestFabricEngineLifecycleRace hammers Get/Stats/Quiesce across
+// shards while backends hedge and the gate defers, then closes — the
+// -race lifecycle test for the fabric path.
+func TestFabricEngineLifecycleRace(t *testing.T) {
+	eng, err := New(nil,
+		WithBandwidth(1e6),
+		WithShards(4),
+		WithCacheFactory(func(i, n int) Cache { return NewLRUCache(64) }),
+		WithPolicy(StaticThreshold(0)),
+		WithHedging(fetch.Hedging{Delay: 500 * time.Microsecond}),
+		WithIdleWatermark(0.8),
+		WithRouting(fetch.RouteLatency),
+		WithBackends(
+			fetch.Backend{Name: "a", Fetcher: &okBackend{}, Bandwidth: 1e5},
+			fetch.Backend{Name: "b", Fetcher: &batchBackend{}, Bandwidth: 1e5},
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				id := ID((g*37 + i) % 200)
+				if _, err := eng.Get(ctx, id); err != nil {
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if i%50 == 0 {
+					_ = eng.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	qctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	_ = eng.Quiesce(qctx)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent, and closed-engine fetches fail cleanly.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Get(ctx, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close = %v", err)
+	}
+}

@@ -1,0 +1,786 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/prefetch"
+)
+
+// ErrClosed is returned by fetches issued after Close.
+var ErrClosed = errors.New("fetch: fabric closed")
+
+// releaseBurst bounds how many parked candidates one gate release
+// hands back at a time, so the drainer re-reads ρ̂ between bursts
+// instead of dumping a long queue onto a link that just went idle.
+const releaseBurst = 8
+
+// maxGateWait caps the drainer's sleep between ρ̂ re-checks. The wait
+// is normally computed exactly from the link's decay (Link.IdleWait),
+// but that computation is in *estimator* time — a caller driving the
+// fabric from a manual clock would otherwise sleep forever in wall
+// time.
+const maxGateWait = 5 * time.Millisecond
+
+// minGateWait keeps the drainer from spinning when the computed decay
+// wait rounds to ~zero while ρ̂ still reads above the watermark.
+const minGateWait = 100 * time.Microsecond
+
+// Config assembles a Fabric. Backends is the only required field.
+type Config struct {
+	// Backends are the named links; at least one, names distinct.
+	Backends []Backend
+	// Routing selects the spread strategy (default RouteWeighted).
+	Routing Routing
+	// Hedging enables hedged retries on the demand path; nil disables
+	// hedging (failover on error still happens).
+	Hedging *Hedging
+	// IdleWatermark gates speculative dispatch: a speculative fetch
+	// routed to a backend whose ρ̂ is at or above the watermark is
+	// parked and released only when the link idles below it. 0
+	// disables the gate.
+	IdleWatermark float64
+	// DeferDepth bounds each backend's parked-candidate queue
+	// (default 256); candidates beyond it are shed and counted.
+	DeferDepth int
+	// Alpha is the EWMA weight for the link and latency estimators
+	// (default 0.05, matching the engine's controller).
+	Alpha float64
+	// Now supplies time in seconds for the link estimators. Defaults
+	// to the wall clock measured from construction. The engine injects
+	// its own clock so link estimates share the controller's timeline.
+	Now func() float64
+	// OnRelease, when set, receives parked speculative candidates the
+	// idle gate releases, called from a drainer goroutine. The engine
+	// uses it to re-enter released candidates into its dispatch path.
+	// When nil, released candidates are fetched by the fabric itself
+	// (fire-and-forget warms nothing — standalone users almost always
+	// want the callback).
+	OnRelease func(backend int, ids []ID)
+}
+
+// backendState is one backend plus everything the fabric tracks for
+// it.
+type backendState struct {
+	idx   int
+	cfg   Backend
+	batch BatchFetcher // non-nil when cfg.Fetcher supports batching
+	link  *prefetch.Link
+	est   *estimator
+	seed  uint64 // rendezvous-hash seed derived from the name
+
+	demand         atomic.Int64
+	speculative    atomic.Int64
+	errorsN        atomic.Int64
+	batchCalls     atomic.Int64
+	batchedItems   atomic.Int64
+	hedgesLaunched atomic.Int64
+	hedgesWon      atomic.Int64
+	retries        atomic.Int64
+	deferredN      atomic.Int64
+	released       atomic.Int64
+	deferDropped   atomic.Int64
+
+	mu        sync.Mutex
+	parked    []ID
+	parkedSet map[ID]struct{} // dedup: ids currently in parked
+	poke      chan struct{}   // wakes the drainer when candidates park
+}
+
+// Fabric routes fetches across the configured backends. All methods
+// are safe for concurrent use. Create one with New and release its
+// drainer goroutines with Close.
+type Fabric struct {
+	backends  []*backendState
+	routing   Routing
+	hedging   *Hedging
+	watermark float64
+	deferCap  int
+	nowf      func() float64
+	onRelease func(backend int, ids []ID)
+
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	// baseCtx is cancelled at Close; it bounds the fetches the fabric
+	// runs on its own behalf (standalone gate releases).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New validates cfg and assembles a Fabric, starting one idle-gate
+// drainer goroutine per backend when a watermark is configured.
+func New(cfg Config) (*Fabric, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("fetch: no backends")
+	}
+	if cfg.IdleWatermark < 0 || cfg.IdleWatermark > 1 || math.IsNaN(cfg.IdleWatermark) {
+		return nil, fmt.Errorf("fetch: idle watermark %v must be in [0,1]", cfg.IdleWatermark)
+	}
+	if cfg.Hedging != nil {
+		if cfg.Hedging.Delay < 0 || cfg.Hedging.MaxAttempts < 0 || cfg.Hedging.Backoff < 0 || cfg.Hedging.P95Multiple < 0 {
+			return nil, fmt.Errorf("fetch: negative hedging parameter")
+		}
+	}
+	deferCap := cfg.DeferDepth
+	if deferCap == 0 {
+		deferCap = 256
+	}
+	if deferCap < 1 {
+		return nil, fmt.Errorf("fetch: defer depth %d must be >= 1", cfg.DeferDepth)
+	}
+	nowf := cfg.Now
+	if nowf == nil {
+		epoch := time.Now()
+		nowf = func() float64 { return time.Since(epoch).Seconds() }
+	}
+	f := &Fabric{
+		routing:   cfg.Routing,
+		hedging:   cfg.Hedging,
+		watermark: cfg.IdleWatermark,
+		deferCap:  deferCap,
+		nowf:      nowf,
+		onRelease: cfg.OnRelease,
+		done:      make(chan struct{}),
+	}
+	f.baseCtx, f.baseCancel = context.WithCancel(context.Background())
+	seen := make(map[string]bool, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		if b.Fetcher == nil {
+			return nil, fmt.Errorf("fetch: backend %d (%q) has a nil fetcher", i, b.Name)
+		}
+		if b.Name == "" {
+			return nil, fmt.Errorf("fetch: backend %d has no name", i)
+		}
+		if seen[b.Name] {
+			return nil, fmt.Errorf("fetch: duplicate backend name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Weight < 0 || math.IsNaN(b.Weight) || b.Bandwidth < 0 || math.IsNaN(b.Bandwidth) {
+			return nil, fmt.Errorf("fetch: backend %q has a negative weight or bandwidth", b.Name)
+		}
+		if b.Weight == 0 {
+			b.Weight = 1
+		}
+		bs := &backendState{
+			idx:       i,
+			cfg:       b,
+			link:      prefetch.NewLink(b.Bandwidth, cfg.Alpha),
+			est:       newEstimator(cfg.Alpha),
+			seed:      nameSeed(b.Name),
+			parkedSet: make(map[ID]struct{}),
+			poke:      make(chan struct{}, 1),
+		}
+		bs.batch, _ = b.Fetcher.(BatchFetcher)
+		f.backends = append(f.backends, bs)
+	}
+	if f.watermark > 0 {
+		for _, bs := range f.backends {
+			f.wg.Add(1)
+			go f.drain(bs)
+		}
+	}
+	return f, nil
+}
+
+// NumBackends returns how many backends the fabric routes across.
+func (f *Fabric) NumBackends() int { return len(f.backends) }
+
+// Name returns backend i's configured name.
+func (f *Fabric) Name(i int) string { return f.backends[i].cfg.Name }
+
+// BatchCapable reports whether backend i's fetcher supports FetchBatch.
+func (f *Fabric) BatchCapable(i int) bool { return f.backends[i].batch != nil }
+
+// Link exposes backend i's utilisation estimator, so the engine's
+// controller can evaluate the admission threshold against that link's
+// ρ̂′ (Controller.StateForLink).
+func (f *Fabric) Link(i int) *prefetch.Link { return f.backends[i].link }
+
+// --- routing -------------------------------------------------------------
+
+// nameSeed hashes a backend name to a stable rendezvous seed (FNV-1a).
+func nameSeed(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix is a splitmix64 round — the per-(id, backend) hash behind
+// rendezvous routing.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// score returns backend b's routing score for id — lower is better.
+func (f *Fabric) score(b *backendState, id ID) float64 {
+	switch f.routing {
+	case RouteLatency:
+		lat := b.est.latency()
+		if lat == 0 {
+			return -1 // unmeasured: try it before any measured backend
+		}
+		return lat / b.cfg.Weight
+	default:
+		// Weighted rendezvous: u uniform in (0,1), score −ln(u)/w is
+		// exponential with rate w; the minimum lands on backend i with
+		// probability w_i/Σw, stably per id.
+		u := (float64(mix(uint64(id)^b.seed)>>11) + 1) / (1 << 53)
+		return -math.Log(u) / b.cfg.Weight
+	}
+}
+
+// Route returns the backend the fabric would dispatch id to right now.
+func (f *Fabric) Route(id ID) int {
+	best := 0
+	if len(f.backends) == 1 {
+		return 0
+	}
+	bestScore := f.score(f.backends[0], id)
+	for i := 1; i < len(f.backends); i++ {
+		if s := f.score(f.backends[i], id); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// routeOrder returns all backends for id in preference order — the
+// hedge/failover sequence.
+func (f *Fabric) routeOrder(id ID) []int {
+	n := len(f.backends)
+	order := make([]int, n)
+	if n == 1 {
+		return order
+	}
+	scores := make([]float64, n)
+	for i, b := range f.backends {
+		order[i] = i
+		scores[i] = f.score(b, id)
+	}
+	// Insertion sort: n is the backend count, single digits.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && scores[order[j]] < scores[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// --- demand path: hedged, failing-over fetch -----------------------------
+
+type attemptResult struct {
+	item   Item
+	err    error
+	idx    int
+	hedged bool
+}
+
+// hedgeDelay returns how long to wait before racing a hedge after an
+// attempt on backend idx, or -1 when no hedge should be armed (no
+// hedging configured, or no p95 estimate yet to derive the delay
+// from).
+func (f *Fabric) hedgeDelay(idx int) time.Duration {
+	h := f.hedging
+	if h == nil {
+		return -1
+	}
+	if h.Delay > 0 {
+		return h.Delay
+	}
+	p95 := f.backends[idx].est.p95Latency()
+	if p95 <= 0 {
+		return -1
+	}
+	mult := h.P95Multiple
+	if mult == 0 {
+		mult = 1
+	}
+	return time.Duration(p95 * mult * float64(time.Second))
+}
+
+// maxAttempts returns the attempt budget for one demand fetch.
+func (f *Fabric) maxAttempts() int {
+	if f.hedging != nil && f.hedging.MaxAttempts > 0 {
+		return f.hedging.MaxAttempts
+	}
+	return len(f.backends)
+}
+
+// observe folds one finished attempt into backend b's estimators.
+// Cancelled losers are neither latency samples nor errors.
+func (f *Fabric) observe(b *backendState, start float64, item Item, err error, demand bool) {
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			b.errorsN.Add(1)
+		}
+		return
+	}
+	lat := f.nowf() - start
+	size := item.Size
+	if size <= 0 {
+		size = 1
+	}
+	b.est.observe(lat, size)
+	if b.cfg.Bandwidth == 0 {
+		if bw := b.est.bandwidth(); bw > 0 {
+			b.link.SetBandwidth(bw)
+		}
+	}
+	if demand {
+		b.link.RecordDemandSize(size)
+	} else {
+		b.link.RecordSpeculativeSize(size)
+	}
+}
+
+// Fetch serves one demand fetch: the id is routed to its preferred
+// backend; if hedging is configured, a second backend is raced after
+// the primary's p95-derived hedge delay; a failed attempt fails over
+// to the next backend (with backoff) until the attempt budget is
+// spent. The first success wins and the losers are cancelled through
+// their context. Without hedging the failover is purely sequential —
+// no goroutine, channel or context allocation on the demand hot path.
+func (f *Fabric) Fetch(ctx context.Context, id ID) (Item, error) {
+	if f.closed.Load() {
+		return Item{}, ErrClosed
+	}
+	if f.hedging == nil {
+		// One attempt per backend, no backoff.
+		return f.fetchSequential(ctx, id, 0, 0)
+	}
+	if len(f.backends) == 1 {
+		// A hedge against the only backend would just be a concurrent
+		// duplicate on the same link; degrade to sequential retries
+		// with backoff, as WithHedging documents.
+		return f.fetchSequential(ctx, id, f.maxAttempts(), f.hedging.Backoff)
+	}
+	attempts := f.maxAttempts()
+	if attempts == 1 {
+		// A single attempt can neither hedge nor retry: skip the
+		// goroutine/channel/context machinery entirely.
+		return f.fetchSequential(ctx, id, 1, 0)
+	}
+	order := f.routeOrder(id)
+
+	// One shared cancellable context covers every attempt: when Fetch
+	// returns, the deferred cancel reaps whichever losers still run.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan attemptResult, attempts) // buffered: losers never block
+	launched, outstanding := 0, 0
+	launch := func(hedged, retry bool) {
+		b := f.backends[order[launched%len(order)]]
+		launched++
+		outstanding++
+		b.demand.Add(1)
+		if hedged {
+			b.hedgesLaunched.Add(1)
+		}
+		if retry {
+			b.retries.Add(1)
+		}
+		b.link.RecordDemand(f.nowf())
+		start := f.nowf()
+		go func() {
+			item, err := b.cfg.Fetcher.Fetch(wctx, id)
+			f.observe(b, start, item, err, true)
+			results <- attemptResult{item: item, err: err, idx: b.idx, hedged: hedged}
+		}()
+	}
+
+	launch(false, false)
+	var hedgeC <-chan time.Time
+	if launched < attempts {
+		if d := f.hedgeDelay(order[0]); d >= 0 {
+			hedgeC = time.After(d)
+		}
+	}
+
+	var lastErr error
+	nretries := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return Item{}, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < attempts {
+				launch(true, false)
+			}
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				if r.hedged {
+					f.backends[r.idx].hedgesWon.Add(1)
+				}
+				return r.item, nil
+			}
+			if ctx.Err() != nil {
+				return Item{}, ctx.Err()
+			}
+			lastErr = r.err
+			if launched < attempts {
+				if f.hedging.Backoff > 0 {
+					// The backoff still listens for the other
+					// outstanding attempts: a hedge succeeding
+					// mid-backoff wins immediately instead of idling
+					// unread while a needless retry launches.
+					timer := time.NewTimer(f.hedging.Backoff << nretries)
+				backoff:
+					for {
+						select {
+						case <-timer.C:
+							break backoff
+						case r2 := <-results:
+							outstanding--
+							if r2.err == nil {
+								timer.Stop()
+								if r2.hedged {
+									f.backends[r2.idx].hedgesWon.Add(1)
+								}
+								return r2.item, nil
+							}
+							lastErr = r2.err
+						case <-ctx.Done():
+							timer.Stop()
+							return Item{}, ctx.Err()
+						}
+					}
+				}
+				nretries++
+				launch(false, true)
+			} else if outstanding == 0 {
+				return Item{}, lastErr
+			}
+		}
+	}
+}
+
+// fetchSequential is the goroutine-free demand path: try backends in
+// route order on the caller's goroutine (wrapping around when attempts
+// exceeds the backend count) until one succeeds or the budget is
+// spent, backing off — doubling per retry — between failed attempts.
+// attempts <= 0 means one attempt per backend.
+func (f *Fabric) fetchSequential(ctx context.Context, id ID, attempts int, backoff time.Duration) (Item, error) {
+	var order []int
+	if len(f.backends) > 1 {
+		order = f.routeOrder(id)
+	} else {
+		order = []int{0}
+	}
+	if attempts <= 0 {
+		attempts = len(order)
+	}
+	var lastErr error
+	for n := 0; n < attempts; n++ {
+		b := f.backends[order[n%len(order)]]
+		b.demand.Add(1)
+		if n > 0 {
+			b.retries.Add(1)
+		}
+		b.link.RecordDemand(f.nowf())
+		start := f.nowf()
+		item, err := b.cfg.Fetcher.Fetch(ctx, id)
+		f.observe(b, start, item, err, true)
+		if err == nil {
+			return item, nil
+		}
+		if ctx.Err() != nil {
+			return Item{}, ctx.Err()
+		}
+		lastErr = err
+		if backoff > 0 && n+1 < attempts {
+			t := time.NewTimer(backoff << n)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return Item{}, ctx.Err()
+			}
+		}
+	}
+	return Item{}, lastErr
+}
+
+// --- speculative path ----------------------------------------------------
+
+// FetchSpeculative runs one speculative fetch on the given backend
+// (already chosen by Route at planning time). Speculative fetches are
+// single-attempt — no hedge, no failover: a lost prefetch costs
+// nothing a demand fetch won't recover later, and doubling speculative
+// traffic is exactly what the paper warns against.
+func (f *Fabric) FetchSpeculative(ctx context.Context, backend int, id ID) (Item, error) {
+	if f.closed.Load() {
+		return Item{}, ErrClosed
+	}
+	b := f.backends[backend]
+	b.speculative.Add(1)
+	b.link.RecordSpeculative(f.nowf())
+	start := f.nowf()
+	item, err := b.cfg.Fetcher.Fetch(ctx, id)
+	f.observe(b, start, item, err, false)
+	return item, err
+}
+
+// FetchSpeculativeBatch dispatches several speculative candidates to
+// one backend as a single FetchBatch call when the backend supports
+// it, falling back to sequential single fetches otherwise. On success
+// the returned slice has exactly one Item per id, in id order; an
+// error fails the whole batch.
+func (f *Fabric) FetchSpeculativeBatch(ctx context.Context, backend int, ids []ID) ([]Item, error) {
+	if f.closed.Load() {
+		return nil, ErrClosed
+	}
+	b := f.backends[backend]
+	if b.batch == nil || len(ids) == 1 {
+		items := make([]Item, len(ids))
+		for i, id := range ids {
+			item, err := f.FetchSpeculative(ctx, backend, id)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = item
+		}
+		return items, nil
+	}
+	b.speculative.Add(int64(len(ids)))
+	b.batchCalls.Add(1)
+	b.batchedItems.Add(int64(len(ids)))
+	// One link dispatch for the whole batch: the items travel in one
+	// backend round trip, which is the point of coalescing.
+	b.link.RecordSpeculative(f.nowf())
+	start := f.nowf()
+	items, err := b.batch.FetchBatch(ctx, ids)
+	if err == nil && len(items) != len(ids) {
+		err = fmt.Errorf("fetch: backend %q returned %d items for a %d-id batch", b.cfg.Name, len(items), len(ids))
+	}
+	var total Item
+	if err == nil {
+		for _, it := range items {
+			size := it.Size
+			if size <= 0 {
+				size = 1
+			}
+			total.Size += size
+		}
+	}
+	f.observe(b, start, total, err, false)
+	if err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// --- idle-period dispatch gate -------------------------------------------
+
+// Busy reports whether backend i's link currently sits at or above the
+// idle watermark — i.e. whether a speculative candidate routed there
+// should be parked instead of dispatched. Always false when no
+// watermark is configured.
+func (f *Fabric) Busy(i int) bool {
+	if f.watermark <= 0 {
+		return false
+	}
+	return f.backends[i].link.Rho(f.nowf()) >= f.watermark
+}
+
+// Defer parks speculative candidates for backend i until its link
+// idles below the watermark. An id already parked is skipped silently
+// (bursty traffic re-admits the same hot candidates every request, and
+// duplicates would both inflate the Deferred count and crowd genuinely
+// new work out of the bounded queue); candidates beyond the queue
+// depth are shed and counted. Returns the ids actually parked.
+func (f *Fabric) Defer(i int, ids ...ID) []ID {
+	b := f.backends[i]
+	var parked []ID
+	b.mu.Lock()
+	for _, id := range ids {
+		if _, dup := b.parkedSet[id]; dup {
+			continue
+		}
+		if len(b.parked) >= f.deferCap {
+			b.deferDropped.Add(1)
+			continue
+		}
+		b.parked = append(b.parked, id)
+		b.parkedSet[id] = struct{}{}
+		b.deferredN.Add(1)
+		parked = append(parked, id)
+	}
+	b.mu.Unlock()
+	if len(parked) > 0 {
+		select {
+		case b.poke <- struct{}{}:
+		default:
+		}
+	}
+	return parked
+}
+
+// Pending returns how many speculative candidates are currently parked
+// for backend i.
+func (f *Fabric) Pending(i int) int {
+	b := f.backends[i]
+	b.mu.Lock()
+	n := len(b.parked)
+	b.mu.Unlock()
+	return n
+}
+
+// gateWait returns how long the drainer should sleep before re-reading
+// backend b's ρ̂, using the link's exact decay time clamped into
+// [minGateWait, maxGateWait].
+func (f *Fabric) gateWait(b *backendState) time.Duration {
+	wait := time.Duration(b.link.IdleWait(f.nowf(), f.watermark) * float64(time.Second))
+	if wait > maxGateWait {
+		return maxGateWait
+	}
+	if wait < minGateWait {
+		return minGateWait
+	}
+	return wait
+}
+
+// drain is backend b's idle-gate goroutine: it sleeps until candidates
+// park, then releases them in bursts whenever the link's ρ̂ sits below
+// the watermark, re-checking between bursts so a release that re-busies
+// the link pauses the queue again.
+func (f *Fabric) drain(b *backendState) {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.done:
+			return
+		case <-b.poke:
+		}
+		for {
+			b.mu.Lock()
+			n := len(b.parked)
+			b.mu.Unlock()
+			if n == 0 {
+				break
+			}
+			if b.link.Rho(f.nowf()) >= f.watermark {
+				select {
+				case <-f.done:
+					return
+				case <-time.After(f.gateWait(b)):
+				}
+				continue
+			}
+			b.mu.Lock()
+			take := len(b.parked)
+			if take > releaseBurst {
+				take = releaseBurst
+			}
+			ids := make([]ID, take)
+			copy(ids, b.parked[:take])
+			for _, id := range ids {
+				delete(b.parkedSet, id)
+			}
+			rest := copy(b.parked, b.parked[take:])
+			b.parked = b.parked[:rest]
+			b.mu.Unlock()
+			if take == 0 {
+				break
+			}
+			b.released.Add(int64(take))
+			f.release(b.idx, ids)
+		}
+	}
+}
+
+// release hands a burst of parked candidates back for dispatch: to the
+// OnRelease callback when configured (the engine's path), else fetched
+// directly — under the fabric's own context, cancelled at Close — so a
+// standalone fabric still warms whatever its caller observes through
+// the backend.
+func (f *Fabric) release(backend int, ids []ID) {
+	if f.onRelease != nil {
+		f.onRelease(backend, ids)
+		return
+	}
+	if f.backends[backend].batch != nil && len(ids) > 1 {
+		// Batch-capable: one call, all-or-nothing by contract.
+		_, _ = f.FetchSpeculativeBatch(f.baseCtx, backend, ids)
+		return
+	}
+	// Sequential fallback is best-effort per id: one transient failure
+	// must not silently swallow the rest of the burst (each error is
+	// counted by the estimator either way).
+	for _, id := range ids {
+		if f.baseCtx.Err() != nil {
+			return
+		}
+		_, _ = f.FetchSpeculative(f.baseCtx, backend, id)
+	}
+}
+
+// --- stats and lifecycle -------------------------------------------------
+
+// Stats snapshots every backend's counters and link estimates as of
+// time now (in the fabric's time base; the engine passes its own
+// clock reading so engine and fabric stats share a timeline).
+func (f *Fabric) Stats(now float64) []BackendStats {
+	out := make([]BackendStats, len(f.backends))
+	for i, b := range f.backends {
+		b.mu.Lock()
+		pending := len(b.parked)
+		b.mu.Unlock()
+		out[i] = BackendStats{
+			Name:              b.cfg.Name,
+			Demand:            b.demand.Load(),
+			Speculative:       b.speculative.Load(),
+			Errors:            b.errorsN.Load(),
+			BatchCalls:        b.batchCalls.Load(),
+			BatchedItems:      b.batchedItems.Load(),
+			HedgesLaunched:    b.hedgesLaunched.Load(),
+			HedgesWon:         b.hedgesWon.Load(),
+			Retries:           b.retries.Load(),
+			Deferred:          b.deferredN.Load(),
+			Released:          b.released.Load(),
+			DeferredDropped:   b.deferDropped.Load(),
+			Pending:           pending,
+			LatencySeconds:    b.est.latency(),
+			LatencyP95Seconds: b.est.p95Latency(),
+			Bandwidth:         b.link.Bandwidth(),
+			Rho:               b.link.Rho(now),
+			RhoPrime:          b.link.RhoPrime(now),
+		}
+	}
+	return out
+}
+
+// Close stops the idle-gate drainers and sheds whatever candidates
+// are still parked (counted as DeferredDropped). In-flight fetches are
+// not cancelled here — they run under their callers' contexts, which
+// the engine cancels on its own Close. Close is idempotent.
+func (f *Fabric) Close() error {
+	if f.closed.Swap(true) {
+		return nil
+	}
+	close(f.done)
+	f.baseCancel()
+	f.wg.Wait()
+	for _, b := range f.backends {
+		b.mu.Lock()
+		b.deferDropped.Add(int64(len(b.parked)))
+		b.parked = nil
+		b.parkedSet = make(map[ID]struct{})
+		b.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,537 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// instantFetcher returns items immediately with the given size.
+type instantFetcher struct {
+	size  float64
+	calls atomic.Int64
+}
+
+func (f *instantFetcher) Fetch(ctx context.Context, id ID) (Item, error) {
+	f.calls.Add(1)
+	return Item{ID: id, Size: f.size}, nil
+}
+
+// slowFetcher blocks for its delay (or until ctx is cancelled) before
+// answering; it records how many invocations saw a cancellation.
+type slowFetcher struct {
+	delay     time.Duration
+	calls     atomic.Int64
+	cancelled atomic.Int64
+}
+
+func (f *slowFetcher) Fetch(ctx context.Context, id ID) (Item, error) {
+	f.calls.Add(1)
+	select {
+	case <-time.After(f.delay):
+		return Item{ID: id, Size: 1}, nil
+	case <-ctx.Done():
+		f.cancelled.Add(1)
+		return Item{}, ctx.Err()
+	}
+}
+
+// failingFetcher always errors.
+type failingFetcher struct {
+	calls atomic.Int64
+}
+
+func (f *failingFetcher) Fetch(ctx context.Context, id ID) (Item, error) {
+	f.calls.Add(1)
+	return Item{}, errors.New("origin down")
+}
+
+// batchFetcher implements BatchFetcher and records batch shapes.
+type batchFetcher struct {
+	instantFetcher
+	batches atomic.Int64
+	items   atomic.Int64
+}
+
+func (f *batchFetcher) FetchBatch(ctx context.Context, ids []ID) ([]Item, error) {
+	f.batches.Add(1)
+	f.items.Add(int64(len(ids)))
+	out := make([]Item, len(ids))
+	for i, id := range ids {
+		out[i] = Item{ID: id, Size: 1}
+	}
+	return out, nil
+}
+
+func newTestFabric(t *testing.T, cfg Config) *Fabric {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	good := Backend{Name: "a", Fetcher: &instantFetcher{size: 1}}
+	cases := []Config{
+		{},
+		{Backends: []Backend{{Name: "a"}}},
+		{Backends: []Backend{{Fetcher: good.Fetcher}}},
+		{Backends: []Backend{good, good}},
+		{Backends: []Backend{good}, IdleWatermark: 2},
+		{Backends: []Backend{good}, IdleWatermark: math.NaN()},
+		{Backends: []Backend{good}, DeferDepth: -1},
+		{Backends: []Backend{good}, Hedging: &Hedging{Delay: -time.Second}},
+		{Backends: []Backend{{Name: "a", Fetcher: good.Fetcher, Weight: -1}}},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestWeightedRoutingSplitsByWeight(t *testing.T) {
+	f := newTestFabric(t, Config{Backends: []Backend{
+		{Name: "heavy", Fetcher: &instantFetcher{size: 1}, Weight: 3},
+		{Name: "light", Fetcher: &instantFetcher{size: 1}, Weight: 1},
+	}})
+	counts := [2]int{}
+	for id := ID(0); id < 4000; id++ {
+		counts[f.Route(id)]++
+	}
+	frac := float64(counts[0]) / 4000
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("heavy backend got %.3f of ids, want ≈ 0.75", frac)
+	}
+	// Affinity: the same id always routes the same way.
+	for id := ID(0); id < 100; id++ {
+		if f.Route(id) != f.Route(id) {
+			t.Fatalf("id %d route is unstable", id)
+		}
+	}
+}
+
+func TestLatencyRoutingPrefersFastBackend(t *testing.T) {
+	fast := &slowFetcher{delay: 1 * time.Millisecond}
+	slow := &slowFetcher{delay: 20 * time.Millisecond}
+	f := newTestFabric(t, Config{
+		Routing: RouteLatency,
+		Backends: []Backend{
+			{Name: "slow", Fetcher: slow},
+			{Name: "fast", Fetcher: fast},
+		},
+	})
+	ctx := context.Background()
+	// Unmeasured backends are explored first; seed both with samples.
+	for i := 0; i < 4; i++ {
+		if _, err := f.FetchSpeculative(ctx, 0, ID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.FetchSpeculative(ctx, 1, ID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := ID(100); id < 120; id++ {
+		if got := f.Route(id); got != 1 {
+			t.Fatalf("id %d routed to %q, want the fast backend", id, f.Name(got))
+		}
+	}
+}
+
+func TestFailoverOnError(t *testing.T) {
+	bad := &failingFetcher{}
+	good := &instantFetcher{size: 1}
+	f := newTestFabric(t, Config{Backends: []Backend{
+		{Name: "bad", Fetcher: bad, Weight: 100}, // routing prefers the failing link
+		{Name: "good", Fetcher: good, Weight: 1e-9},
+	}})
+	item, err := f.Fetch(context.Background(), 7)
+	if err != nil {
+		t.Fatalf("Fetch must fail over: %v", err)
+	}
+	if item.ID != 7 {
+		t.Fatalf("item = %+v, want id 7", item)
+	}
+	st := f.Stats(0)
+	if st[0].Errors != 1 || st[1].Retries != 1 {
+		t.Fatalf("stats = %+v, want one error on bad and one retry on good", st)
+	}
+	// Every backend failing surfaces the last error.
+	f2 := newTestFabric(t, Config{Backends: []Backend{
+		{Name: "b1", Fetcher: &failingFetcher{}},
+		{Name: "b2", Fetcher: &failingFetcher{}},
+	}})
+	if _, err := f2.Fetch(context.Background(), 1); err == nil {
+		t.Fatal("Fetch with all backends failing must error")
+	}
+}
+
+func TestHedgeRacesSecondBackendAndCancelsLoser(t *testing.T) {
+	slow := &slowFetcher{delay: 500 * time.Millisecond}
+	fast := &slowFetcher{delay: 1 * time.Millisecond}
+	f := newTestFabric(t, Config{
+		Hedging: &Hedging{Delay: 5 * time.Millisecond},
+		Backends: []Backend{
+			{Name: "slow", Fetcher: slow, Weight: 1e9}, // rendezvous pins the primary
+			{Name: "fast", Fetcher: fast, Weight: 1e-9},
+		},
+	})
+	start := time.Now()
+	item, err := f.Fetch(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item.ID != 3 {
+		t.Fatalf("item = %+v", item)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("hedged fetch took %v, the hedge should have won long before the slow primary", elapsed)
+	}
+	st := f.Stats(0)
+	if st[1].HedgesLaunched != 1 || st[1].HedgesWon != 1 {
+		t.Fatalf("fast backend stats = %+v, want one hedge launched and won", st[1])
+	}
+	// The slow loser must observe the cancellation promptly.
+	deadline := time.Now().Add(2 * time.Second)
+	for slow.cancelled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("loser fetch was never cancelled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st[0].Errors != 0 {
+		t.Fatalf("cancelled loser counted as an error: %+v", st[0])
+	}
+}
+
+func TestHedgeDelayDerivedFromP95(t *testing.T) {
+	slow := &slowFetcher{delay: 30 * time.Millisecond}
+	fast := &slowFetcher{delay: time.Millisecond}
+	f := newTestFabric(t, Config{
+		// p95-derived delay, halved so the hedge launches (and its
+		// 1ms backend finishes) well before the ~30ms primary does.
+		Hedging: &Hedging{P95Multiple: 0.5},
+		Backends: []Backend{
+			{Name: "slow", Fetcher: slow, Weight: 1e9},
+			{Name: "fast", Fetcher: fast, Weight: 1e-9},
+		},
+	})
+	ctx := context.Background()
+	// First fetch: no p95 estimate yet, so no hedge can be armed.
+	if _, err := f.Fetch(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(0); st[1].HedgesLaunched != 0 {
+		t.Fatalf("hedge launched with no p95 estimate: %+v", st[1])
+	}
+	// Once the primary has a p95, the hedge arms and wins.
+	if _, err := f.Fetch(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(0); st[1].HedgesLaunched != 1 || st[1].HedgesWon != 1 {
+		t.Fatalf("stats after p95 hedge = %+v", st[1])
+	}
+}
+
+// flakyFetcher fails its first call, then succeeds; it tracks the
+// maximum concurrent invocations it ever saw.
+type flakyFetcher struct {
+	calls   atomic.Int64
+	active  atomic.Int64
+	maxSeen atomic.Int64
+}
+
+func (f *flakyFetcher) Fetch(ctx context.Context, id ID) (Item, error) {
+	n := f.active.Add(1)
+	defer f.active.Add(-1)
+	for {
+		max := f.maxSeen.Load()
+		if n <= max || f.maxSeen.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	time.Sleep(2 * time.Millisecond) // wide enough for a duplicate to overlap
+	if f.calls.Add(1) == 1 {
+		return Item{}, errors.New("transient")
+	}
+	return Item{ID: id, Size: 1}, nil
+}
+
+// TestSingleBackendHedgingDegradesToSequentialRetries pins the
+// WithHedging contract for one backend: retries, never a concurrent
+// duplicate racing the same link.
+func TestSingleBackendHedgingDegradesToSequentialRetries(t *testing.T) {
+	flaky := &flakyFetcher{}
+	f := newTestFabric(t, Config{
+		Hedging:  &Hedging{Delay: 100 * time.Microsecond, MaxAttempts: 2},
+		Backends: []Backend{{Name: "only", Fetcher: flaky}},
+	})
+	item, err := f.Fetch(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item.ID != 5 {
+		t.Fatalf("item = %+v", item)
+	}
+	st := f.Stats(0)
+	if st[0].Retries != 1 || st[0].HedgesLaunched != 0 {
+		t.Fatalf("stats = %+v, want one sequential retry and no hedges", st[0])
+	}
+	if got := flaky.maxSeen.Load(); got != 1 {
+		t.Fatalf("backend saw %d concurrent fetches, want strictly sequential", got)
+	}
+}
+
+func TestFetchSpeculativeBatchCoalesces(t *testing.T) {
+	bf := &batchFetcher{}
+	single := &instantFetcher{size: 1}
+	f := newTestFabric(t, Config{Backends: []Backend{
+		{Name: "batch", Fetcher: bf},
+		{Name: "single", Fetcher: single},
+	}})
+	ctx := context.Background()
+	items, err := f.FetchSpeculativeBatch(ctx, 0, []ID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || items[2].ID != 3 {
+		t.Fatalf("items = %+v", items)
+	}
+	if bf.batches.Load() != 1 || bf.items.Load() != 3 {
+		t.Fatalf("batch fetcher saw %d calls / %d items, want 1/3", bf.batches.Load(), bf.items.Load())
+	}
+	if !f.BatchCapable(0) || f.BatchCapable(1) {
+		t.Fatal("BatchCapable misreports")
+	}
+	// A non-batch backend falls back to sequential singles.
+	if _, err := f.FetchSpeculativeBatch(ctx, 1, []ID{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if single.calls.Load() != 2 {
+		t.Fatalf("single backend saw %d calls, want 2", single.calls.Load())
+	}
+	st := f.Stats(0)
+	if st[0].BatchCalls != 1 || st[0].BatchedItems != 3 || st[0].Speculative != 3 {
+		t.Fatalf("batch backend stats = %+v", st[0])
+	}
+}
+
+// shortBatchFetcher violates the one-item-per-id contract.
+type shortBatchFetcher struct{ instantFetcher }
+
+func (f *shortBatchFetcher) FetchBatch(ctx context.Context, ids []ID) ([]Item, error) {
+	return []Item{{ID: ids[0], Size: 1}}, nil
+}
+
+func TestFetchSpeculativeBatchRejectsShortReply(t *testing.T) {
+	f := newTestFabric(t, Config{Backends: []Backend{
+		{Name: "short", Fetcher: &shortBatchFetcher{}},
+	}})
+	if _, err := f.FetchSpeculativeBatch(context.Background(), 0, []ID{1, 2}); err == nil {
+		t.Fatal("short batch reply must error")
+	}
+}
+
+// manualNow is a hand-advanced time source for gate tests.
+type manualNow struct {
+	mu  sync.Mutex
+	now float64
+}
+
+func (m *manualNow) Now() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+func (m *manualNow) Advance(s float64) {
+	m.mu.Lock()
+	m.now += s
+	m.mu.Unlock()
+}
+
+func TestIdleGateDefersAndReleases(t *testing.T) {
+	clk := &manualNow{}
+	var mu sync.Mutex
+	var released []ID
+	f := newTestFabric(t, Config{
+		Backends:      []Backend{{Name: "origin", Fetcher: &instantFetcher{size: 1}, Bandwidth: 10}},
+		IdleWatermark: 0.5,
+		Alpha:         0.5,
+		Now:           clk.Now,
+		OnRelease: func(backend int, ids []ID) {
+			mu.Lock()
+			released = append(released, ids...)
+			mu.Unlock()
+		},
+	})
+	// Saturate the link: 100 size-1 fetches/s against b=10.
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if _, err := f.FetchSpeculative(ctx, 0, ID(i)); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(0.01)
+	}
+	if !f.Busy(0) {
+		t.Fatalf("link must be busy: ρ̂ = %v", f.Link(0).Rho(clk.Now()))
+	}
+	if n := len(f.Defer(0, 100, 101, 102)); n != 3 {
+		t.Fatalf("Defer parked %d, want 3", n)
+	}
+	if n := len(f.Defer(0, 101, 103)); n != 1 {
+		t.Fatalf("Defer re-parked a duplicate: parked %d, want 1 (103 only)", n)
+	}
+	if f.Pending(0) == 0 {
+		t.Fatal("no candidates pending after Defer")
+	}
+	// While the link stays busy nothing is released.
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	n := len(released)
+	mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d candidates released while the link was busy", n)
+	}
+	// An idle period lets ρ̂ decay below the watermark; the drainer
+	// (polling in wall time, bounded by maxGateWait) must release.
+	clk.Advance(10)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n = len(released)
+		mu.Unlock()
+		if n == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/4 candidates released after the link idled", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := f.Stats(clk.Now())
+	if st[0].Deferred != 4 || st[0].Released != 4 || st[0].Pending != 0 {
+		t.Fatalf("gate stats = %+v", st[0])
+	}
+}
+
+func TestIdleGateQueueBoundsAndCloseSheds(t *testing.T) {
+	clk := &manualNow{}
+	f := newTestFabric(t, Config{
+		Backends:      []Backend{{Name: "origin", Fetcher: &instantFetcher{size: 1}, Bandwidth: 1}},
+		IdleWatermark: 0.5,
+		DeferDepth:    2,
+		Alpha:         0.5,
+		Now:           clk.Now,
+		OnRelease:     func(int, []ID) {},
+	})
+	// Keep the link saturated so nothing drains mid-test.
+	for i := 0; i < 50; i++ {
+		f.Link(0).RecordSpeculative(clk.Now())
+		f.Link(0).RecordSpeculativeSize(5)
+		clk.Advance(0.001)
+	}
+	if got := len(f.Defer(0, 1, 2, 3, 4)); got != 2 {
+		t.Fatalf("Defer parked %d, want the depth-2 bound", got)
+	}
+	st := f.Stats(clk.Now())
+	if st[0].Deferred != 2 || st[0].DeferredDropped != 2 {
+		t.Fatalf("stats = %+v, want 2 parked and 2 shed", st[0])
+	}
+	f.Close()
+	st = f.Stats(clk.Now())
+	if st[0].DeferredDropped != 4 || st[0].Pending != 0 {
+		t.Fatalf("after Close: %+v, want parked candidates shed", st[0])
+	}
+	if _, err := f.Fetch(context.Background(), 9); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Fetch after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestFetchRespectsCallerContext(t *testing.T) {
+	slow := &slowFetcher{delay: time.Minute}
+	f := newTestFabric(t, Config{Backends: []Backend{{Name: "slow", Fetcher: slow}}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := f.Fetch(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Fetch did not honour the caller context promptly")
+	}
+}
+
+func TestFabricConcurrentUse(t *testing.T) {
+	backends := []Backend{
+		{Name: "a", Fetcher: &instantFetcher{size: 1}, Weight: 2},
+		{Name: "b", Fetcher: &batchFetcher{}, Weight: 1},
+		{Name: "c", Fetcher: &slowFetcher{delay: 100 * time.Microsecond}},
+	}
+	f := newTestFabric(t, Config{
+		Backends:      backends,
+		Hedging:       &Hedging{Delay: time.Millisecond},
+		IdleWatermark: 0.9,
+		OnRelease:     func(int, []ID) {},
+	})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ID(g*1000 + i)
+				switch i % 4 {
+				case 0:
+					if _, err := f.Fetch(ctx, id); err != nil {
+						t.Errorf("Fetch: %v", err)
+						return
+					}
+				case 1:
+					b := f.Route(id)
+					if _, err := f.FetchSpeculative(ctx, b, id); err != nil {
+						t.Errorf("FetchSpeculative: %v", err)
+						return
+					}
+				case 2:
+					b := f.Route(id)
+					if _, err := f.FetchSpeculativeBatch(ctx, b, []ID{id, id + 1}); err != nil {
+						t.Errorf("FetchSpeculativeBatch: %v", err)
+						return
+					}
+				default:
+					if f.Busy(0) {
+						f.Defer(0, id)
+					}
+					_ = f.Stats(0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for i, st := range f.Stats(0) {
+		total += st.Demand + st.Speculative
+		if st.Rho < 0 || st.Rho > 1 || st.RhoPrime < 0 || st.RhoPrime > 1 {
+			t.Fatalf("backend %d utilisation out of range: %+v", i, st)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestRoutingString(t *testing.T) {
+	if fmt.Sprint(RouteWeighted) != "weighted" || fmt.Sprint(RouteLatency) != "latency" {
+		t.Fatal("Routing.String misnames strategies")
+	}
+}

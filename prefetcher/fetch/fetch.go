@@ -1,0 +1,163 @@
+// Package fetch is the backend fetch fabric behind the prefetch
+// engine's Fetcher seam: it spreads demand and speculative fetches
+// across multiple named backends, coalesces adjacent prefetch
+// candidates into batch calls, races hedged retries against slow
+// backends, and estimates each link's latency, bandwidth and
+// utilisation separately — so the paper's admission threshold can be
+// evaluated against the ρ̂′ of the link a candidate would actually
+// use, and speculative dispatch can be deferred into that link's idle
+// periods (the load-impedance result: the same prefetch costs a
+// multiple under load of what it costs when the link is quiet).
+//
+// The package is deliberately self-contained: it defines its own ID,
+// Item and Fetcher vocabulary (same shapes as package prefetcher's)
+// so the engine can sit on top of it without an import cycle, exactly
+// as the engine already converts at the internal/cache boundary. Most
+// users never construct a Fabric directly — prefetcher.WithBackends
+// assembles one inside the engine — but the type is usable standalone
+// as a routing/hedging Fetcher for any client.
+package fetch
+
+import (
+	"context"
+	"time"
+)
+
+// ID identifies a fetchable item (same id space as prefetcher.ID).
+type ID int64
+
+// Item is a fetched object: its id, its size in the same units per
+// second the link bandwidths are expressed in (0 is treated as 1),
+// and an opaque payload.
+type Item struct {
+	ID   ID
+	Size float64
+	Data any
+}
+
+// Fetcher retrieves items from one backend. Implementations must be
+// safe for concurrent use: the fabric calls Fetch from demand
+// goroutines, hedge goroutines and the engine's speculative worker
+// pool at once, and must honour ctx cancellation promptly — a hedged
+// fetch's loser is cancelled through its context.
+type Fetcher interface {
+	Fetch(ctx context.Context, id ID) (Item, error)
+}
+
+// FetcherFunc adapts a plain function to the Fetcher interface.
+type FetcherFunc func(ctx context.Context, id ID) (Item, error)
+
+// Fetch implements Fetcher.
+func (f FetcherFunc) Fetch(ctx context.Context, id ID) (Item, error) { return f(ctx, id) }
+
+// BatchFetcher is optionally implemented by a backend's Fetcher to
+// coalesce adjacent speculative candidates into one backend call.
+// FetchBatch must return exactly one Item per requested id, in request
+// order; an error fails the whole batch. The fabric only batches
+// speculative traffic — demand fetches stay single-item so they can be
+// hedged and cancelled individually.
+type BatchFetcher interface {
+	FetchBatch(ctx context.Context, ids []ID) ([]Item, error)
+}
+
+// Backend names one origin link the fabric can fetch from.
+type Backend struct {
+	// Name identifies the backend in stats and reports. Backends of
+	// one fabric must have distinct, non-empty names.
+	Name string
+	// Fetcher retrieves items from this backend. If it also implements
+	// BatchFetcher, adjacent speculative candidates routed here are
+	// dispatched as one FetchBatch call.
+	Fetcher Fetcher
+	// Weight is the backend's static routing weight (0 means 1).
+	// Under RouteWeighted, ids are spread proportionally to weight;
+	// under RouteLatency, the estimated latency is divided by it, so a
+	// heavier backend wins ties.
+	Weight float64
+	// Bandwidth is the link's capacity in size units per second. 0
+	// means unknown: the fabric then estimates it online from observed
+	// size/latency, so ρ̂ and ρ̂′ still converge.
+	Bandwidth float64
+}
+
+// Routing selects how the fabric spreads ids across backends.
+type Routing int
+
+const (
+	// RouteWeighted spreads ids by weighted rendezvous hashing: each
+	// id has a stable backend affinity, and backends receive traffic
+	// proportional to their weights. The default.
+	RouteWeighted Routing = iota
+	// RouteLatency prefers the backend with the lowest estimated
+	// latency (scaled down by its weight); backends with no latency
+	// sample yet are tried first so every link gets measured.
+	RouteLatency
+)
+
+// String names the routing strategy.
+func (r Routing) String() string {
+	switch r {
+	case RouteWeighted:
+		return "weighted"
+	case RouteLatency:
+		return "latency"
+	default:
+		return "routing(?)"
+	}
+}
+
+// Hedging configures hedged retries on the demand path. Failover on
+// error happens regardless — hedging adds racing a second backend
+// *before* the first has failed, after a per-backend delay.
+type Hedging struct {
+	// Delay before launching a hedge on the next backend in route
+	// order. 0 derives the delay from the primary backend's observed
+	// p95 latency (no hedge is launched until a p95 estimate exists).
+	Delay time.Duration
+	// P95Multiple scales the p95-derived delay (0 means 1). Ignored
+	// when Delay is set explicitly.
+	P95Multiple float64
+	// MaxAttempts caps the total attempts (primary + hedges +
+	// retries) per demand fetch. 0 means one attempt per backend;
+	// values larger than the backend count wrap around the route
+	// order, retrying backends.
+	MaxAttempts int
+	// Backoff is the pause before a retry that follows a *failed*
+	// attempt, doubling per further retry. Hedges launch without
+	// backoff — their whole point is not to wait for the failure.
+	Backoff time.Duration
+}
+
+// BackendStats is a point-in-time snapshot of one backend's counters
+// and link estimates.
+type BackendStats struct {
+	// Name is the backend's configured name.
+	Name string
+	// Demand counts demand fetch attempts dispatched to this backend
+	// (including hedges and retries); Speculative counts speculative
+	// fetches (batched items counted individually); Errors counts
+	// failed attempts (cancelled hedge losers are not errors).
+	Demand, Speculative, Errors int64
+	// BatchCalls counts FetchBatch invocations; BatchedItems the items
+	// they carried.
+	BatchCalls, BatchedItems int64
+	// HedgesLaunched counts hedge attempts raced against a slow
+	// primary; HedgesWon counts the hedges that returned first.
+	HedgesLaunched, HedgesWon int64
+	// Retries counts failover attempts launched after an error.
+	Retries int64
+	// Deferred counts speculative candidates parked by the idle gate
+	// because this link's ρ̂ sat above the watermark; Released counts
+	// the parked candidates later dispatched in an idle period;
+	// DeferredDropped counts parked candidates shed (queue full, or
+	// still parked at Close). Pending is the current parked count.
+	Deferred, Released, DeferredDropped int64
+	Pending                             int
+	// LatencySeconds is the EWMA fetch latency; LatencyP95Seconds the
+	// ring-buffer p95 estimate hedge delays derive from.
+	LatencySeconds, LatencyP95Seconds float64
+	// Bandwidth is the link capacity in use (configured, or the online
+	// size/latency estimate); Rho the link's total utilisation ρ̂ and
+	// RhoPrime its demand-only utilisation ρ̂′, both at snapshot time.
+	Bandwidth, Rho, RhoPrime float64
+}

@@ -34,6 +34,18 @@ type FetcherFunc func(ctx context.Context, id ID) (Item, error)
 // Fetch implements Fetcher.
 func (f FetcherFunc) Fetch(ctx context.Context, id ID) (Item, error) { return f(ctx, id) }
 
+// BatchFetcher is optionally implemented by a Fetcher to coalesce
+// adjacent speculative candidates into one origin call. FetchBatch
+// must return exactly one Item per requested id, in request order; an
+// error fails the whole batch. The engine only batches speculative
+// traffic — demand fetches stay single-item so they can be hedged and
+// cancelled individually — and only when the engine is running a
+// backend fetch fabric (WithBackends, or a single fetcher wrapped by
+// WithHedging/WithIdleWatermark).
+type BatchFetcher interface {
+	FetchBatch(ctx context.Context, ids []ID) ([]Item, error)
+}
+
 // Prediction is one candidate for an upcoming access.
 type Prediction struct {
 	ID ID
@@ -83,9 +95,9 @@ type TopPredictor interface {
 // should condition its answers on state it derives from the id stream
 // internally if that matters to it (the built-ins condition each
 // prediction on the observed id itself, so a racing observation cannot
-// redirect a request's candidates). All built-in constructors except
-// NewLZPredictor return concurrent predictors; Stats reports which
-// path the engine chose in PredictorLockFree.
+// redirect a request's candidates). All built-in constructors return
+// concurrent predictors; Stats reports which path the engine chose in
+// PredictorLockFree.
 type ConcurrentPredictor interface {
 	Predictor
 	// ConcurrentSafe is a marker: implementing it asserts the

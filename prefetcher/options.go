@@ -3,6 +3,8 @@ package prefetcher
 import (
 	"fmt"
 	"math"
+
+	"repro/prefetcher/fetch"
 )
 
 // Option configures an Engine at construction.
@@ -22,6 +24,12 @@ type config struct {
 	queueDepth   int
 	maxPrefetch  int
 	hook         func(Event)
+
+	// Backend fetch fabric (nil/zero = plain single-fetcher engine).
+	backends      []fetch.Backend
+	routing       fetch.Routing
+	hedging       *fetch.Hedging
+	idleWatermark float64
 }
 
 // defaultCacheCapacity is the total capacity of the default LRU cache,
@@ -40,8 +48,8 @@ func defaultConfig() *config {
 
 // WithPredictor sets the access model (default: NewMarkovPredictor).
 // The engine inspects the predictor once, at New: if it implements
-// ConcurrentPredictor (as every built-in constructor except
-// NewLZPredictor does), Observe/Predict run lock-free from all shards
+// ConcurrentPredictor (as every built-in constructor does),
+// Observe/Predict run lock-free from all shards
 // at once; otherwise every call is serialised on a compatibility mutex
 // and prediction becomes the throughput ceiling however many shards
 // the engine has. If it implements TopPredictor, the hot path asks for
@@ -225,6 +233,78 @@ func WithEventHook(fn func(Event)) Option {
 	}
 }
 
+// WithBackends replaces the single origin Fetcher with a multi-backend
+// fetch fabric: demand and speculative fetches are routed across the
+// named backends (static weights under fetch.RouteWeighted, estimated
+// latency under fetch.RouteLatency — see WithRouting), a failed demand
+// fetch fails over to the next backend, speculative candidates routed
+// to one batch-capable backend are coalesced into a single FetchBatch
+// call, and each link's latency, bandwidth and utilisation are
+// estimated separately — the admission threshold is then evaluated
+// against the ρ̂′ of the link each candidate would actually use, not
+// the global average. Pass nil as New's fetcher when using backends
+// (supplying both is a construction error). Per-backend stats appear
+// in Stats.Backends.
+func WithBackends(backends ...fetch.Backend) Option {
+	return func(c *config) error {
+		if len(backends) == 0 {
+			return fmt.Errorf("prefetcher: WithBackends needs at least one backend")
+		}
+		c.backends = append([]fetch.Backend(nil), backends...)
+		return nil
+	}
+}
+
+// WithRouting selects how the fetch fabric spreads ids across backends
+// (default fetch.RouteWeighted). Only meaningful with WithBackends.
+func WithRouting(r fetch.Routing) Option {
+	return func(c *config) error {
+		if r != fetch.RouteWeighted && r != fetch.RouteLatency {
+			return fmt.Errorf("prefetcher: unknown routing strategy %d", r)
+		}
+		c.routing = r
+		return nil
+	}
+}
+
+// WithHedging enables hedged retries on the demand path: when the
+// preferred backend has not answered within the hedge delay (derived
+// from that backend's observed p95 latency unless h.Delay is set), the
+// next backend in route order is raced against it; the first success
+// wins and the loser is cancelled through its context. Failed attempts
+// fail over with h.Backoff between retries. With a single backend (or
+// a plain fetcher, which the engine wraps as one backend named
+// "origin") hedging degrades to sequential retries when h.MaxAttempts
+// exceeds one.
+func WithHedging(h fetch.Hedging) Option {
+	return func(c *config) error {
+		if h.Delay < 0 || h.MaxAttempts < 0 || h.Backoff < 0 || h.P95Multiple < 0 {
+			return fmt.Errorf("prefetcher: negative hedging parameter %+v", h)
+		}
+		c.hedging = &h
+		return nil
+	}
+}
+
+// WithIdleWatermark schedules speculative dispatch into idle periods —
+// the paper's load-impedance result made operational: a speculative
+// fetch routed to a backend whose total utilisation ρ̂ sits at or
+// above the watermark is parked in that backend's queue and dispatched
+// only once the link idles below it. Demand fetches are never gated.
+// w is the ρ̂ cutoff in (0,1]; parked and released candidates are
+// counted in Stats.Backends (Deferred/Released) and
+// Stats.PrefetchDeferred. Without WithBackends the engine wraps its
+// fetcher as the single backend "origin" so the gate still applies.
+func WithIdleWatermark(w float64) Option {
+	return func(c *config) error {
+		if w <= 0 || w > 1 || math.IsNaN(w) {
+			return fmt.Errorf("prefetcher: idle watermark %v must be in (0,1]", w)
+		}
+		c.idleWatermark = w
+		return nil
+	}
+}
+
 // validate applies defaults and cross-checks the assembled config.
 func (c *config) validate() error {
 	if c.predictor == nil {
@@ -244,6 +324,12 @@ func (c *config) validate() error {
 	}
 	if c.cache != nil && c.shards > 1 {
 		return fmt.Errorf("prefetcher: WithCache supplies a single instance but WithShards(%d) needs one cache per shard; use WithCacheFactory or WithShards(1)", c.shards)
+	}
+	if c.routing != fetch.RouteWeighted && len(c.backends) == 0 && c.hedging == nil && c.idleWatermark == 0 {
+		// Without a fetch fabric there is nothing to route; dropping
+		// the option silently would let the caller believe latency
+		// routing is active.
+		return fmt.Errorf("prefetcher: WithRouting requires WithBackends")
 	}
 	if c.policy.adaptive && c.bandwidth == 0 {
 		return fmt.Errorf("prefetcher: policy %s adapts to load and requires WithBandwidth", c.policy.Name())

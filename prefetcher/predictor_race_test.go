@@ -241,8 +241,9 @@ func TestExternalConcurrentPredictorLockFree(t *testing.T) {
 }
 
 // TestBuiltinPredictorPaths pins which built-ins run lock-free: every
-// constructor except NewLZPredictor satisfies ConcurrentPredictor, and
-// the adapter preserves the marker for use outside an Engine too.
+// constructor satisfies ConcurrentPredictor (LZ78, the last holdout,
+// joined with the CAS-insertion trie), and the adapter preserves the
+// marker for use outside an Engine too.
 func TestBuiltinPredictorPaths(t *testing.T) {
 	fetcher := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
 		return Item{ID: id, Size: 1}, nil
@@ -256,7 +257,7 @@ func TestBuiltinPredictorPaths(t *testing.T) {
 		{"popularity", NewPopularityPredictor(8), true},
 		{"ppm", NewPPMPredictor(2), true},
 		{"depgraph", NewDependencyGraphPredictor(3), true},
-		{"lz78", NewLZPredictor(), false},
+		{"lz78", NewLZPredictor(), true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

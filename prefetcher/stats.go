@@ -1,6 +1,10 @@
 package prefetcher
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/prefetcher/fetch"
+)
 
 // Stats is a point-in-time snapshot of the engine's counters and online
 // estimates. The counters (Requests … PrefetchErrors, CacheLen,
@@ -43,6 +47,18 @@ type Stats struct {
 	// regardless of the shard count.
 	Predictor         string
 	PredictorLockFree bool
+	// PrefetchDeferred counts speculative candidates the idle gate
+	// parked because their backend's ρ̂ sat above the watermark
+	// (WithIdleWatermark); they dispatch when the link idles. Summed
+	// across backends; 0 without a fetch fabric.
+	PrefetchDeferred int64
+	// Backends holds one entry per fetch-fabric backend (WithBackends,
+	// or the single wrapped "origin") with its traffic counters,
+	// hedging outcomes, idle-gate accounting and — the load-aware
+	// piece — that link's own ρ̂ and ρ̂′, which is the utilisation the
+	// admission threshold uses for candidates routed there. Nil
+	// without a fetch fabric.
+	Backends []fetch.BackendStats
 }
 
 // HitRatio returns Hits/Requests, or 0 before any request.
@@ -63,10 +79,17 @@ func (s Stats) Accuracy() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf(
-		"requests=%d hit=%.3f λ̂=%.3g ĥ′=%.3f ρ̂′=%.3f p̂_th=%.3f prefetch[issued=%d used=%d wasted=%d dropped=%d err=%d]",
+	out := fmt.Sprintf(
+		"requests=%d hit=%.3f λ̂=%.3g ĥ′=%.3f ρ̂′=%.3f p̂_th=%.3f prefetch[issued=%d used=%d wasted=%d dropped=%d deferred=%d err=%d]",
 		s.Requests, s.HitRatio(), s.Lambda, s.HPrime, s.RhoPrime, s.Threshold,
-		s.PrefetchIssued, s.PrefetchUsed, s.PrefetchWasted, s.PrefetchDropped, s.PrefetchErrors)
+		s.PrefetchIssued, s.PrefetchUsed, s.PrefetchWasted, s.PrefetchDropped,
+		s.PrefetchDeferred, s.PrefetchErrors)
+	for _, b := range s.Backends {
+		out += fmt.Sprintf(" %s[ρ̂=%.3f ρ̂′=%.3f demand=%d spec=%d hedge=%d/%d deferred=%d]",
+			b.Name, b.Rho, b.RhoPrime, b.Demand, b.Speculative,
+			b.HedgesWon, b.HedgesLaunched, b.Deferred)
+	}
+	return out
 }
 
 // EventType classifies an engine event.
@@ -88,6 +111,10 @@ const (
 	EventPrefetchDropped
 	// EventPrefetchError: a speculative fetch failed (Err is set).
 	EventPrefetchError
+	// EventPrefetchDeferred: the idle gate parked an admitted
+	// candidate because its backend's ρ̂ sat above the watermark; it
+	// dispatches (as a fresh EventPrefetchIssued) once the link idles.
+	EventPrefetchDeferred
 )
 
 // String names the event type.
@@ -107,6 +134,8 @@ func (t EventType) String() string {
 		return "prefetch-dropped"
 	case EventPrefetchError:
 		return "prefetch-error"
+	case EventPrefetchDeferred:
+		return "prefetch-deferred"
 	default:
 		return fmt.Sprintf("event(%d)", int(t))
 	}
