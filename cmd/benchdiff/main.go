@@ -1,0 +1,195 @@
+// Command benchdiff compares two prefetchbench -json reports (old vs
+// new) and flags performance regressions — a benchstat-style gate for
+// CI. Runs are matched by configuration (mode, shard count, backend
+// count, baseline flag) and compared on throughput, ns/op and
+// allocs/op.
+//
+// By default the gate is warn-only: regressions are reported loudly
+// (as ::warning:: annotations when running under GitHub Actions) but
+// the exit code stays 0, because absolute numbers from different
+// machines — a laptop vs a CI runner — are only indicative. Pass
+// -strict to turn regressions into a non-zero exit for same-machine
+// comparisons.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_engine.json -new bench.new.json
+//	benchdiff -old old.json -new new.json -threshold 0.10 -strict
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// report mirrors the subset of prefetchbench's -json document the
+// comparison needs.
+type report struct {
+	Mode   string `json:"mode"`
+	Config struct {
+		Trace string `json:"trace"`
+	} `json:"config"`
+	Runs []run `json:"runs"`
+}
+
+type run struct {
+	Shards        int     `json:"shards"`
+	BackendCount  int     `json:"backend_count"`
+	Baseline      bool    `json:"baseline"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Perf          struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+	} `json:"perf"`
+}
+
+// key identifies a run within a report for old/new matching.
+func (r run) key() string {
+	return fmt.Sprintf("shards=%d/backends=%d/baseline=%t", r.Shards, r.BackendCount, r.Baseline)
+}
+
+func loadReport(path string) (*report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Runs) == 0 {
+		return nil, fmt.Errorf("%s: report holds no runs", path)
+	}
+	return &r, nil
+}
+
+// regression describes one metric that got worse beyond the threshold.
+type regression struct {
+	key, metric       string
+	oldVal, newVal    float64
+	ratio             float64 // new/old for worse-is-higher metrics, old/new for throughput
+	betterWhenSmaller bool
+}
+
+// compare matches runs by key and reports regressions beyond threshold
+// (e.g. 0.10 = 10%) plus a human-readable comparison table.
+func compare(w io.Writer, oldR, newR *report, threshold float64) []regression {
+	oldRuns := make(map[string]run, len(oldR.Runs))
+	for _, r := range oldR.Runs {
+		oldRuns[r.key()] = r
+	}
+	var regs []regression
+	fmt.Fprintf(w, "%-36s %14s %14s %7s\n", "run/metric", "old", "new", "worse")
+	for _, nr := range newR.Runs {
+		or, ok := oldRuns[nr.key()]
+		if !ok {
+			fmt.Fprintf(w, "%-36s (no matching run in old report)\n", nr.key())
+			continue
+		}
+		type metric struct {
+			name              string
+			oldVal, newVal    float64
+			betterWhenSmaller bool
+			// absFloor suppresses the relative gate while the absolute
+			// worsening stays below it — allocs/op hovers near zero
+			// (process-wide MemStats deltas carry GC/runtime noise), so
+			// a relative threshold alone would flag 0.26 → 0.29 while an
+			// absolute floor of half an alloc per request only fires on
+			// structural regressions.
+			absFloor float64
+		}
+		metrics := []metric{
+			{"throughput_rps", or.ThroughputRPS, nr.ThroughputRPS, false, 0},
+			{"ns_per_op", or.Perf.NsPerOp, nr.Perf.NsPerOp, true, 0},
+			{"allocs_per_op", or.Perf.AllocsPerOp, nr.Perf.AllocsPerOp, true, 0.5},
+		}
+		for _, m := range metrics {
+			if m.oldVal == 0 && m.newVal == 0 {
+				continue
+			}
+			var delta float64 // fractional change, positive = worse
+			if m.betterWhenSmaller {
+				if m.oldVal > 0 {
+					delta = m.newVal/m.oldVal - 1
+				} else if m.newVal > 0 {
+					delta = 1 // 0 → nonzero on a worse-when-bigger metric
+				}
+			} else if m.newVal > 0 {
+				delta = m.oldVal/m.newVal - 1
+			} else {
+				delta = 1
+			}
+			// delta is normalised so positive always means worse,
+			// whichever direction the metric improves in.
+			fmt.Fprintf(w, "%-36s %14.1f %14.1f %+6.1f%%\n",
+				nr.key()+"/"+m.name, m.oldVal, m.newVal, 100*delta)
+			if m.absFloor > 0 && m.newVal-m.oldVal <= m.absFloor {
+				continue
+			}
+			if delta > threshold {
+				regs = append(regs, regression{
+					key: nr.key(), metric: m.name,
+					oldVal: m.oldVal, newVal: m.newVal,
+					ratio: 1 + delta, betterWhenSmaller: m.betterWhenSmaller,
+				})
+			}
+		}
+	}
+	return regs
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline prefetchbench -json report")
+		newPath   = flag.String("new", "", "candidate prefetchbench -json report")
+		threshold = flag.Float64("threshold", 0.10, "fractional regression that triggers a warning (0.10 = 10%)")
+		strict    = flag.Bool("strict", false, "exit non-zero on regressions instead of warn-only")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldR, err := loadReport(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newR, err := loadReport(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if oldR.Mode != newR.Mode {
+		fatal(fmt.Errorf("mode mismatch: old %q vs new %q", oldR.Mode, newR.Mode))
+	}
+	regs := compare(os.Stdout, oldR, newR, *threshold)
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: no regressions beyond %.0f%%\n", *threshold*100)
+		return
+	}
+	annotate := os.Getenv("GITHUB_ACTIONS") == "true"
+	for _, r := range regs {
+		msg := fmt.Sprintf("benchdiff: %s %s regressed %.1f%% (old %.1f → new %.1f)",
+			r.key, r.metric, (r.ratio-1)*100, r.oldVal, r.newVal)
+		if annotate {
+			fmt.Printf("::warning title=bench regression::%s\n", msg)
+		} else {
+			fmt.Fprintln(os.Stderr, "WARNING: "+msg)
+		}
+	}
+	if *strict {
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d regression(s) beyond %.0f%% (warn-only; pass -strict to fail)\n",
+		len(regs), *threshold*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rps, ns, allocs float64) string {
+	t.Helper()
+	r := report{Mode: "engine"}
+	r.Runs = []run{{Shards: 8, ThroughputRPS: rps}}
+	r.Runs[0].Perf.NsPerOp = ns
+	r.Runs[0].Perf.AllocsPerOp = allocs
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldR, err := loadReport(writeReport(t, dir, "old.json", 100000, 1000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Faster and leaner: no regressions.
+	newR, err := loadReport(writeReport(t, dir, "better.json", 130000, 800, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if regs := compare(&sb, oldR, newR, 0.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", regs)
+	}
+
+	// 20% slower on ns/op and throughput: both flagged at a 10% gate.
+	worse, err := loadReport(writeReport(t, dir, "worse.json", 80000, 1250, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	regs := compare(&sb, oldR, worse, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions (%+v), want 2 (throughput + ns/op)", len(regs), regs)
+	}
+	for _, r := range regs {
+		if r.metric != "throughput_rps" && r.metric != "ns_per_op" {
+			t.Fatalf("unexpected regressed metric %q", r.metric)
+		}
+	}
+
+	// The same 20% drop passes a 25% gate.
+	sb.Reset()
+	if regs := compare(&sb, oldR, worse, 0.25); len(regs) != 0 {
+		t.Fatalf("25%% gate still flagged: %+v", regs)
+	}
+
+	// Allocations appearing where there were none is a regression.
+	allocd, err := loadReport(writeReport(t, dir, "allocs.json", 100000, 1000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	regs = compare(&sb, oldR, allocd, 0.10)
+	if len(regs) != 1 || regs[0].metric != "allocs_per_op" {
+		t.Fatalf("alloc regression not flagged: %+v", regs)
+	}
+
+	// Near-zero allocs/op noise (process-wide MemStats jitter) stays
+	// below the absolute floor and must not fire the relative gate.
+	noisyOld, err := loadReport(writeReport(t, dir, "noisy-old.json", 100000, 1000, 0.26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyNew, err := loadReport(writeReport(t, dir, "noisy-new.json", 100000, 1000, 0.29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if regs := compare(&sb, noisyOld, noisyNew, 0.10); len(regs) != 0 {
+		t.Fatalf("alloc noise below the absolute floor flagged: %+v", regs)
+	}
+}
+
+func TestLoadReportRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(path, []byte(`{"mode":"engine","runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(path); err == nil {
+		t.Fatal("empty report accepted")
+	}
+}

@@ -21,9 +21,23 @@ import (
 type simBackend struct {
 	base time.Duration
 	bw   float64 // size units per second for the transfer component
+	// sizeOf supplies per-item sizes (trace replay serves the recorded
+	// catalog); nil means every item has size 1.
+	sizeOf func(fetch.ID) float64
 
 	mu       sync.Mutex
 	nextFree time.Time // when the link's serializer is next available
+}
+
+// size returns id's transfer size (>= some positive value; 1 default).
+func (b *simBackend) size(id fetch.ID) float64 {
+	if b.sizeOf == nil {
+		return 1
+	}
+	if s := b.sizeOf(id); s > 0 {
+		return s
+	}
+	return 1
 }
 
 func (b *simBackend) wait(ctx context.Context, size float64) error {
@@ -50,21 +64,26 @@ func (b *simBackend) wait(ctx context.Context, size float64) error {
 
 // Fetch implements fetch.Fetcher.
 func (b *simBackend) Fetch(ctx context.Context, id fetch.ID) (fetch.Item, error) {
-	if err := b.wait(ctx, 1); err != nil {
+	size := b.size(id)
+	if err := b.wait(ctx, size); err != nil {
 		return fetch.Item{}, err
 	}
-	return fetch.Item{ID: id, Size: 1}, nil
+	return fetch.Item{ID: id, Size: size}, nil
 }
 
 // FetchBatch implements fetch.BatchFetcher: one base latency for the
 // whole batch, transfer time per item.
 func (b *simBackend) FetchBatch(ctx context.Context, ids []fetch.ID) ([]fetch.Item, error) {
-	if err := b.wait(ctx, float64(len(ids))); err != nil {
+	total := 0.0
+	for _, id := range ids {
+		total += b.size(id)
+	}
+	if err := b.wait(ctx, total); err != nil {
 		return nil, err
 	}
 	out := make([]fetch.Item, len(ids))
 	for i, id := range ids {
-		out[i] = fetch.Item{ID: id, Size: 1}
+		out[i] = fetch.Item{ID: id, Size: b.size(id)}
 	}
 	return out, nil
 }
@@ -74,14 +93,16 @@ func (b *simBackend) FetchBatch(ctx context.Context, ids []fetch.ID) ([]fetch.It
 // primary plus progressively slower, thinner mirrors. The profiles do
 // not depend on n, so the single-backend baseline (n=1) is exactly the
 // multi-backend run's primary: comparing the two reads off what the
-// added mirrors (capacity, hedging targets, second ρ̂′) buy.
-func simBackends(n int, totalBW float64) []fetch.Backend {
+// added mirrors (capacity, hedging targets, second ρ̂′) buy. sizeOf
+// supplies per-item transfer sizes (nil means size 1 — the synthetic
+// engine mode; trace replay passes the recorded catalog).
+func simBackends(n int, totalBW float64, sizeOf func(fetch.ID) float64) []fetch.Backend {
 	out := make([]fetch.Backend, n)
 	for i := range out {
 		bw := totalBW / float64(int(2)<<i)
 		out[i] = fetch.Backend{
 			Name:      fmt.Sprintf("b%d", i),
-			Fetcher:   &simBackend{base: 200 * time.Microsecond << i, bw: bw},
+			Fetcher:   &simBackend{base: 200 * time.Microsecond << i, bw: bw, sizeOf: sizeOf},
 			Weight:    bw,
 			Bandwidth: bw,
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -14,6 +15,21 @@ import (
 	"repro/prefetcher"
 	"repro/prefetcher/fetch"
 )
+
+// measurePerf turns the process-wide allocation deltas of one run into
+// per-request costs. Call runtime.ReadMemStats into before/after around
+// the timed section.
+func measurePerf(before, after *runtime.MemStats, completed int, elapsed time.Duration) perfReport {
+	if completed <= 0 {
+		return perfReport{}
+	}
+	n := float64(completed)
+	return perfReport{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}
+}
 
 // engineBenchConfig parameterises the live-engine benchmark mode.
 type engineBenchConfig struct {
@@ -112,7 +128,7 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 		fmt.Fprintf(w, "live engine benchmark: %d clients × %d requests, %d workers, b=%g\n",
 			cfg.Clients, cfg.Requests, cfg.Workers, cfg.Bandwidth)
 		if cfg.Backends > 0 {
-			for _, b := range simBackends(cfg.Backends, cfg.Bandwidth) {
+			for _, b := range simBackends(cfg.Backends, cfg.Bandwidth, nil) {
 				sim := b.Fetcher.(*simBackend)
 				fmt.Fprintf(w, "  backend %-8s base latency %v, bandwidth %.3g (weight %.3f)\n",
 					b.Name, sim.base, b.Bandwidth, b.Weight)
@@ -206,7 +222,7 @@ func newBenchEngine(mode string, fetch prefetcher.Fetcher, bandwidth float64, wo
 // fabricOptions builds the engine options for the multi-backend mode.
 func fabricOptions(cfg engineBenchConfig, backends int) []prefetcher.Option {
 	opts := []prefetcher.Option{
-		prefetcher.WithBackends(simBackends(backends, cfg.Bandwidth)...),
+		prefetcher.WithBackends(simBackends(backends, cfg.Bandwidth, nil)...),
 		prefetcher.WithRouting(fetch.RouteLatency),
 	}
 	if cfg.Hedge {
@@ -248,6 +264,8 @@ func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards, backends int
 		firstErr  error
 		completed int
 	)
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
@@ -278,9 +296,11 @@ func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards, backends int
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 	if firstErr != nil {
 		return engineRun{}, firstErr
 	}
+	perf := measurePerf(&msBefore, &msAfter, completed, elapsed)
 	qctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	err = eng.Quiesce(qctx)
 	cancel()
@@ -299,9 +319,9 @@ func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards, backends int
 			}
 		}
 		fmt.Fprintln(w, label)
-		reportRun(w, st, rps, elapsed)
+		reportRun(w, st, rps, elapsed, perf)
 	}
-	return engineRun{rps: rps, shards: shards, rep: newRunReport(st, completed, rps, elapsed, isBaseline)}, nil
+	return engineRun{rps: rps, shards: shards, rep: newRunReport(st, completed, rps, elapsed, isBaseline, perf)}, nil
 }
 
 // reportRun prints the per-run block shared by the -engine and -trace
@@ -311,13 +331,15 @@ func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards, backends int
 // when a single-threaded run looks healthy — and, in fabric mode, one
 // line per backend with its link estimates (distinct ρ̂′ per link is
 // the tentpole observable) and hedging/gate outcomes.
-func reportRun(w io.Writer, st prefetcher.Stats, rps float64, elapsed time.Duration) {
+func reportRun(w io.Writer, st prefetcher.Stats, rps float64, elapsed time.Duration, perf perfReport) {
 	path := "lock-free (ConcurrentPredictor)"
 	if !st.PredictorLockFree {
 		path = "compatibility mutex (serialised)"
 	}
 	fmt.Fprintf(w, "  wall time        %v\n", elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "  throughput       %.0f requests/s\n", rps)
+	fmt.Fprintf(w, "  per request      %.0f ns/op, %.2f allocs/op, %.0f B/op (process-wide)\n",
+		perf.NsPerOp, perf.AllocsPerOp, perf.BytesPerOp)
 	fmt.Fprintf(w, "  predictor        %s via %s\n", st.Predictor, path)
 	fmt.Fprintf(w, "  hit ratio        %.4f\n", st.HitRatio())
 	fmt.Fprintf(w, "  ĥ′ (Section 4)   %.4f\n", st.HPrime)
@@ -329,12 +351,16 @@ func reportRun(w io.Writer, st prefetcher.Stats, rps float64, elapsed time.Durat
 		st.PrefetchDropped, st.PrefetchDeferred, st.PrefetchErrors, st.Accuracy())
 	fmt.Fprintf(w, "  joins            %d demand requests coalesced onto in-flight prefetches\n", st.Joins)
 	for _, b := range st.Backends {
-		fmt.Fprintf(w, "  backend %-8s ρ̂=%.3f ρ̂′=%.3f b̂=%.3g lat=%.2fms p95=%.2fms demand=%d spec=%d err=%d batch=%d/%d hedges=%d/%d retries=%d deferred=%d released=%d\n",
+		breaker := ""
+		if b.BreakerState != "" {
+			breaker = fmt.Sprintf(" breaker=%s/%d", b.BreakerState, b.BreakerOpens)
+		}
+		fmt.Fprintf(w, "  backend %-8s ρ̂=%.3f ρ̂′=%.3f b̂=%.3g lat=%.2fms p95=%.2fms demand=%d spec=%d err=%d batch=%d/%d hedges=%d/%d retries=%d deferred=%d released=%d%s\n",
 			b.Name, b.Rho, b.RhoPrime, b.Bandwidth,
 			b.LatencySeconds*1e3, b.LatencyP95Seconds*1e3,
 			b.Demand, b.Speculative, b.Errors,
 			b.BatchCalls, b.BatchedItems,
 			b.HedgesWon, b.HedgesLaunched, b.Retries,
-			b.Deferred, b.Released)
+			b.Deferred, b.Released, breaker)
 	}
 }

@@ -11,7 +11,9 @@
 //	prefetchbench -engine -clients 8   # throughput of the public engine
 //	prefetchbench -engine -backends 2 -hedge -watermark 0.5   # fetch fabric
 //	prefetchbench -engine -json -o bench.json   # machine-readable results
+//	prefetchbench -engine -cpuprofile cpu.pprof -memprofile mem.pprof
 //	prefetchbench -trace t.jsonl       # replay a recorded trace through it
+//	prefetchbench -trace t.jsonl -backends 2   # multi-backend replay
 package main
 
 import (
@@ -19,15 +21,24 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	var (
 		list   = flag.Bool("list", false, "list experiment ids and exit")
-		run    = flag.String("run", "", "experiment id to run, or 'all'")
+		runID  = flag.String("run", "", "experiment id to run, or 'all'")
 		format = flag.String("format", "text", "output format: text, csv, markdown, or plot (figures only)")
 		width  = flag.Int("width", 72, "plot width in characters (plot format)")
 		height = flag.Int("height", 24, "plot height in characters (plot format)")
@@ -44,26 +55,58 @@ func main() {
 		ecache    = flag.Int("cache", 256, "engine/trace mode: cache capacity (total, split across shards)")
 		eitems    = flag.Int("items", 2000, "engine mode: catalog size")
 		eshards   = flag.String("shards", "1,8", "engine/trace mode: comma-separated shard counts to sweep")
-		backends  = flag.Int("backends", 0, "engine mode: simulated heterogeneous backends behind the fetch fabric (0 = direct fetcher; >= 2 also runs a single-backend baseline)")
+		backends  = flag.Int("backends", 0, "engine/trace mode: simulated heterogeneous backends behind the fetch fabric (0 = direct fetcher; >= 2 in engine mode also runs a single-backend baseline)")
 		hedge     = flag.Bool("hedge", false, "engine mode: hedged retries across backends (p95-derived delay; needs -backends)")
 		watermark = flag.Float64("watermark", 0, "engine mode: idle-gate ρ̂ watermark deferring speculative dispatch (0 = off; needs -backends)")
 		asJSON    = flag.Bool("json", false, "engine/trace mode: emit one machine-readable JSON report (honours -o)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	)
 	flag.Parse()
 
 	if *engine && *trace != "" {
-		fatal(fmt.Errorf("-engine and -trace are mutually exclusive"))
+		return fmt.Errorf("-engine and -trace are mutually exclusive")
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prefetchbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prefetchbench: -memprofile:", err)
+			}
+		}()
 	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
+		// A failed close is a failed run: a short write surfaced here
+		// (disk full) must not leave a truncated report behind an exit
+		// code of 0.
 		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
+			if err := f.Close(); err != nil && retErr == nil {
+				retErr = err
 			}
 		}()
 		w = f
@@ -72,28 +115,25 @@ func main() {
 	if *trace != "" {
 		shards, err := parseShardList(*eshards)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		err = runTraceBench(w, traceBenchConfig{
+		return runTraceBench(w, traceBenchConfig{
 			Path:      *trace,
 			Bandwidth: *ebw,
 			Workers:   *workers,
 			CacheCap:  *ecache,
 			Shards:    shards,
+			Backends:  *backends,
 			JSON:      *asJSON,
 		})
-		if err != nil {
-			fatal(err)
-		}
-		return
 	}
 
 	if *engine {
 		shards, err := parseShardList(*eshards)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		err = runEngineBench(w, engineBenchConfig{
+		return runEngineBench(w, engineBenchConfig{
 			Clients:   *clients,
 			Requests:  *requests,
 			Bandwidth: *ebw,
@@ -107,31 +147,27 @@ func main() {
 			Watermark: *watermark,
 			JSON:      *asJSON,
 		})
-		if err != nil {
-			fatal(err)
-		}
-		return
 	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
-	if *run == "" {
+	if *runID == "" {
 		fmt.Fprintln(os.Stderr, "prefetchbench: -run <id|all> or -list required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	var targets []experiments.Experiment
-	if *run == "all" {
+	if *runID == "all" {
 		targets = experiments.All()
 	} else {
-		e, err := experiments.Get(*run)
+		e, err := experiments.Get(*runID)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		targets = []experiments.Experiment{e}
 	}
@@ -140,30 +176,31 @@ func main() {
 		for _, e := range targets {
 			panels, err := experiments.FigurePanels(e.ID)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			for _, p := range panels {
 				fmt.Fprintln(w, experiments.PanelPlot(p, *width, *height))
 			}
 		}
-		return
+		return nil
 	}
 
 	render, err := renderer(*format)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
 	for _, e := range targets {
 		fmt.Fprintf(w, "### %s — %s\n\n", e.ID, e.Title)
 		tables, err := e.Run(opts)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		for _, tb := range tables {
 			fmt.Fprintln(w, render(tb))
 		}
 	}
+	return nil
 }
 
 func renderer(format string) (func(*stats.Table) string, error) {
@@ -177,9 +214,4 @@ func renderer(format string) (func(*stats.Table) string, error) {
 	default:
 		return nil, fmt.Errorf("prefetchbench: unknown format %q (want text, csv or markdown)", format)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "prefetchbench:", err)
-	os.Exit(1)
 }

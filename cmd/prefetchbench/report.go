@@ -34,6 +34,17 @@ type benchConfig struct {
 	Seed      uint64  `json:"seed,omitempty"`
 }
 
+// perfReport is the per-request cost block: wall time per completed
+// request plus the process-wide allocation deltas over the run divided
+// by completed requests. The allocation figures include the engine's
+// speculative workers — they measure what one request costs the whole
+// process, which is the number the zero-allocation work drives down.
+type perfReport struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
 // runReport is one engine run within the shard/backend sweep.
 type runReport struct {
 	Shards            int             `json:"shards"`
@@ -41,6 +52,7 @@ type runReport struct {
 	Baseline          bool            `json:"baseline,omitempty"` // single-backend reference run
 	ThroughputRPS     float64         `json:"throughput_rps"`
 	WallMS            float64         `json:"wall_ms"`
+	Perf              perfReport      `json:"perf"`
 	Completed         int             `json:"completed_requests"`
 	Requests          int64           `json:"requests"`
 	HitRatio          float64         `json:"hit_ratio"`
@@ -86,16 +98,19 @@ type backendReport struct {
 	Bandwidth       float64 `json:"bandwidth"`
 	Rho             float64 `json:"rho"`
 	RhoPrime        float64 `json:"rho_prime"`
+	BreakerState    string  `json:"breaker_state,omitempty"`
+	BreakerOpens    int64   `json:"breaker_opens,omitempty"`
 }
 
 // newRunReport folds one finished run into the report shape.
-func newRunReport(st prefetcher.Stats, completed int, rps float64, elapsed time.Duration, baseline bool) runReport {
+func newRunReport(st prefetcher.Stats, completed int, rps float64, elapsed time.Duration, baseline bool, perf perfReport) runReport {
 	r := runReport{
 		Shards:            st.Shards,
 		BackendCount:      len(st.Backends),
 		Baseline:          baseline,
 		ThroughputRPS:     rps,
 		WallMS:            float64(elapsed.Microseconds()) / 1e3,
+		Perf:              perf,
 		Completed:         completed,
 		Requests:          st.Requests,
 		HitRatio:          st.HitRatio(),
@@ -138,6 +153,8 @@ func newRunReport(st prefetcher.Stats, completed int, rps float64, elapsed time.
 			Bandwidth:       b.Bandwidth,
 			Rho:             b.Rho,
 			RhoPrime:        b.RhoPrime,
+			BreakerState:    b.BreakerState,
+			BreakerOpens:    b.BreakerOpens,
 		})
 	}
 	return r

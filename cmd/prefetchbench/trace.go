@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/workload"
 	"repro/prefetcher"
+	"repro/prefetcher/fetch"
 )
 
 // traceBenchConfig parameterises the trace-replay benchmark mode.
@@ -21,6 +23,10 @@ type traceBenchConfig struct {
 	CacheCap  int
 	// Shards lists the shard counts to sweep, as in -engine mode.
 	Shards []int
+	// Backends selects multi-backend replay: n >= 1 simulated
+	// heterogeneous backends behind the fetch fabric serve the trace
+	// (item sizes still come from the records); 0 fetches directly.
+	Backends int
 	// JSON emits one machine-readable report instead of text.
 	JSON bool
 }
@@ -33,7 +39,10 @@ type traceBenchConfig struct {
 // p the paper's model takes as inputs, so the throughput and the
 // ĥ′/used/wasted block are read off a real (or recorded-synthetic)
 // stream rather than the Zipf loop. Item sizes come from the trace
-// records, so ŝ̄ and ρ̂′ reflect the recorded catalog.
+// records, so ŝ̄ and ρ̂′ reflect the recorded catalog. With -backends n
+// the replay is served by the multi-backend fetch fabric over simulated
+// asymmetric links, exercising routing and per-link admission on
+// recorded traffic.
 func runTraceBench(w io.Writer, cfg traceBenchConfig) error {
 	f, err := os.Open(cfg.Path)
 	if err != nil {
@@ -50,11 +59,14 @@ func runTraceBench(w io.Writer, cfg traceBenchConfig) error {
 	if cfg.CacheCap < 2 {
 		return fmt.Errorf("trace mode: -cache %d must be >= 2 (SLRU needs a protected segment)", cfg.CacheCap)
 	}
+	if cfg.Backends < 0 {
+		return fmt.Errorf("trace mode: -backends %d must be >= 0", cfg.Backends)
+	}
 	if len(cfg.Shards) == 0 {
 		cfg.Shards = []int{1}
 	}
 
-	// The engine's fetcher serves the sizes the trace recorded.
+	// The fetch path serves the sizes the trace recorded.
 	sizes := make(map[prefetcher.ID]float64, len(records))
 	userSet := make(map[int]bool)
 	for _, r := range records {
@@ -67,20 +79,39 @@ func runTraceBench(w io.Writer, cfg traceBenchConfig) error {
 	}
 	sort.Ints(users)
 
+	// One replay source per user, built once: each sweep entry rewinds
+	// them to the head of the sequence instead of rescanning the whole
+	// record set per run.
+	replays := make([]*workload.Replay, len(users))
+	for i, u := range users {
+		r, err := workload.NewReplay(records, u, false)
+		if err != nil {
+			return fmt.Errorf("trace mode: %w", err)
+		}
+		replays[i] = r
+	}
+
 	text := !cfg.JSON
 	if text {
 		fmt.Fprintf(w, "trace replay: %s — %d records, %d users (one client each), %d workers, b=%g\n",
 			cfg.Path, len(records), len(users), cfg.Workers, cfg.Bandwidth)
+		if cfg.Backends > 0 {
+			for _, b := range simBackends(cfg.Backends, cfg.Bandwidth, nil) {
+				sim := b.Fetcher.(*simBackend)
+				fmt.Fprintf(w, "  backend %-8s base latency %v, bandwidth %.3g (weight %.3f)\n",
+					b.Name, sim.base, b.Bandwidth, b.Weight)
+			}
+		}
 	}
 	report := &benchReport{Mode: "trace", Config: benchConfig{
 		Trace: cfg.Path, Bandwidth: cfg.Bandwidth, Workers: cfg.Workers,
-		CacheCap: cfg.CacheCap,
+		CacheCap: cfg.CacheCap, Backends: cfg.Backends,
 	}}
 
 	var baseline float64
 	var baselineShards int
 	for _, shards := range cfg.Shards {
-		res, err := runTraceBenchOnce(w, cfg, records, users, sizes, shards, text)
+		res, err := runTraceBenchOnce(w, cfg, len(records), users, sizes, replays, shards, text)
 		if err != nil {
 			return err
 		}
@@ -98,31 +129,41 @@ func runTraceBench(w io.Writer, cfg traceBenchConfig) error {
 }
 
 // runTraceBenchOnce replays the whole trace once through a fresh engine
-// with the given shard count.
-func runTraceBenchOnce(w io.Writer, cfg traceBenchConfig, records []workload.Record,
-	users []int, sizes map[prefetcher.ID]float64, shards int, text bool) (engineRun, error) {
-	fetch := prefetcher.FetcherFunc(func(ctx context.Context, id prefetcher.ID) (prefetcher.Item, error) {
+// with the given shard count, rewinding the shared per-user replays.
+func runTraceBenchOnce(w io.Writer, cfg traceBenchConfig, records int,
+	users []int, sizes map[prefetcher.ID]float64, replays []*workload.Replay, shards int, text bool) (engineRun, error) {
+	sizeOf := func(id prefetcher.ID) float64 {
 		size, ok := sizes[id]
 		if !ok {
-			size = 1 // speculative fetch of an item the trace never requests
+			return 1 // speculative fetch of an item the trace never requests
 		}
-		return prefetcher.Item{ID: id, Size: size}, nil
-	})
-	eng, shards, err := newBenchEngine("trace", fetch, cfg.Bandwidth, cfg.Workers, cfg.CacheCap, shards)
+		return size
+	}
+	var (
+		eng *prefetcher.Engine
+		err error
+	)
+	if cfg.Backends > 0 {
+		backends := simBackends(cfg.Backends, cfg.Bandwidth, func(id fetch.ID) float64 {
+			return sizeOf(prefetcher.ID(id))
+		})
+		eng, shards, err = newBenchEngine("trace", nil, cfg.Bandwidth, cfg.Workers, cfg.CacheCap, shards,
+			prefetcher.WithBackends(backends...),
+			prefetcher.WithRouting(fetch.RouteLatency),
+		)
+	} else {
+		direct := prefetcher.FetcherFunc(func(ctx context.Context, id prefetcher.ID) (prefetcher.Item, error) {
+			return prefetcher.Item{ID: id, Size: sizeOf(id)}, nil
+		})
+		eng, shards, err = newBenchEngine("trace", direct, cfg.Bandwidth, cfg.Workers, cfg.CacheCap, shards)
+	}
 	if err != nil {
 		return engineRun{}, err
 	}
 	defer eng.Close()
 
-	// One replay source per user, built fresh per run so sweep entries
-	// start from the head of the sequence.
-	replays := make([]*workload.Replay, len(users))
-	for i, u := range users {
-		r, err := workload.NewReplay(records, u, false)
-		if err != nil {
-			return engineRun{}, fmt.Errorf("trace mode: %w", err)
-		}
-		replays[i] = r
+	for _, r := range replays {
+		r.Rewind()
 	}
 
 	ctx := context.Background()
@@ -132,6 +173,8 @@ func runTraceBenchOnce(w io.Writer, cfg traceBenchConfig, records []workload.Rec
 		firstErr  error
 		completed int
 	)
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for i, u := range users {
 		wg.Add(1)
@@ -157,9 +200,11 @@ func runTraceBenchOnce(w io.Writer, cfg traceBenchConfig, records []workload.Rec
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 	if firstErr != nil {
 		return engineRun{}, firstErr
 	}
+	perf := measurePerf(&msBefore, &msAfter, completed, elapsed)
 	if err := eng.Quiesce(ctx); err != nil {
 		return engineRun{}, err
 	}
@@ -167,9 +212,13 @@ func runTraceBenchOnce(w io.Writer, cfg traceBenchConfig, records []workload.Rec
 	st := eng.Stats()
 	rps := float64(completed) / elapsed.Seconds()
 	if text {
-		fmt.Fprintf(w, "shards=%d\n", st.Shards)
-		fmt.Fprintf(w, "  replayed         %d/%d trace requests\n", completed, len(records))
-		reportRun(w, st, rps, elapsed)
+		label := fmt.Sprintf("shards=%d", st.Shards)
+		if cfg.Backends > 0 {
+			label += fmt.Sprintf(" backends=%d", cfg.Backends)
+		}
+		fmt.Fprintln(w, label)
+		fmt.Fprintf(w, "  replayed         %d/%d trace requests\n", completed, records)
+		reportRun(w, st, rps, elapsed, perf)
 	}
-	return engineRun{rps: rps, shards: shards, rep: newRunReport(st, completed, rps, elapsed, false)}, nil
+	return engineRun{rps: rps, shards: shards, rep: newRunReport(st, completed, rps, elapsed, false, perf)}, nil
 }

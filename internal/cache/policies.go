@@ -15,9 +15,32 @@ type node struct {
 
 // list is an intrusive doubly linked list with a sentinel root.
 // root.next is the front (most recent), root.prev the back (victim end).
+// Removed nodes are recycled through a free list (chained via next), so
+// a policy at steady state — every eviction paired with an insertion —
+// allocates no nodes at all; the free list is bounded by the peak
+// resident count.
 type list struct {
 	root node
 	len  int
+	free *node
+}
+
+// newNode returns a node for id, reusing a recycled one when available.
+func (l *list) newNode(id ID) *node {
+	if n := l.free; n != nil {
+		l.free = n.next
+		n.id = id
+		n.next = nil
+		return n
+	}
+	return &node{id: id}
+}
+
+// recycle parks a removed node for reuse by the next insertion.
+func (l *list) recycle(n *node) {
+	n.prev = nil
+	n.next = l.free
+	l.free = n
 }
 
 func newList() *list {
@@ -65,7 +88,7 @@ func (p *LRU) Name() string { return "lru" }
 
 // Inserted implements Policy.
 func (p *LRU) Inserted(id ID) {
-	n := &node{id: id}
+	n := p.list.newNode(id)
 	p.nodes[id] = n
 	p.list.pushFront(n)
 }
@@ -87,6 +110,7 @@ func (p *LRU) Victim() ID { return p.list.back().id }
 func (p *LRU) Removed(id ID) {
 	if n, ok := p.nodes[id]; ok {
 		p.list.remove(n)
+		p.list.recycle(n)
 		delete(p.nodes, id)
 	}
 }
@@ -107,7 +131,7 @@ func (p *FIFO) Name() string { return "fifo" }
 
 // Inserted implements Policy.
 func (p *FIFO) Inserted(id ID) {
-	n := &node{id: id}
+	n := p.list.newNode(id)
 	p.nodes[id] = n
 	p.list.pushFront(n)
 }
@@ -122,6 +146,7 @@ func (p *FIFO) Victim() ID { return p.list.back().id }
 func (p *FIFO) Removed(id ID) {
 	if n, ok := p.nodes[id]; ok {
 		p.list.remove(n)
+		p.list.recycle(n)
 		delete(p.nodes, id)
 	}
 }

@@ -27,17 +27,19 @@ import (
 // hash, with the counts themselves plain atomics, so concurrent
 // observers only contend when they touch the same row of the model.
 
-// ConcurrentPredictor is a Predictor whose Observe, Predict and
-// PredictTop are all safe for concurrent use without external locking.
-// Observe and PredictTop are the hot-path pair; Predict remains the
-// evaluation-facing full distribution. A reader that overlaps writers
-// sees some valid recent state (counts are atomics; snapshots are taken
-// per row, not globally); once observers quiesce, Predict returns
-// exactly what the sequential reference model would for the same
-// observation stream.
+// ConcurrentPredictor is a Predictor whose Observe, Predict,
+// PredictTop and PredictTopInto are all safe for concurrent use without
+// external locking. Observe and PredictTopInto are the hot-path pair
+// (the Into form appends into a caller-pooled buffer, so prediction
+// itself allocates nothing); Predict remains the evaluation-facing full
+// distribution. A reader that overlaps writers sees some valid recent
+// state (counts are atomics; snapshots are taken per row, not
+// globally); once observers quiesce, Predict returns exactly what the
+// sequential reference model would for the same observation stream.
 type ConcurrentPredictor interface {
 	Predictor
 	TopPredictor
+	TopIntoPredictor
 	// ConcurrentSafe is a marker: implementing it asserts the
 	// goroutine-safety contract above.
 	ConcurrentSafe()
@@ -53,10 +55,16 @@ type ConcurrentPredictor interface {
 // Markov predicts from id's own row, PPM from the pre-observation
 // history snapshot extended with id, the dependency graph from id's
 // edges — which restores exactly the conditioning a global
-// observe+predict critical section used to give. All four concurrent
+// observe+predict critical section used to give. All five concurrent
 // models implement it.
+//
+// ObserveAndPredictTopInto is the engine's hot-path form: same
+// semantics, with the candidates appended to dst (a pooled buffer
+// passed as buf[:0]) so the per-request prediction allocates nothing.
+// ObserveAndPredictTop(id, k) ≡ ObserveAndPredictTopInto(id, k, nil).
 type CoupledPredictor interface {
 	ObserveAndPredictTop(id cache.ID, k int) []Prediction
+	ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction
 }
 
 // predStripes is the number of lock stripes each concurrent model
@@ -232,7 +240,11 @@ func (r *countRow) snapshot() map[cache.ID]int64 {
 // count racing ahead of the total can skew one probability momentarily
 // (clamped to 1); once observers quiesce the result equals the
 // sequential model's Predict()[:k] exactly.
-func (r *countRow) top(k int) []Prediction {
+func (r *countRow) top(k int) []Prediction { return r.topInto(nil, k) }
+
+// topInto is top appending into dst — the zero-allocation hot path when
+// dst has capacity k.
+func (r *countRow) topInto(dst []Prediction, k int) []Prediction {
 	if k <= 0 {
 		return nil
 	}
@@ -241,7 +253,7 @@ func (r *countRow) top(k int) []Prediction {
 		return nil
 	}
 	ft := float64(total)
-	top := newTopPredictions(k)
+	top := newTopPredictionsOn(dst, k)
 	r.mu.RLock()
 	if r.trackTop && k <= rowTopK {
 		for _, e := range r.topSet {
@@ -386,6 +398,11 @@ func (m *ConcurrentMarkov1) Predict() []Prediction {
 // PredictTop implements TopPredictor: the engine's hot path, free of
 // per-call map copies.
 func (m *ConcurrentMarkov1) PredictTop(k int) []Prediction {
+	return m.PredictTopInto(nil, k)
+}
+
+// PredictTopInto implements TopIntoPredictor.
+func (m *ConcurrentMarkov1) PredictTopInto(dst []Prediction, k int) []Prediction {
 	cur := m.cur.Load()
 	if cur == markovNoState {
 		return nil
@@ -394,13 +411,18 @@ func (m *ConcurrentMarkov1) PredictTop(k int) []Prediction {
 	if r == nil {
 		return nil
 	}
-	return r.top(k)
+	return r.topInto(dst, k)
 }
 
 // ObserveAndPredictTop implements CoupledPredictor: the candidates are
 // id's own successors, so a racing Observe moving cur cannot change
 // what this observation's request gets planned against.
 func (m *ConcurrentMarkov1) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
+	return m.ObserveAndPredictTopInto(id, k, nil)
+}
+
+// ObserveAndPredictTopInto implements CoupledPredictor.
+func (m *ConcurrentMarkov1) ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction {
 	m.Observe(id)
 	if k <= 0 {
 		return nil
@@ -409,7 +431,7 @@ func (m *ConcurrentMarkov1) ObserveAndPredictTop(id cache.ID, k int) []Predictio
 	if r == nil {
 		return nil
 	}
-	return r.top(k)
+	return r.topInto(dst, k)
 }
 
 // Name implements Predictor.
@@ -472,6 +494,11 @@ func (p *ConcurrentPopularity) Predict() []Prediction {
 // observers quiesce; momentarily behind it mid-race, so probabilities
 // are clamped to 1).
 func (p *ConcurrentPopularity) PredictTop(k int) []Prediction {
+	return p.PredictTopInto(nil, k)
+}
+
+// PredictTopInto implements TopIntoPredictor.
+func (p *ConcurrentPopularity) PredictTopInto(dst []Prediction, k int) []Prediction {
 	if p.topK > 0 && k > p.topK {
 		k = p.topK // Predict truncates to topK; the prefix contract follows it
 	}
@@ -483,7 +510,7 @@ func (p *ConcurrentPopularity) PredictTop(k int) []Prediction {
 		return nil
 	}
 	ft := float64(total)
-	top := newTopPredictions(k)
+	top := newTopPredictionsOn(dst, k)
 	p.counts.Range(func(key, v any) bool {
 		offerCount(&top, key.(cache.ID), v.(*atomic.Int64).Load(), ft)
 		return true
@@ -494,11 +521,16 @@ func (p *ConcurrentPopularity) PredictTop(k int) []Prediction {
 // ObserveAndPredictTop implements CoupledPredictor. Popularity is
 // context-free, so the coupled form is just the two calls in sequence.
 func (p *ConcurrentPopularity) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
+	return p.ObserveAndPredictTopInto(id, k, nil)
+}
+
+// ObserveAndPredictTopInto implements CoupledPredictor.
+func (p *ConcurrentPopularity) ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction {
 	p.Observe(id)
 	if k <= 0 {
 		return nil
 	}
-	return p.PredictTop(k)
+	return p.PredictTopInto(dst, k)
 }
 
 // Name implements Predictor.
@@ -668,10 +700,18 @@ func (p *ConcurrentPPM) Predict() []Prediction {
 // per-order rows anyway (exclusion couples the candidates), so the
 // saving over Predict is the final sort, not the table walk.
 func (p *ConcurrentPPM) PredictTop(k int) []Prediction {
+	return p.PredictTopInto(nil, k)
+}
+
+// PredictTopInto implements TopIntoPredictor. The result lands in dst,
+// but the blend itself still builds its per-call probability maps —
+// PPM's exclusion rule couples every candidate, so the Into form bounds
+// the output, not the blend.
+func (p *ConcurrentPPM) PredictTopInto(dst []Prediction, k int) []Prediction {
 	if k <= 0 {
 		return nil
 	}
-	return topFromProbs(p.blend(p.historySnapshot()), k)
+	return topFromProbs(p.blend(p.historySnapshot()), k, dst)
 }
 
 // ObserveAndPredictTop implements CoupledPredictor: the blend runs over
@@ -679,6 +719,11 @@ func (p *ConcurrentPPM) PredictTop(k int) []Prediction {
 // extended with id), not the live shared history a racing observer may
 // already have advanced.
 func (p *ConcurrentPPM) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
+	return p.ObserveAndPredictTopInto(id, k, nil)
+}
+
+// ObserveAndPredictTopInto implements CoupledPredictor.
+func (p *ConcurrentPPM) ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction {
 	prev := p.observe(id)
 	if k <= 0 {
 		return nil
@@ -687,16 +732,16 @@ func (p *ConcurrentPPM) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
 	if len(hist) > p.k {
 		hist = hist[len(hist)-p.k:]
 	}
-	return topFromProbs(p.blend(hist), k)
+	return topFromProbs(p.blend(hist), k, dst)
 }
 
 // topFromProbs reduces an unsorted probability map to its k best
-// entries in prediction order.
-func topFromProbs(probs map[cache.ID]float64, k int) []Prediction {
+// entries in prediction order, appended to dst.
+func topFromProbs(probs map[cache.ID]float64, k int, dst []Prediction) []Prediction {
 	if len(probs) == 0 || k <= 0 {
 		return nil
 	}
-	top := newTopPredictions(k)
+	top := newTopPredictionsOn(dst, k)
 	for id, pr := range probs {
 		top.offer(Prediction{Item: id, Prob: pr})
 	}
@@ -731,13 +776,27 @@ func NewConcurrentDependencyGraph(w int) *ConcurrentDependencyGraph {
 	return &ConcurrentDependencyGraph{w: w, edges: newRowTable(false)}
 }
 
-// Observe implements Predictor. Safe for concurrent use.
+// depgraphStackWindow bounds the window copy Observe can stage on the
+// stack; the classic lookahead choices (2–10) sit well inside it.
+const depgraphStackWindow = 16
+
+// Observe implements Predictor. Safe for concurrent use. For windows up
+// to depgraphStackWindow the pre-observation copy lives on the stack
+// and the window itself slides by copy-down in its fixed backing array,
+// so observing allocates only when id opens a new edge row.
 func (g *ConcurrentDependencyGraph) Observe(id cache.ID) {
+	var stack [depgraphStackWindow]cache.ID
+	var prevs []cache.ID
 	g.mu.Lock()
-	prevs := append([]cache.ID(nil), g.window...)
+	if len(g.window) <= depgraphStackWindow {
+		prevs = stack[:copy(stack[:], g.window)]
+	} else {
+		prevs = append([]cache.ID(nil), g.window...)
+	}
 	g.window = append(g.window, id)
 	if len(g.window) > g.w {
-		g.window = g.window[1:]
+		copy(g.window, g.window[1:])
+		g.window = g.window[:g.w]
 	}
 	g.mu.Unlock()
 
@@ -809,8 +868,9 @@ func (g *ConcurrentDependencyGraph) Predict() []Prediction {
 
 // topSuccessors collects the k best successors of cur in one in-place
 // pass over its edge row under the read lock, normalised by cur's visit
-// count (probabilities clamped at 1, as in the sequential model).
-func (g *ConcurrentDependencyGraph) topSuccessors(cur cache.ID, k int) []Prediction {
+// count (probabilities clamped at 1, as in the sequential model),
+// appended to dst.
+func (g *ConcurrentDependencyGraph) topSuccessors(cur cache.ID, k int, dst []Prediction) []Prediction {
 	c, ok := g.visits.Load(cur)
 	if !ok {
 		return nil
@@ -824,7 +884,7 @@ func (g *ConcurrentDependencyGraph) topSuccessors(cur cache.ID, k int) []Predict
 		return nil
 	}
 	fv := float64(visits)
-	top := newTopPredictions(k)
+	top := newTopPredictionsOn(dst, k)
 	r.mu.RLock()
 	for id, cc := range r.counts {
 		offerCount(&top, id, cc.Load(), fv)
@@ -835,6 +895,11 @@ func (g *ConcurrentDependencyGraph) topSuccessors(cur cache.ID, k int) []Predict
 
 // PredictTop implements TopPredictor.
 func (g *ConcurrentDependencyGraph) PredictTop(k int) []Prediction {
+	return g.PredictTopInto(nil, k)
+}
+
+// PredictTopInto implements TopIntoPredictor.
+func (g *ConcurrentDependencyGraph) PredictTopInto(dst []Prediction, k int) []Prediction {
 	if k <= 0 {
 		return nil
 	}
@@ -845,18 +910,23 @@ func (g *ConcurrentDependencyGraph) PredictTop(k int) []Prediction {
 	}
 	cur := g.window[len(g.window)-1]
 	g.mu.Unlock()
-	return g.topSuccessors(cur, k)
+	return g.topSuccessors(cur, k, dst)
 }
 
 // ObserveAndPredictTop implements CoupledPredictor: successors of the
 // observed id itself, untouched by whatever a racing observer appends
 // to the shared window.
 func (g *ConcurrentDependencyGraph) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
+	return g.ObserveAndPredictTopInto(id, k, nil)
+}
+
+// ObserveAndPredictTopInto implements CoupledPredictor.
+func (g *ConcurrentDependencyGraph) ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction {
 	g.Observe(id)
 	if k <= 0 {
 		return nil
 	}
-	return g.topSuccessors(id, k)
+	return g.topSuccessors(id, k, dst)
 }
 
 // Name implements Predictor.

@@ -149,8 +149,8 @@ func (l *ConcurrentLZ78) predictNode(n *lzcNode) []Prediction {
 }
 
 // topNode is predictNode bounded to the k best children — no full-row
-// allocation or sort.
-func (l *ConcurrentLZ78) topNode(n *lzcNode, k int) []Prediction {
+// allocation or sort; the result is appended to dst.
+func (l *ConcurrentLZ78) topNode(n *lzcNode, k int, dst []Prediction) []Prediction {
 	if k <= 0 {
 		return nil
 	}
@@ -159,7 +159,7 @@ func (l *ConcurrentLZ78) topNode(n *lzcNode, k int) []Prediction {
 		return nil
 	}
 	ft := float64(total)
-	top := newTopPredictions(k)
+	top := newTopPredictionsOn(dst, k)
 	for c := n.children.Load(); c != nil; c = c.next.Load() {
 		offerCount(&top, c.id, c.visits.Load(), ft)
 	}
@@ -174,7 +174,12 @@ func (l *ConcurrentLZ78) Predict() []Prediction {
 
 // PredictTop implements TopPredictor.
 func (l *ConcurrentLZ78) PredictTop(k int) []Prediction {
-	return l.topNode(l.cur.Load(), k)
+	return l.topNode(l.cur.Load(), k, nil)
+}
+
+// PredictTopInto implements TopIntoPredictor.
+func (l *ConcurrentLZ78) PredictTopInto(dst []Prediction, k int) []Prediction {
+	return l.topNode(l.cur.Load(), k, dst)
 }
 
 // ObserveAndPredictTop implements CoupledPredictor: the candidates
@@ -182,11 +187,16 @@ func (l *ConcurrentLZ78) PredictTop(k int) []Prediction {
 // racing observer moving the shared parse cannot hand this request
 // another request's context.
 func (l *ConcurrentLZ78) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
+	return l.ObserveAndPredictTopInto(id, k, nil)
+}
+
+// ObserveAndPredictTopInto implements CoupledPredictor.
+func (l *ConcurrentLZ78) ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction {
 	n := l.observe(id)
 	if k <= 0 {
 		return nil
 	}
-	return l.topNode(n, k)
+	return l.topNode(n, k, dst)
 }
 
 // Name implements Predictor.

@@ -74,6 +74,16 @@ type TopPredictor interface {
 	PredictTop(k int) []Prediction
 }
 
+// TopIntoPredictor is the allocation-free variant of TopPredictor:
+// PredictTopInto appends the k most probable candidates to dst
+// (typically a pooled buffer passed as buf[:0]) and returns the
+// extended slice, which may share dst's backing array. The appended
+// candidates must equal PredictTop(k). The prefetch engine feeds this
+// from per-request pooled buffers so a cache hit allocates nothing.
+type TopIntoPredictor interface {
+	PredictTopInto(dst []Prediction, k int) []Prediction
+}
+
 // better reports whether a precedes b in prediction order (decreasing
 // probability, ties by ascending id).
 func better(a, b Prediction) bool {
@@ -94,6 +104,17 @@ type topPredictions struct {
 
 func newTopPredictions(k int) topPredictions {
 	return topPredictions{buf: make([]Prediction, 0, k), k: k}
+}
+
+// newTopPredictionsOn is newTopPredictions over a caller-supplied
+// buffer: candidates accumulate in dst[:0] (growing its backing array
+// only when cap(dst) < k), which is what lets the PredictTopInto paths
+// run without allocating. dst's previous contents are discarded.
+func newTopPredictionsOn(dst []Prediction, k int) topPredictions {
+	if dst == nil {
+		return newTopPredictions(k)
+	}
+	return topPredictions{buf: dst[:0], k: k}
 }
 
 func (t *topPredictions) offer(p Prediction) {

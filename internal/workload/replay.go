@@ -54,6 +54,12 @@ func NewReplayReader(r io.Reader, user int, loop bool) (*Replay, error) {
 // Len returns the number of replayable requests in one pass.
 func (r *Replay) Len() int { return len(r.items) }
 
+// Rewind restarts the replay from the head of the sequence. It lets a
+// sweep (e.g. prefetchbench's shard sweep) reuse one Replay — and the
+// per-user record buffer it scanned out of the trace — instead of
+// rebuilding every source for every run.
+func (r *Replay) Rewind() { r.pos = 0 }
+
 // Exhausted reports whether a non-looping replay has consumed every
 // record.
 func (r *Replay) Exhausted() bool { return !r.loop && r.pos >= len(r.items) }

@@ -22,8 +22,11 @@ type internalPredictor interface {
 // predictorAdapter lifts an internal predictor to the public interface.
 // The public methods exist for callers that use a built-in predictor
 // outside an Engine; the engine itself goes through internal().
+// staging pools the internal-type buffer PredictTopInto converts out
+// of, so the public Into path honours its zero-allocation contract.
 type predictorAdapter struct {
-	p predict.Predictor
+	p       predict.Predictor
+	staging *sync.Pool // *[]predict.Prediction
 }
 
 func (a predictorAdapter) internal() predict.Predictor { return a.p }
@@ -56,6 +59,40 @@ func (a predictorAdapter) PredictTop(k int) []Prediction {
 	return ps
 }
 
+// PredictTopInto implements the public TopIntoPredictor: the top-k
+// candidates are appended to dst. When the wrapped model supports the
+// internal Into form the conversion stages through a pooled buffer, so
+// the call is allocation-free in steady state; the engine itself never
+// takes this route for built-ins (it unwraps to the internal model),
+// so this exists for callers using a built-in predictor outside an
+// Engine.
+func (a predictorAdapter) PredictTopInto(dst []Prediction, k int) []Prediction {
+	if k <= 0 {
+		return nil
+	}
+	var ps []predict.Prediction
+	var buf *[]predict.Prediction
+	if tp, ok := a.p.(predict.TopIntoPredictor); ok {
+		buf = a.staging.Get().(*[]predict.Prediction)
+		ps = tp.PredictTopInto((*buf)[:0], k)
+	} else if tp, ok := a.p.(predict.TopPredictor); ok {
+		ps = tp.PredictTop(k)
+	} else {
+		ps = a.p.Predict()
+		if k < len(ps) {
+			ps = ps[:k]
+		}
+	}
+	out := dst[:0]
+	for _, p := range ps {
+		out = append(out, Prediction{ID: ID(p.Item), Prob: p.Prob})
+	}
+	if buf != nil {
+		a.staging.Put(buf)
+	}
+	return out
+}
+
 // concurrentAdapter is the adapter for internally concurrent models: it
 // additionally carries the public ConcurrentPredictor marker, so a
 // built-in concurrent predictor type-asserts correctly outside an
@@ -70,10 +107,14 @@ func (concurrentAdapter) ConcurrentSafe() {}
 // adaptPredictor wraps an internal predictor in the adapter matching
 // its concurrency contract.
 func adaptPredictor(p predict.Predictor) Predictor {
+	staging := &sync.Pool{New: func() any {
+		s := make([]predict.Prediction, 0, 16)
+		return &s
+	}}
 	if _, ok := p.(predict.ConcurrentPredictor); ok {
-		return concurrentAdapter{predictorAdapter{p}}
+		return concurrentAdapter{predictorAdapter{p, staging}}
 	}
-	return predictorAdapter{p}
+	return predictorAdapter{p, staging}
 }
 
 // publicPredictions converts internal predictions to the public type.

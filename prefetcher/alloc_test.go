@@ -1,0 +1,229 @@
+package prefetcher
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/predict"
+)
+
+// TestGetHitAllocFree pins the PR's headline property as a regression
+// test: a cache hit — including its prediction, accounting and dedup'd
+// speculative planning — allocates nothing.
+func TestGetHitAllocFree(t *testing.T) {
+	eng, ids := newHitEngine(t)
+	defer eng.Close()
+	ctx := context.Background()
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := eng.Get(ctx, ids[i%len(ids)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit Get allocated %v times per call; want 0", allocs)
+	}
+}
+
+// TestPredictTopIntoAllocFree asserts the pooled prediction path for
+// every concurrent model whose hot path is allocation-free by design
+// (PPM is exempt: its escape blend inherently builds per-call maps).
+func TestPredictTopIntoAllocFree(t *testing.T) {
+	models := map[string]predict.CoupledPredictor{
+		"markov1":    predict.NewConcurrentMarkov1(),
+		"popularity": predict.NewConcurrentPopularity(16),
+		"lz78":       predict.NewConcurrentLZ78(),
+		"depgraph":   predict.NewConcurrentDependencyGraph(2),
+	}
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			const items = 64
+			for pass := 0; pass < 3; pass++ {
+				for i := 0; i < items; i++ {
+					m.ObserveAndPredictTop(cache.ID(i), 0)
+				}
+			}
+			buf := make([]predict.Prediction, 0, 8)
+			i := 0
+			allocs := testing.AllocsPerRun(500, func() {
+				buf = m.ObserveAndPredictTopInto(cache.ID(i%items), 2, buf[:0])
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: ObserveAndPredictTopInto allocated %v times per call; want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// TestPredictTopIntoMatchesPredictTop pins the Into contract: for every
+// concurrent model, PredictTopInto appends exactly PredictTop(k) (which
+// the existing property tests tie to Predict()[:k]).
+func TestPredictTopIntoMatchesPredictTop(t *testing.T) {
+	models := map[string]predict.ConcurrentPredictor{
+		"markov1":    predict.NewConcurrentMarkov1(),
+		"popularity": predict.NewConcurrentPopularity(16),
+		"lz78":       predict.NewConcurrentLZ78(),
+		"depgraph":   predict.NewConcurrentDependencyGraph(3),
+		"ppm":        predict.NewConcurrentPPM(2),
+	}
+	seq := []int{1, 2, 3, 1, 2, 4, 1, 3, 2, 2, 5, 1, 2, 3, 4, 5, 1, 2}
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			buf := make([]predict.Prediction, 0, 8)
+			for _, id := range seq {
+				m.Observe(cache.ID(id))
+				for k := 1; k <= 4; k++ {
+					want := m.PredictTop(k)
+					got := m.PredictTopInto(buf[:0], k)
+					if len(got) != len(want) {
+						t.Fatalf("%s: PredictTopInto(k=%d) returned %d candidates, PredictTop %d", name, k, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s: PredictTopInto(k=%d)[%d] = %+v, PredictTop = %+v", name, k, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStatsWaitFreeMatchesEventLog drives concurrent load while a
+// dedicated goroutine hammers Stats — the wait-free snapshot must stay
+// internally consistent mid-flight (ratios in [0,1], outcome counters
+// never exceeding requests) and, once traffic quiesces, must equal the
+// independently tallied event log exactly, which is the locked
+// aggregation the padded atomic counters replaced.
+func TestStatsWaitFreeMatchesEventLog(t *testing.T) {
+	var tally struct {
+		hits, misses, joins                   atomic.Int64
+		issued, done, dropped, errors, defer_ atomic.Int64
+	}
+	fetcher := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
+		return Item{ID: id, Size: 2}, nil
+	})
+	eng, err := New(fetcher,
+		WithBandwidth(1e6),
+		WithShards(4),
+		WithCacheFactory(func(i, n int) Cache { return NewSLRUCache(64, 32) }),
+		WithWorkers(4),
+		WithMaxPrefetch(2),
+		WithEventHook(func(ev Event) {
+			switch ev.Type {
+			case EventHit:
+				tally.hits.Add(1)
+			case EventMiss:
+				tally.misses.Add(1)
+			case EventJoin:
+				tally.joins.Add(1)
+			case EventPrefetchIssued:
+				tally.issued.Add(1)
+			case EventPrefetchDone:
+				tally.done.Add(1)
+			case EventPrefetchDropped:
+				tally.dropped.Add(1)
+			case EventPrefetchError:
+				tally.errors.Add(1)
+			case EventPrefetchDeferred:
+				tally.defer_.Add(1)
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const (
+		clients  = 8
+		requests = 2000
+	)
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := eng.Stats()
+			if st.Hits+st.Misses > st.Requests {
+				t.Errorf("mid-flight snapshot broke the outcome invariant: hits=%d misses=%d requests=%d",
+					st.Hits, st.Misses, st.Requests)
+				return
+			}
+			if r := st.HitRatio(); r < 0 || r > 1 {
+				t.Errorf("mid-flight hit ratio %v outside [0,1]", r)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				id := ID((c*31 + i) % 512)
+				if _, err := eng.Get(ctx, id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	pollWG.Wait()
+	if err := eng.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := eng.Stats()
+	if want := int64(clients * requests); st.Requests != want {
+		t.Fatalf("requests = %d, want %d", st.Requests, want)
+	}
+	if st.Hits+st.Misses != st.Requests {
+		t.Fatalf("hits %d + misses %d != requests %d", st.Hits, st.Misses, st.Requests)
+	}
+	if got, want := st.Hits, tally.hits.Load(); got != want {
+		t.Fatalf("Stats.Hits = %d, event log counted %d", got, want)
+	}
+	// EventMiss is only emitted by the fetching request; joiners and
+	// requests served by a concurrent fill count as misses without one.
+	if got, want := st.Misses, tally.misses.Load(); got < want {
+		t.Fatalf("Stats.Misses = %d < %d EventMiss emissions", got, want)
+	}
+	if got, want := st.Joins, tally.joins.Load(); got > want {
+		t.Fatalf("Stats.Joins = %d > %d EventJoin emissions (joins count once per request)", got, want)
+	}
+	if got, want := st.PrefetchIssued, tally.issued.Load(); got != want {
+		t.Fatalf("Stats.PrefetchIssued = %d, event log counted %d", got, want)
+	}
+	if got, want := st.PrefetchDropped, tally.dropped.Load(); got != want {
+		t.Fatalf("Stats.PrefetchDropped = %d, event log counted %d", got, want)
+	}
+	if got, want := st.PrefetchErrors, tally.errors.Load(); got != want {
+		t.Fatalf("Stats.PrefetchErrors = %d, event log counted %d", got, want)
+	}
+	if done := tally.done.Load(); st.PrefetchIssued != done {
+		t.Fatalf("issued %d prefetches but %d completed after quiesce", st.PrefetchIssued, done)
+	}
+	if st.PrefetchUsed+st.PrefetchWasted > st.PrefetchIssued {
+		t.Fatalf("used %d + wasted %d > issued %d", st.PrefetchUsed, st.PrefetchWasted, st.PrefetchIssued)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight = %d after quiesce", st.InFlight)
+	}
+}

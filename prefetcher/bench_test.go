@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/predict"
 )
 
 // BenchmarkEngineGet drives concurrent demand traffic through engines
@@ -67,4 +70,124 @@ func benchEngineGet(b *testing.B, shards int) {
 	if st.Requests == 0 {
 		b.Fatal("no traffic recorded")
 	}
+}
+
+// BenchmarkGetHit measures the cache-hit fast path: every request is
+// resident, and every predicted candidate is resident too, so the
+// whole Get — pooled prediction buffer, one short critical section,
+// atomic counters, estimator/controller folds, dedup'd dispatch — must
+// run without allocating. CI asserts the same property as a hard test
+// via TestGetHitAllocFree.
+func BenchmarkGetHit(b *testing.B) {
+	eng, ids := newHitEngine(b)
+	defer eng.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Get(ctx, ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newHitEngine builds a single-shard engine whose whole catalog is
+// resident (and whose Markov rows predict only resident successors), so
+// driving it sequentially exercises the hit path exclusively.
+func newHitEngine(tb testing.TB) (*Engine, []ID) {
+	tb.Helper()
+	fetch := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
+		return Item{ID: id, Size: 1}, nil
+	})
+	const items = 64
+	eng, err := New(fetch,
+		WithBandwidth(1e6),
+		WithShards(1),
+		WithCache(NewLRUCache(4*items)),
+		WithWorkers(1),
+		WithMaxPrefetch(2),
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := context.Background()
+	ids := make([]ID, items)
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	// Two warm passes: the first faults everything in, the second walks
+	// the same cycle so every Markov successor is itself resident.
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range ids {
+			if _, err := eng.Get(ctx, id); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Quiesce(ctx); err != nil {
+		tb.Fatal(err)
+	}
+	return eng, ids
+}
+
+// BenchmarkGetMiss measures the demand-miss path in steady state:
+// every request misses a small cache (NoPrefetch isolates the miss
+// machinery from speculation), so each Get pays flight registration,
+// the origin fetch, cache admission and an eviction. The pooled
+// flights and recycled cache nodes keep this near allocation-free too.
+func BenchmarkGetMiss(b *testing.B) {
+	fetch := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
+		return Item{ID: id, Size: 1}, nil
+	})
+	eng, err := New(fetch,
+		WithBandwidth(1e6),
+		WithShards(1),
+		WithCache(NewLRUCache(64)),
+		WithPolicy(NoPrefetch()),
+		WithWorkers(1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	// A strided walk over an id space far larger than the cache: every
+	// id recurs (so the access model reaches steady state instead of
+	// growing forever) but is evicted long before its revisit — every
+	// request misses.
+	const space = 8192
+	missID := func(i int) ID { return ID((i * 97) % space) }
+	// Warm the maps, the model and the pools past their growth phase.
+	for i := 0; i < 2*space; i++ {
+		if _, err := eng.Get(ctx, missID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Get(ctx, missID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictTop measures the predictor hot path on its own: the
+// coupled observe+predict the engine issues per request, appending into
+// a reused buffer — the pooled PredictTopInto path.
+func BenchmarkPredictTop(b *testing.B) {
+	m := predict.NewConcurrentMarkov1()
+	const items = 256
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < items; i++ {
+			m.Observe(cache.ID(i))
+		}
+	}
+	buf := make([]predict.Prediction, 0, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.ObserveAndPredictTopInto(cache.ID(i%items), 2, buf[:0])
+	}
+	_ = buf
 }

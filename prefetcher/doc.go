@@ -50,7 +50,16 @@
 // Stats.PredictorLockFree reports which path is active. Predictors
 // implementing TopPredictor serve the hot path with PredictTop(k) — the
 // bounded prefix the policies can actually admit — instead of the full
-// sorted distribution.
+// sorted distribution, and the TopIntoPredictor form appends into a
+// pooled per-request buffer.
+//
+// The demand hot path is allocation-free in steady state: prediction
+// candidates land in pooled buffers, in-flight fetches are pooled
+// flight objects whose completion channels are recycled when no joiner
+// forced a close, and the per-shard counters are cache-line-padded
+// atomics bumped outside the shard mutexes — which also makes Stats a
+// wait-free snapshot: it reads no locks, never stalls a Get, and is
+// exact whenever traffic quiesces.
 //
 // The origin side can be a single Fetcher or a backend fetch fabric
 // (package repro/prefetcher/fetch, assembled with WithBackends): named
@@ -65,8 +74,11 @@
 // actually use. WithIdleWatermark adds the paper's load-impedance
 // result as a dispatch rule: speculative fetches for a link whose ρ̂
 // sits above the watermark are parked and dispatched only in that
-// link's idle periods (demand fetches are never gated). Per-backend
-// counters and link estimates appear in Stats.Backends.
+// link's idle periods (demand fetches are never gated). WithBreaker
+// trips persistently failing backends open — routing steers around
+// them, fetches already routed there fail fast, and a half-open probe
+// after the cooldown re-admits a healed backend. Per-backend counters,
+// link estimates and breaker state appear in Stats.Backends.
 //
 // For offline capacity planning — what threshold, what gain, what
 // cost, from known parameters instead of live estimates — use Planner.

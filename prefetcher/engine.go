@@ -26,10 +26,37 @@ var errDropped = errors.New("prefetcher: speculative fetch dropped")
 
 // flight is one outstanding fetch (demand or speculative). Joiners wait
 // on done; item/err are valid once done is closed.
+//
+// Flights are pooled (Engine.flightPool): each flight is reference
+// counted — one reference for the goroutine that completes it, one per
+// joiner — and returns to the pool when the last holder releases it.
+// The done channel is closed only when a joiner is actually waiting
+// (waiters > 0, tracked under the owning shard's mutex, where both
+// registration and completion happen), so in the common uncontended
+// case the channel survives the flight's recycling and the whole
+// miss-path dedup machinery allocates nothing in steady state.
 type flight struct {
 	done chan struct{}
 	item Item
 	err  error
+	// waiters counts joiners blocked on done; closed records that done
+	// was consumed by a close. Both are guarded by the owning shard's
+	// mutex; closed is additionally safe to read after the refcount
+	// reaches zero (the atomic decrement orders it).
+	waiters int
+	closed  bool
+	refs    atomic.Int32
+}
+
+// resolveLocked publishes the flight's outcome: joiners, if any are
+// waiting, are woken by closing done. Called with the owning shard's
+// mutex held, after the flight has been removed from the in-flight
+// table — no new joiner can appear afterwards, so waiters is final.
+func (f *flight) resolveLocked() {
+	if f.waiters > 0 {
+		f.closed = true
+		close(f.done)
+	}
 }
 
 // job is a queued speculative fetch. backend is the fabric backend the
@@ -52,37 +79,57 @@ type batchJob struct {
 	fs      []*flight
 }
 
+// candBufs is the per-request scratch a Get borrows from the engine's
+// buffer pool: prediction candidates land in cands, and pub stages the
+// public-type conversion for external predictors. Pooling these is what
+// makes the predict step of the hot path allocation-free.
+type candBufs struct {
+	cands []predict.Prediction
+	pub   []Prediction
+}
+
 // Engine is the concurrent prefetch engine. Create one with New; all
 // methods are safe for concurrent use.
 //
 // Internally the keyed state (cache, in-flight dedup, size and
 // used/wasted accounting) is partitioned across power-of-two shards by a
 // hash of the ID, each behind its own mutex, so demand traffic on
-// disjoint keys proceeds in parallel (see WithShards). The adaptive
-// policy's estimates stay global: one shared prefetch.Controller built
-// on atomic counters aggregates λ̂, ŝ̄, ĥ′ and n̄(F) across shards, so
-// Threshold and Stats report the same globally consistent operating
-// point the paper's rule needs regardless of the shard count. The
-// shared access model is global too, but not serialised: predictors
-// implementing ConcurrentPredictor (every built-in) are called
-// lock-free from all shards at once, while plain Predictor
-// plugins run under a compatibility mutex (see Stats.PredictorLockFree).
+// disjoint keys proceeds in parallel (see WithShards). The per-shard
+// counters are cache-line-padded atomics bumped outside those mutexes,
+// which keeps each critical section down to the map/cache touches and
+// lets Stats snapshot the engine without taking a single lock. The
+// adaptive policy's estimates stay global: one shared
+// prefetch.Controller built on atomic counters aggregates λ̂, ŝ̄, ĥ′
+// and n̄(F) across shards, so Threshold and Stats report the same
+// globally consistent operating point the paper's rule needs regardless
+// of the shard count. The shared access model is global too, but not
+// serialised: predictors implementing ConcurrentPredictor (every
+// built-in) are called lock-free from all shards at once, while plain
+// Predictor plugins run under a compatibility mutex (see
+// Stats.PredictorLockFree).
 type Engine struct {
 	fetcher Fetcher
 	// fabric is the multi-backend fetch fabric (WithBackends, or a
-	// single fetcher wrapped for WithHedging/WithIdleWatermark); nil
-	// for a plain single-fetcher engine. When set, fetcher is nil and
-	// every demand and speculative fetch goes through it.
+	// single fetcher wrapped for WithHedging/WithIdleWatermark/
+	// WithBreaker); nil for a plain single-fetcher engine. When set,
+	// fetcher is nil and every demand and speculative fetch goes
+	// through it.
 	fabric  *fetch.Fabric
 	pred    Predictor
-	predTop TopPredictor      // non-nil when pred supports bounded top-k prediction
-	ipred   predict.Predictor // non-nil fast path when pred wraps an internal predictor
+	predTop TopPredictor // non-nil when pred supports bounded top-k prediction
+	// predTopInto is the zero-allocation variant for external
+	// predictors that implement it.
+	predTopInto TopIntoPredictor
+	ipred       predict.Predictor // non-nil fast path when pred wraps an internal predictor
 	// ipredCoupled couples observe+predict in one call on the lock-free
 	// path, so each request's candidates are conditioned on that request
 	// — not on whatever a racing Get observed in between.
 	ipredCoupled predict.CoupledPredictor
 	ipredTop     predict.TopPredictor // non-nil when ipred supports bounded top-k prediction
-	predFree     bool                 // predictor is concurrent: predMu is never taken
+	// ipredTopInto is ipredTop's buffer-reusing form (every concurrent
+	// built-in implements it).
+	ipredTopInto predict.TopIntoPredictor
+	predFree     bool // predictor is concurrent: predMu is never taken
 	// predName is captured at New: Name() on a plain Predictor is only
 	// guaranteed safe under predMu, and Stats must not take that lock.
 	predName    string
@@ -108,8 +155,16 @@ type Engine struct {
 	shards     []*shard
 	shardShift uint
 	// residents tracks Σ cache.Len() across shards so the hot path's
-	// occupancy estimate n̄(C) needs no shard locks.
+	// occupancy estimate n̄(C) — and Stats.CacheLen — need no shard
+	// locks.
 	residents atomic.Int64
+
+	// flightPool recycles flight objects (and, when no joiner forced a
+	// close, their done channels); bufPool recycles the per-request
+	// candidate buffers. Together they take the per-Get garbage on the
+	// hot paths to zero in steady state.
+	flightPool sync.Pool
+	bufPool    sync.Pool
 
 	closed atomic.Bool
 
@@ -191,6 +246,9 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 		if tp, ok := e.ipred.(predict.TopPredictor); ok {
 			e.ipredTop = tp
 		}
+		if tp, ok := e.ipred.(predict.TopIntoPredictor); ok {
+			e.ipredTopInto = tp
+		}
 		_, e.predFree = e.ipred.(predict.ConcurrentPredictor)
 		if e.predFree {
 			e.ipredCoupled, _ = e.ipred.(predict.CoupledPredictor)
@@ -199,9 +257,29 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 		if tp, ok := cfg.predictor.(TopPredictor); ok {
 			e.predTop = tp
 		}
+		if tp, ok := cfg.predictor.(TopIntoPredictor); ok {
+			e.predTopInto = tp
+		}
 		_, e.predFree = cfg.predictor.(ConcurrentPredictor)
 	}
 	e.predName = cfg.predictor.Name()
+	e.flightPool.New = func() any {
+		f := &flight{}
+		f.refs.Store(1)
+		return f
+	}
+	bufCap := maxPrefetch
+	if bufCap < 1 {
+		bufCap = 1
+	}
+	needPub := e.ipred == nil // only external predictors stage public predictions
+	e.bufPool.New = func() any {
+		b := &candBufs{cands: make([]predict.Prediction, 0, bufCap)}
+		if needPub {
+			b.pub = make([]Prediction, 0, bufCap)
+		}
+		return b
+	}
 	for i := range e.shards {
 		var c Cache
 		switch {
@@ -260,12 +338,52 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 // now returns the clock reading as seconds since the engine's epoch.
 func (e *Engine) now() float64 { return e.clock.Now().Sub(e.epoch).Seconds() }
 
+// newFlight draws a flight from the pool, giving it a fresh done
+// channel only when the previous use consumed one (a joiner forced a
+// close).
+func (e *Engine) newFlight() *flight {
+	f := e.flightPool.Get().(*flight)
+	if f.done == nil {
+		f.done = make(chan struct{})
+	}
+	return f
+}
+
+// releaseFlight drops one reference; the last holder resets the flight
+// and returns it to the pool. Reading f's fields after the decrement is
+// safe for the last holder: every other holder's accesses happened
+// before its own decrement.
+func (e *Engine) releaseFlight(f *flight) {
+	if f.refs.Add(-1) != 0 {
+		return
+	}
+	if f.closed {
+		f.done = nil // consumed by close; the next use allocates afresh
+	}
+	f.item = Item{} // drop the payload reference
+	f.err = nil
+	f.waiters = 0
+	f.closed = false
+	f.refs.Store(1)
+	e.flightPool.Put(f)
+}
+
+// getBufs borrows the per-request candidate scratch from the pool.
+func (e *Engine) getBufs() *candBufs { return e.bufPool.Get().(*candBufs) }
+
+func (e *Engine) putBufs(b *candBufs) { e.bufPool.Put(b) }
+
 // Get serves one demand request: it records the request with the online
 // estimators, returns the item from cache or fetches it (joining an
 // in-flight speculative fetch for the same id if one is pending), then
 // dispatches speculative fetches for every prediction the policy admits
 // at the current threshold. ctx bounds only this call's demand fetch or
 // join wait; speculative fetches run under the engine's own context.
+//
+// The cache-hit path is allocation-free: prediction candidates land in
+// a pooled buffer, the critical section touches only the shard's maps,
+// and all counter bumps and estimator folds happen on atomics outside
+// it.
 func (e *Engine) Get(ctx context.Context, id ID) (Item, error) {
 	if err := ctx.Err(); err != nil {
 		return Item{}, err
@@ -274,51 +392,69 @@ func (e *Engine) Get(ctx context.Context, id ID) (Item, error) {
 		return Item{}, ErrClosed
 	}
 	now := e.now()
-	cands := e.observeAndPredict(id)
-	sh := e.shardFor(id)
+	bufs := e.getBufs()
+	cands := e.observeAndPredict(id, bufs)
+	item, err := e.get(ctx, id, now, cands)
+	// Nothing retains cands past dispatch (jobs carry ids, not
+	// candidate slices), so the scratch goes straight back.
+	e.putBufs(bufs)
+	return item, err
+}
 
+// get runs the shard-level part of one request: hit fast path, miss
+// dedup (join or claim), and dispatch.
+func (e *Engine) get(ctx context.Context, id ID, now float64, cands []predict.Prediction) (Item, error) {
+	sh := e.shardFor(id)
 	sh.mu.Lock()
 	if e.closed.Load() {
 		sh.mu.Unlock()
 		return Item{}, ErrClosed
 	}
-	sh.requests++
 
-	// Hit path.
+	// Hit fast path.
 	if v, ok := sh.cache.Get(id); ok {
-		sh.hits++
-		return e.serve(sh, id, now, sh.residentSize(id), v, EventHit, true, cands), nil
+		return e.serveResident(sh, id, now, v, true, cands), nil
 	}
-	sh.misses++
+
+	// Miss: join the in-flight fetch for id if one exists, else claim
+	// the demand fetch by registering our own flight — in the same
+	// critical section as the lookup, so dedup cannot race a
+	// completion.
+	f, owner := sh.joinOrRegister(e, id)
+	sh.mu.Unlock()
+
 	// Record the arrival immediately, before any fetch is attempted: a
 	// demand fetch that errors (or a joiner whose context expires) is
 	// still an arrival, and skipping it would let λ̂ and the
 	// controller's request count drift from Stats.Requests under origin
-	// failures. The size is unknown here; the fetch path folds it into
+	// failures. The size is unknown here; the fetch paths fold it into
 	// ŝ̄ via RecordSize once the origin responds.
+	sh.requests.Add(1)
+	sh.misses.Add(1)
 	e.ctrl.RecordRequest(now, 0)
+
+	if owner {
+		return e.demandFetch(ctx, sh, id, f, cands)
+	}
+	sh.joins.Add(1) // one count per request, however many flights it retries
 
 	// Join in-flight fetches for the same id until one resolves, the
 	// item lands in cache, or no flight remains (then demand-fetch).
 	// The loop matters: while a failed join waits to re-acquire the
 	// lock, another request may have cached the item or registered a
 	// fresh flight, and overwriting that flight would break dedup.
-	joined := false
 	for {
-		f, ok := sh.inflight[id]
-		if !ok {
-			break
-		}
-		if !joined {
-			// One count per request, however many flights it retries.
-			sh.joins++
-			joined = true
-		}
-		sh.mu.Unlock()
 		e.emit(Event{Type: EventJoin, ID: id})
-		item, err, resolved := e.join(ctx, sh, id, f, cands)
+		item, err, resolved := e.awaitFlight(ctx, f)
 		if resolved {
-			return item, err
+			if err != nil {
+				return Item{}, err
+			}
+			// The prefetched item beat this demand request to the
+			// origin: account it exactly like a first hit on an
+			// untagged entry. The arrival was recorded when the miss
+			// was established.
+			return e.finishJoined(sh, id, item, cands), nil
 		}
 		// The joined fetch failed or was dropped: re-check under the
 		// lock before fetching ourselves.
@@ -330,23 +466,75 @@ func (e *Engine) Get(ctx context.Context, id ID) (Item, error) {
 		if v, ok := sh.cache.Get(id); ok {
 			// Another request cached it while we waited. Serve it; the
 			// request stays counted as the miss it was on arrival.
-			return e.serve(sh, id, now, sh.residentSize(id), v, -1, false, cands), nil
+			return e.serveResident(sh, id, now, v, false, cands), nil
+		}
+		f, owner = sh.joinOrRegister(e, id)
+		sh.mu.Unlock()
+		if owner {
+			return e.demandFetch(ctx, sh, id, f, cands)
 		}
 	}
+}
 
-	return e.demandFetch(ctx, sh, id, cands)
+// serveResident finishes a request whose item is resident: the
+// critical section is exactly the size/unused map touches (sh.mu is
+// held on entry and released here); the counter bumps and every
+// estimator/controller fold happen on atomics after the unlock. (OnHit
+// racing a concurrent eviction of the same id can then observe the
+// entry as already gone — the estimator adopts unknown ids as tagged,
+// so the ĥ′ ratio stays well-formed; the window is a few instructions
+// and vanishes once traffic quiesces.) recordArrival distinguishes the
+// hit fast path (arrival not yet recorded: counts the hit, folds the
+// full arrival, emits EventHit) from the joined-retry path, whose
+// arrival was recorded when its miss was established (size-only fold,
+// no event).
+func (e *Engine) serveResident(sh *shard, id ID, now float64, v any, recordArrival bool, cands []predict.Prediction) Item {
+	size := sh.residentSize(id)
+	used := sh.consumeUnusedLocked(id)
+	sh.mu.Unlock()
+	if recordArrival {
+		sh.requests.Add(1)
+		sh.hits.Add(1)
+	}
+	if used {
+		sh.prefetchUsed.Add(1)
+	}
+	e.ctrl.Estimator().OnHit(cache.ID(id))
+	if recordArrival {
+		e.ctrl.RecordRequest(now, size)
+		e.emit(Event{Type: EventHit, ID: id})
+	} else {
+		e.ctrl.RecordSize(size)
+	}
+	e.schedule(cands)
+	return Item{ID: id, Size: size, Data: v}
+}
+
+// joinOrRegister returns the in-flight fetch for id (taking a joiner
+// reference on it) or, when none is pending, registers a fresh flight
+// the caller now owns. Called with sh.mu held.
+func (sh *shard) joinOrRegister(e *Engine, id ID) (f *flight, owner bool) {
+	if f = sh.inflight[id]; f != nil {
+		f.waiters++
+		f.refs.Add(1)
+		return f, false
+	}
+	f = e.newFlight()
+	sh.inflight[id] = f
+	sh.inflightN.Add(1)
+	return f, true
 }
 
 // observeAndPredict feeds the request into the shared access model and
-// returns the candidate set for planning. A concurrent predictor
-// (predFree) is called directly — Gets on every shard observe and
-// predict in parallel, and the model itself linearises the stream it
-// learns from — while a plain predictor runs in one predMu critical
-// section so it sees one globally interleaved request stream, exactly
-// as under the old single-mutex engine. Candidates are only dispatched
-// if the request ultimately succeeds, matching the old plan-on-serve
-// behaviour.
-func (e *Engine) observeAndPredict(id ID) []predict.Prediction {
+// returns the candidate set for planning, staged in the request's
+// pooled buffers. A concurrent predictor (predFree) is called directly
+// — Gets on every shard observe and predict in parallel, and the model
+// itself linearises the stream it learns from — while a plain predictor
+// runs in one predMu critical section so it sees one globally
+// interleaved request stream, exactly as under the old single-mutex
+// engine. Candidates are only dispatched if the request ultimately
+// succeeds, matching the old plan-on-serve behaviour.
+func (e *Engine) observeAndPredict(id ID, bufs *candBufs) []predict.Prediction {
 	if e.predFree {
 		if e.ipredCoupled != nil {
 			// The built-in concurrent models predict as part of the
@@ -354,12 +542,12 @@ func (e *Engine) observeAndPredict(id ID) []predict.Prediction {
 			// moving the shared stream context between an Observe and a
 			// PredictTop cannot hand this request another request's
 			// candidates.
-			return e.ipredCoupled.ObserveAndPredictTop(cache.ID(id), e.maxPrefetch)
+			return e.ipredCoupled.ObserveAndPredictTopInto(cache.ID(id), e.maxPrefetch, bufs.cands[:0])
 		}
-		return e.observeAndPredictLocked(id)
+		return e.observeAndPredictLocked(id, bufs)
 	}
 	e.predMu.Lock()
-	cands := e.observeAndPredictLocked(id)
+	cands := e.observeAndPredictLocked(id, bufs)
 	e.predMu.Unlock()
 	return cands
 }
@@ -367,13 +555,16 @@ func (e *Engine) observeAndPredict(id ID) []predict.Prediction {
 // observeAndPredictLocked is the predictor dispatch shared by both
 // paths: with predMu held for plain predictors, with no lock at all for
 // ConcurrentPredictors. Predictors that support bounded top-k get
-// PredictTop(maxPrefetch) — the engine never dispatches more than
-// maxPrefetch candidates, so the prefix is all it needs.
-func (e *Engine) observeAndPredictLocked(id ID) []predict.Prediction {
+// PredictTop(maxPrefetch) — or its buffer-reusing PredictTopInto form —
+// since the engine never dispatches more than maxPrefetch candidates.
+func (e *Engine) observeAndPredictLocked(id ID, bufs *candBufs) []predict.Prediction {
 	if e.ipred != nil {
 		e.ipred.Observe(cache.ID(id))
 		if e.maxPrefetch == 0 {
 			return nil
+		}
+		if e.ipredTopInto != nil {
+			return e.ipredTopInto.PredictTopInto(bufs.cands[:0], e.maxPrefetch)
 		}
 		if e.ipredTop != nil {
 			return e.ipredTop.PredictTop(e.maxPrefetch)
@@ -385,73 +576,70 @@ func (e *Engine) observeAndPredictLocked(id ID) []predict.Prediction {
 		return nil
 	}
 	var preds []Prediction
-	if e.predTop != nil {
+	switch {
+	case e.predTopInto != nil:
+		preds = e.predTopInto.PredictTopInto(bufs.pub[:0], e.maxPrefetch)
+	case e.predTop != nil:
 		preds = e.predTop.PredictTop(e.maxPrefetch)
-	} else {
+	default:
 		preds = e.pred.Predict()
 	}
 	if len(preds) == 0 {
 		return nil
 	}
-	cands := make([]predict.Prediction, len(preds))
-	for i, p := range preds {
-		cands[i] = predict.Prediction{Item: cache.ID(p.ID), Prob: p.Prob}
+	if len(preds) > e.maxPrefetch {
+		// Both the policies and the engine's cap only ever admit a
+		// prefix of the sorted candidates, so the tail can never be
+		// dispatched; dropping it here keeps the conversion inside the
+		// pooled buffer's capacity.
+		preds = preds[:e.maxPrefetch]
+	}
+	cands := bufs.cands[:0]
+	for _, p := range preds {
+		cands = append(cands, predict.Prediction{Item: cache.ID(p.ID), Prob: p.Prob})
 	}
 	return cands
 }
 
-// serve finishes a request whose item is resident (or just arrived via
-// a joined prefetch): it records the one estimator access the request
-// gets, consumes the prefetched-unused marker, records the request with
-// the controller, and dispatches speculative planning. Called with
-// sh.mu held; returns with it released. evType < 0 suppresses the serve
-// event (the join path already emitted one). recordArrival is false
-// when the miss path already recorded the arrival; the size is then
-// folded on its own.
-func (e *Engine) serve(sh *shard, id ID, now, size float64, data any, evType EventType, recordArrival bool, cands []predict.Prediction) Item {
-	e.ctrl.Estimator().OnHit(cache.ID(id))
-	if _, pending := sh.unused[id]; pending {
-		delete(sh.unused, id)
-		sh.prefetchUsed++
-	}
-	sh.mu.Unlock()
-	if recordArrival {
-		e.ctrl.RecordRequest(now, size)
-	} else {
-		e.ctrl.RecordSize(size)
-	}
-	if evType >= 0 {
-		e.emit(Event{Type: evType, ID: id})
-	}
-	e.schedule(cands)
-	return Item{ID: id, Size: size, Data: data}
-}
-
-// join waits for an in-flight fetch. resolved is false when the flight
-// failed and the caller should demand-fetch instead.
-func (e *Engine) join(ctx context.Context, sh *shard, id ID, f *flight, cands []predict.Prediction) (Item, error, bool) {
+// awaitFlight waits for an in-flight fetch this request joined,
+// releasing the joiner's reference once the outcome is read. resolved
+// is false when the flight failed or was dropped — the caller should
+// re-check the shard state and possibly demand-fetch.
+func (e *Engine) awaitFlight(ctx context.Context, f *flight) (Item, error, bool) {
 	select {
 	case <-f.done:
 	case <-ctx.Done():
+		e.releaseFlight(f)
 		return Item{}, ctx.Err(), true
 	}
-	if f.err != nil {
+	item, err := f.item, f.err
+	e.releaseFlight(f)
+	if err != nil {
 		return Item{}, nil, false
 	}
-	sh.mu.Lock()
-	// The prefetched item beat this demand request to the origin:
-	// account it exactly like a first hit on an untagged entry. The
-	// arrival was recorded when the miss was established.
-	return e.serve(sh, id, 0, f.item.Size, f.item.Data, -1, false, cands), nil, true
+	return item, nil, true
 }
 
-// demandFetch fetches id on the caller's goroutine. Called with sh.mu
-// held; returns with it released. The arrival is already recorded.
-func (e *Engine) demandFetch(ctx context.Context, sh *shard, id ID, cands []predict.Prediction) (Item, error) {
-	f := &flight{done: make(chan struct{})}
-	sh.inflight[id] = f
+// finishJoined completes a request served by the speculative fetch it
+// joined: the one estimator access the request gets, the
+// prefetched-unused consumption, the size fold and speculative
+// planning. The join path already emitted its event.
+func (e *Engine) finishJoined(sh *shard, id ID, item Item, cands []predict.Prediction) Item {
+	sh.mu.Lock()
+	used := sh.consumeUnusedLocked(id)
 	sh.mu.Unlock()
+	if used {
+		sh.prefetchUsed.Add(1)
+	}
+	e.ctrl.Estimator().OnHit(cache.ID(id))
+	e.ctrl.RecordSize(item.Size)
+	e.schedule(cands)
+	return Item{ID: id, Size: item.Size, Data: item.Data}
+}
 
+// demandFetch fetches id on the caller's goroutine; f is the flight the
+// caller registered for it. The arrival is already recorded.
+func (e *Engine) demandFetch(ctx context.Context, sh *shard, id ID, f *flight, cands []predict.Prediction) (Item, error) {
 	var item Item
 	var err error
 	if e.fabric != nil {
@@ -460,26 +648,34 @@ func (e *Engine) demandFetch(ctx context.Context, sh *shard, id ID, cands []pred
 		item, err = e.fetcher.Fetch(ctx, id)
 	}
 
-	sh.mu.Lock()
-	if sh.inflight[id] == f {
-		delete(sh.inflight, id)
-	}
 	if err != nil {
+		sh.mu.Lock()
+		if sh.inflight[id] == f {
+			delete(sh.inflight, id)
+			sh.inflightN.Add(-1)
+		}
 		f.err = err
-		close(f.done)
+		f.resolveLocked()
 		sh.mu.Unlock()
+		e.releaseFlight(f)
 		return Item{}, err
 	}
 	item.ID = id
 	if item.Size <= 0 {
 		item.Size = 1
 	}
+	sh.mu.Lock()
+	if sh.inflight[id] == f {
+		delete(sh.inflight, id)
+		sh.inflightN.Add(-1)
+	}
 	sh.sizes[id] = item.Size
 	e.putCache(sh, id, item.Data)
 	e.ctrl.Estimator().OnRemoteAccess(cache.ID(id), true)
 	f.item = item
-	close(f.done)
+	f.resolveLocked()
 	sh.mu.Unlock()
+	e.releaseFlight(f)
 
 	e.ctrl.RecordSize(item.Size)
 	e.emit(Event{Type: EventMiss, ID: id})
@@ -506,20 +702,20 @@ func (e *Engine) schedule(cands []predict.Prediction) {
 		sel = sel[:e.maxPrefetch]
 	}
 	for _, c := range sel {
-		if !e.enqueue(job{id: ID(c.Item), f: &flight{done: make(chan struct{})}}) {
+		if !e.enqueue(ID(c.Item), 0) {
 			return
 		}
 	}
 }
 
-// enqueue registers j.f as j.id's in-flight fetch and hands the job to
-// the worker pool — the single-candidate dispatch shared by schedule
+// enqueue registers a flight as id's in-flight fetch and hands the job
+// to the worker pool — the single-candidate dispatch shared by schedule
 // and the fabric's routed path. Dedup against the cache and in-flight
 // table, the closed re-check and the queue push all happen under the
-// shard lock, so Close's barrier covers them. Returns false only when
-// the engine is closed.
-func (e *Engine) enqueue(j job) bool {
-	id := j.id
+// shard lock, so Close's barrier covers them; the flight is drawn from
+// the pool only once dedup has decided a fetch is actually needed.
+// Returns false only when the engine is closed.
+func (e *Engine) enqueue(id ID, backend int) bool {
 	sh := e.shardFor(id)
 	sh.mu.Lock()
 	if e.closed.Load() {
@@ -534,19 +730,27 @@ func (e *Engine) enqueue(j job) bool {
 		sh.mu.Unlock()
 		return true
 	}
-	sh.inflight[id] = j.f
+	f := e.newFlight()
+	sh.inflight[id] = f
+	sh.inflightN.Add(1)
 	select {
-	case e.jobs <- j:
-		sh.prefetchIssued++
+	case e.jobs <- job{id: id, f: f, backend: backend}:
+		// Issued is bumped before the unlock: the worker cannot
+		// complete this flight until it wins sh.mu, so a prefetchUsed
+		// bump for it can never precede its issued bump — which is
+		// what keeps Accuracy() ≤ 1 in mid-flight Stats snapshots.
+		sh.prefetchIssued.Add(1)
 		e.specAdd()
 		sh.mu.Unlock()
 		e.emit(Event{Type: EventPrefetchIssued, ID: id})
 	default: // queue full: shed, never block the demand path
 		delete(sh.inflight, id)
-		j.f.err = errDropped
-		close(j.f.done)
-		sh.prefetchDropped++
+		sh.inflightN.Add(-1)
+		f.err = errDropped
+		f.resolveLocked()
 		sh.mu.Unlock()
+		e.releaseFlight(f)
+		sh.prefetchDropped.Add(1)
 		e.emit(Event{Type: EventPrefetchDropped, ID: id})
 	}
 	return true
@@ -589,30 +793,39 @@ func (e *Engine) runPrefetch(j job) {
 // the event emitted outside the shard lock.
 func (e *Engine) completePrefetch(id ID, f *flight, item Item, err error) {
 	sh := e.shardFor(id)
-	sh.mu.Lock()
-	if sh.inflight[id] == f {
-		delete(sh.inflight, id)
-	}
 	var ev Event
 	if err != nil {
+		sh.mu.Lock()
+		if sh.inflight[id] == f {
+			delete(sh.inflight, id)
+			sh.inflightN.Add(-1)
+		}
 		f.err = err
-		sh.prefetchErrors++
+		f.resolveLocked()
+		sh.mu.Unlock()
+		sh.prefetchErrors.Add(1)
 		ev = Event{Type: EventPrefetchError, ID: id, Err: err}
 	} else {
 		item.ID = id
 		if item.Size <= 0 {
 			item.Size = 1
 		}
+		sh.mu.Lock()
+		if sh.inflight[id] == f {
+			delete(sh.inflight, id)
+			sh.inflightN.Add(-1)
+		}
 		sh.sizes[id] = item.Size
 		e.putCache(sh, id, item.Data)
 		e.ctrl.Estimator().OnPrefetch(cache.ID(id))
-		e.ctrl.RecordPrefetch()
 		sh.unused[id] = struct{}{}
 		f.item = item
+		f.resolveLocked()
+		sh.mu.Unlock()
+		e.ctrl.RecordPrefetch()
 		ev = Event{Type: EventPrefetchDone, ID: id}
 	}
-	close(f.done)
-	sh.mu.Unlock()
+	e.releaseFlight(f)
 	e.emit(ev)
 }
 
@@ -659,9 +872,16 @@ func (e *Engine) Threshold() float64 {
 }
 
 // Stats snapshots the engine's counters and online estimates. The
-// estimates and Threshold come from one State snapshot, so they are
-// mutually consistent; the counters are summed across shards, each
-// shard read under its own lock.
+// snapshot is wait-free: the estimates and Threshold come from one
+// controller State (mutually consistent), and the counters are padded
+// atomics summed without taking a single shard lock — Stats never
+// stalls the hot path, and the hot path never stalls Stats. Each
+// request bumps its shard's request counter before its outcome counter
+// and Stats reads the outcome counters first, so Hits+Misses ≤ Requests
+// and the derived ratios stay in [0,1] even mid-flight (sole exception:
+// the fabric's batch dispatch settles its issued counters after the
+// push, so Accuracy can transiently overshoot there); after Quiesce
+// (or any pause in traffic) the counts are exact.
 func (e *Engine) Stats() Stats {
 	st := e.ctrl.State(e.occupancy())
 	s := Stats{
@@ -679,20 +899,26 @@ func (e *Engine) Stats() Stats {
 		PredictorLockFree: e.predFree,
 	}
 	for _, sh := range e.shards {
-		sh.mu.Lock()
-		s.Requests += sh.requests
-		s.Hits += sh.hits
-		s.Misses += sh.misses
-		s.Joins += sh.joins
-		s.PrefetchIssued += sh.prefetchIssued
-		s.PrefetchUsed += sh.prefetchUsed
-		s.PrefetchWasted += sh.prefetchWasted
-		s.PrefetchDropped += sh.prefetchDropped
-		s.PrefetchErrors += sh.prefetchErrors
-		s.CacheLen += sh.cache.Len()
-		s.InFlight += len(sh.inflight)
-		sh.mu.Unlock()
+		// Read order mirrors bump order in reverse: a consequence
+		// counter (hits, used, errors) is always bumped after the
+		// counter it is a consequence of (requests, issued), so reading
+		// consequences first keeps Hits+Misses ≤ Requests and
+		// Used+Wasted ≤ Issued in mid-flight snapshots. (The fabric's
+		// multi-shard batch path is the one exception: its issued
+		// counters deliberately trail the push, so a mid-flight
+		// snapshot there can briefly lag Issued behind Used.)
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Joins += sh.joins.Load()
+		s.PrefetchUsed += sh.prefetchUsed.Load()
+		s.PrefetchWasted += sh.prefetchWasted.Load()
+		s.PrefetchDropped += sh.prefetchDropped.Load()
+		s.PrefetchErrors += sh.prefetchErrors.Load()
+		s.InFlight += int(sh.inflightN.Load())
+		s.PrefetchIssued += sh.prefetchIssued.Load()
+		s.Requests += sh.requests.Load()
 	}
+	s.CacheLen = int(e.residents.Load())
 	if e.fabric != nil {
 		s.Backends = e.fabric.Stats(e.now())
 		for _, b := range s.Backends {
@@ -766,10 +992,12 @@ drain:
 				sh.mu.Lock()
 				if sh.inflight[id] == fs[i] {
 					delete(sh.inflight, id)
+					sh.inflightN.Add(-1)
 				}
 				fs[i].err = ErrClosed
-				close(fs[i].done)
+				fs[i].resolveLocked()
 				sh.mu.Unlock()
+				e.releaseFlight(fs[i])
 				e.specDone()
 			}
 		default:

@@ -543,10 +543,7 @@ func TestShardOptions(t *testing.T) {
 		t.Fatalf("aggregate stats lost traffic: %+v", st)
 	}
 	for i, sh := range eng.shards {
-		sh.mu.Lock()
-		reqs := sh.requests
-		sh.mu.Unlock()
-		if reqs == 0 {
+		if sh.requests.Load() == 0 {
 			t.Fatalf("shard %d received no traffic over %d sequential ids", i, n)
 		}
 	}

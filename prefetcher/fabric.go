@@ -63,11 +63,12 @@ func adaptFetcher(f Fetcher) fetch.Fetcher {
 func (e *Engine) newFabric(fetcher Fetcher, cfg *config) (*fetch.Fabric, error) {
 	backends := cfg.backends
 	if len(backends) == 0 {
-		if cfg.hedging == nil && cfg.idleWatermark == 0 {
+		if cfg.hedging == nil && cfg.idleWatermark == 0 && cfg.breaker == nil {
 			return nil, nil
 		}
-		// Hedging/idle gating on a single origin: wrap the fetcher as
-		// the fabric's one backend, on the engine's configured link.
+		// Hedging/idle gating/circuit breaking on a single origin: wrap
+		// the fetcher as the fabric's one backend, on the engine's
+		// configured link.
 		backends = []fetch.Backend{{
 			Name:      "origin",
 			Fetcher:   adaptFetcher(fetcher),
@@ -79,6 +80,7 @@ func (e *Engine) newFabric(fetcher Fetcher, cfg *config) (*fetch.Fabric, error) 
 		Routing:       cfg.routing,
 		Hedging:       cfg.hedging,
 		IdleWatermark: cfg.idleWatermark,
+		Breaker:       cfg.breaker,
 		Alpha:         cfg.alpha,
 		Now:           e.now,
 		OnRelease:     e.releaseDeferred,
@@ -103,14 +105,39 @@ func (e *Engine) scheduleRouted(cands []predict.Prediction) {
 	nc := e.occupancy()
 	now := e.now()
 
-	groups := make([][]predict.Prediction, nb)
 	if nb == 1 {
-		groups[0] = cands
-	} else {
-		for _, c := range cands {
-			b := e.fabric.Route(fetch.ID(c.Item))
-			groups[b] = append(groups[b], c)
+		// Single backend (the wrapped-origin case): no partitioning to
+		// do, and when the link is open and not batch-capable the
+		// dispatch loop below allocates nothing — the wrapped engine
+		// keeps the plain path's zero-allocation property.
+		st := e.ctrl.StateForLink(e.fabric.Link(0), now, nc)
+		sel := e.policy.Select(cands, st)
+		if len(sel) > e.maxPrefetch {
+			sel = sel[:e.maxPrefetch]
 		}
+		if len(sel) == 0 {
+			return
+		}
+		if !e.fabric.Busy(0) && !e.fabric.BatchCapable(0) {
+			for _, c := range sel {
+				if !e.enqueue(ID(c.Item), 0) {
+					return
+				}
+			}
+			return
+		}
+		ids := make([]ID, len(sel))
+		for i, c := range sel {
+			ids[i] = ID(c.Item)
+		}
+		e.deferOrDispatch(0, ids)
+		return
+	}
+
+	groups := make([][]predict.Prediction, nb)
+	for _, c := range cands {
+		b := e.fabric.Route(fetch.ID(c.Item))
+		groups[b] = append(groups[b], c)
 	}
 	sels := make([][]predict.Prediction, nb)
 	total := 0
@@ -163,37 +190,44 @@ func (e *Engine) scheduleRouted(cands []predict.Prediction) {
 		for i, c := range sel {
 			ids[i] = ID(c.Item)
 		}
-		if e.fabric.Busy(b) {
-			// The link is in a busy period: park the candidates with
-			// the fabric's idle gate instead of adding speculative
-			// traffic on top of demand load. No flight is registered —
-			// a demand Get for a parked id simply fetches it. Resident
-			// and in-flight candidates are filtered first (the same
-			// dedup dispatch applies), so the Deferred count and the
-			// bounded queue only carry work an idle period could
-			// actually use; the fabric additionally drops ids already
-			// parked.
-			fids := make([]fetch.ID, 0, len(ids))
-			for _, id := range ids {
-				sh := e.shardFor(id)
-				sh.mu.Lock()
-				_, inflight := sh.inflight[id]
-				resident := sh.cache.Contains(id)
-				sh.mu.Unlock()
-				if !inflight && !resident {
-					fids = append(fids, fetch.ID(id))
-				}
-			}
-			if len(fids) == 0 {
-				continue
-			}
-			for _, fid := range e.fabric.Defer(b, fids...) {
-				e.emit(Event{Type: EventPrefetchDeferred, ID: ID(fid)})
-			}
-			continue
-		}
-		e.dispatchRouted(b, ids)
+		e.deferOrDispatch(b, ids)
 	}
+}
+
+// deferOrDispatch lands one backend's admitted candidates: parked with
+// the idle gate while the link is in a busy period, dispatched to the
+// worker pool otherwise.
+func (e *Engine) deferOrDispatch(b int, ids []ID) {
+	if e.fabric.Busy(b) {
+		// The link is in a busy period: park the candidates with
+		// the fabric's idle gate instead of adding speculative
+		// traffic on top of demand load. No flight is registered —
+		// a demand Get for a parked id simply fetches it. Resident
+		// and in-flight candidates are filtered first (the same
+		// dedup dispatch applies), so the Deferred count and the
+		// bounded queue only carry work an idle period could
+		// actually use; the fabric additionally drops ids already
+		// parked.
+		fids := make([]fetch.ID, 0, len(ids))
+		for _, id := range ids {
+			sh := e.shardFor(id)
+			sh.mu.Lock()
+			_, inflight := sh.inflight[id]
+			resident := sh.cache.Contains(id)
+			sh.mu.Unlock()
+			if !inflight && !resident {
+				fids = append(fids, fetch.ID(id))
+			}
+		}
+		if len(fids) == 0 {
+			return
+		}
+		for _, fid := range e.fabric.Defer(b, fids...) {
+			e.emit(Event{Type: EventPrefetchDeferred, ID: ID(fid)})
+		}
+		return
+	}
+	e.dispatchRouted(b, ids)
 }
 
 // dispatchRouted registers flights for the given candidates and hands
@@ -203,7 +237,7 @@ func (e *Engine) scheduleRouted(cands []predict.Prediction) {
 func (e *Engine) dispatchRouted(backend int, ids []ID) {
 	if len(ids) < 2 || !e.fabric.BatchCapable(backend) {
 		for _, id := range ids {
-			e.enqueue(job{id: id, f: &flight{done: make(chan struct{})}, backend: backend})
+			e.enqueue(id, backend)
 		}
 		return
 	}
@@ -230,8 +264,9 @@ func (e *Engine) dispatchRouted(backend int, ids []ID) {
 			sh.mu.Unlock()
 			continue
 		}
-		f := &flight{done: make(chan struct{})}
+		f := e.newFlight()
 		sh.inflight[id] = f
+		sh.inflightN.Add(1)
 		sh.mu.Unlock()
 		bj.ids = append(bj.ids, id)
 		bj.fs = append(bj.fs, f)
@@ -276,15 +311,13 @@ func (e *Engine) finishEnqueue(j job) {
 	}
 	anchor.mu.Unlock()
 	if pushed {
-		// The issued counters trail the push by one lock hop per id;
-		// a worker may even complete a flight before its counter
-		// lands. Stats only sums monotonic counters, so the lag is
-		// invisible outside a mid-flight snapshot.
+		// The issued counters trail the push; a worker may even
+		// complete a flight before its counter lands. Stats only sums
+		// monotonic counters, so the lag is invisible outside a
+		// mid-flight snapshot.
 		for _, id := range ids {
 			sh := e.shardFor(id)
-			sh.mu.Lock()
-			sh.prefetchIssued++
-			sh.mu.Unlock()
+			sh.prefetchIssued.Add(1)
 			e.emit(Event{Type: EventPrefetchIssued, ID: id})
 		}
 		return
@@ -298,15 +331,15 @@ func (e *Engine) finishEnqueue(j job) {
 		sh.mu.Lock()
 		if sh.inflight[id] == fs[i] {
 			delete(sh.inflight, id)
+			sh.inflightN.Add(-1)
 		}
 		fs[i].err = err
-		close(fs[i].done)
-		if !closed {
-			sh.prefetchDropped++
-		}
+		fs[i].resolveLocked()
 		sh.mu.Unlock()
+		e.releaseFlight(fs[i])
 		e.specDone()
 		if !closed {
+			sh.prefetchDropped.Add(1)
 			e.emit(Event{Type: EventPrefetchDropped, ID: id})
 		}
 	}
@@ -320,10 +353,12 @@ func (e *Engine) failBatch(bj *batchJob, err error) {
 		sh.mu.Lock()
 		if sh.inflight[id] == bj.fs[i] {
 			delete(sh.inflight, id)
+			sh.inflightN.Add(-1)
 		}
 		bj.fs[i].err = err
-		close(bj.fs[i].done)
+		bj.fs[i].resolveLocked()
 		sh.mu.Unlock()
+		e.releaseFlight(bj.fs[i])
 	}
 }
 

@@ -461,3 +461,69 @@ func TestFabricEngineLifecycleRace(t *testing.T) {
 		t.Fatalf("Get after Close = %v", err)
 	}
 }
+
+// TestEngineBreakerFailsFastAndRecovers wires WithBreaker around a
+// single failing origin: once the breaker trips, demand Gets fail fast
+// with fetch.ErrBreakerOpen instead of hammering the dead origin, the
+// state is visible in Stats.Backends, and a healed origin is re-admitted
+// by the half-open probe after the cooldown.
+func TestEngineBreakerFailsFastAndRecovers(t *testing.T) {
+	var broken atomic.Bool
+	var calls atomic.Int64
+	broken.Store(true)
+	origin := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
+		calls.Add(1)
+		if broken.Load() {
+			return Item{}, errors.New("origin down")
+		}
+		return Item{ID: id, Size: 1}, nil
+	})
+	clk := NewManualClock(time.Unix(0, 0))
+	eng, err := New(origin,
+		WithBandwidth(1e6),
+		WithShards(1),
+		WithClock(clk),
+		WithBreaker(fetch.Breaker{Threshold: 3, Cooldown: time.Second}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Get(ctx, ID(i)); err == nil {
+			t.Fatalf("Get %d succeeded against a broken origin", i)
+		}
+	}
+	st := eng.Stats()
+	if len(st.Backends) != 1 || st.Backends[0].BreakerState != "open" {
+		t.Fatalf("breaker not open after threshold failures: %+v", st.Backends)
+	}
+	if st.Backends[0].BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", st.Backends[0].BreakerOpens)
+	}
+
+	// Tripped: Gets fail fast without reaching the origin.
+	before := calls.Load()
+	if _, err := eng.Get(ctx, 100); !errors.Is(err, fetch.ErrBreakerOpen) {
+		t.Fatalf("Get while open = %v, want fetch.ErrBreakerOpen", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("open breaker let a demand fetch reach the origin")
+	}
+
+	// Origin heals; after the cooldown the probe closes the breaker and
+	// traffic flows again.
+	broken.Store(false)
+	clk.Advance(2 * time.Second)
+	if _, err := eng.Get(ctx, 101); err != nil {
+		t.Fatalf("probe Get after heal: %v", err)
+	}
+	if st := eng.Stats(); st.Backends[0].BreakerState != "closed" {
+		t.Fatalf("breaker = %q after successful probe, want closed", st.Backends[0].BreakerState)
+	}
+	if _, err := eng.Get(ctx, 102); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// breakerFetcher fails while broken is set.
+type breakerFetcher struct {
+	broken atomic.Bool
+	calls  atomic.Int64
+}
+
+var errOrigin = errors.New("origin down")
+
+func (f *breakerFetcher) Fetch(ctx context.Context, id ID) (Item, error) {
+	f.calls.Add(1)
+	if f.broken.Load() {
+		return Item{}, errOrigin
+	}
+	return Item{ID: id, Size: 1}, nil
+}
+
+func newBreakerFabric(t *testing.T, now *manualNow, backends ...Backend) *Fabric {
+	t.Helper()
+	f, err := New(Config{
+		Backends: backends,
+		Breaker:  &Breaker{Threshold: 3, Cooldown: time.Second},
+		Now:      now.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestBreakerOpensAndRoutesAround trips one of two backends and checks
+// that routing and demand traffic steer around it while it is open.
+func TestBreakerOpensAndRoutesAround(t *testing.T) {
+	now := &manualNow{}
+	bad, good := &breakerFetcher{}, &breakerFetcher{}
+	bad.broken.Store(true)
+	f := newBreakerFabric(t, now,
+		Backend{Name: "bad", Fetcher: bad, Weight: 100, Bandwidth: 100},
+		Backend{Name: "good", Fetcher: good, Weight: 1, Bandwidth: 100},
+	)
+	ctx := context.Background()
+
+	// Drive demand until the heavy (preferred) backend trips. Failover
+	// means every Fetch still succeeds via the good backend.
+	for i := 0; i < 10; i++ {
+		if _, err := f.Fetch(ctx, ID(i)); err != nil {
+			t.Fatalf("fetch %d failed despite healthy failover backend: %v", i, err)
+		}
+	}
+	st := f.Stats(now.Now())
+	if st[0].BreakerState != "open" {
+		t.Fatalf("bad backend breaker = %q after %d errors (threshold 3), want open; stats %+v",
+			st[0].BreakerState, st[0].Errors, st[0])
+	}
+	if st[0].BreakerOpens == 0 {
+		t.Fatal("BreakerOpens not counted")
+	}
+	if st[1].BreakerState != "closed" {
+		t.Fatalf("good backend breaker = %q, want closed", st[1].BreakerState)
+	}
+
+	// While open, routing must not send new ids to the tripped backend
+	// even though its weight dominates.
+	for i := 100; i < 120; i++ {
+		if b := f.Route(ID(i)); b != 1 {
+			t.Fatalf("Route(%d) = %d while backend 0 is open", i, b)
+		}
+	}
+	badCalls := bad.calls.Load()
+	for i := 200; i < 210; i++ {
+		if _, err := f.Fetch(ctx, ID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bad.calls.Load(); got != badCalls {
+		t.Fatalf("open backend still received %d demand fetches", got-badCalls)
+	}
+}
+
+// TestBreakerHalfOpenProbe checks the open → half-open → closed cycle:
+// after the cooldown exactly one probe goes through, and its success
+// re-admits the backend.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := &manualNow{}
+	bad := &breakerFetcher{}
+	bad.broken.Store(true)
+	f := newBreakerFabric(t, now,
+		Backend{Name: "solo", Fetcher: bad, Bandwidth: 100},
+	)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := f.Fetch(ctx, ID(i)); !errors.Is(err, errOrigin) {
+			t.Fatalf("fetch %d: err = %v, want origin error", i, err)
+		}
+	}
+	if st := f.Stats(now.Now()); st[0].BreakerState != "open" {
+		t.Fatalf("breaker = %q after threshold failures, want open", st[0].BreakerState)
+	}
+
+	// Open and before cooldown: fail fast without touching the origin.
+	calls := bad.calls.Load()
+	if _, err := f.Fetch(ctx, 10); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if bad.calls.Load() != calls {
+		t.Fatal("open breaker let a fetch through before the cooldown")
+	}
+
+	// Cooldown elapses while the origin is still down: the probe goes
+	// through, fails, and re-opens the breaker.
+	now.Advance(1.5)
+	if _, err := f.Fetch(ctx, 11); !errors.Is(err, errOrigin) {
+		t.Fatalf("probe err = %v, want origin error", err)
+	}
+	if st := f.Stats(now.Now()); st[0].BreakerState != "open" || st[0].BreakerOpens != 2 {
+		t.Fatalf("after failed probe: state %q opens %d, want open/2", st[0].BreakerState, st[0].BreakerOpens)
+	}
+
+	// Origin heals; next cooldown's probe succeeds and closes the
+	// breaker for good.
+	bad.broken.Store(false)
+	now.Advance(1.5)
+	if _, err := f.Fetch(ctx, 12); err != nil {
+		t.Fatalf("healed probe failed: %v", err)
+	}
+	if st := f.Stats(now.Now()); st[0].BreakerState != "closed" {
+		t.Fatalf("after successful probe: state %q, want closed", st[0].BreakerState)
+	}
+	for i := 20; i < 25; i++ {
+		if _, err := f.Fetch(ctx, ID(i)); err != nil {
+			t.Fatalf("fetch %d after close: %v", i, err)
+		}
+	}
+}
+
+// TestBreakerSpeculativeFailsFast pins the speculative path: a
+// candidate routed to a tripped backend is dropped with ErrBreakerOpen
+// instead of queueing against the dead origin, and batches behave the
+// same.
+func TestBreakerSpeculativeFailsFast(t *testing.T) {
+	now := &manualNow{}
+	bad := &breakerFetcher{}
+	bad.broken.Store(true)
+	f := newBreakerFabric(t, now,
+		Backend{Name: "solo", Fetcher: bad, Bandwidth: 100},
+	)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		f.FetchSpeculative(ctx, 0, ID(i)) //nolint:errcheck // driving the breaker open
+	}
+	calls := bad.calls.Load()
+	if _, err := f.FetchSpeculative(ctx, 0, 10); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("speculative err = %v, want ErrBreakerOpen", err)
+	}
+	if _, err := f.FetchSpeculativeBatch(ctx, 0, []ID{11, 12}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("speculative batch err = %v, want ErrBreakerOpen", err)
+	}
+	if bad.calls.Load() != calls {
+		t.Fatal("open breaker let speculative fetches through")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe checks that concurrent callers racing
+// an elapsed cooldown admit exactly one probe.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	now := &manualNow{}
+	bad := &breakerFetcher{}
+	bad.broken.Store(true)
+	f := newBreakerFabric(t, now,
+		Backend{Name: "solo", Fetcher: bad, Bandwidth: 100},
+	)
+	for i := 0; i < 3; i++ {
+		f.FetchSpeculative(context.Background(), 0, ID(i)) //nolint:errcheck
+	}
+	now.Advance(2)
+	grantedN, probes := 0, 0
+	for i := 0; i < 16; i++ {
+		granted, probe := f.acquire(f.backends[0])
+		if granted {
+			grantedN++
+		}
+		if probe {
+			probes++
+		}
+	}
+	if grantedN != 1 || probes != 1 {
+		t.Fatalf("granted=%d probes=%d after one cooldown, want exactly 1/1", grantedN, probes)
+	}
+}
+
+// TestBreakerStragglerCancellationKeepsProbe pins the probe-ownership
+// rule: a cancelled attempt that did NOT carry the half-open probe (a
+// straggler launched before the trip, a hedge loser) must not demote
+// the half-open state or restart the cooldown — only the probe's own
+// outcome decides.
+func TestBreakerStragglerCancellationKeepsProbe(t *testing.T) {
+	now := &manualNow{}
+	bad := &breakerFetcher{}
+	bad.broken.Store(true)
+	f := newBreakerFabric(t, now,
+		Backend{Name: "solo", Fetcher: bad, Bandwidth: 100},
+	)
+	for i := 0; i < 3; i++ {
+		f.FetchSpeculative(context.Background(), 0, ID(i)) //nolint:errcheck
+	}
+	now.Advance(2)
+	b := f.backends[0]
+	if granted, probe := f.acquire(b); !granted || !probe {
+		t.Fatalf("probe not granted after cooldown (granted=%t probe=%t)", granted, probe)
+	}
+	// A straggler's cancellation arrives while the probe is in flight.
+	f.observe(b, now.Now(), Item{}, context.Canceled, true, false)
+	if st := f.breakerState(b); st != "half-open" {
+		t.Fatalf("straggler cancellation demoted the breaker to %q, want half-open", st)
+	}
+	// A straggler's *failure* must not re-open/re-arm either.
+	f.observe(b, now.Now(), Item{}, errOrigin, true, false)
+	if st := f.breakerState(b); st != "half-open" {
+		t.Fatalf("straggler failure demoted the breaker to %q, want half-open", st)
+	}
+	// Nor may a straggler's *success* close the breaker — recovery goes
+	// through the probe's own verdict.
+	f.observe(b, now.Now(), Item{ID: 1, Size: 1}, nil, true, false)
+	if st := f.breakerState(b); st != "half-open" {
+		t.Fatalf("straggler success closed the breaker (%q), want half-open", st)
+	}
+	// The probe's own cancellation releases the slot back to open.
+	f.observe(b, now.Now(), Item{}, context.Canceled, true, true)
+	if st := f.breakerState(b); st != "open" {
+		t.Fatalf("cancelled probe left the breaker %q, want open", st)
+	}
+}

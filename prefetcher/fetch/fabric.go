@@ -15,6 +15,11 @@ import (
 // ErrClosed is returned by fetches issued after Close.
 var ErrClosed = errors.New("fetch: fabric closed")
 
+// ErrBreakerOpen fails a fetch fast instead of dispatching it to a
+// backend whose circuit breaker is open (or, for demand fetches, when
+// every backend's breaker is open and none is due a half-open probe).
+var ErrBreakerOpen = errors.New("fetch: circuit breaker open")
+
 // releaseBurst bounds how many parked candidates one gate release
 // hands back at a time, so the drainer re-reads ρ̂ between bursts
 // instead of dumping a long queue onto a link that just went idle.
@@ -45,6 +50,8 @@ type Config struct {
 	// parked and released only when the link idles below it. 0
 	// disables the gate.
 	IdleWatermark float64
+	// Breaker enables per-backend circuit breaking; nil disables it.
+	Breaker *Breaker
 	// DeferDepth bounds each backend's parked-candidate queue
 	// (default 256); candidates beyond it are shed and counted.
 	DeferDepth int
@@ -86,6 +93,14 @@ type backendState struct {
 	released       atomic.Int64
 	deferDropped   atomic.Int64
 
+	// Circuit-breaker state (unused when no Breaker is configured):
+	// consecutive non-cancelled failures, the tri-state breaker, when it
+	// last opened (float64 bits, fabric time) and how often it tripped.
+	consecFails atomic.Int64
+	brState     atomic.Int32
+	brOpenedAt  atomic.Uint64
+	brOpens     atomic.Int64
+
 	mu        sync.Mutex
 	parked    []ID
 	parkedSet map[ID]struct{} // dedup: ids currently in parked
@@ -101,6 +116,12 @@ type Fabric struct {
 	hedging   *Hedging
 	watermark float64
 	deferCap  int
+	// breaker is the validated circuit-breaker config (thresh in
+	// failures, cooldown in fabric-time seconds); nil when disabled.
+	breaker *struct {
+		threshold int64
+		cooldown  float64
+	}
 	nowf      func() float64
 	onRelease func(backend int, ids []ID)
 
@@ -147,6 +168,23 @@ func New(cfg Config) (*Fabric, error) {
 		nowf:      nowf,
 		onRelease: cfg.OnRelease,
 		done:      make(chan struct{}),
+	}
+	if cfg.Breaker != nil {
+		if cfg.Breaker.Threshold < 0 || cfg.Breaker.Cooldown < 0 {
+			return nil, fmt.Errorf("fetch: negative breaker parameter %+v", *cfg.Breaker)
+		}
+		thresh := int64(cfg.Breaker.Threshold)
+		if thresh == 0 {
+			thresh = 5
+		}
+		cooldown := cfg.Breaker.Cooldown.Seconds()
+		if cooldown == 0 {
+			cooldown = 1
+		}
+		f.breaker = &struct {
+			threshold int64
+			cooldown  float64
+		}{threshold: thresh, cooldown: cooldown}
 	}
 	f.baseCtx, f.baseCancel = context.WithCancel(context.Background())
 	seen := make(map[string]bool, len(cfg.Backends))
@@ -202,6 +240,122 @@ func (f *Fabric) BatchCapable(i int) bool { return f.backends[i].batch != nil }
 // ρ̂′ (Controller.StateForLink).
 func (f *Fabric) Link(i int) *prefetch.Link { return f.backends[i].link }
 
+// --- circuit breaker -----------------------------------------------------
+
+// routable reports, without side effects, whether backend b should
+// receive new traffic: its breaker is closed, or open long enough that
+// a half-open probe is due. Routing and planning use this to steer
+// candidates away from tripped backends.
+func (f *Fabric) routable(b *backendState) bool {
+	if f.breaker == nil {
+		return true
+	}
+	switch b.brState.Load() {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		return false // the probe is out; wait for its verdict
+	default:
+		opened := math.Float64frombits(b.brOpenedAt.Load())
+		return f.nowf()-opened >= f.breaker.cooldown
+	}
+}
+
+// acquire claims the right to dispatch one fetch to backend b: always
+// granted while the breaker is closed; when it is open and the cooldown
+// has elapsed, exactly one caller wins the transition to half-open and
+// carries the probe — probe reports that ownership, and the attempt's
+// outcome (not global state) decides the breaker's verdict in
+// breakerFailure/breakerCancelled. Callers that are refused skip the
+// backend.
+func (f *Fabric) acquire(b *backendState) (granted, probe bool) {
+	if f.breaker == nil {
+		return true, false
+	}
+	switch b.brState.Load() {
+	case breakerClosed:
+		return true, false
+	case breakerHalfOpen:
+		return false, false
+	default:
+		opened := math.Float64frombits(b.brOpenedAt.Load())
+		if f.nowf()-opened < f.breaker.cooldown {
+			return false, false
+		}
+		won := b.brState.CompareAndSwap(breakerOpen, breakerHalfOpen)
+		return won, won
+	}
+}
+
+// breakerSuccess records a successful fetch: the failure run ends and,
+// when this attempt carried the half-open probe, the breaker closes.
+// A straggler's success (an attempt launched before the trip) must not
+// re-close an open breaker — recovery goes through the documented
+// cooldown-then-probe discipline, same as failures and cancellations.
+func (f *Fabric) breakerSuccess(b *backendState, probe bool) {
+	if f.breaker == nil {
+		return
+	}
+	b.consecFails.Store(0)
+	if probe {
+		b.brState.CompareAndSwap(breakerHalfOpen, breakerClosed)
+	}
+}
+
+// breakerFailure records a failed fetch. A failed half-open probe
+// re-opens the breaker immediately (only the attempt that carries the
+// probe may do this — a straggler launched before the trip must not
+// decide the probe's verdict); otherwise a closed breaker opens once
+// the consecutive failure run reaches the threshold.
+func (f *Fabric) breakerFailure(b *backendState, probe bool) {
+	if f.breaker == nil {
+		return
+	}
+	n := b.consecFails.Add(1)
+	if probe {
+		if b.brState.CompareAndSwap(breakerHalfOpen, breakerOpen) {
+			b.brOpenedAt.Store(math.Float64bits(f.nowf()))
+			b.brOpens.Add(1)
+		}
+		return
+	}
+	if b.brState.Load() == breakerClosed && n >= f.breaker.threshold {
+		if b.brState.CompareAndSwap(breakerClosed, breakerOpen) {
+			b.brOpenedAt.Store(math.Float64bits(f.nowf()))
+			b.brOpens.Add(1)
+		}
+	}
+}
+
+// breakerCancelled handles an attempt that was cancelled (hedge loser,
+// caller gave up): it is neither success nor failure, but when it
+// carried the half-open probe the slot must not stay wedged — the
+// breaker returns to open with a fresh cooldown, and the next elapsed
+// cooldown grants a new probe.
+func (f *Fabric) breakerCancelled(b *backendState, probe bool) {
+	if f.breaker == nil || !probe {
+		return
+	}
+	if b.brState.CompareAndSwap(breakerHalfOpen, breakerOpen) {
+		b.brOpenedAt.Store(math.Float64bits(f.nowf()))
+	}
+}
+
+// breakerState names backend b's current breaker state for stats.
+func (f *Fabric) breakerState(b *backendState) string {
+	if f.breaker == nil {
+		return ""
+	}
+	switch b.brState.Load() {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 // --- routing -------------------------------------------------------------
 
 // nameSeed hashes a backend name to a stable rendezvous seed (FNV-1a).
@@ -242,12 +396,29 @@ func (f *Fabric) score(b *backendState, id ID) float64 {
 }
 
 // Route returns the backend the fabric would dispatch id to right now.
+// Backends whose circuit breaker is open (and not yet due a probe) are
+// skipped as long as any routable backend remains; with every breaker
+// tripped the pure score order decides, and the dispatch itself fails
+// fast.
 func (f *Fabric) Route(id ID) int {
-	best := 0
 	if len(f.backends) == 1 {
 		return 0
 	}
-	bestScore := f.score(f.backends[0], id)
+	best := -1
+	var bestScore float64
+	for i, b := range f.backends {
+		if !f.routable(b) {
+			continue
+		}
+		if s := f.score(b, id); best < 0 || s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	best = 0
+	bestScore = f.score(f.backends[0], id)
 	for i := 1; i < len(f.backends); i++ {
 		if s := f.score(f.backends[i], id); s < bestScore {
 			best, bestScore = i, s
@@ -257,7 +428,10 @@ func (f *Fabric) Route(id ID) int {
 }
 
 // routeOrder returns all backends for id in preference order — the
-// hedge/failover sequence.
+// hedge/failover sequence. Backends with a tripped breaker sort after
+// every routable one (score order within each class), so failover
+// naturally prefers healthy links but can still reach a tripped one as
+// the last resort.
 func (f *Fabric) routeOrder(id ID) []int {
 	n := len(f.backends)
 	order := make([]int, n)
@@ -265,13 +439,21 @@ func (f *Fabric) routeOrder(id ID) []int {
 		return order
 	}
 	scores := make([]float64, n)
+	tripped := make([]bool, n)
 	for i, b := range f.backends {
 		order[i] = i
 		scores[i] = f.score(b, id)
+		tripped[i] = !f.routable(b)
+	}
+	before := func(a, b int) bool {
+		if tripped[a] != tripped[b] {
+			return tripped[b]
+		}
+		return scores[a] < scores[b]
 	}
 	// Insertion sort: n is the backend count, single digits.
 	for i := 1; i < n; i++ {
-		for j := i; j > 0 && scores[order[j]] < scores[order[j-1]]; j-- {
+		for j := i; j > 0 && before(order[j], order[j-1]); j-- {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
@@ -320,13 +502,19 @@ func (f *Fabric) maxAttempts() int {
 
 // observe folds one finished attempt into backend b's estimators.
 // Cancelled losers are neither latency samples nor errors.
-func (f *Fabric) observe(b *backendState, start float64, item Item, err error, demand bool) {
+func (f *Fabric) observe(b *backendState, start float64, item Item, err error, demand, probe bool) {
 	if err != nil {
 		if !errors.Is(err, context.Canceled) {
 			b.errorsN.Add(1)
+			f.breakerFailure(b, probe)
+		} else {
+			// Neither a success nor a failure — but a cancelled
+			// half-open probe must release its slot.
+			f.breakerCancelled(b, probe)
 		}
 		return
 	}
+	f.breakerSuccess(b, probe)
 	lat := f.nowf() - start
 	size := item.Size
 	if size <= 0 {
@@ -381,27 +569,40 @@ func (f *Fabric) Fetch(ctx context.Context, id ID) (Item, error) {
 
 	results := make(chan attemptResult, attempts) // buffered: losers never block
 	launched, outstanding := 0, 0
-	launch := func(hedged, retry bool) {
-		b := f.backends[order[launched%len(order)]]
-		launched++
-		outstanding++
-		b.demand.Add(1)
-		if hedged {
-			b.hedgesLaunched.Add(1)
+	// launch dispatches the next attempt slot whose backend's breaker
+	// admits it, reporting whether anything was actually launched —
+	// slots on tripped backends are consumed and skipped.
+	launch := func(hedged, retry bool) bool {
+		for launched < attempts {
+			b := f.backends[order[launched%len(order)]]
+			launched++
+			granted, probe := f.acquire(b)
+			if !granted {
+				continue
+			}
+			outstanding++
+			b.demand.Add(1)
+			if hedged {
+				b.hedgesLaunched.Add(1)
+			}
+			if retry {
+				b.retries.Add(1)
+			}
+			b.link.RecordDemand(f.nowf())
+			start := f.nowf()
+			go func() {
+				item, err := b.cfg.Fetcher.Fetch(wctx, id)
+				f.observe(b, start, item, err, true, probe)
+				results <- attemptResult{item: item, err: err, idx: b.idx, hedged: hedged}
+			}()
+			return true
 		}
-		if retry {
-			b.retries.Add(1)
-		}
-		b.link.RecordDemand(f.nowf())
-		start := f.nowf()
-		go func() {
-			item, err := b.cfg.Fetcher.Fetch(wctx, id)
-			f.observe(b, start, item, err, true)
-			results <- attemptResult{item: item, err: err, idx: b.idx, hedged: hedged}
-		}()
+		return false
 	}
 
-	launch(false, false)
+	if !launch(false, false) {
+		return Item{}, ErrBreakerOpen
+	}
 	var hedgeC <-chan time.Time
 	if launched < attempts {
 		if d := f.hedgeDelay(order[0]); d >= 0 {
@@ -461,7 +662,9 @@ func (f *Fabric) Fetch(ctx context.Context, id ID) (Item, error) {
 					}
 				}
 				nretries++
-				launch(false, true)
+				if !launch(false, true) && outstanding == 0 {
+					return Item{}, lastErr
+				}
 			} else if outstanding == 0 {
 				return Item{}, lastErr
 			}
@@ -485,16 +688,22 @@ func (f *Fabric) fetchSequential(ctx context.Context, id ID, attempts int, backo
 		attempts = len(order)
 	}
 	var lastErr error
+	attempted := 0
 	for n := 0; n < attempts; n++ {
 		b := f.backends[order[n%len(order)]]
+		granted, probe := f.acquire(b)
+		if !granted {
+			continue // breaker open: skip the slot, keep failing over
+		}
 		b.demand.Add(1)
-		if n > 0 {
+		if attempted > 0 {
 			b.retries.Add(1)
 		}
+		attempted++
 		b.link.RecordDemand(f.nowf())
 		start := f.nowf()
 		item, err := b.cfg.Fetcher.Fetch(ctx, id)
-		f.observe(b, start, item, err, true)
+		f.observe(b, start, item, err, true, probe)
 		if err == nil {
 			return item, nil
 		}
@@ -512,6 +721,9 @@ func (f *Fabric) fetchSequential(ctx context.Context, id ID, attempts int, backo
 			}
 		}
 	}
+	if attempted == 0 {
+		return Item{}, ErrBreakerOpen
+	}
 	return Item{}, lastErr
 }
 
@@ -527,11 +739,18 @@ func (f *Fabric) FetchSpeculative(ctx context.Context, backend int, id ID) (Item
 		return Item{}, ErrClosed
 	}
 	b := f.backends[backend]
+	granted, probe := f.acquire(b)
+	if !granted {
+		// The breaker tripped after this candidate was routed (or
+		// every backend is open): fail fast rather than queue
+		// speculative work against a dead origin.
+		return Item{}, ErrBreakerOpen
+	}
 	b.speculative.Add(1)
 	b.link.RecordSpeculative(f.nowf())
 	start := f.nowf()
 	item, err := b.cfg.Fetcher.Fetch(ctx, id)
-	f.observe(b, start, item, err, false)
+	f.observe(b, start, item, err, false, probe)
 	return item, err
 }
 
@@ -556,6 +775,10 @@ func (f *Fabric) FetchSpeculativeBatch(ctx context.Context, backend int, ids []I
 		}
 		return items, nil
 	}
+	granted, probe := f.acquire(b)
+	if !granted {
+		return nil, ErrBreakerOpen
+	}
 	b.speculative.Add(int64(len(ids)))
 	b.batchCalls.Add(1)
 	b.batchedItems.Add(int64(len(ids)))
@@ -577,7 +800,7 @@ func (f *Fabric) FetchSpeculativeBatch(ctx context.Context, backend int, ids []I
 			total.Size += size
 		}
 	}
-	f.observe(b, start, total, err, false)
+	f.observe(b, start, total, err, false, probe)
 	if err != nil {
 		return nil, err
 	}
@@ -759,6 +982,8 @@ func (f *Fabric) Stats(now float64) []BackendStats {
 			Bandwidth:         b.link.Bandwidth(),
 			Rho:               b.link.Rho(now),
 			RhoPrime:          b.link.RhoPrime(now),
+			BreakerState:      f.breakerState(b),
+			BreakerOpens:      b.brOpens.Load(),
 		}
 	}
 	return out

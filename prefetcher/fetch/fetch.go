@@ -106,6 +106,31 @@ func (r Routing) String() string {
 	}
 }
 
+// Breaker configures per-backend circuit breaking. Each backend trips
+// independently: Threshold consecutive failures open its breaker, after
+// which routing skips the backend and fetches dispatched to it fail
+// fast with ErrBreakerOpen. Once Cooldown has elapsed the breaker
+// half-opens: exactly one probe fetch is let through — a success closes
+// the breaker, a failure re-opens it and restarts the cooldown. Demand
+// traffic falls over to the remaining healthy backends; when every
+// backend is open and none is due a probe, demand fails fast instead of
+// queueing against known-dead origins.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker (0 means the default 5). Any success resets the run.
+	Threshold int
+	// Cooldown is how long an open breaker waits before allowing a
+	// half-open probe (0 means the default 1s).
+	Cooldown time.Duration
+}
+
+// Breaker states, reported in BackendStats.BreakerState.
+const (
+	breakerClosed   int32 = iota // normal operation
+	breakerOpen                  // tripped: skip until cooldown elapses
+	breakerHalfOpen              // one probe in flight; its outcome decides
+)
+
 // Hedging configures hedged retries on the demand path. Failover on
 // error happens regardless — hedging adds racing a second backend
 // *before* the first has failed, after a per-backend delay.
@@ -160,4 +185,9 @@ type BackendStats struct {
 	// size/latency estimate); Rho the link's total utilisation ρ̂ and
 	// RhoPrime its demand-only utilisation ρ̂′, both at snapshot time.
 	Bandwidth, Rho, RhoPrime float64
+	// BreakerState is "closed", "open" or "half-open" when circuit
+	// breaking is configured (empty otherwise); BreakerOpens counts how
+	// many times this backend's breaker tripped.
+	BreakerState string
+	BreakerOpens int64
 }

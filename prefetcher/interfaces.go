@@ -81,6 +81,17 @@ type TopPredictor interface {
 	PredictTop(k int) []Prediction
 }
 
+// TopIntoPredictor is optionally implemented by TopPredictors that can
+// append their k most probable candidates to a caller-supplied buffer
+// instead of allocating a fresh slice per call: PredictTopInto appends
+// to dst (the engine passes a pooled buffer as buf[:0]) and returns the
+// extended slice, whose contents must equal PredictTop(k). Implementing
+// it keeps the engine's per-request prediction allocation-free; every
+// built-in predictor does.
+type TopIntoPredictor interface {
+	PredictTopInto(dst []Prediction, k int) []Prediction
+}
+
 // ConcurrentPredictor marks a Predictor whose Observe, Predict and
 // PredictTop are all safe for concurrent use without external locking.
 // The engine detects the marker at construction and calls the predictor

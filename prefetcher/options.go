@@ -30,6 +30,7 @@ type config struct {
 	routing       fetch.Routing
 	hedging       *fetch.Hedging
 	idleWatermark float64
+	breaker       *fetch.Breaker
 }
 
 // defaultCacheCapacity is the total capacity of the default LRU cache,
@@ -286,6 +287,29 @@ func WithHedging(h fetch.Hedging) Option {
 	}
 }
 
+// WithBreaker trips a per-backend circuit breaker on persistently
+// failing backends: b.Threshold consecutive failures (default 5) open
+// the breaker, after which routing steers new candidates away from the
+// backend and fetches already routed there fail fast; once b.Cooldown
+// (default 1s) has elapsed the breaker half-opens and exactly one probe
+// fetch decides — success closes it, failure re-opens it and restarts
+// the cooldown. Demand traffic fails over to the remaining healthy
+// backends as usual, and only fails fast (fetch.ErrBreakerOpen) when
+// every backend's breaker is open. Without WithBackends the engine
+// wraps its fetcher as the single backend "origin", so the breaker
+// turns a dead origin into immediate errors instead of pile-ups.
+// Per-backend state appears in Stats.Backends (BreakerState,
+// BreakerOpens).
+func WithBreaker(b fetch.Breaker) Option {
+	return func(c *config) error {
+		if b.Threshold < 0 || b.Cooldown < 0 {
+			return fmt.Errorf("prefetcher: negative breaker parameter %+v", b)
+		}
+		c.breaker = &b
+		return nil
+	}
+}
+
 // WithIdleWatermark schedules speculative dispatch into idle periods —
 // the paper's load-impedance result made operational: a speculative
 // fetch routed to a backend whose total utilisation ρ̂ sits at or
@@ -325,7 +349,7 @@ func (c *config) validate() error {
 	if c.cache != nil && c.shards > 1 {
 		return fmt.Errorf("prefetcher: WithCache supplies a single instance but WithShards(%d) needs one cache per shard; use WithCacheFactory or WithShards(1)", c.shards)
 	}
-	if c.routing != fetch.RouteWeighted && len(c.backends) == 0 && c.hedging == nil && c.idleWatermark == 0 {
+	if c.routing != fetch.RouteWeighted && len(c.backends) == 0 && c.hedging == nil && c.idleWatermark == 0 && c.breaker == nil {
 		// Without a fetch fabric there is nothing to route; dropping
 		// the option silently would let the caller believe latency
 		// routing is active.

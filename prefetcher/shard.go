@@ -4,18 +4,31 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 )
 
+// counter is an atomic counter padded out to its own cache line, so
+// adjacent counters bumped from different goroutines never false-share.
+// The per-shard counters below are counter values: a bump is one atomic
+// add that needs no shard mutex, which keeps accounting off the shard's
+// critical sections entirely and makes Stats a wait-free snapshot.
+type counter struct {
+	atomic.Int64
+	_ [56]byte // 64-byte line minus the 8-byte count
+}
+
 // shard is one partition of the engine's keyed hot-path state. Every ID
-// maps to exactly one shard (shardFor), and everything below mu — the
-// cache, the in-flight table, the size and unused-prefetch maps, and the
-// counters — is only ever touched while holding that shard's mutex, so
-// requests for keys in different shards never contend. The estimates
-// that must stay globally consistent (λ̂, ŝ̄, ĥ′, n̄(F) and hence the
-// threshold) live outside the shards, in the engine's shared
-// prefetch.Controller, whose counters are contention-safe atomics.
+// maps to exactly one shard (shardFor), and everything guarded by mu —
+// the cache, the in-flight table, the size and unused-prefetch maps —
+// is only ever touched while holding that shard's mutex, so requests
+// for keys in different shards never contend. The counters are padded
+// atomics bumped outside the mutex: a Get's critical section is just
+// the cache/in-flight/size-map touches. The estimates that must stay
+// globally consistent (λ̂, ŝ̄, ĥ′, n̄(F) and hence the threshold) live
+// outside the shards, in the engine's shared prefetch.Controller, whose
+// counters are contention-safe atomics.
 //
 // Lock ordering: a goroutine holds at most one shard mutex at a time.
 // While holding it, it may take the estimator's stripe locks and the
@@ -37,18 +50,43 @@ type shard struct {
 	// demand request — the basis of the used/wasted accounting.
 	unused map[ID]struct{}
 
-	// Counters, guarded by mu and aggregated across shards by Stats.
-	requests, hits, misses, joins                                                 int64
-	prefetchIssued, prefetchUsed, prefetchWasted, prefetchDropped, prefetchErrors int64
+	// Hot-path counters: cache-line-padded atomics, bumped without the
+	// shard mutex and summed wait-free by Stats. Each request bumps
+	// requests before its outcome counter (hits or misses), and Stats
+	// reads the outcome counters before requests, so the aggregate
+	// invariants (Hits+Misses ≤ Requests, ratios ≤ 1) hold in every
+	// mid-flight snapshot; quiesced snapshots are exact.
+	requests, hits, misses, joins                                                 counter
+	prefetchIssued, prefetchUsed, prefetchWasted, prefetchDropped, prefetchErrors counter
+	// inflightN mirrors len(inflight) (updated under mu alongside the
+	// map) so Stats can report in-flight fetches without the lock.
+	inflightN counter
 }
+
+// shardMapHint pre-sizes the per-shard maps so the first requests do
+// not pay incremental map growth: the in-flight table stays small (it
+// is bounded by concurrent fetches per shard), while sizes/unused grow
+// toward the shard's cache capacity and reach steady state quickly.
+const shardMapHint = 64
 
 func newShard(c Cache) *shard {
 	return &shard{
 		cache:    c,
-		inflight: make(map[ID]*flight),
-		sizes:    make(map[ID]float64),
-		unused:   make(map[ID]struct{}),
+		inflight: make(map[ID]*flight, shardMapHint),
+		sizes:    make(map[ID]float64, shardMapHint),
+		unused:   make(map[ID]struct{}, shardMapHint),
 	}
+}
+
+// consumeUnusedLocked clears id's prefetched-but-unused marker,
+// reporting whether it was set — the caller charges prefetchUsed after
+// releasing the lock. Called with sh.mu held.
+func (sh *shard) consumeUnusedLocked(id ID) bool {
+	if _, ok := sh.unused[id]; ok {
+		delete(sh.unused, id)
+		return true
+	}
+	return false
 }
 
 // shardFor routes an id to its owning shard. The multiplicative hash
@@ -124,7 +162,7 @@ func (e *Engine) onEvict(sh *shard) func(ID) {
 		delete(sh.sizes, id)
 		if _, ok := sh.unused[id]; ok {
 			delete(sh.unused, id)
-			sh.prefetchWasted++
+			sh.prefetchWasted.Add(1)
 		}
 	}
 }
