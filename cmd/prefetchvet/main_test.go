@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTreeClean is the in-test mirror of CI's
+// "go vet -vettool=prefetchvet ./..." gate: the whole module must be
+// free of unwaived findings.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := checkPatterns(wd, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		for _, d := range g.diags {
+			t.Errorf("%s: %s", g.path, d)
+		}
+	}
+}
+
+// TestUnitcheckVetxOnly checks the cmd/go dependency pass: a VetxOnly
+// unit must produce its (empty) facts file and succeed without loading
+// anything.
+func TestUnitcheckVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "unit.vetx")
+	cfg, err := json.Marshal(vetConfig{
+		ID:         "fmt",
+		ImportPath: "fmt",
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, cfg, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := unitcheck(cfgPath); code != 0 {
+		t.Fatalf("unitcheck(VetxOnly) exit = %d, want 0", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("VetxOutput not written: %v", err)
+	}
+}
+
+// TestUnitcheckFindsViolation drives the unitchecker path end to end on
+// a tiny synthetic library package with a ctxflow violation.
+func TestUnitcheckFindsViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks context from source")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module unitfix\n\ngo 1.21\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	libDir := filepath.Join(dir, "internal", "lib")
+	if err := os.MkdirAll(libDir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(libDir, "lib.go")
+	code := "package lib\n\nimport \"context\"\n\nfunc Root() context.Context { return context.Background() }\n"
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "unit.vetx")
+	cfg, err := json.Marshal(vetConfig{
+		ID:         "unitfix/internal/lib",
+		ImportPath: "unitfix/internal/lib",
+		Dir:        libDir,
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, cfg, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := unitcheck(cfgPath); code != 2 {
+		t.Fatalf("unitcheck exit = %d, want 2 (one ctxflow finding)", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("VetxOutput not written: %v", err)
+	}
+}

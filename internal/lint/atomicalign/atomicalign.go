@@ -1,0 +1,199 @@
+// Package atomicalign guards the layout invariants behind the engine's
+// padded atomic counters:
+//
+//   - a plain int64/uint64 struct field passed to sync/atomic must sit
+//     at an 8-byte-aligned offset under 32-bit layout rules (gc/386) —
+//     the classic silent crash: amd64 runs fine, 386/arm panics. Fields
+//     of type atomic.Int64/Uint64 are exempt (the runtime aligns them).
+//   - a struct annotated //prefetch:cacheline must occupy whole 64-byte
+//     cache lines (gc/amd64 layout), so arrays of per-shard counters
+//     never false-share; a field edit that silently shrinks the struct
+//     is a perf regression no test can see.
+//
+// Waive deliberate exceptions with //lint:allow atomicalign <reason>.
+package atomicalign
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the atomicalign check.
+var Analyzer = &lint.Analyzer{
+	Name: "atomicalign",
+	Doc:  "atomically-accessed 64-bit fields must be 8-aligned on 32-bit layouts; //prefetch:cacheline structs must pad to whole 64-byte lines",
+	Run:  run,
+}
+
+const cacheLine = 64
+
+func run(pass *lint.Pass) error {
+	sizes32 := types.SizesFor("gc", "386")
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		checkCachelineStructs(pass, f)
+		checkAtomicCalls(pass, f, sizes32)
+	}
+	return nil
+}
+
+// checkCachelineStructs validates //prefetch:cacheline annotations.
+func checkCachelineStructs(pass *lint.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if !lint.HasDirective(ts.Doc, lint.CachelineDirective) &&
+				!(len(gd.Specs) == 1 && lint.HasDirective(gd.Doc, lint.CachelineDirective)) {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[ts.Name]
+			if !ok {
+				continue
+			}
+			t := obj.Type()
+			if _, isStruct := t.Underlying().(*types.Struct); !isStruct {
+				pass.Reportf(ts.Pos(), "%s is annotated %s but is not a struct", ts.Name.Name, lint.CachelineDirective)
+				continue
+			}
+			size := pass.Sizes.Sizeof(t)
+			if size == 0 || size%cacheLine != 0 {
+				pass.Reportf(ts.Pos(),
+					"%s is annotated %s but its size is %d bytes, not a whole number of %d-byte cache lines — adjust the padding array",
+					ts.Name.Name, lint.CachelineDirective, size, cacheLine)
+			}
+		}
+	}
+}
+
+// atomicCall reports whether call invokes a sync/atomic package-level
+// function (the forms that take a raw *int64/*uint64).
+func atomicCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Package-level funcs only: the atomic.IntNN method forms are
+	// always aligned by the runtime.
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// checkAtomicCalls flags atomic.XxxInt64-style calls whose address
+// operand is a struct field that lands misaligned under 32-bit layout.
+func checkAtomicCalls(pass *lint.Pass, f *ast.File, sizes32 types.Sizes) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !atomicCall(pass, call) || len(call.Args) == 0 {
+			return true
+		}
+		un, ok := call.Args[0].(*ast.UnaryExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := un.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		basic, ok := field.Type().Underlying().(*types.Basic)
+		if !ok {
+			return true
+		}
+		switch basic.Kind() {
+		case types.Int64, types.Uint64:
+		default:
+			return true // 32-bit and pointer-size operands align everywhere
+		}
+		off, ok := fieldOffset32(selection, sizes32)
+		if !ok {
+			return true
+		}
+		if off%8 != 0 {
+			pass.Reportf(sel.Pos(),
+				"atomic access to 64-bit field %s at offset %d (32-bit layout): not 8-aligned — move it first in the struct or use atomic.%s",
+				fieldPath(selection), off, autoType(basic.Kind()))
+		}
+		return true
+	})
+}
+
+// fieldOffset32 computes the byte offset of the selected field from the
+// start of the selection's receiver struct under 32-bit layout,
+// following the embedding path.
+func fieldOffset32(selection *types.Selection, sizes32 types.Sizes) (int64, bool) {
+	t := selection.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	var total int64
+	for _, idx := range selection.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			fields[i] = st.Field(i)
+		}
+		offs := sizes32.Offsetsof(fields)
+		if idx >= len(offs) {
+			return 0, false
+		}
+		total += offs[idx]
+		t = st.Field(idx).Type()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			// An embedded pointer restarts the offset chain; the target
+			// allocation's alignment is unknowable statically.
+			_ = p
+			return 0, false
+		}
+	}
+	return total, true
+}
+
+func fieldPath(selection *types.Selection) string {
+	return fmt.Sprintf("%s.%s", typeName(selection.Recv()), selection.Obj().Name())
+}
+
+func typeName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		return typeName(p.Elem())
+	}
+	return t.String()
+}
+
+func autoType(k types.BasicKind) string {
+	if k == types.Uint64 {
+		return "Uint64"
+	}
+	return "Int64"
+}

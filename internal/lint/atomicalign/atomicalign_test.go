@@ -1,0 +1,11 @@
+package atomicalign
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestAtomicalign(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "alignfix")
+}

@@ -1,0 +1,76 @@
+// Package alignfix is an atomicalign fixture: misaligned atomic fields
+// and short cache-line structs next to the padded shapes the engine
+// uses, which must stay clean.
+package alignfix
+
+import "sync/atomic"
+
+// bad puts a 64-bit atomic field after a 4-byte one: offset 4 under
+// 32-bit layout.
+type bad struct {
+	flag int32
+	n    int64
+}
+
+func (b *bad) bump() {
+	atomic.AddInt64(&b.n, 1) // want `not 8-aligned`
+}
+
+// badU is the unsigned variant, accessed through a different helper.
+type badU struct {
+	flag uint32
+	mask uint32
+	hi   uint32
+	n    uint64
+}
+
+func (b *badU) load() uint64 {
+	return atomic.LoadUint64(&b.n) // want `not 8-aligned`
+}
+
+// good keeps the 64-bit field first — aligned on every layout.
+type good struct {
+	n    int64
+	flag int32
+}
+
+func (g *good) bump() {
+	atomic.AddInt64(&g.n, 1)
+}
+
+// autoAligned uses the typed atomics, which the runtime aligns
+// regardless of position — never flagged.
+type autoAligned struct {
+	flag int32
+	n    atomic.Int64
+}
+
+func (a *autoAligned) bump() {
+	a.n.Add(1)
+}
+
+// counter is the engine's padded-counter shape: one atomic plus padding
+// out to a whole cache line.
+//
+//prefetch:cacheline
+type counter struct {
+	atomic.Int64
+	_ [56]byte
+}
+
+// short claims a cache line but does not fill it.
+//
+//prefetch:cacheline
+type short struct { // want `not a whole number of 64-byte cache lines`
+	atomic.Int64
+	_ [16]byte
+}
+
+// waived is deliberately unpadded (say, a single-instance struct where
+// false sharing cannot occur), recorded with a reason.
+//
+//prefetch:cacheline
+//lint:allow atomicalign single instance, padding waste not worth it
+type waived struct {
+	atomic.Int64
+}

@@ -1,0 +1,95 @@
+// Package ctxflow forbids minting fresh root contexts inside library
+// packages: context.Background() and context.TODO() sever the caller's
+// cancellation and deadline chain, which matters once a server fronts
+// the engine — a request that hangs in a library-minted context cannot
+// be cancelled by the request that caused it.
+//
+// The check applies to library packages only — import paths with a
+// "prefetcher" or "internal" element. Commands, examples and test files
+// are the process roots where Background() legitimately originates.
+// Deliberate roots (an engine-owned lifecycle context cancelled in
+// Close) are waived with //lint:allow ctxflow <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc:  "forbid context.Background/TODO in library packages; contexts must be threaded from callers",
+	Run:  run,
+}
+
+// libraryPackage reports whether the import path names a library
+// package: any path element equal to "prefetcher" or "internal" (so
+// repro/prefetcher/fetch and repro/internal/... qualify, repro/cmd/...
+// and examples do not).
+func libraryPackage(path string) bool {
+	rest := path
+	for rest != "" {
+		elem := rest
+		if i := indexByte(rest, '/'); i >= 0 {
+			elem, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		switch elem {
+		case "prefetcher", "internal":
+			return true
+		case "cmd", "examples", "testdata":
+			return false
+		}
+	}
+	return false
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func run(pass *lint.Pass) error {
+	if !libraryPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel]
+			if !ok {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() in library package %s: thread a ctx from the caller (or //lint:allow ctxflow <reason> for an owned lifecycle root)",
+				sel.Sel.Name, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer,
+		"ctxfix/internal/lib",
+		"ctxfix/cmd/tool",
+	)
+}
+
+func TestLibraryPackage(t *testing.T) {
+	cases := map[string]bool{
+		"repro/prefetcher":            true,
+		"repro/prefetcher/fetch":      true,
+		"repro/internal/cache":        true,
+		"repro/cmd/prefetchbench":     false,
+		"repro/examples/quickstart":   false,
+		"repro":                       false,
+		"ctxfix/internal/lib":         true,
+		"example.com/cmd/internal/x":  false, // cmd wins: a command's internals are still a process root
+		"example.com/pkg/prefetcher":  true,
+		"example.com/other/pkge/deep": false,
+	}
+	for path, want := range cases {
+		if got := libraryPackage(path); got != want {
+			t.Errorf("libraryPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

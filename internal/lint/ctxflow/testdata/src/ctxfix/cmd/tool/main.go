@@ -1,0 +1,12 @@
+// Command tool is a ctxflow fixture: commands are process roots, so
+// minting Background here is idiomatic and must not be flagged.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,35 @@
+// Package lib is a ctxflow fixture: a library package that mints root
+// contexts where it should thread them.
+package lib
+
+import (
+	"context"
+	"time"
+)
+
+// Bad mints a fresh root context on a request path.
+func Bad() error {
+	ctx := context.Background() // want `context.Background\(\) in library package`
+	return work(ctx)
+}
+
+// BadTODO reaches for TODO instead.
+func BadTODO() error {
+	return work(context.TODO()) // want `context.TODO\(\) in library package`
+}
+
+// Good threads the caller's context.
+func Good(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(ctx)
+}
+
+// Waived is a deliberate lifecycle root: the waiver (with its mandatory
+// reason) suppresses the finding.
+func Waived() (context.Context, context.CancelFunc) {
+	//lint:allow ctxflow engine-owned lifecycle root, cancelled in Close
+	return context.WithCancel(context.Background())
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

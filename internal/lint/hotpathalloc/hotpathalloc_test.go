@@ -1,0 +1,11 @@
+package hotpathalloc
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "hotfix")
+}

@@ -1,0 +1,132 @@
+// Package hotfix is a hotpathalloc fixture: every allocating construct
+// the analyzer tracks, seeded inside annotated (and reachable)
+// functions, next to the pooled-buffer idioms the engine's hot path
+// actually uses, which must stay clean.
+package hotfix
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+type bufs struct {
+	ids []uint64
+}
+
+type event struct{ id uint64 }
+
+type engine struct {
+	pool    sync.Pool
+	observe func(any)
+	items   map[uint64][]byte
+}
+
+// --- seeded violations ---------------------------------------------------
+
+// Hot is an annotated root containing one of each allocating construct.
+//
+//prefetch:hotpath
+func (e *engine) Hot(id uint64) {
+	buf := make([]uint64, 0, 8) // want `make in hot path engine\.Hot`
+	buf = append(buf, id)       // want `append into a non-pooled slice in hot path engine\.Hot`
+	p := new(bufs)              // want `new in hot path engine\.Hot`
+	b := &bufs{}                // want `heap-escaping composite literal \(&T\{\.\.\.\}\) in hot path engine\.Hot`
+	ids := []uint64{id}         // want `slice/map literal in hot path engine\.Hot`
+	go e.drop(id)               // want `goroutine launch in hot path engine\.Hot`
+	f := func() {}              // want `function literal \(closure allocation\) in hot path engine\.Hot`
+	s := fmt.Sprintf("%d", id)  // want `fmt\.Sprintf call in hot path engine\.Hot`
+	err := errors.New("boom")   // want `errors\.New call in hot path engine\.Hot`
+	bs := []byte("payload")     // want `string<->\[\]byte conversion in hot path engine\.Hot`
+	e.observe(id)               // want `interface boxing of non-pointer value in hot path engine\.Hot`
+	_, _, _, _, _, _, _, _ = buf, p, b, ids, f, s, err, bs
+}
+
+// drop is reached from Hot's go statement; it must stay clean so the
+// only finding on that line is the goroutine launch itself.
+func (e *engine) drop(id uint64) {
+	delete(e.items, id)
+}
+
+// spill is un-annotated but reachable from Hot2: the closure over
+// same-package calls is checked too.
+func (e *engine) spill(id uint64) {
+	e.items[id] = make([]byte, 1) // want `make in hot path engine\.spill \(reachable from //prefetch:hotpath engine\.Hot2\)`
+}
+
+// Hot2 itself is clean; its callee is not.
+//
+//prefetch:hotpath
+func (e *engine) Hot2(id uint64) {
+	e.spill(id)
+}
+
+// --- clean idioms --------------------------------------------------------
+
+// CleanReuse appends into the caller's buffer and into a pooled
+// scratch — the PredictTopInto discipline. No findings.
+//
+//prefetch:hotpath
+func (e *engine) CleanReuse(id uint64, dst []uint64) []uint64 {
+	out := dst[:0]
+	out = append(out, id)
+	sc := e.pool.Get().(*bufs)
+	sc.ids = sc.ids[:0]
+	sc.ids = append(sc.ids, id)
+	e.pool.Put(sc)
+	return out
+}
+
+// CleanValue returns a value composite literal: struct values travel in
+// registers or on the stack, no allocation.
+//
+//prefetch:hotpath
+func (e *engine) CleanValue(id uint64) event {
+	return event{id: id}
+}
+
+// getBufs is the pool-accessor shape: every return path yields a
+// pool-derived value, so its callers inherit the pooled provenance.
+func (e *engine) getBufs() *bufs {
+	return e.pool.Get().(*bufs)
+}
+
+type scratch struct {
+	groups [][]uint64
+}
+
+// CleanAccessor draws its buffers through the accessor instead of a
+// direct pool.Get, and reslices a range variable over a pooled table —
+// both stay clean.
+//
+//prefetch:hotpath
+func (e *engine) CleanAccessor(id uint64, sc *scratch) {
+	b := e.getBufs()
+	b.ids = b.ids[:0]
+	b.ids = append(b.ids, id)
+	e.pool.Put(b)
+	for i, g := range sc.groups {
+		g = g[:0]
+		g = append(g, id)
+		sc.groups[i] = g
+	}
+}
+
+// ColdError allocates on a branch that never runs on the hit path —
+// the deliberate exception shape, waived with a reason.
+//
+//prefetch:hotpath
+func (e *engine) ColdError(id uint64) error {
+	if id == 0 {
+		//lint:allow hotpathalloc cold invalid-id branch, never taken on the hit path
+		return errors.New("zero id")
+	}
+	return nil
+}
+
+// coldSetup allocates freely: not annotated and not reachable from any
+// annotated root, so it is out of scope.
+func (e *engine) coldSetup() {
+	e.items = make(map[uint64][]byte)
+	e.observe = func(any) {}
+}

@@ -1,0 +1,221 @@
+// Package lint is the repo's static-analysis kit: a small, dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic) plus the loading and annotation machinery
+// the prefetchvet analyzers share.
+//
+// The five analyzers under internal/lint/* encode the engine's
+// concurrency and allocation invariants as build-time checks:
+//
+//   - hotpathalloc: //prefetch:hotpath functions must not allocate
+//   - lockscope: no blocking operation under a shard/stripe mutex, and
+//     every Lock is paired with an Unlock on all exit paths
+//   - atomicalign: atomically-accessed 64-bit fields stay 8-aligned and
+//     //prefetch:cacheline structs pad to whole 64-byte lines
+//   - poolhygiene: sync.Pool Get/Put pairing and no use-after-Put
+//   - ctxflow: no context.Background/TODO inside library packages
+//
+// Deliberate exceptions are waived in source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on (or immediately above) the offending line; the reason is mandatory.
+// The kit is stdlib-only so the tree builds with no module downloads —
+// x/tools is deliberately not a dependency.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// waivers. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by prefetchvet -help.
+	Doc string
+	// Run applies the check to one package, reporting findings through
+	// pass.Report. A returned error aborts the whole run (reserved for
+	// internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Sizes gives the target layout (gc/amd64) for alignment checks.
+	Sizes types.Sizes
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The analyzers
+// skip test files: the invariants guard the production hot path, and
+// tests legitimately use context.Background, ad-hoc locking and
+// allocation-heavy helpers.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// --- annotations ---------------------------------------------------------
+
+// HotpathDirective is the comment that opts a function into the
+// hotpathalloc check. It is a directive comment (no space after //), so
+// gofmt preserves it verbatim and go doc hides it.
+const HotpathDirective = "//prefetch:hotpath"
+
+// CachelineDirective is the comment that opts a struct type into the
+// atomicalign whole-cache-line padding check.
+const CachelineDirective = "//prefetch:cacheline"
+
+// HasDirective reports whether the doc comment group carries the given
+// directive on a line of its own.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// --- //lint:allow waivers ------------------------------------------------
+
+const allowPrefix = "//lint:allow "
+
+// allowKey identifies one waivable source line for one analyzer.
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// Waivers indexes every //lint:allow comment in a package: which
+// (file, line, analyzer) triples are waived, and which waiver comments
+// are malformed (no reason given).
+type Waivers struct {
+	allowed map[allowKey]bool
+	// used tracks which waivers suppressed at least one diagnostic, so
+	// stale waivers can be reported.
+	used      map[allowKey]bool
+	malformed []Diagnostic
+}
+
+// CollectWaivers scans the files' comments for //lint:allow directives.
+// A waiver on line N covers diagnostics on lines N and N+1 — i.e. it can
+// trail the offending statement or sit on its own line above it.
+func CollectWaivers(fset *token.FileSet, files []*ast.File) *Waivers {
+	w := &Waivers{allowed: make(map[allowKey]bool), used: make(map[allowKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, strings.TrimSpace(allowPrefix)) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, strings.TrimSpace(allowPrefix)))
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					w.malformed = append(w.malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" (a reason is mandatory)",
+					})
+					continue
+				}
+				w.allowed[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return w
+}
+
+// Filter drops the diagnostics covered by a waiver and appends any
+// malformed-waiver findings, returning the survivors sorted by position.
+func (w *Waivers) Filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		waived := false
+		for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+			k := allowKey{d.Pos.Filename, line, d.Analyzer}
+			if w.allowed[k] {
+				w.used[k] = true
+				waived = true
+				break
+			}
+		}
+		if !waived {
+			out = append(out, d)
+		}
+	}
+	out = append(out, w.malformed...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// --- driver --------------------------------------------------------------
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// surviving diagnostics (waivers applied, test files already skipped by
+// the analyzers themselves).
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Sizes:     pkg.Sizes,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return CollectWaivers(pkg.Fset, pkg.Files).Filter(diags), nil
+}

@@ -1,0 +1,11 @@
+package lockscope
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestLockscope(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "lockfix")
+}

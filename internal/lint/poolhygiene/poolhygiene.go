@@ -1,0 +1,255 @@
+// Package poolhygiene checks sync.Pool discipline: an object drawn with
+// Get must either be handed back with Put in the same function, or
+// escape to whoever owns its release (returned, stored, or passed on —
+// the engine's flight refcount release is the idiomatic example); and a
+// pooled object must not be touched after it has been Put — by then
+// another goroutine may own it, so a late read is a data race and a
+// late store corrupts the next user's state.
+//
+// The check is lexical within one function: leak detection only fires
+// for purely local objects (no Put, no escape), and use-after-Put fires
+// for statements that follow the Put in the same block — the shapes a
+// refactor actually introduces. Deliberate exceptions are waived with
+// //lint:allow poolhygiene <reason>.
+package poolhygiene
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the poolhygiene check.
+var Analyzer = &lint.Analyzer{
+	Name: "poolhygiene",
+	Doc:  "sync.Pool.Get must have a Put on every local path (or escape to its releaser); no use after Put",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// poolMethod reports whether call invokes sync.Pool.Get or sync.Pool.Put
+// and returns the method name.
+func poolMethod(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || obj.Name() != "Pool" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// getTarget returns the object bound by `v := pool.Get()` /
+// `v := pool.Get().(*T)` assignments, or nil.
+func getTarget(pass *lint.Pass, stmt ast.Stmt) (types.Object, ast.Stmt) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	rhs := as.Rhs[0]
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ta.X
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	if m, ok := poolMethod(pass, call); !ok || m != "Get" {
+		return nil, nil
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id] // `v = pool.Get()` re-assignment
+	}
+	return obj, stmt
+}
+
+// putArg returns the object passed to a sync.Pool.Put call, or nil.
+func putArg(pass *lint.Pass, call *ast.CallExpr) types.Object {
+	if m, ok := poolMethod(pass, call); !ok || m != "Put" {
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	arg := call.Args[0]
+	if u, ok := arg.(*ast.UnaryExpr); ok { // Put(&buf) pattern
+		arg = u.X
+	}
+	if id, ok := arg.(*ast.Ident); ok {
+		return pass.TypesInfo.Uses[id]
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	// Pass 1: collect Get targets, Put'd objects, and escapes.
+	type getInfo struct {
+		stmt ast.Stmt
+		obj  types.Object
+	}
+	var gets []getInfo
+	put := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+
+	useOf := func(e ast.Expr) types.Object {
+		if id, ok := e.(*ast.Ident); ok {
+			return pass.TypesInfo.Uses[id]
+		}
+		return nil
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if obj, stmt := getTarget(pass, n); obj != nil {
+				gets = append(gets, getInfo{stmt, obj})
+				return true
+			}
+			// Storing the object anywhere but a plain local: escape.
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if obj := useOf(n.Rhs[i]); obj != nil {
+					if _, plain := lhs.(*ast.Ident); !plain {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if obj := putArg(pass, n); obj != nil {
+				put[obj] = true
+				return true
+			}
+			// Passed to any other call: ownership moves with it.
+			for _, arg := range n.Args {
+				a := arg
+				if u, ok := a.(*ast.UnaryExpr); ok {
+					a = u.X
+				}
+				if obj := useOf(a); obj != nil {
+					escaped[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if obj := useOf(r); obj != nil {
+					escaped[obj] = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := useOf(n.Value); obj != nil {
+				escaped[obj] = true
+			}
+		case *ast.FuncLit:
+			// Captured by a closure: the closure owns the release.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		if !put[g.obj] && !escaped[g.obj] {
+			pass.Reportf(g.stmt.Pos(),
+				"%s drawn from a sync.Pool is neither Put back nor handed off — pooled objects leak back to the GC",
+				g.obj.Name())
+		}
+	}
+
+	// Pass 2: lexical use-after-Put within each block.
+	checkUseAfterPut(pass, fd)
+}
+
+// checkUseAfterPut flags reads or writes of a pooled object in
+// statements that follow its (non-deferred) Put in the same block.
+func checkUseAfterPut(pass *lint.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		// Objects Put at an earlier statement index of this block.
+		putAt := make(map[types.Object]int)
+		for i, stmt := range block.List {
+			es, ok := stmt.(*ast.ExprStmt)
+			if ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if obj := putArg(pass, call); obj != nil {
+						if _, seen := putAt[obj]; !seen {
+							putAt[obj] = i
+						}
+						continue
+					}
+				}
+			}
+			if len(putAt) == 0 {
+				continue
+			}
+			ast.Inspect(stmt, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if j, ok := putAt[obj]; ok && j < i {
+					pass.Reportf(id.Pos(),
+						"%s used after sync.Pool.Put: another goroutine may already own it",
+						obj.Name())
+					delete(putAt, obj) // one report per object per block
+				}
+				return true
+			})
+		}
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package poolhygiene
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestPoolhygiene(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "poolfix")
+}

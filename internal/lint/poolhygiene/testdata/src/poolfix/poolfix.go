@@ -1,0 +1,82 @@
+// Package poolfix is a poolhygiene fixture: seeded pool misuse next to
+// the idioms the engine actually uses, which must stay clean.
+package poolfix
+
+import "sync"
+
+type buf struct {
+	b []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// Leak draws from the pool and forgets to hand the object back.
+func Leak() int {
+	b := pool.Get().(*buf) // want `neither Put back nor handed off`
+	return len(b.b)
+}
+
+// UseAfterPut touches the object after releasing it — by then another
+// goroutine may have drawn it from the pool.
+func UseAfterPut() *buf {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	b.b = b.b[:0] // want `used after sync.Pool.Put`
+	return b
+}
+
+// StoreAfterPut parks the object in long-lived state after releasing
+// it — the next Get hands the same object to someone else.
+var stash *buf
+
+func StoreAfterPut() {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	stash = b // want `used after sync.Pool.Put`
+}
+
+// Balanced is the plain correct shape.
+func Balanced() int {
+	b := pool.Get().(*buf)
+	n := len(b.b)
+	pool.Put(b)
+	return n
+}
+
+// DeferredPut releases on all paths via defer.
+func DeferredPut(grow bool) int {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	if grow {
+		b.b = append(b.b, 0)
+		return len(b.b)
+	}
+	return 0
+}
+
+// HandOff passes the object to its releaser — the engine's
+// newFlight/releaseFlight split. Not a leak.
+func HandOff() {
+	b := pool.Get().(*buf)
+	release(b)
+}
+
+func release(b *buf) {
+	b.b = b.b[:0]
+	pool.Put(b)
+}
+
+// Returned transfers ownership to the caller — the factory shape.
+func Returned() *buf {
+	b := pool.Get().(*buf)
+	b.b = b.b[:0]
+	return b
+}
+
+// Waived is a deliberate one-way draw (a sentinel that never returns to
+// the pool), recorded with a reason.
+func Waived() {
+	//lint:allow poolhygiene sentinel object intentionally retired from the pool
+	b := pool.Get().(*buf)
+	_ = b
+}

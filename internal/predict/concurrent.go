@@ -134,6 +134,7 @@ type countRow struct {
 }
 
 func newCountRow(trackTop bool) *countRow {
+	//lint:allow hotpathalloc model growth: a row is created on first sight of its context, steady state allocates nothing
 	return &countRow{counts: make(map[cache.ID]*atomic.Int64), trackTop: trackTop}
 }
 
@@ -145,6 +146,7 @@ func (r *countRow) inc(id cache.ID) {
 	if c == nil {
 		r.mu.Lock()
 		if c = r.counts[id]; c == nil {
+			//lint:allow hotpathalloc model growth: one counter per new successor, steady state allocates nothing
 			c = new(atomic.Int64)
 			r.counts[id] = c
 			// While the row has spare candidate slots, every id is a
@@ -402,6 +404,8 @@ func (m *ConcurrentMarkov1) PredictTop(k int) []Prediction {
 }
 
 // PredictTopInto implements TopIntoPredictor.
+//
+//prefetch:hotpath
 func (m *ConcurrentMarkov1) PredictTopInto(dst []Prediction, k int) []Prediction {
 	cur := m.cur.Load()
 	if cur == markovNoState {
@@ -422,6 +426,8 @@ func (m *ConcurrentMarkov1) ObserveAndPredictTop(id cache.ID, k int) []Predictio
 }
 
 // ObserveAndPredictTopInto implements CoupledPredictor.
+//
+//prefetch:hotpath
 func (m *ConcurrentMarkov1) ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction {
 	m.Observe(id)
 	if k <= 0 {
@@ -458,9 +464,11 @@ func NewConcurrentPopularity(topK int) *ConcurrentPopularity {
 
 // Observe implements Predictor. Safe for concurrent use.
 func (p *ConcurrentPopularity) Observe(id cache.ID) {
+	//lint:allow hotpathalloc sync.Map key boxing: the runtime interns small ids and the gate TestPredictTopIntoAllocFree holds at 0 allocs/op
 	if c, ok := p.counts.Load(id); ok {
 		c.(*atomic.Int64).Add(1)
 	} else {
+		//lint:allow hotpathalloc model growth: one counter per new id, plus the sync.Map key boxing above
 		c, _ := p.counts.LoadOrStore(id, new(atomic.Int64))
 		c.(*atomic.Int64).Add(1)
 	}
@@ -498,6 +506,8 @@ func (p *ConcurrentPopularity) PredictTop(k int) []Prediction {
 }
 
 // PredictTopInto implements TopIntoPredictor.
+//
+//prefetch:hotpath
 func (p *ConcurrentPopularity) PredictTopInto(dst []Prediction, k int) []Prediction {
 	if p.topK > 0 && k > p.topK {
 		k = p.topK // Predict truncates to topK; the prefix contract follows it
@@ -511,6 +521,7 @@ func (p *ConcurrentPopularity) PredictTopInto(dst []Prediction, k int) []Predict
 	}
 	ft := float64(total)
 	top := newTopPredictionsOn(dst, k)
+	//lint:allow hotpathalloc non-capturing-by-reference Range body stays on the stack (sync.Map.Range does not retain it); gated at 0 allocs/op
 	p.counts.Range(func(key, v any) bool {
 		offerCount(&top, key.(cache.ID), v.(*atomic.Int64).Load(), ft)
 		return true
@@ -525,6 +536,8 @@ func (p *ConcurrentPopularity) ObserveAndPredictTop(id cache.ID, k int) []Predic
 }
 
 // ObserveAndPredictTopInto implements CoupledPredictor.
+//
+//prefetch:hotpath
 func (p *ConcurrentPopularity) ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction {
 	p.Observe(id)
 	if k <= 0 {
@@ -605,6 +618,7 @@ func NewConcurrentPPM(k int) *ConcurrentPPM {
 // extends.
 func (p *ConcurrentPPM) appendHistory(id cache.ID) []cache.ID {
 	p.mu.Lock()
+	//lint:allow hotpathalloc PPM is allocation-exempt by design: the history copy is bounded by k (see TestPredictTopIntoAllocFree)
 	prev := append([]cache.ID(nil), p.history...)
 	p.history = append(p.history, id)
 	if len(p.history) > p.k {
@@ -617,6 +631,7 @@ func (p *ConcurrentPPM) appendHistory(id cache.ID) []cache.ID {
 // historySnapshot copies the current history.
 func (p *ConcurrentPPM) historySnapshot() []cache.ID {
 	p.mu.Lock()
+	//lint:allow hotpathalloc PPM is allocation-exempt by design: the history copy is bounded by k
 	h := append([]cache.ID(nil), p.history...)
 	p.mu.Unlock()
 	return h
@@ -642,8 +657,10 @@ func (p *ConcurrentPPM) observe(id cache.ID) []cache.ID {
 // map copies); a count racing between the sum pass and the assign pass
 // can skew one term momentarily, and vanishes once observers quiesce.
 func (p *ConcurrentPPM) blend(history []cache.ID) map[cache.ID]float64 {
+	//lint:allow hotpathalloc PPM is allocation-exempt by design: the escape blend builds per-call maps
 	probs := make(map[cache.ID]float64)
 	carry := 1.0
+	//lint:allow hotpathalloc PPM is allocation-exempt by design: the escape blend builds per-call maps
 	excluded := make(map[cache.ID]bool)
 	for o := min(p.k, len(history)); o >= 1 && carry > 1e-12; o-- {
 		key := ctxKey(history[len(history)-o:])
@@ -707,6 +724,8 @@ func (p *ConcurrentPPM) PredictTop(k int) []Prediction {
 // but the blend itself still builds its per-call probability maps —
 // PPM's exclusion rule couples every candidate, so the Into form bounds
 // the output, not the blend.
+//
+//prefetch:hotpath
 func (p *ConcurrentPPM) PredictTopInto(dst []Prediction, k int) []Prediction {
 	if k <= 0 {
 		return nil
@@ -723,11 +742,14 @@ func (p *ConcurrentPPM) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
 }
 
 // ObserveAndPredictTopInto implements CoupledPredictor.
+//
+//prefetch:hotpath
 func (p *ConcurrentPPM) ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction {
 	prev := p.observe(id)
 	if k <= 0 {
 		return nil
 	}
+	//lint:allow hotpathalloc PPM is allocation-exempt by design: extends this call's own history copy
 	hist := append(prev, id) // prev is this call's own copy
 	if len(hist) > p.k {
 		hist = hist[len(hist)-p.k:]
@@ -791,6 +813,7 @@ func (g *ConcurrentDependencyGraph) Observe(id cache.ID) {
 	if len(g.window) <= depgraphStackWindow {
 		prevs = stack[:copy(stack[:], g.window)]
 	} else {
+		//lint:allow hotpathalloc cold fallback: windows beyond depgraphStackWindow copy to the heap; the default window fits the stack
 		prevs = append([]cache.ID(nil), g.window...)
 	}
 	g.window = append(g.window, id)
@@ -800,9 +823,11 @@ func (g *ConcurrentDependencyGraph) Observe(id cache.ID) {
 	}
 	g.mu.Unlock()
 
+	//lint:allow hotpathalloc sync.Map key boxing: the runtime interns small ids and the gate TestPredictTopIntoAllocFree holds at 0 allocs/op
 	if c, ok := g.visits.Load(id); ok {
 		c.(*atomic.Int64).Add(1)
 	} else {
+		//lint:allow hotpathalloc model growth: one visit counter per new id, plus the sync.Map key boxing above
 		c, _ := g.visits.LoadOrStore(id, new(atomic.Int64))
 		c.(*atomic.Int64).Add(1)
 	}
@@ -871,6 +896,7 @@ func (g *ConcurrentDependencyGraph) Predict() []Prediction {
 // count (probabilities clamped at 1, as in the sequential model),
 // appended to dst.
 func (g *ConcurrentDependencyGraph) topSuccessors(cur cache.ID, k int, dst []Prediction) []Prediction {
+	//lint:allow hotpathalloc sync.Map key boxing: the runtime interns small ids; gated at 0 allocs/op
 	c, ok := g.visits.Load(cur)
 	if !ok {
 		return nil
@@ -899,6 +925,8 @@ func (g *ConcurrentDependencyGraph) PredictTop(k int) []Prediction {
 }
 
 // PredictTopInto implements TopIntoPredictor.
+//
+//prefetch:hotpath
 func (g *ConcurrentDependencyGraph) PredictTopInto(dst []Prediction, k int) []Prediction {
 	if k <= 0 {
 		return nil
@@ -921,6 +949,8 @@ func (g *ConcurrentDependencyGraph) ObserveAndPredictTop(id cache.ID, k int) []P
 }
 
 // ObserveAndPredictTopInto implements CoupledPredictor.
+//
+//prefetch:hotpath
 func (g *ConcurrentDependencyGraph) ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction {
 	g.Observe(id)
 	if k <= 0 {

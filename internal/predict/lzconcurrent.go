@@ -102,6 +102,7 @@ func (l *ConcurrentLZ78) Observe(id cache.ID) { l.observe(id) }
 // addChild inserts a new child with one visit under n, or credits the
 // visit to a child a racing observer inserted first.
 func (l *ConcurrentLZ78) addChild(n *lzcNode, id cache.ID) {
+	//lint:allow hotpathalloc model growth: one trie node per new phrase, steady state allocates nothing
 	nd := &lzcNode{id: id}
 	nd.visits.Store(1)
 	for {
@@ -178,6 +179,8 @@ func (l *ConcurrentLZ78) PredictTop(k int) []Prediction {
 }
 
 // PredictTopInto implements TopIntoPredictor.
+//
+//prefetch:hotpath
 func (l *ConcurrentLZ78) PredictTopInto(dst []Prediction, k int) []Prediction {
 	return l.topNode(l.cur.Load(), k, dst)
 }
@@ -191,6 +194,8 @@ func (l *ConcurrentLZ78) ObserveAndPredictTop(id cache.ID, k int) []Prediction {
 }
 
 // ObserveAndPredictTopInto implements CoupledPredictor.
+//
+//prefetch:hotpath
 func (l *ConcurrentLZ78) ObserveAndPredictTopInto(id cache.ID, k int, dst []Prediction) []Prediction {
 	n := l.observe(id)
 	if k <= 0 {

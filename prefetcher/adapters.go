@@ -66,6 +66,8 @@ func (a predictorAdapter) PredictTop(k int) []Prediction {
 // takes this route for built-ins (it unwraps to the internal model),
 // so this exists for callers using a built-in predictor outside an
 // Engine.
+//
+//prefetch:hotpath
 func (a predictorAdapter) PredictTopInto(dst []Prediction, k int) []Prediction {
 	if k <= 0 {
 		return nil

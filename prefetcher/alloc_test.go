@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/predict"
+	"repro/prefetcher/fetch"
 )
 
 // TestGetHitAllocFree pins the PR's headline property as a regression
@@ -26,6 +27,61 @@ func TestGetHitAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("cache-hit Get allocated %v times per call; want 0", allocs)
+	}
+}
+
+// TestFabricBatchDispatchAllocFree pins the routed-speculation
+// counterpart of TestGetHitAllocFree: with a multi-backend,
+// batch-capable fabric, a steady-state cache hit — prediction, backend
+// partitioning, per-link admission, the global-cap trim and the pooled
+// batch-job dispatch (dedup finds every candidate resident and returns
+// the job to the pool) — allocates nothing. This is the gate the
+// routeScratch/batchJob pools exist for.
+func TestFabricBatchDispatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime drops sync.Pool Puts by design; pooled steady state is unreachable (CI runs this gate without -race)")
+	}
+	eng, err := New(nil,
+		WithBackends(
+			fetch.Backend{Name: "a", Fetcher: &batchBackend{}},
+			fetch.Backend{Name: "b", Fetcher: &batchBackend{}},
+		),
+		WithBandwidth(1e6),
+		WithShards(1),
+		WithCache(NewLRUCache(4*64)),
+		WithWorkers(1),
+		WithMaxPrefetch(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	ids := make([]ID, 64)
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	// Two warm passes: the first faults everything in, the second walks
+	// the same cycle so every predicted successor is itself resident.
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range ids {
+			if _, err := eng.Get(ctx, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := eng.Get(ctx, ids[i%len(ids)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("routed cache-hit Get allocated %v times per call; want 0", allocs)
 	}
 }
 

@@ -80,6 +80,34 @@
 // after the cooldown re-admits a healed backend. Per-backend counters,
 // link estimates and breaker state appear in Stats.Backends.
 //
+// # Invariants
+//
+// The package maintains a set of concurrency and allocation invariants
+// that the repo's own static analyzers (cmd/prefetchvet, built from
+// internal/lint) enforce on every build:
+//
+//   - Hot-path functions are annotated //prefetch:hotpath and must not
+//     allocate — neither directly nor through any same-package callee.
+//     Buffers on these paths are caller-supplied or drawn from a
+//     sync.Pool; deliberate cold-branch allocations carry a
+//     //lint:allow hotpathalloc waiver with a reason (hotpathalloc).
+//   - No blocking operation runs while a shard mutex is held, and
+//     every shard-mutex Lock pairs with an Unlock on all exit paths;
+//     the queue push in finishEnqueue happens under a shard lock via
+//     non-blocking select precisely to respect this (lockscope).
+//   - The per-shard counter block is annotated //prefetch:cacheline
+//     and pads to whole 64-byte cache lines, so two shards' atomics
+//     never share a line; 64-bit atomic fields stay 8-aligned even on
+//     32-bit layouts (atomicalign).
+//   - Pooled objects — flights, prediction buffers, route scratch,
+//     batch jobs — are returned to their pool on every path and never
+//     touched after the Put; ownership transfers (a batch job pushed
+//     to the worker queue) are documented at the transfer point
+//     (poolhygiene).
+//   - Library code never mints context.Background()/TODO(): contexts
+//     flow in from the caller, and the engine's own lifecycle root is
+//     created once in New and cancelled in Close (ctxflow).
+//
 // For offline capacity planning — what threshold, what gain, what
 // cost, from known parameters instead of live estimates — use Planner.
 package prefetcher

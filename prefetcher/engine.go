@@ -72,11 +72,17 @@ type job struct {
 
 // batchJob is one coalesced speculative fetch: several candidates
 // routed to the same batch-capable backend, dispatched as a single
-// FetchBatch call. ids and fs are index-aligned.
+// FetchBatch call. ids and fs are index-aligned. Jobs are pooled
+// (Engine.batchPool): dispatchRouted draws one, ownership moves to the
+// worker with the queue push, and whoever retires the job — the worker,
+// a failed push, or Close's drain — resets it back to the pool
+// (putBatch). fids is the worker-side staging buffer for the fabric
+// call, carried here so it is recycled with the job.
 type batchJob struct {
 	backend int
 	ids     []ID
 	fs      []*flight
+	fids    []fetch.ID
 }
 
 // candBufs is the per-request scratch a Get borrows from the engine's
@@ -161,10 +167,14 @@ type Engine struct {
 
 	// flightPool recycles flight objects (and, when no joiner forced a
 	// close, their done channels); bufPool recycles the per-request
-	// candidate buffers. Together they take the per-Get garbage on the
-	// hot paths to zero in steady state.
+	// candidate buffers; routePool recycles the fabric path's planning
+	// scratch and batchPool its coalesced batch jobs. Together they
+	// take the per-Get garbage on the hot paths to zero in steady
+	// state.
 	flightPool sync.Pool
 	bufPool    sync.Pool
+	routePool  sync.Pool
+	batchPool  sync.Pool
 
 	closed atomic.Bool
 
@@ -215,6 +225,7 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 		maxPrefetch = 0
 	}
 
+	//lint:allow ctxflow engine-owned lifecycle root, cancelled in Close
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		fetcher:     fetcher,
@@ -268,6 +279,8 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 		f.refs.Store(1)
 		return f
 	}
+	e.routePool.New = func() any { return &routeScratch{} }
+	e.batchPool.New = func() any { return &batchJob{} }
 	bufCap := maxPrefetch
 	if bufCap < 1 {
 		bufCap = 1
@@ -344,6 +357,7 @@ func (e *Engine) now() float64 { return e.clock.Now().Sub(e.epoch).Seconds() }
 func (e *Engine) newFlight() *flight {
 	f := e.flightPool.Get().(*flight)
 	if f.done == nil {
+		//lint:allow hotpathalloc replaces the done channel a joiner consumed; pure hit paths never reach a flight
 		f.done = make(chan struct{})
 	}
 	return f
@@ -384,6 +398,8 @@ func (e *Engine) putBufs(b *candBufs) { e.bufPool.Put(b) }
 // a pooled buffer, the critical section touches only the shard's maps,
 // and all counter bumps and estimator folds happen on atomics outside
 // it.
+//
+//prefetch:hotpath
 func (e *Engine) Get(ctx context.Context, id ID) (Item, error) {
 	if err := ctx.Err(); err != nil {
 		return Item{}, err
@@ -413,6 +429,7 @@ func (e *Engine) get(ctx context.Context, id ID, now float64, cands []predict.Pr
 
 	// Hit fast path.
 	if v, ok := sh.cache.Get(id); ok {
+		//lint:allow lockscope lock handoff: serveResident unlocks after the resident bookkeeping
 		return e.serveResident(sh, id, now, v, true, cands), nil
 	}
 
@@ -466,6 +483,7 @@ func (e *Engine) get(ctx context.Context, id ID, now float64, cands []predict.Pr
 		if v, ok := sh.cache.Get(id); ok {
 			// Another request cached it while we waited. Serve it; the
 			// request stays counted as the miss it was on arrival.
+			//lint:allow lockscope lock handoff: serveResident unlocks after the resident bookkeeping
 			return e.serveResident(sh, id, now, v, false, cands), nil
 		}
 		f, owner = sh.joinOrRegister(e, id)
@@ -882,6 +900,8 @@ func (e *Engine) Threshold() float64 {
 // the fabric's batch dispatch settles its issued counters after the
 // push, so Accuracy can transiently overshoot there); after Quiesce
 // (or any pause in traffic) the counts are exact.
+//
+//prefetch:hotpath
 func (e *Engine) Stats() Stats {
 	st := e.ctrl.State(e.occupancy())
 	s := Stats{
@@ -999,6 +1019,9 @@ drain:
 				sh.mu.Unlock()
 				e.releaseFlight(fs[i])
 				e.specDone()
+			}
+			if j.batch != nil {
+				e.putBatch(j.batch)
 			}
 		default:
 			break drain

@@ -93,13 +93,62 @@ func (e *Engine) fabricDemandFetch(ctx context.Context, id ID) (Item, error) {
 	return Item{ID: ID(fi.ID), Size: fi.Size, Data: fi.Data}, err
 }
 
+// routeScratch is the pooled planning state for one routed dispatch
+// pass: the per-backend partition and selection tables, the flattened
+// global-cap sort buffer and keep set, and the id staging buffers.
+// Pooling it is what keeps the fabric's speculative planning
+// allocation-free in steady state (gated by
+// TestFabricBatchDispatchAllocFree).
+type routeScratch struct {
+	groups [][]predict.Prediction
+	sels   [][]predict.Prediction
+	flat   []predict.Prediction
+	keep   map[ID]bool
+	ids    []ID
+	fids   []fetch.ID
+}
+
+//prefetch:hotpath
+func (e *Engine) getRoute() *routeScratch { return e.routePool.Get().(*routeScratch) }
+
+//prefetch:hotpath
+func (e *Engine) putRoute(sc *routeScratch) { e.routePool.Put(sc) }
+
+//prefetch:hotpath
+func (e *Engine) getBatch() *batchJob { return e.batchPool.Get().(*batchJob) }
+
+// putBatch resets a batch job and returns it to the pool; the flight
+// pointers are cleared so a pooled job does not pin resolved flights.
+//
+//prefetch:hotpath
+func (e *Engine) putBatch(bj *batchJob) {
+	clear(bj.fs)
+	bj.ids, bj.fs, bj.fids = bj.ids[:0], bj.fs[:0], bj.fids[:0]
+	e.batchPool.Put(bj)
+}
+
+// compareByProb orders predictions most-probable first (ties by id).
+// Package-level so the hot sort does not allocate a closure.
+func compareByProb(a, b predict.Prediction) int {
+	switch {
+	case a.Prob > b.Prob || (a.Prob == b.Prob && a.Item < b.Item):
+		return -1
+	default:
+		return 1
+	}
+}
+
 // scheduleRouted is schedule's fabric-mode counterpart: candidates are
 // partitioned by the backend the router would fetch them from, each
 // group is admitted against the threshold computed from *that link's*
 // ρ̂′ — the load the candidate's own fetch would compete with — and
 // the admitted ones are dispatched per backend: parked when the link
 // sits above the idle watermark, coalesced into one batch call when
-// the backend supports it, individual jobs otherwise.
+// the backend supports it, individual jobs otherwise. All planning
+// state lives in a pooled routeScratch, so the pass allocates nothing
+// in steady state.
+//
+//prefetch:hotpath
 func (e *Engine) scheduleRouted(cands []predict.Prediction) {
 	nb := e.fabric.NumBackends()
 	nc := e.occupancy()
@@ -126,20 +175,35 @@ func (e *Engine) scheduleRouted(cands []predict.Prediction) {
 			}
 			return
 		}
-		ids := make([]ID, len(sel))
-		for i, c := range sel {
-			ids[i] = ID(c.Item)
+		sc := e.getRoute()
+		ids := sc.ids[:0]
+		for _, c := range sel {
+			ids = append(ids, ID(c.Item))
 		}
+		sc.ids = ids
 		e.deferOrDispatch(0, ids)
+		e.putRoute(sc)
 		return
 	}
 
-	groups := make([][]predict.Prediction, nb)
+	sc := e.getRoute()
+	defer e.putRoute(sc)
+	if cap(sc.groups) < nb {
+		// First pass at this backend count: size the per-backend tables
+		// once; every later pass reslices the same backing.
+		//lint:allow hotpathalloc scratch growth to the backend count, first pass only
+		sc.groups = make([][]predict.Prediction, nb)
+		//lint:allow hotpathalloc scratch growth to the backend count, first pass only
+		sc.sels = make([][]predict.Prediction, nb)
+	}
+	groups, sels := sc.groups[:nb], sc.sels[:nb]
+	for b := range groups {
+		groups[b], sels[b] = groups[b][:0], sels[b][:0]
+	}
 	for _, c := range cands {
 		b := e.fabric.Route(fetch.ID(c.Item))
 		groups[b] = append(groups[b], c)
 	}
-	sels := make([][]predict.Prediction, nb)
 	total := 0
 	for b, g := range groups {
 		if len(g) == 0 {
@@ -156,19 +220,18 @@ func (e *Engine) scheduleRouted(cands []predict.Prediction) {
 	// The per-request cap is global: when per-link admission together
 	// exceeds it, keep the most probable candidates across links.
 	if total > e.maxPrefetch {
-		flat := make([]predict.Prediction, 0, total)
+		flat := sc.flat[:0]
 		for _, sel := range sels {
 			flat = append(flat, sel...)
 		}
-		slices.SortFunc(flat, func(a, b predict.Prediction) int {
-			switch {
-			case a.Prob > b.Prob || (a.Prob == b.Prob && a.Item < b.Item):
-				return -1
-			default:
-				return 1
-			}
-		})
-		keep := make(map[ID]bool, e.maxPrefetch)
+		sc.flat = flat
+		slices.SortFunc(flat, compareByProb)
+		if sc.keep == nil {
+			//lint:allow hotpathalloc keep set created once per scratch, cleared and reused across passes
+			sc.keep = make(map[ID]bool, e.maxPrefetch)
+		}
+		keep := sc.keep
+		clear(keep)
 		for _, c := range flat[:e.maxPrefetch] {
 			keep[ID(c.Item)] = true
 		}
@@ -186,10 +249,15 @@ func (e *Engine) scheduleRouted(cands []predict.Prediction) {
 		if len(sel) == 0 {
 			continue
 		}
-		ids := make([]ID, len(sel))
-		for i, c := range sel {
-			ids[i] = ID(c.Item)
+		// One staging buffer serves every backend in turn:
+		// deferOrDispatch consumes the ids synchronously (they are
+		// copied into the batch job, the park queue or the job struct)
+		// so the buffer is free again by the next iteration.
+		ids := sc.ids[:0]
+		for _, c := range sel {
+			ids = append(ids, ID(c.Item))
 		}
+		sc.ids = ids
 		e.deferOrDispatch(b, ids)
 	}
 }
@@ -197,6 +265,8 @@ func (e *Engine) scheduleRouted(cands []predict.Prediction) {
 // deferOrDispatch lands one backend's admitted candidates: parked with
 // the idle gate while the link is in a busy period, dispatched to the
 // worker pool otherwise.
+//
+//prefetch:hotpath
 func (e *Engine) deferOrDispatch(b int, ids []ID) {
 	if e.fabric.Busy(b) {
 		// The link is in a busy period: park the candidates with
@@ -207,8 +277,10 @@ func (e *Engine) deferOrDispatch(b int, ids []ID) {
 		// dedup dispatch applies), so the Deferred count and the
 		// bounded queue only carry work an idle period could
 		// actually use; the fabric additionally drops ids already
-		// parked.
-		fids := make([]fetch.ID, 0, len(ids))
+		// parked. Defer copies the accepted ids into its park queue,
+		// so the staging buffer goes straight back to the pool.
+		sc := e.getRoute()
+		fids := sc.fids[:0]
 		for _, id := range ids {
 			sh := e.shardFor(id)
 			sh.mu.Lock()
@@ -219,12 +291,13 @@ func (e *Engine) deferOrDispatch(b int, ids []ID) {
 				fids = append(fids, fetch.ID(id))
 			}
 		}
-		if len(fids) == 0 {
-			return
+		sc.fids = fids
+		if len(fids) > 0 {
+			for _, fid := range e.fabric.Defer(b, fids...) {
+				e.emit(Event{Type: EventPrefetchDeferred, ID: ID(fid)})
+			}
 		}
-		for _, fid := range e.fabric.Defer(b, fids...) {
-			e.emit(Event{Type: EventPrefetchDeferred, ID: ID(fid)})
-		}
+		e.putRoute(sc)
 		return
 	}
 	e.dispatchRouted(b, ids)
@@ -233,7 +306,12 @@ func (e *Engine) deferOrDispatch(b int, ids []ID) {
 // dispatchRouted registers flights for the given candidates and hands
 // them to the worker pool: one batch job when the backend can coalesce
 // and more than one candidate survived dedup, individual jobs
-// otherwise. Also the landing path for idle-gate releases.
+// otherwise. Also the landing path for idle-gate releases. The batch
+// job is pooled: ownership passes to the worker with the queue push and
+// the job returns to the pool when its fetch completes (or when it is
+// dropped, failed or degenerates to a single-id job here).
+//
+//prefetch:hotpath
 func (e *Engine) dispatchRouted(backend int, ids []ID) {
 	if len(ids) < 2 || !e.fabric.BatchCapable(backend) {
 		for _, id := range ids {
@@ -247,13 +325,15 @@ func (e *Engine) dispatchRouted(backend int, ids []ID) {
 	// are settled per id after the push: issued on success, dropped —
 	// with the flight failed so joiners fall back to a demand fetch —
 	// when the queue is full or the engine closed underneath us.
-	bj := &batchJob{backend: backend}
+	bj := e.getBatch()
+	bj.backend = backend
 	for _, id := range ids {
 		sh := e.shardFor(id)
 		sh.mu.Lock()
 		if e.closed.Load() {
 			sh.mu.Unlock()
 			e.failBatch(bj, ErrClosed)
+			e.putBatch(bj)
 			return
 		}
 		if sh.cache.Contains(id) {
@@ -273,9 +353,12 @@ func (e *Engine) dispatchRouted(backend int, ids []ID) {
 	}
 	switch len(bj.ids) {
 	case 0:
+		e.putBatch(bj)
 		return
 	case 1:
-		e.finishEnqueue(job{id: bj.ids[0], f: bj.fs[0], backend: backend})
+		j := job{id: bj.ids[0], f: bj.fs[0], backend: backend}
+		e.putBatch(bj)
+		e.finishEnqueue(j)
 		return
 	}
 	e.finishEnqueue(job{batch: bj})
@@ -290,8 +373,15 @@ func (e *Engine) dispatchRouted(backend int, ids []ID) {
 // Close's lock-cycling barrier still guarantees no job enters the
 // queue after the drain — a batch that loses that race fails its
 // flights with ErrClosed instead.
+//
+//prefetch:hotpath
 func (e *Engine) finishEnqueue(j job) {
-	ids, fs := []ID{j.id}, []*flight{j.f}
+	// Stack staging for the single-job case; a batch brings its own
+	// pooled slices.
+	var idbuf [1]ID
+	var fbuf [1]*flight
+	ids, fs := idbuf[:], fbuf[:]
+	ids[0], fs[0] = j.id, j.f
 	if j.batch != nil {
 		ids, fs = j.batch.ids, j.batch.fs
 	}
@@ -343,6 +433,10 @@ func (e *Engine) finishEnqueue(j job) {
 			e.emit(Event{Type: EventPrefetchDropped, ID: id})
 		}
 	}
+	// The push failed, so no worker will ever own this batch.
+	if j.batch != nil {
+		e.putBatch(j.batch)
+	}
 }
 
 // failBatch deregisters and fails every flight already registered for
@@ -371,20 +465,29 @@ func (e *Engine) releaseDeferred(backend int, fids []fetch.ID) {
 	if e.closed.Load() {
 		return // dispatchRouted re-checks under the shard locks
 	}
-	ids := make([]ID, len(fids))
-	for i, id := range fids {
-		ids[i] = ID(id)
+	sc := e.getRoute()
+	ids := sc.ids[:0]
+	for _, id := range fids {
+		ids = append(ids, ID(id))
 	}
+	sc.ids = ids
+	// dispatchRouted consumes ids synchronously (copied into the batch
+	// job or the individual job structs), so the scratch goes straight
+	// back.
 	e.dispatchRouted(backend, ids)
+	e.putRoute(sc)
 }
 
 // runPrefetchBatch executes one coalesced speculative fetch and
-// completes every flight it carried.
+// completes every flight it carried, then retires the pooled job. The
+// fabric's batch call is synchronous (no hedge goroutine outlives it),
+// so the job's fid staging buffer is free to reuse once it returns.
 func (e *Engine) runPrefetchBatch(bj *batchJob) {
-	fids := make([]fetch.ID, len(bj.ids))
-	for i, id := range bj.ids {
-		fids[i] = fetch.ID(id)
+	fids := bj.fids[:0]
+	for _, id := range bj.ids {
+		fids = append(fids, fetch.ID(id))
 	}
+	bj.fids = fids
 	items, err := e.fabric.FetchSpeculativeBatch(e.baseCtx, bj.backend, fids)
 	for i, id := range bj.ids {
 		var item Item
@@ -394,4 +497,5 @@ func (e *Engine) runPrefetchBatch(bj *batchJob) {
 		e.completePrefetch(id, bj.fs[i], item, err)
 		e.specDone()
 	}
+	e.putBatch(bj)
 }

@@ -3,6 +3,7 @@ package fetch
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -239,5 +240,75 @@ func TestBreakerStragglerCancellationKeepsProbe(t *testing.T) {
 	f.observe(b, now.Now(), Item{}, context.Canceled, true, true)
 	if st := f.breakerState(b); st != "open" {
 		t.Fatalf("cancelled probe left the breaker %q, want open", st)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbeRace is the concurrent counterpart of
+// TestBreakerHalfOpenSingleProbe, meant to run under -race: many
+// goroutines race the elapsed cooldown simultaneously, and the
+// breakerOpen→breakerHalfOpen CompareAndSwap in acquire must admit
+// exactly one probe — every other caller is refused without tearing
+// the breaker state.
+func TestBreakerHalfOpenSingleProbeRace(t *testing.T) {
+	now := &manualNow{}
+	bad := &breakerFetcher{}
+	bad.broken.Store(true)
+	f := newBreakerFabric(t, now,
+		Backend{Name: "solo", Fetcher: bad, Bandwidth: 100},
+	)
+	for i := 0; i < 3; i++ {
+		f.FetchSpeculative(context.Background(), 0, ID(i)) //nolint:errcheck
+	}
+	if st := f.breakerState(f.backends[0]); st != "open" {
+		t.Fatalf("breaker %q after threshold failures, want open", st)
+	}
+	now.Advance(2)
+
+	const callers = 32
+	var (
+		start    sync.WaitGroup
+		done     sync.WaitGroup
+		gate     = make(chan struct{})
+		grantedN atomic.Int64
+		probes   atomic.Int64
+	)
+	b := f.backends[0]
+	start.Add(callers)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer done.Done()
+			start.Done()
+			<-gate
+			granted, probe := f.acquire(b)
+			if granted {
+				grantedN.Add(1)
+			}
+			if probe {
+				probes.Add(1)
+			}
+			if granted != probe {
+				t.Errorf("half-open grant without probe ownership (granted=%t probe=%t)", granted, probe)
+			}
+		}()
+	}
+	start.Wait()
+	close(gate)
+	done.Wait()
+	if grantedN.Load() != 1 || probes.Load() != 1 {
+		t.Fatalf("granted=%d probes=%d across %d concurrent callers, want exactly 1/1", grantedN.Load(), probes.Load(), callers)
+	}
+	if st := f.breakerState(b); st != "half-open" {
+		t.Fatalf("breaker %q after the race, want half-open", st)
+	}
+	// The winning probe's verdict still decides: a success closes the
+	// breaker and normal traffic resumes.
+	bad.broken.Store(false)
+	f.breakerSuccess(b, true)
+	if st := f.breakerState(b); st != "closed" {
+		t.Fatalf("probe success left the breaker %q, want closed", st)
+	}
+	if _, err := f.Fetch(context.Background(), 1); err != nil {
+		t.Fatalf("fetch after recovery: %v", err)
 	}
 }

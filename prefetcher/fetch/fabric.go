@@ -186,6 +186,7 @@ func New(cfg Config) (*Fabric, error) {
 			cooldown  float64
 		}{threshold: thresh, cooldown: cooldown}
 	}
+	//lint:allow ctxflow fabric-owned lifecycle root, cancelled in Close
 	f.baseCtx, f.baseCancel = context.WithCancel(context.Background())
 	seen := make(map[string]bool, len(cfg.Backends))
 	for i, b := range cfg.Backends {

@@ -14,6 +14,8 @@ import (
 // The per-shard counters below are counter values: a bump is one atomic
 // add that needs no shard mutex, which keeps accounting off the shard's
 // critical sections entirely and makes Stats a wait-free snapshot.
+//
+//prefetch:cacheline
 type counter struct {
 	atomic.Int64
 	_ [56]byte // 64-byte line minus the 8-byte count
@@ -81,6 +83,8 @@ func newShard(c Cache) *shard {
 // consumeUnusedLocked clears id's prefetched-but-unused marker,
 // reporting whether it was set — the caller charges prefetchUsed after
 // releasing the lock. Called with sh.mu held.
+//
+//prefetch:hotpath
 func (sh *shard) consumeUnusedLocked(id ID) bool {
 	if _, ok := sh.unused[id]; ok {
 		delete(sh.unused, id)
@@ -94,6 +98,8 @@ func (sh *shard) consumeUnusedLocked(id ID) bool {
 // spaces produce; taking the top bits keeps the map uniform for any
 // power-of-two shard count. With one shard the shift is 64 and the index
 // is always 0.
+//
+//prefetch:hotpath
 func (e *Engine) shardFor(id ID) *shard {
 	h := uint64(id) * 0x9E3779B97F4A7C15
 	return e.shards[h>>e.shardShift]
@@ -127,6 +133,8 @@ func defaultShards() int {
 // any other cache call — is debited by the shard's eviction callback
 // (onEvict), so the counter stays correct for any Cache that reports
 // its evictions. Called with sh.mu held.
+//
+//prefetch:hotpath
 func (e *Engine) putCache(sh *shard, id ID, data any) {
 	fresh := !sh.cache.Contains(id)
 	sh.cache.Put(id, data)
@@ -140,6 +148,8 @@ func (e *Engine) putCache(sh *shard, id ID, data any) {
 // never fetched itself, e.g. items already present in a user-supplied
 // prewarmed cache. The fallback is memoised so ŝ̄ and repeated hits see
 // a consistent value. Called with sh.mu held.
+//
+//prefetch:hotpath
 func (sh *shard) residentSize(id ID) float64 {
 	size, ok := sh.sizes[id]
 	if !ok {
