@@ -1,6 +1,7 @@
-// Command prefetchvet is the repo's multichecker: it runs the five
+// Command prefetchvet is the repo's multichecker: it runs the nine
 // internal/lint analyzers (hotpathalloc, lockscope, atomicalign,
-// poolhygiene, ctxflow) over the module.
+// poolhygiene, ctxflow, lockorder, atomicmix, goroutinelife, chanlife)
+// over the module.
 //
 // Two modes:
 //
@@ -32,8 +33,12 @@ import (
 
 	"repro/internal/lint"
 	"repro/internal/lint/atomicalign"
+	"repro/internal/lint/atomicmix"
+	"repro/internal/lint/chanlife"
 	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/goroutinelife"
 	"repro/internal/lint/hotpathalloc"
+	"repro/internal/lint/lockorder"
 	"repro/internal/lint/lockscope"
 	"repro/internal/lint/poolhygiene"
 )
@@ -44,16 +49,21 @@ const progname = "prefetchvet"
 // flags because the whole point is that the suite is the contract.
 var analyzers = []*lint.Analyzer{
 	atomicalign.Analyzer,
+	atomicmix.Analyzer,
+	chanlife.Analyzer,
 	ctxflow.Analyzer,
+	goroutinelife.Analyzer,
 	hotpathalloc.Analyzer,
+	lockorder.Analyzer,
 	lockscope.Analyzer,
 	poolhygiene.Analyzer,
 }
 
 var (
-	jsonFlag  = flag.Bool("json", false, "emit findings as JSON on stdout instead of plain text on stderr")
-	vFlag     = flag.String("V", "", "print version and exit (cmd/go tool protocol)")
-	flagsFlag = flag.Bool("flags", false, "print analyzer flags in JSON (cmd/go tool protocol)")
+	jsonFlag   = flag.Bool("json", false, "emit findings as JSON on stdout instead of plain text on stderr")
+	strictFlag = flag.Bool("strict-waivers", false, "fail when a //lint:allow waiver suppressed nothing (stale-waiver enforcement)")
+	vFlag      = flag.String("V", "", "print version and exit (cmd/go tool protocol)")
+	flagsFlag  = flag.Bool("flags", false, "print analyzer flags in JSON (cmd/go tool protocol)")
 )
 
 func usage() {
@@ -107,7 +117,10 @@ func printFlagDefs() {
 		Bool  bool
 		Usage string
 	}
-	defs := []jsonFlagDef{{Name: "json", Bool: true, Usage: "emit findings as JSON on stdout"}}
+	defs := []jsonFlagDef{
+		{Name: "json", Bool: true, Usage: "emit findings as JSON on stdout"},
+		{Name: "strict-waivers", Bool: true, Usage: "fail when a //lint:allow waiver suppressed nothing"},
+	}
 	data, err := json.Marshal(defs)
 	if err != nil {
 		log.Fatal(err)
@@ -199,7 +212,7 @@ func checkPatterns(dir string, patterns []string) ([]pkgDiags, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds, err := lint.RunAnalyzers(pkg, analyzers)
+		ds, err := runSuite(pkg)
 		if err != nil {
 			return nil, err
 		}
@@ -290,10 +303,19 @@ func unitcheck(cfgPath string) int {
 		log.Print(err)
 		return 1
 	}
-	ds, err := lint.RunAnalyzers(pkg, analyzers)
+	ds, err := runSuite(pkg)
 	if err != nil {
 		log.Print(err)
 		return 1
 	}
 	return emit(os.Stderr, []pkgDiags{{path: path, diags: ds}})
+}
+
+// runSuite applies the full analyzer suite to one package, with
+// stale-waiver enforcement when -strict-waivers is on.
+func runSuite(pkg *lint.Package) ([]lint.Diagnostic, error) {
+	if *strictFlag {
+		return lint.RunAnalyzersStrict(pkg, analyzers)
+	}
+	return lint.RunAnalyzers(pkg, analyzers)
 }

@@ -1,0 +1,142 @@
+// Package atomicmix enforces the all-or-nothing rule for atomic fields:
+// a struct field accessed through sync/atomic anywhere in the package
+// must never be read or written plainly elsewhere. A plain load next to
+// an atomic store is a data race the race detector only catches if a
+// test happens to interleave the two; the analyzer catches it at build
+// time, package-wide — the atomic side may sit in Stats() while the
+// plain side hides in a helper three files away.
+//
+// Both access styles count as atomic: pointer-style calls
+// (atomic.AddInt64(&s.f, 1)) and methods on atomic-typed or
+// atomic-embedding fields (s.f.Add(1), including methods promoted
+// through an embedded atomic.Int64 such as the engine's padded counter
+// type). Every other selection of such a field — a read, a write, a
+// copy, taking its address for non-atomic use — is reported.
+//
+// The rare legitimate mix is a plain access protected by a lock that
+// also serialises every atomic access; such an access is waived with
+// //lint:allow atomicmix <reason>, and the reason must name the
+// protecting lock.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &lint.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed through sync/atomic anywhere must never be read or written plainly elsewhere",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	// The facts layer records every sync/atomic field access in the
+	// package. Fields with at least one are the protected set; the
+	// recorded positions identify the atomic access sites themselves so
+	// the plain-access walk below can skip them.
+	atomicFields := make(map[*types.Var]lint.AtomicUse)
+	atomicSites := make(map[token.Pos]bool)
+	for _, ff := range pass.Facts.Funcs {
+		if ff.TestFile() {
+			continue
+		}
+		for _, au := range ff.Atomics {
+			// A pointer-typed field (*atomic.Int64) is exempt: the
+			// atomic ops target the pointed-to value, while a plain
+			// read of the field only copies the pointer — no race with
+			// the atomic side.
+			if _, isPtr := au.Field.Type().(*types.Pointer); isPtr {
+				continue
+			}
+			if _, ok := atomicFields[au.Field]; !ok {
+				atomicFields[au.Field] = au
+			}
+			atomicSites[au.Pos] = true
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	var diags []finding
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel.Pos()] {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			ev, isAtomic := atomicFields[field]
+			if !isAtomic {
+				return true
+			}
+			diags = append(diags, finding{pos: sel.Pos(), field: field, ev: ev})
+			return true
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
+	for _, d := range diags {
+		evPos := pass.Fset.Position(d.ev.Pos)
+		owner := ownerName(d.field)
+		pass.Reportf(d.pos,
+			"plain access to %s.%s, which is accessed atomically elsewhere (%s at %s:%d): every access must go through sync/atomic, or carry //lint:allow atomicmix naming the protecting lock",
+			owner, d.field.Name(), d.ev.Via, shortFile(evPos.Filename), evPos.Line)
+	}
+	return nil
+}
+
+type finding struct {
+	pos   token.Pos
+	field *types.Var
+	ev    lint.AtomicUse
+}
+
+// ownerName names the struct type the field belongs to, best-effort.
+func ownerName(field *types.Var) string {
+	if field.Pkg() == nil {
+		return "?"
+	}
+	// Walk the package scope for a named struct type declaring the
+	// field; fall back to the package name.
+	scope := field.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn.Name()
+			}
+		}
+	}
+	return field.Pkg().Name()
+}
+
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,11 @@
+package atomicmix
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "atomfix")
+}

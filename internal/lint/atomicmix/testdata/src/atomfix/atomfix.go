@@ -1,0 +1,89 @@
+// Package atomfix is the atomicmix fixture corpus: pointer-style and
+// promoted-method atomics mixed with plain accesses (reported), a
+// lock-protected plain access waived with the protecting lock named,
+// and purely-atomic / purely-plain fields that must stay silent.
+package atomfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// P mixes pointer-style atomics with plain accesses.
+type P struct {
+	n    int64
+	only int64 // never touched atomically: plain accesses are fine
+}
+
+func incAtomic(p *P) {
+	atomic.AddInt64(&p.n, 1)
+}
+
+func plainWrite(p *P) {
+	p.n = 0 // want `plain access to P\.n, which is accessed atomically elsewhere`
+}
+
+func plainRead(p *P) int64 {
+	return p.n // want `plain access to P\.n, which is accessed atomically elsewhere`
+}
+
+func plainOnly(p *P) {
+	p.only++
+}
+
+// ctr embeds an atomic (the engine's padded-counter shape): methods
+// promoted from atomic.Int64 count as atomic accesses of the field.
+type ctr struct {
+	atomic.Int64
+	_ [56]byte
+}
+
+type S struct {
+	hits ctr
+	// misses is only ever accessed atomically: silent.
+	misses ctr
+}
+
+func bump(s *S) {
+	s.hits.Add(1)
+	s.misses.Add(1)
+}
+
+func snapshot(s *S) int64 {
+	return s.hits.Load() + s.misses.Load()
+}
+
+func leak(s *S) *ctr {
+	return &s.hits // want `plain access to S\.hits, which is accessed atomically elsewhere`
+}
+
+// Ptr holds a *pointer* to an atomic: the ops target the pointed-to
+// value, so plainly reading or comparing the pointer itself is exempt.
+type Ptr struct {
+	c *atomic.Int64
+}
+
+func ptrBump(p *Ptr) {
+	p.c.Add(1)
+}
+
+func ptrSame(a, b *Ptr) bool {
+	return a.c == b.c
+}
+
+// G's plain access is deliberate: g.mu also serialises every atomic
+// reader, so the mixed access is waived with the protecting lock named.
+type G struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func observe(g *G) int64 {
+	return atomic.LoadInt64(&g.v)
+}
+
+func resetLocked(g *G) {
+	g.mu.Lock()
+	g.v = 0 //lint:allow atomicmix plain write serialised by g.mu, which every atomic reader also holds in this fixture
+	g.mu.Unlock()
+}

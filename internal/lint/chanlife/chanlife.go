@@ -1,0 +1,268 @@
+// Package chanlife enforces the package's channel discipline, two
+// rules with one goal: no send that can panic or hang after shutdown.
+//
+// Rule 1 — no send on a channel another function may close. Sending and
+// closing from different functions is the classic shutdown race: the
+// closer wins, the sender panics. The closer should be the only writer
+// (the close-barrier channels goroutinelife endorses are receive-only
+// for everyone else).
+//
+// Rule 2 — no unconditional blocking send in library code. A bare
+// `ch <- v` with no select escape blocks forever once the receiver is
+// gone; after Close that is a leaked goroutine. A send passes if it
+// sits in a select with a default or a ctx.Done()/close-barrier receive
+// arm, or if the channel is created buffered in the same function (the
+// fabric's hedge results channel: capacity = attempts, so every
+// in-flight attempt can deposit its result and exit even when nobody is
+// listening any more).
+//
+// Commands, examples and test files are exempt. A deliberate blocking
+// send (a synchronous rendezvous that is the contract) is waived with
+// //lint:allow chanlife <reason>.
+package chanlife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the chanlife check.
+var Analyzer = &lint.Analyzer{
+	Name: "chanlife",
+	Doc:  "no send on a channel another function may close; no unconditional blocking send in library code",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() == "main" || !lint.LibraryPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	buffered := bufferedLocals(pass.TypesInfo, fd.Body)
+	// selectOf maps a send that is a select's comm clause to its select.
+	selectOf := map[*ast.SendStmt]*ast.SelectStmt{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				selectOf[send] = sel
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		name := chanDisplay(pass, send.Chan)
+		// Rule 1: a close in a different function races this send.
+		if key, ok := lint.ChanKey(pass.TypesInfo, pass.Fset, send.Chan); ok {
+			if closer := foreignCloser(pass, key, send.Pos()); closer != nil {
+				pass.Reportf(send.Pos(),
+					"send on %s, which %s closes: a close racing this send panics the sender — make the closer the only writer, or prove exclusion and waive with //lint:allow chanlife <reason>",
+					name, closer.Display)
+				return true
+			}
+		}
+		// Rule 2: the send must be able to bail out.
+		if sel, ok := selectOf[send]; ok && selectEscapes(pass, sel) {
+			return true
+		}
+		if obj := chanObject(pass.TypesInfo, send.Chan); obj != nil && buffered[obj] {
+			return true
+		}
+		pass.Reportf(send.Pos(),
+			"unconditional send on %s in library code can block forever once the receiver is gone: add a select with a default or ctx.Done()/close-barrier arm, or buffer the channel where it is created (//lint:allow chanlife <reason> if blocking is the contract)",
+			name)
+		return true
+	})
+}
+
+// foreignCloser returns the facts of a function that closes the channel
+// key, if that function is not the one containing pos.
+func foreignCloser(pass *lint.Pass, key string, pos token.Pos) *lint.FuncFacts {
+	closes := pass.Facts.Closed[key]
+	if len(closes) == 0 {
+		return nil
+	}
+	sender := enclosingFunc(pass, pos)
+	for _, c := range closes {
+		if c.Fn != sender {
+			return c.Fn
+		}
+	}
+	return nil
+}
+
+// enclosingFunc finds the innermost FuncFacts whose body contains pos.
+func enclosingFunc(pass *lint.Pass, pos token.Pos) *lint.FuncFacts {
+	var best *lint.FuncFacts
+	for _, ff := range pass.Facts.Funcs {
+		if ff.Body == nil || pos < ff.Body.Pos() || pos > ff.Body.End() {
+			continue
+		}
+		if best == nil || ff.Body.Pos() > best.Body.Pos() {
+			best = ff
+		}
+	}
+	return best
+}
+
+// selectEscapes reports whether the select can always proceed without
+// the send: a default arm, or a receive arm on a ctx.Done()/
+// close-barrier channel that shutdown is guaranteed to fire.
+func selectEscapes(pass *lint.Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil { // default
+			return true
+		}
+		if recvBarrier(pass, cc.Comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvBarrier reports whether the comm statement receives from a
+// context Done channel or a channel this package closes.
+func recvBarrier(pass *lint.Pass, comm ast.Stmt) bool {
+	var ch ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		if un, ok := s.X.(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+			ch = un.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if un, ok := s.Rhs[0].(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+				ch = un.X
+			}
+		}
+	}
+	if ch == nil {
+		return false
+	}
+	if call, ok := ch.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	if key, ok := lint.ChanKey(pass.TypesInfo, pass.Fset, ch); ok {
+		return len(pass.Facts.Closed[key]) > 0
+	}
+	return false
+}
+
+// bufferedLocals collects the objects assigned a make(chan T, n>0)
+// anywhere in the function (nested literals included): a send on one of
+// these cannot block as long as sends are bounded by the capacity,
+// which is the pattern's contract.
+func bufferedLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "make" {
+			return
+		}
+		if _, ok := info.TypeOf(call.Args[0]).Underlying().(*types.Chan); !ok {
+			return
+		}
+		if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Value == "0" {
+			return
+		}
+		if o := info.Defs[id]; o != nil {
+			out[o] = true
+		} else if o := info.Uses[id]; o != nil {
+			out[o] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// chanObject resolves the send target to a variable object when it is a
+// plain identifier (the buffered-local case).
+func chanObject(info *types.Info, ch ast.Expr) types.Object {
+	id, ok := ch.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// chanDisplay renders the channel for diagnostics: the stable key with
+// package-path noise stripped, else the raw expression kind.
+func chanDisplay(pass *lint.Pass, ch ast.Expr) string {
+	if key, ok := lint.ChanKey(pass.TypesInfo, pass.Fset, ch); ok {
+		key = strings.TrimPrefix(key, pass.Pkg.Path()+".")
+		if i := strings.IndexByte(key, '@'); i >= 0 {
+			key = key[:i]
+		}
+		return key
+	}
+	return "channel"
+}

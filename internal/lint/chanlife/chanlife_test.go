@@ -1,0 +1,11 @@
+package chanlife
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestChanLife(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "chanfix/internal/lib")
+}

@@ -1,0 +1,82 @@
+// Package lib is the chanlife fixture corpus: a send racing a foreign
+// close and a bare blocking send (both reported), the accepted escapes
+// (select default, ctx.Done arm, close-barrier arm, same-function
+// buffered channel, same-function close), and a waived rendezvous.
+package lib
+
+import "context"
+
+type Pool struct {
+	done chan struct{}
+	jobs chan int
+}
+
+// closeRace sends on done, which Close closes from another function:
+// the shutdown race rule 1 exists for.
+func (p *Pool) closeRace() {
+	p.done <- struct{}{} // want `send on Pool\.done, which \(\*Pool\)\.Close closes`
+}
+
+func (p *Pool) Close() {
+	close(p.done)
+}
+
+// bareSend blocks forever once the drainer is gone.
+func (p *Pool) bareSend(v int) {
+	p.jobs <- v // want `unconditional send on Pool\.jobs in library code can block forever`
+}
+
+// trySend bails out through the default arm.
+func (p *Pool) trySend(v int) bool {
+	select {
+	case p.jobs <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// ctxSend bails out when the caller cancels.
+func (p *Pool) ctxSend(ctx context.Context, v int) error {
+	select {
+	case p.jobs <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// barrierSend bails out when Close fires the done barrier.
+func (p *Pool) barrierSend(v int) {
+	select {
+	case p.jobs <- v:
+	case <-p.done:
+	}
+}
+
+// bufferedLocal mirrors the fabric's hedge results channel: capacity
+// bounds the sends, so depositing a result can never block.
+func bufferedLocal(n int) <-chan int {
+	results := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			results <- i
+		}(i)
+	}
+	return results
+}
+
+// sameFuncClose owns the channel end to end: the close cannot race the
+// send because the same goroutine orders them.
+func sameFuncClose() <-chan int {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	return ch
+}
+
+// rendezvous is a deliberate synchronous handoff: the blocking send is
+// the contract, so it is waived.
+func rendezvous(ch chan<- int, v int) {
+	ch <- v //lint:allow chanlife synchronous handoff is this helper's contract; the caller guarantees a receiver
+}

@@ -28,33 +28,10 @@ var Analyzer = &lint.Analyzer{
 // libraryPackage reports whether the import path names a library
 // package: any path element equal to "prefetcher" or "internal" (so
 // repro/prefetcher/fetch and repro/internal/... qualify, repro/cmd/...
-// and examples do not).
+// and examples do not). The classification is shared with goroutinelife
+// and chanlife through lint.LibraryPackage.
 func libraryPackage(path string) bool {
-	rest := path
-	for rest != "" {
-		elem := rest
-		if i := indexByte(rest, '/'); i >= 0 {
-			elem, rest = rest[:i], rest[i+1:]
-		} else {
-			rest = ""
-		}
-		switch elem {
-		case "prefetcher", "internal":
-			return true
-		case "cmd", "examples", "testdata":
-			return false
-		}
-	}
-	return false
-}
-
-func indexByte(s string, b byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == b {
-			return i
-		}
-	}
-	return -1
+	return lint.LibraryPackage(path)
 }
 
 func run(pass *lint.Pass) error {

@@ -1,0 +1,489 @@
+package lint
+
+// This file is the package-level dataflow layer the concurrency
+// analyzers (lockorder, atomicmix, goroutinelife, chanlife) share: for
+// every function in a package it extracts the concurrency-relevant
+// *facts* — which lock classes the function acquires and releases and
+// in what source order, which same-package functions it calls and
+// where, which struct fields it touches through sync/atomic, which
+// goroutines it spawns, and which channels it closes. The per-function
+// analyzers of the original kit are deliberately lexical; the facts
+// layer is what lets an analyzer follow a lock across a call edge
+// (lockorder's cross-function acquisition graph) or pair an atomic
+// access in one function with a plain access in another (atomicmix).
+//
+// The extraction is a source-order walk, not a CFG: events appear in
+// the order they appear in the text, which over-approximates some
+// paths (an early-return arm's Unlock is seen by the code after the
+// branch) and under-approximates others. That trade is deliberate —
+// the kit favours few, high-confidence findings over exhaustive ones,
+// and the engine's lock discipline is straight-line enough that source
+// order tracks control flow closely.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A LockClass identifies one lock *class*: every instance of a given
+// mutex field (all 64 shard.mu's, all 16 estimatorStripe.mu's) shares
+// one class, which is the granularity lock-order checking needs — an
+// order inversion between two instances of different classes is a
+// deadlock regardless of which instances are involved. Fields are
+// keyed "pkgpath.Type.field", package-level vars "pkgpath.var", and
+// function-local mutexes by declaration site.
+type LockClass string
+
+// Short returns the class with the package path prefix stripped when
+// it names pkgPath — the form diagnostics print.
+func (c LockClass) Short(pkgPath string) string {
+	return strings.TrimPrefix(string(c), pkgPath+".")
+}
+
+// EventKind enumerates the source-order events a function body yields.
+type EventKind uint8
+
+const (
+	// EvAcquire is a Lock/RLock call on a sync mutex.
+	EvAcquire EventKind = iota
+	// EvRelease is an Unlock/RUnlock call. A deferred unlock yields no
+	// release event: the lock stays held for the rest of the body.
+	EvRelease
+	// EvCall is a statically-resolved function or method call.
+	EvCall
+	// EvSpawn is a go statement; the goroutine inherits no locks.
+	EvSpawn
+)
+
+// An Event is one concurrency-relevant action in source order.
+type Event struct {
+	Kind   EventKind
+	Lock   LockClass   // EvAcquire / EvRelease
+	RLock  bool        // the acquire/release is the read side of an RWMutex
+	Callee *types.Func // EvCall: the resolved callee (any package)
+	Spawn  *GoSpawn    // EvSpawn
+	Pos    token.Pos
+}
+
+// A GoSpawn is one go statement.
+type GoSpawn struct {
+	Stmt *ast.GoStmt
+	// Callee is the static callee for `go f(...)` / `go x.m(...)`;
+	// nil for function literals and dynamic calls.
+	Callee *types.Func
+	// Body is the literal's body for `go func(){...}`.
+	Body *ast.BlockStmt
+	Pos  token.Pos
+}
+
+// An AtomicUse is one struct-field access through sync/atomic — either
+// a pointer-style call (atomic.AddInt64(&s.f, 1)) or a method on an
+// atomic-typed or atomic-embedding field (s.f.Add(1)).
+type AtomicUse struct {
+	Field *types.Var
+	Pos   token.Pos
+	Via   string // e.g. "atomic.AddInt64" or "Add"
+}
+
+// A ChanClose is one close(ch) site.
+type ChanClose struct {
+	Pos token.Pos
+	Fn  *FuncFacts // the function doing the closing
+}
+
+// FuncFacts is one function's (or function literal's) extracted facts.
+type FuncFacts struct {
+	// Display names the function for diagnostics: "(*Engine).Get",
+	// "New", or "func literal in (*Fabric).Fetch".
+	Display string
+	// Obj is the declared function's object; nil for literals.
+	Obj  *types.Func
+	Body *ast.BlockStmt
+	// Events are the body's concurrency events in source order,
+	// excluding everything inside nested function literals (each
+	// literal has its own FuncFacts).
+	Events  []Event
+	Spawns  []*GoSpawn
+	Atomics []AtomicUse
+	// testFile marks facts from _test.go files, which every consumer
+	// skips (the invariants guard production code).
+	testFile bool
+}
+
+// Facts is one package's extracted concurrency facts.
+type Facts struct {
+	// Funcs lists every function and function literal, declaration
+	// order, test files included (marked).
+	Funcs []*FuncFacts
+	// ByObj resolves a statically-called *types.Func to its facts, for
+	// call-edge propagation within the package.
+	ByObj map[*types.Func]*FuncFacts
+	// Closed maps a channel key (see ChanKey) to every close site in
+	// the package — the close-barrier evidence goroutinelife and
+	// chanlife consume.
+	Closed map[string][]ChanClose
+}
+
+// PackageFacts extracts (and the caller caches) the facts for one
+// loaded package. RunAnalyzers computes this once per package and
+// hands it to every analyzer through Pass.Facts.
+func PackageFacts(pkg *Package) *Facts {
+	f := &Facts{
+		ByObj:  make(map[*types.Func]*FuncFacts),
+		Closed: make(map[string][]ChanClose),
+	}
+	c := &factCollector{
+		fset:  pkg.Fset,
+		info:  pkg.Info,
+		facts: f,
+	}
+	for _, file := range pkg.Files {
+		isTest := strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ff := &FuncFacts{
+				Display:  funcDisplay(fd),
+				Body:     fd.Body,
+				testFile: isTest,
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				ff.Obj = obj
+				f.ByObj[obj] = ff
+			}
+			f.Funcs = append(f.Funcs, ff)
+			c.collect(ff, fd.Body, isTest)
+		}
+	}
+	return f
+}
+
+// TestFile reports whether these facts came from a _test.go file.
+func (ff *FuncFacts) TestFile() bool { return ff.testFile }
+
+func funcDisplay(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		b.WriteByte('*')
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			b.WriteString(id.Name)
+		}
+	default:
+		b.WriteString("?")
+	}
+	fmt.Fprintf(&b, ").%s", fd.Name.Name)
+	return b.String()
+}
+
+type factCollector struct {
+	fset  *token.FileSet
+	info  *types.Info
+	facts *Facts
+}
+
+// collect walks one function body in source order, appending events to
+// ff and creating separate FuncFacts for nested function literals.
+func (c *factCollector) collect(ff *FuncFacts, body *ast.BlockStmt, isTest bool) {
+	// goCalls marks call expressions that are the operand of a go
+	// statement: they run concurrently and must not become EvCall
+	// edges. deferCalls marks deferred calls: a deferred Unlock keeps
+	// the lock held to the end of the body, and a deferred call runs at
+	// return, not here.
+	goCalls := map[*ast.CallExpr]bool{}
+	deferCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lit := &FuncFacts{
+				Display:  "func literal in " + ff.Display,
+				Body:     n.Body,
+				testFile: isTest,
+			}
+			c.facts.Funcs = append(c.facts.Funcs, lit)
+			c.collect(lit, n.Body, isTest)
+			return false
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+			sp := &GoSpawn{Stmt: n, Pos: n.Pos()}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				sp.Body = lit.Body
+			} else {
+				sp.Callee = c.staticCallee(n.Call)
+			}
+			ff.Spawns = append(ff.Spawns, sp)
+			ff.Events = append(ff.Events, Event{Kind: EvSpawn, Spawn: sp, Pos: n.Pos()})
+			return true
+		case *ast.DeferStmt:
+			deferCalls[n.Call] = true
+			return true
+		case *ast.CallExpr:
+			c.call(ff, n, goCalls[n], deferCalls[n])
+			return true
+		}
+		return true
+	})
+}
+
+// call classifies one call expression into events and atomic uses.
+func (c *factCollector) call(ff *FuncFacts, call *ast.CallExpr, spawned, deferred bool) {
+	// close(ch): record the channel as closed in this package.
+	if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) == 1 {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+			if key, ok := ChanKey(c.info, c.fset, call.Args[0]); ok {
+				c.facts.Closed[key] = append(c.facts.Closed[key], ChanClose{Pos: call.Pos(), Fn: ff})
+			}
+			return
+		}
+	}
+	sel, _ := call.Fun.(*ast.SelectorExpr)
+	fn := c.staticCallee(call)
+	if fn == nil {
+		return
+	}
+	pkg := fn.Pkg()
+	if pkg != nil && pkg.Path() == "sync" && sel != nil {
+		switch fn.Name() {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+			if recvIsMutex(fn) {
+				if class, ok := c.lockClass(ff, sel.X); ok {
+					kind := EvAcquire
+					if fn.Name() == "Unlock" || fn.Name() == "RUnlock" {
+						if deferred {
+							// Deferred unlock: held to the end of the
+							// body; no release event.
+							return
+						}
+						kind = EvRelease
+					}
+					if !spawned {
+						ff.Events = append(ff.Events, Event{
+							Kind:  kind,
+							Lock:  class,
+							RLock: fn.Name() == "RLock" || fn.Name() == "RUnlock",
+							Pos:   call.Pos(),
+						})
+					}
+					return
+				}
+			}
+		}
+	}
+	if pkg != nil && pkg.Path() == "sync/atomic" {
+		c.atomicUse(ff, call, sel, fn)
+		return
+	}
+	if !spawned && !deferred {
+		ff.Events = append(ff.Events, Event{Kind: EvCall, Callee: fn, Pos: call.Pos()})
+	}
+}
+
+// atomicUse records the struct field (if any) behind one sync/atomic
+// call: the &s.f operand of a pointer-style call, or the receiver of a
+// method on an atomic-typed (or atomic-embedding) field.
+func (c *factCollector) atomicUse(ff *FuncFacts, call *ast.CallExpr, sel *ast.SelectorExpr, fn *types.Func) {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Method style: s.f.Add(1) — sel.X is the field expression
+		// (possibly through an embedded atomic type).
+		if sel == nil {
+			return
+		}
+		if field := fieldVar(c.info, sel.X); field != nil {
+			ff.Atomics = append(ff.Atomics, AtomicUse{Field: field, Pos: sel.X.Pos(), Via: fn.Name()})
+		}
+		return
+	}
+	// Function style: atomic.AddInt64(&s.f, 1) — any &field argument.
+	for _, arg := range call.Args {
+		un, ok := arg.(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		// Pos is the field expression itself (not the &), so consumers
+		// can match the selector node by position.
+		if field := fieldVar(c.info, un.X); field != nil {
+			ff.Atomics = append(ff.Atomics, AtomicUse{Field: field, Pos: un.X.Pos(), Via: "atomic." + fn.Name()})
+		}
+	}
+}
+
+// staticCallee resolves a call's target function, or nil for dynamic
+// calls (function values, interface methods resolve to the interface
+// method object, which has no body in this package's facts).
+func (c *factCollector) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := c.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvIsMutex reports whether fn's receiver is one of sync's lock
+// types.
+func recvIsMutex(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex", "Locker":
+		return true
+	}
+	return false
+}
+
+// lockClass keys the mutex behind expr (the receiver of a Lock/Unlock
+// call): struct fields by owner type, package vars by name, locals by
+// declaration site.
+func (c *factCollector) lockClass(ff *FuncFacts, expr ast.Expr) (LockClass, bool) {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := c.info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return LockClass(fmt.Sprintf("%s.%s.%s",
+					named.Obj().Pkg().Path(), named.Obj().Name(), e.Sel.Name)), true
+			}
+		}
+		// Qualified package-level var (pkg.Mu).
+		if v, ok := c.info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && !v.IsField() {
+			return LockClass(v.Pkg().Path() + "." + v.Name()), true
+		}
+	case *ast.Ident:
+		obj := c.info.Uses[e]
+		if obj == nil {
+			obj = c.info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.IsField() {
+				// Unqualified field in a method with an embedded mutex:
+				// key by the receiver-owning struct is unavailable here;
+				// fall back to the field object's declaration site.
+				return LockClass(fmt.Sprintf("%s@%s", v.Name(), c.fset.Position(v.Pos()))), true
+			}
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return LockClass(v.Pkg().Path() + "." + v.Name()), true
+			}
+			// Function-local mutex: keyed by declaration position so two
+			// locals of the same name in different functions stay
+			// distinct.
+			return LockClass(fmt.Sprintf("%s@%s", v.Name(), c.fset.Position(v.Pos()))), true
+		}
+	case *ast.IndexExpr:
+		// mu in a slice/array element: key by the element expression's
+		// owner if it is itself a selector (stripes[i].mu resolves via
+		// the SelectorExpr case above; a bare muArr[i] keys by the
+		// array).
+		return c.lockClass(ff, e.X)
+	case *ast.ParenExpr:
+		return c.lockClass(ff, e.X)
+	case *ast.StarExpr:
+		return c.lockClass(ff, e.X)
+	}
+	return "", false
+}
+
+// fieldVar resolves expr to the struct-field variable it selects, or
+// nil when expr is not a field selection.
+func fieldVar(info *types.Info, expr ast.Expr) *types.Var {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// ChanKey produces a stable identity for a channel-valued expression:
+// struct fields key as "pkgpath.Type.field", package-level vars as
+// "pkgpath.var", locals by declaration site. Reports ok=false for
+// expressions with no stable identity (map elements, call results).
+func ChanKey(info *types.Info, fset *token.FileSet, expr ast.Expr) (string, bool) {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return fmt.Sprintf("%s.%s.%s", named.Obj().Pkg().Path(), named.Obj().Name(), e.Sel.Name), true
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && !v.IsField() {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name(), true
+			}
+			return fmt.Sprintf("%s@%s", v.Name(), fset.Position(v.Pos())), true
+		}
+	case *ast.ParenExpr:
+		return ChanKey(info, fset, e.X)
+	}
+	return "", false
+}
+
+// LibraryPackage reports whether the import path names a library
+// package — code linked into arbitrary callers, where the
+// goroutine-lifecycle and channel-discipline invariants apply. A
+// process root (cmd/, examples/, the module root) manages its own
+// lifetime. Kept in sync with ctxflow's notion of a library package.
+func LibraryPackage(path string) bool {
+	rest := path
+	for rest != "" {
+		elem := rest
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			elem, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		switch elem {
+		case "prefetcher", "internal":
+			return true
+		case "cmd", "examples", "testdata":
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,304 @@
+// Package goroutinelife requires every go statement in a library
+// package to be tied to a lifecycle. A goroutine with no visible
+// termination contract outlives Close, leaks under churn, and turns
+// shutdown into a race — the engine's worker pool, the fabric's
+// per-backend drainers and its hedging goroutines are the motivating
+// cases, and each demonstrates one accepted tie:
+//
+//   - a sync.WaitGroup: Add dominates the spawn (or the body calls
+//     Done), so Close can Wait for it — the worker pool's contract;
+//   - a close-barrier or ctx.Done receive in the body: the goroutine
+//     selects on a channel this package closes (or a context's Done),
+//     so closing it is the termination signal — the drainers' contract;
+//   - a deferred-cancel context: the spawner creates a context with
+//     context.WithCancel/WithTimeout/WithDeadline, defers the cancel,
+//     and the goroutine consumes that context — the hedgers' contract,
+//     where the loser is cancelled when the winner returns.
+//
+// Commands, examples and test files are process roots that manage
+// their own lifetime and are exempt. A deliberate fire-and-forget
+// goroutine is waived with //lint:allow goroutinelife <reason>; the
+// reason must say what bounds the goroutine's life.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the goroutinelife check.
+var Analyzer = &lint.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every go statement in library packages must be tied to a lifecycle (WaitGroup, close barrier/ctx.Done, or deferred-cancel context)",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() == "main" || !lint.LibraryPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, ff := range pass.Facts.Funcs {
+		if ff.TestFile() {
+			continue
+		}
+		for _, sp := range ff.Spawns {
+			check(pass, ff, sp)
+		}
+	}
+	return nil
+}
+
+func check(pass *lint.Pass, ff *lint.FuncFacts, sp *lint.GoSpawn) {
+	body := sp.Body
+	if body == nil && sp.Callee != nil {
+		if callee, ok := pass.Facts.ByObj[sp.Callee]; ok {
+			body = callee.Body
+		}
+	}
+	// The ties may live in a lexical ancestor of the spawning function:
+	// the fabric's hedge spawn sits inside a launch closure while the
+	// deferred-cancel context is minted by Fetch around it.
+	ancestors := lexicalAncestors(pass, sp.Pos)
+	// Tie 1: a WaitGroup — Add before the spawn in the spawning
+	// function (or an enclosing one), or Done in the goroutine body.
+	for _, anc := range ancestors {
+		if wgAddBefore(pass.TypesInfo, anc.Body, sp.Pos) {
+			return
+		}
+	}
+	if body != nil && hasWgDone(pass.TypesInfo, body) {
+		return
+	}
+	// Tie 2: the body receives from a close barrier this package owns,
+	// or from a context's Done channel.
+	if body != nil && hasLifecycleRecv(pass, body) {
+		return
+	}
+	// Tie 3: a deferred-cancel context minted in the spawner (or an
+	// enclosing function) and consumed by the goroutine (directly or as
+	// a call argument).
+	for _, anc := range ancestors {
+		if cancelCtxTie(pass, anc.Body, sp) {
+			return
+		}
+	}
+	what := "goroutine body"
+	if body == nil {
+		what = "goroutine body (not visible from this package)"
+	}
+	pass.Reportf(sp.Pos,
+		"go statement has no lifecycle tie: no WaitGroup.Add before the spawn or Done in the %s, no close-barrier/ctx.Done receive, no deferred-cancel context — tie it to a lifecycle (or //lint:allow goroutinelife <reason> stating what bounds it)",
+		what)
+}
+
+// lexicalAncestors returns every function (literal or declared) whose
+// body lexically contains pos — the spawning function and everything it
+// nests in, which is where spawn-dominating ties can live.
+func lexicalAncestors(pass *lint.Pass, pos token.Pos) []*lint.FuncFacts {
+	var out []*lint.FuncFacts
+	for _, ff := range pass.Facts.Funcs {
+		if ff.Body != nil && ff.Body.Pos() <= pos && pos < ff.Body.End() {
+			out = append(out, ff)
+		}
+	}
+	return out
+}
+
+// wgAddBefore reports whether a sync.WaitGroup Add call appears before
+// pos in the spawning function's body.
+func wgAddBefore(info *types.Info, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if isSyncMethod(info, call, "WaitGroup", "Add") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasWgDone reports whether the goroutine body calls WaitGroup.Done
+// (deferred or not).
+func hasWgDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isSyncMethod(info, call, "WaitGroup", "Done") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasLifecycleRecv reports whether the body receives from a context's
+// Done channel or from a channel some function in this package closes —
+// either as a direct/select receive or by ranging over the channel.
+func hasLifecycleRecv(pass *lint.Pass, body *ast.BlockStmt) bool {
+	found := false
+	isBarrier := func(ch ast.Expr) bool {
+		if call, ok := ch.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+					return true
+				}
+			}
+		}
+		if key, ok := lint.ChanKey(pass.TypesInfo, pass.Fset, ch); ok {
+			if len(pass.Facts.Closed[key]) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isBarrier(n.X) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Chan); ok && isBarrier(n.X) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// cancelCtxTie reports whether the spawner mints a cancellable context
+// with a deferred cancel, and the goroutine consumes it — referencing
+// the context variable in its body or receiving it as a call argument.
+func cancelCtxTie(pass *lint.Pass, spawnerBody *ast.BlockStmt, sp *lint.GoSpawn) bool {
+	// Collect ctxVar/cancelVar pairs from `ctx, cancel := context.With*`.
+	type pair struct{ ctx, cancel types.Object }
+	var pairs []pair
+	ast.Inspect(spawnerBody, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		switch fn.Name() {
+		case "WithCancel", "WithTimeout", "WithDeadline":
+		default:
+			return true
+		}
+		ctxID, ok1 := as.Lhs[0].(*ast.Ident)
+		cancelID, ok2 := as.Lhs[1].(*ast.Ident)
+		if !ok1 || !ok2 {
+			return true
+		}
+		pairs = append(pairs, pair{obj(pass.TypesInfo, ctxID), obj(pass.TypesInfo, cancelID)})
+		return true
+	})
+	if len(pairs) == 0 {
+		return false
+	}
+	// The cancel must be deferred somewhere in the spawner.
+	deferred := map[types.Object]bool{}
+	ast.Inspect(spawnerBody, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := d.Call.Fun.(*ast.Ident); ok {
+			deferred[obj(pass.TypesInfo, id)] = true
+		}
+		return true
+	})
+	uses := func(node ast.Node, o types.Object) bool {
+		if o == nil || node == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == o {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	for _, p := range pairs {
+		if p.cancel == nil || !deferred[p.cancel] {
+			continue
+		}
+		if sp.Body != nil && uses(sp.Body, p.ctx) {
+			return true
+		}
+		// `go f(ctx, ...)`: the context rides in as an argument.
+		for _, arg := range sp.Stmt.Call.Args {
+			if uses(arg, p.ctx) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func obj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// isSyncMethod reports whether call invokes the named method on the
+// named sync type.
+func isSyncMethod(info *types.Info, call *ast.CallExpr, typeName, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != method || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}

@@ -1,0 +1,11 @@
+package goroutinelife
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "golife/internal/lib", "golife/cmd/tool")
+}

@@ -1,0 +1,8 @@
+// Command tool proves the process-root exemption: a main package
+// manages its own lifetime, so untied spawns are not reported.
+package main
+
+func main() {
+	go func() {}()
+	select {}
+}

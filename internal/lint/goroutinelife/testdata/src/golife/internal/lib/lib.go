@@ -1,0 +1,126 @@
+// Package lib is the goroutinelife fixture corpus: an untied spawn
+// (reported), one example of each accepted lifecycle tie (WaitGroup,
+// close barrier, ctx.Done, deferred-cancel context), and a waived
+// fire-and-forget.
+package lib
+
+import (
+	"context"
+	"sync"
+)
+
+type Server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	jobs chan int
+}
+
+func work() {}
+
+// untied has no lifecycle: it outlives any Close.
+func untied() {
+	go work() // want `go statement has no lifecycle tie`
+}
+
+func untiedLit() {
+	go func() { // want `go statement has no lifecycle tie`
+		work()
+	}()
+}
+
+// wgTied: Add dominates the spawn, Close can Wait.
+func (s *Server) wgTied() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// wgMethod: the Add is before the spawn, the Done inside the named
+// method's body — resolved through the package call graph.
+func (s *Server) wgMethod() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for range s.jobs {
+		work()
+	}
+}
+
+// barrier: the body selects on s.done, which Close closes.
+func (s *Server) barrier() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case j := <-s.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// rangeBarrier: ranging over a channel the package closes is the same
+// contract — close(s.jobs) ends the loop.
+func (s *Server) rangeBarrier() {
+	go func() {
+		for range s.jobs {
+			work()
+		}
+	}()
+}
+
+func (s *Server) Close() {
+	close(s.done)
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// ctxTied: the body watches the caller's context.
+func ctxTied(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// hedged mirrors the fabric's hedging pattern: a cancellable child
+// context with a deferred cancel bounds the spawned fetch, whether the
+// context is captured by the literal or passed as an argument.
+func hedged(ctx context.Context) {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		<-wctx.Done()
+	}()
+	go fetchOne(wctx)
+}
+
+func fetchOne(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// nestedHedge spawns from inside a closure while the deferred-cancel
+// context is minted by the enclosing function — the fabric's launch
+// pattern; the tie is found in the lexical ancestor.
+func nestedHedge(ctx context.Context) {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	launch := func() {
+		go func() {
+			workCtx(wctx)
+		}()
+	}
+	launch()
+}
+
+func workCtx(ctx context.Context) { _ = ctx }
+
+// metrics is deliberate fire-and-forget: bounded by the process, waived.
+func metrics() {
+	go work() //lint:allow goroutinelife one-shot stats flush, bounded by the work() call itself
+}

@@ -3,7 +3,7 @@
 // (Analyzer, Pass, Diagnostic) plus the loading and annotation machinery
 // the prefetchvet analyzers share.
 //
-// The five analyzers under internal/lint/* encode the engine's
+// The nine analyzers under internal/lint/* encode the engine's
 // concurrency and allocation invariants as build-time checks:
 //
 //   - hotpathalloc: //prefetch:hotpath functions must not allocate
@@ -13,6 +13,20 @@
 //     //prefetch:cacheline structs pad to whole 64-byte lines
 //   - poolhygiene: sync.Pool Get/Put pairing and no use-after-Put
 //   - ctxflow: no context.Background/TODO inside library packages
+//   - lockorder: the cross-function lock-acquisition graph must stay
+//     acyclic (cycles are potential deadlocks, reported with the
+//     witnessing call paths)
+//   - atomicmix: a field accessed through sync/atomic anywhere must
+//     never be read or written plainly elsewhere
+//   - goroutinelife: every go statement in library packages is tied to
+//     a lifecycle (WaitGroup, close barrier, or ctx.Done select)
+//   - chanlife: no send on a channel another function may close, and no
+//     unconditional blocking send in library code
+//
+// The first five are per-function and lexical; the last four consume the
+// package-level dataflow facts layer in facts.go (per-function lock
+// events, call edges, atomic touches, spawns and channel closes),
+// computed once per package and shared through Pass.Facts.
 //
 // Deliberate exceptions are waived in source with
 //
@@ -54,6 +68,9 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Sizes gives the target layout (gc/amd64) for alignment checks.
 	Sizes types.Sizes
+	// Facts is the package-level concurrency-facts layer (see facts.go),
+	// computed once per package and shared by every analyzer in the run.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -127,7 +144,9 @@ type allowKey struct {
 // (file, line, analyzer) triples are waived, and which waiver comments
 // are malformed (no reason given).
 type Waivers struct {
-	allowed map[allowKey]bool
+	// allowed maps each waiver to the position of its comment, so stale
+	// waivers can be reported where they sit.
+	allowed map[allowKey]token.Position
 	// used tracks which waivers suppressed at least one diagnostic, so
 	// stale waivers can be reported.
 	used      map[allowKey]bool
@@ -138,7 +157,7 @@ type Waivers struct {
 // A waiver on line N covers diagnostics on lines N and N+1 — i.e. it can
 // trail the offending statement or sit on its own line above it.
 func CollectWaivers(fset *token.FileSet, files []*ast.File) *Waivers {
-	w := &Waivers{allowed: make(map[allowKey]bool), used: make(map[allowKey]bool)}
+	w := &Waivers{allowed: make(map[allowKey]token.Position), used: make(map[allowKey]bool)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -157,7 +176,7 @@ func CollectWaivers(fset *token.FileSet, files []*ast.File) *Waivers {
 					})
 					continue
 				}
-				w.allowed[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				w.allowed[allowKey{pos.Filename, pos.Line, fields[0]}] = pos
 			}
 		}
 	}
@@ -172,7 +191,7 @@ func (w *Waivers) Filter(diags []Diagnostic) []Diagnostic {
 		waived := false
 		for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
 			k := allowKey{d.Pos.Filename, line, d.Analyzer}
-			if w.allowed[k] {
+			if _, ok := w.allowed[k]; ok {
 				w.used[k] = true
 				waived = true
 				break
@@ -196,13 +215,53 @@ func (w *Waivers) Filter(diags []Diagnostic) []Diagnostic {
 	return out
 }
 
+// Stale reports every waiver for one of the named analyzers that
+// suppressed nothing in this run — a //lint:allow whose finding has been
+// fixed (or whose analyzer name is misspelled) and should be deleted.
+// Only waivers naming an analyzer in names are reported: a run of a
+// subset of the analyzers (fixture tests, a filtered prefetchvet
+// invocation) cannot judge the others' waivers.
+func (w *Waivers) Stale(names map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for k, pos := range w.allowed {
+		if !names[k.name] || w.used[k] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "lint",
+			Pos:      pos,
+			Message:  fmt.Sprintf("stale //lint:allow %s: it suppressed nothing — delete it (or fix the analyzer name)", k.name),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
 // --- driver --------------------------------------------------------------
 
 // RunAnalyzers applies each analyzer to the package and returns the
 // surviving diagnostics (waivers applied, test files already skipped by
 // the analyzers themselves).
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runAnalyzers(pkg, analyzers, false)
+}
+
+// RunAnalyzersStrict is RunAnalyzers with stale-waiver enforcement: a
+// //lint:allow naming one of the analyzers in this run that suppressed
+// no diagnostic becomes a finding itself (prefetchvet -strict-waivers).
+func RunAnalyzersStrict(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runAnalyzers(pkg, analyzers, true)
+}
+
+func runAnalyzers(pkg *Package, analyzers []*Analyzer, strict bool) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	facts := PackageFacts(pkg)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -211,11 +270,31 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			Sizes:     pkg.Sizes,
+			Facts:     facts,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	return CollectWaivers(pkg.Fset, pkg.Files).Filter(diags), nil
+	w := CollectWaivers(pkg.Fset, pkg.Files)
+	out := w.Filter(diags)
+	if strict {
+		names := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			names[a.Name] = true
+		}
+		out = append(out, w.Stale(names)...)
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i].Pos, out[j].Pos
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return out[i].Analyzer < out[j].Analyzer
+		})
+	}
+	return out, nil
 }

@@ -1,0 +1,116 @@
+// Package lockfix is the lockorder fixture corpus: a seeded two-lock
+// inversion (A/B), a cross-function inversion witnessed through a call
+// edge (A/C), a same-class nested acquisition, a deliberately waived
+// inversion (D/E), and clean patterns (sequential locking, lock
+// handoff) that must stay silent.
+package lockfix
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+// lockAB takes A then B: one half of the seeded inversion.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `potential deadlock: lock-order cycle A\.mu → B\.mu → A\.mu`
+	b.mu.Unlock()
+}
+
+// lockBA takes B then A: the other half of the inversion. The cycle is
+// reported once, anchored at the first witnessed edge (in lockAB).
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// holdAC acquires A and reaches C's lock only through a call edge — the
+// inversion with lockCA is invisible to any per-function analysis.
+func holdAC(a *A, c *C) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockC(c)
+}
+
+func lockC(c *C) {
+	c.mu.Lock() // want `potential deadlock: lock-order cycle A\.mu → C\.mu → A\.mu.*path holdAC → lockC`
+	c.mu.Unlock()
+}
+
+func lockCA(a *A, c *C) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// nestedSame acquires two instances of the same class: self-deadlock
+// whenever a1 and a2 alias.
+func nestedSame(a1, a2 *A) {
+	a1.mu.Lock()
+	defer a1.mu.Unlock()
+	a2.mu.Lock() // want `lock A\.mu acquired while an instance of A\.mu is already held`
+	a2.mu.Unlock()
+}
+
+// lockDE / lockED invert deliberately; the waiver documents the
+// protecting mechanism, so the cycle is suppressed.
+func lockDE(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e.mu.Lock() //lint:allow lockorder fixture: both orders run under the caller's outer serialisation lock
+	e.mu.Unlock()
+}
+
+func lockED(d *D, e *E) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// sequential holds nothing across the second acquisition: no edge, no
+// cycle with lockAB despite touching B before A.
+func sequential(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// handoffEntry/handoffExit model the engine's lock-handoff helpers: the
+// callee unlocks the caller's lock before taking its own, so A is not
+// held when B is acquired and no A → B edge forms.
+func handoffEntry(a *A, b *B) {
+	a.mu.Lock()
+	handoffExit(a, b)
+}
+
+func handoffExit(a *A, b *B) {
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+var sink func()
+
+// use keeps the fixture functions referenced.
+func use(a *A, b *B, c *C, d *D, e *E) {
+	sink = func() {
+		lockAB(a, b)
+		lockBA(a, b)
+		holdAC(a, c)
+		lockCA(a, c)
+		nestedSame(a, a)
+		lockDE(d, e)
+		lockED(d, e)
+		sequential(a, b)
+		handoffEntry(a, b)
+	}
+}

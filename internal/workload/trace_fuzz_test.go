@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os"
+	"testing"
+)
+
+// FuzzTraceParse drives the JSONL trace parser behind `prefetchbench
+// -trace` with arbitrary byte input. The parser must never panic, must
+// only ever return records in non-decreasing time order (the invariant
+// it exists to enforce), and whatever it accepts must survive a
+// write/re-read round trip unchanged — so a fuzz-found corpus entry is
+// always replayable.
+func FuzzTraceParse(f *testing.F) {
+	// Seed with real lines from the checked-in 1k-record trace plus
+	// hand-picked malformed shapes.
+	if data, err := os.ReadFile("../../cmd/prefetchbench/testdata/trace1k.jsonl"); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		var seed []byte
+		for i := 0; sc.Scan() && i < 16; i++ {
+			seed = append(seed, sc.Bytes()...)
+			seed = append(seed, '\n')
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"t":0,"u":0,"i":1,"s":1}` + "\n" + `{"t":1,"u":1,"i":2,"s":0.5}` + "\n"))
+	f.Add([]byte(`{"t":2,"u":0,"i":1,"s":1}` + "\n" + `{"t":1,"u":0,"i":1,"s":1}` + "\n")) // disordered
+	f.Add([]byte(`{"t":"not a number"}`))
+	f.Add([]byte("{\n"))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewTraceReader(bytes.NewReader(data))
+		var recs []Record
+		last := 0.0
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Malformed or disordered input: rejection is the
+				// correct outcome; nothing after the error is trusted.
+				break
+			}
+			if rec.Time < last {
+				t.Fatalf("parser accepted time-disordered record: %v after %v", rec.Time, last)
+			}
+			last = rec.Time
+			recs = append(recs, rec)
+		}
+		if len(recs) == 0 {
+			return
+		}
+		// Round trip: accepted records re-encode and re-parse exactly.
+		var buf bytes.Buffer
+		w := NewTraceWriter(&buf)
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("re-writing accepted record: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		back, err := NewTraceReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("re-reading written trace: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip lost records: wrote %d, read %d", len(recs), len(back))
+		}
+		for i := range recs {
+			if back[i] != recs[i] {
+				t.Fatalf("round trip changed record %d: %+v != %+v", i, back[i], recs[i])
+			}
+		}
+	})
+}

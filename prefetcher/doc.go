@@ -108,6 +108,37 @@
 //     flow in from the caller, and the engine's own lifecycle root is
 //     created once in New and cancelled in Close (ctxflow).
 //
+// Four package-level dataflow analyzers guard the cross-function
+// concurrency contracts on top of those lexical rules:
+//
+//   - Lock order is acyclic (lockorder). The only compound edge the
+//     tree permits is shard.mu → Engine.qmu: a shard may push a
+//     speculative candidate onto the engine's queue while holding its
+//     own mutex. Everything else — estimator stripes, the controller's
+//     history mutex, the fabric's queue and backend-state locks — is a
+//     leaf: no code acquires any lock while holding one of them, and no
+//     code acquires a shard mutex while holding any other lock. Lock
+//     handoffs (serveResident unlocking the shard mutex its caller
+//     took) are modelled, not waived.
+//   - A field accessed through sync/atomic is atomic everywhere
+//     (atomicmix). Ownership per hot struct: the per-shard counter
+//     block, the controller's EWMA and rate words, and the fabric's
+//     per-backend in-flight/latency words are atomic-only — no plain
+//     access, no lock. Fields that a struct's mutex serialises are
+//     plain-only. The one sanctioned mix — a plain reset of an
+//     atomic-written word inside a section that holds the struct's
+//     write lock and has excluded all atomic writers — carries a
+//     //lint:allow atomicmix waiver naming that lock.
+//   - Every goroutine has a lifecycle tie (goroutinelife): workers are
+//     WaitGroup-accounted, drainers select on a close barrier or
+//     ctx.Done(), hedged fetches run under a deferred-cancel context.
+//     Close reaps them all; the lifecycle tests assert the reap with
+//     testutil.ExpectNoLeaks.
+//   - Channel ownership is single-writer (chanlife): nothing sends on
+//     a channel another function may close, and library-code sends are
+//     never unconditional — each runs in a select with an escape arm
+//     or on a channel whose buffer provably bounds it.
+//
 // For offline capacity planning — what threshold, what gain, what
 // cost, from known parameters instead of live estimates — use Planner.
 package prefetcher

@@ -3,12 +3,12 @@ package prefetcher
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/testutil"
 	"repro/prefetcher/fetch"
 )
 
@@ -176,7 +176,7 @@ func TestBackendFailoverUnderLoad(t *testing.T) {
 // promptly by Close, every backend invocation observes its context
 // ending, and no goroutine leaks.
 func TestCloseCancelsHedgedSpeculativeFetches(t *testing.T) {
-	before := runtime.NumGoroutine()
+	testutil.ExpectNoLeaks(t)
 
 	hangA := &hangBackend{}
 	hangB := &hangBackend{}
@@ -243,19 +243,9 @@ func TestCloseCancelsHedgedSpeculativeFetches(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	// …and the goroutine count must settle back (workers, drainers,
-	// hedge goroutines all gone; allow slack for runtime/timer noise).
-	deadline = time.Now().Add(3 * time.Second)
-	for {
-		runtime.GC()
-		if runtime.NumGoroutine() <= before+3 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines: %d before, %d after Close", before, runtime.NumGoroutine())
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	// …and the goroutine count must settle back to the ExpectNoLeaks
+	// baseline (workers, drainers, hedge goroutines all gone) — checked
+	// exactly, with no slack, when the test ends.
 }
 
 // TestPerBackendRhoPrimeDistinct pins the tentpole estimate: each link
@@ -408,6 +398,7 @@ func TestEngineBatchesAdjacentCandidates(t *testing.T) {
 // shards while backends hedge and the gate defers, then closes — the
 // -race lifecycle test for the fabric path.
 func TestFabricEngineLifecycleRace(t *testing.T) {
+	testutil.ExpectNoLeaks(t)
 	eng, err := New(nil,
 		WithBandwidth(1e6),
 		WithShards(4),

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // instantFetcher returns items immediately with the given size.
@@ -175,6 +177,7 @@ func TestFailoverOnError(t *testing.T) {
 }
 
 func TestHedgeRacesSecondBackendAndCancelsLoser(t *testing.T) {
+	testutil.ExpectNoLeaks(t)
 	slow := &slowFetcher{delay: 500 * time.Millisecond}
 	fast := &slowFetcher{delay: 1 * time.Millisecond}
 	f := newTestFabric(t, Config{
@@ -424,6 +427,7 @@ func TestIdleGateDefersAndReleases(t *testing.T) {
 }
 
 func TestIdleGateQueueBoundsAndCloseSheds(t *testing.T) {
+	testutil.ExpectNoLeaks(t)
 	clk := &manualNow{}
 	f := newTestFabric(t, Config{
 		Backends:      []Backend{{Name: "origin", Fetcher: &instantFetcher{size: 1}, Bandwidth: 1}},
@@ -457,6 +461,7 @@ func TestIdleGateQueueBoundsAndCloseSheds(t *testing.T) {
 }
 
 func TestFetchRespectsCallerContext(t *testing.T) {
+	testutil.ExpectNoLeaks(t)
 	slow := &slowFetcher{delay: time.Minute}
 	f := newTestFabric(t, Config{Backends: []Backend{{Name: "slow", Fetcher: slow}}})
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // TestConcurrentGets floods the engine with demand traffic from many
@@ -155,6 +157,7 @@ func TestConcurrentSameKey(t *testing.T) {
 // shared controller's atomics, the estimator stripes, the quiesce
 // accounting and the close barrier together.
 func TestConcurrentShardedLifecycle(t *testing.T) {
+	testutil.ExpectNoLeaks(t)
 	fetcher := FetcherFunc(func(ctx context.Context, id ID) (Item, error) {
 		if id%89 == 0 {
 			return Item{}, errors.New("origin hiccup")
