@@ -55,8 +55,70 @@ type engineBenchConfig struct {
 	// Watermark sets the idle-gate ρ̂ watermark in fabric mode (0 = no
 	// gate).
 	Watermark float64
+	// Session switches to the batched session benchmark: each request
+	// becomes one page-load session of Session correlated keys issued
+	// through Engine.GetMultiInto, compared against a per-key Get loop
+	// over identical streams (0 = per-key mode).
+	Session int
+	// MMPP, when non-empty, paces each client's arrivals by a two-state
+	// Markov-modulated Poisson process: "rateHigh,rateLow,meanHigh,meanLow"
+	// (rates in arrivals/s, sojourns in seconds).
+	MMPP string
 	// JSON emits one machine-readable report instead of text.
 	JSON bool
+}
+
+// parseMMPP parses the -mmpp flag into the workload config, mirroring
+// workload.NewMMPP's validity rules as errors rather than panics.
+func parseMMPP(s string) (workload.MMPPConfig, error) {
+	fields := strings.Split(s, ",")
+	if len(fields) != 4 {
+		return workload.MMPPConfig{}, fmt.Errorf("engine mode: -mmpp %q: want 'rateHigh,rateLow,meanHigh,meanLow'", s)
+	}
+	vals := make([]float64, 4)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return workload.MMPPConfig{}, fmt.Errorf("engine mode: -mmpp %q: field %d: %w", s, i+1, err)
+		}
+		vals[i] = v
+	}
+	cfg := workload.MMPPConfig{RateHigh: vals[0], RateLow: vals[1], MeanHigh: vals[2], MeanLow: vals[3]}
+	if cfg.RateHigh <= 0 || cfg.RateLow < 0 || cfg.RateHigh <= cfg.RateLow {
+		return workload.MMPPConfig{}, fmt.Errorf("engine mode: -mmpp rates (high=%v, low=%v) must satisfy high > low >= 0", cfg.RateHigh, cfg.RateLow)
+	}
+	if cfg.MeanHigh <= 0 || cfg.MeanLow <= 0 {
+		return workload.MMPPConfig{}, fmt.Errorf("engine mode: -mmpp sojourns (%v, %v) must be positive", cfg.MeanHigh, cfg.MeanLow)
+	}
+	return cfg, nil
+}
+
+// pacer holds one client's MMPP arrival clock, mapped onto wall time
+// from the run's start: wait sleeps until the process's next arrival
+// epoch (or not at all when the client is already behind schedule, so
+// an overloaded engine degrades to closed-loop rather than deadlocking
+// the schedule).
+type pacer struct {
+	m     *workload.MMPP
+	start time.Time
+}
+
+func (p *pacer) wait() {
+	target := p.start.Add(time.Duration(p.m.Next() * float64(time.Second)))
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// newPacer builds client c's pacer, or nil when pacing is off.
+func newPacer(cfg *workload.MMPPConfig, seed uint64, c int, start time.Time) *pacer {
+	if cfg == nil {
+		return nil
+	}
+	// An independent arrival process per client, offset from the
+	// workload seeds so pacing and key choice stay uncorrelated.
+	src := rng.New((seed ^ 0x9e3779b97f4a7c15) + uint64(c)*2654435761)
+	return &pacer{m: workload.NewMMPP(*cfg, src), start: start}
 }
 
 // parseShardList parses the -shards flag: a comma-separated list of
@@ -114,6 +176,17 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 	if (cfg.Hedge || cfg.Watermark > 0) && cfg.Backends == 0 {
 		return fmt.Errorf("engine mode: -hedge/-watermark need -backends >= 1")
 	}
+	if cfg.Session < 0 || cfg.Session == 1 {
+		return fmt.Errorf("engine mode: -session %d must be 0 (off) or a fan-out >= 2", cfg.Session)
+	}
+	var mmpp *workload.MMPPConfig
+	if cfg.MMPP != "" {
+		mc, err := parseMMPP(cfg.MMPP)
+		if err != nil {
+			return err
+		}
+		mmpp = &mc
+	}
 	if len(cfg.Shards) == 0 {
 		cfg.Shards = []int{1}
 	}
@@ -122,8 +195,12 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 		Clients: cfg.Clients, Requests: cfg.Requests, Bandwidth: cfg.Bandwidth,
 		Workers: cfg.Workers, CacheCap: cfg.CacheCap, Items: cfg.Items,
 		Backends: cfg.Backends, Hedge: cfg.Hedge, Watermark: cfg.Watermark,
+		Session: cfg.Session, MMPP: cfg.MMPP,
 		Seed: cfg.Seed,
 	}}
+	if cfg.Session > 0 {
+		return runSessionBench(w, report, cfg, mmpp, text)
+	}
 	if text {
 		fmt.Fprintf(w, "live engine benchmark: %d clients × %d requests, %d workers, b=%g\n",
 			cfg.Clients, cfg.Requests, cfg.Workers, cfg.Bandwidth)
@@ -145,11 +222,11 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 			// exact primary (simBackends' profiles are n-independent),
 			// same hedging/gate knobs — the comparison reads off what
 			// the added mirrors buy.
-			base, err := runEngineBenchOnce(w, cfg, shards, 1, true, text)
+			base, err := runEngineBenchOnce(w, cfg, mmpp, shards, 1, true, text)
 			if err != nil {
 				return err
 			}
-			multi, err := runEngineBenchOnce(w, cfg, shards, cfg.Backends, false, text)
+			multi, err := runEngineBenchOnce(w, cfg, mmpp, shards, cfg.Backends, false, text)
 			if err != nil {
 				return err
 			}
@@ -160,7 +237,7 @@ func runEngineBench(w io.Writer, cfg engineBenchConfig) error {
 			report.Runs = append(report.Runs, base.rep, multi.rep)
 			continue
 		}
-		res, err := runEngineBenchOnce(w, cfg, shards, cfg.Backends, false, text)
+		res, err := runEngineBenchOnce(w, cfg, mmpp, shards, cfg.Backends, false, text)
 		if err != nil {
 			return err
 		}
@@ -236,8 +313,9 @@ func fabricOptions(cfg engineBenchConfig, backends int) []prefetcher.Option {
 
 // runEngineBenchOnce measures one engine configuration: shards is the
 // requested shard count (rounded up to a power of two), backends the
-// simulated backend count (0 = direct fetcher).
-func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards, backends int, isBaseline, text bool) (engineRun, error) {
+// simulated backend count (0 = direct fetcher). A non-nil mmpp paces
+// each client's arrivals on its own Markov-modulated Poisson clock.
+func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, mmpp *workload.MMPPConfig, shards, backends int, isBaseline, text bool) (engineRun, error) {
 	var (
 		eng *prefetcher.Engine
 		err error
@@ -277,9 +355,13 @@ func runEngineBenchOnce(w io.Writer, cfg engineBenchConfig, shards, backends int
 			site := workload.NewMarkov(workload.MarkovConfig{
 				N: cfg.Items, Fanout: 2, Decay: 0.15, Restart: 0.03,
 			}, src)
+			pace := newPacer(mmpp, cfg.Seed, c, start)
 			n := 0
 			var clientErr error
 			for i := 0; i < cfg.Requests; i++ {
+				if pace != nil {
+					pace.wait()
+				}
 				if _, err := eng.Get(ctx, prefetcher.ID(site.Next())); err != nil {
 					clientErr = fmt.Errorf("client %d after %d requests: %w", c, n, err)
 					break
@@ -350,6 +432,10 @@ func reportRun(w io.Writer, st prefetcher.Stats, rps float64, elapsed time.Durat
 		st.PrefetchIssued, st.PrefetchUsed, st.PrefetchWasted,
 		st.PrefetchDropped, st.PrefetchDeferred, st.PrefetchErrors, st.Accuracy())
 	fmt.Fprintf(w, "  joins            %d demand requests coalesced onto in-flight prefetches\n", st.Joins)
+	if st.MultiGets > 0 {
+		fmt.Fprintf(w, "  batched demand   %d GetMulti sessions, %d keys demand-batched, %d sessions merged\n",
+			st.MultiGets, st.BatchedKeys, st.MergedSessions)
+	}
 	for _, b := range st.Backends {
 		breaker := ""
 		if b.BreakerState != "" {

@@ -10,6 +10,8 @@
 //	prefetchbench -run T7 -quick       # reduced simulation sizes
 //	prefetchbench -engine -clients 8   # throughput of the public engine
 //	prefetchbench -engine -backends 2 -hedge -watermark 0.5   # fetch fabric
+//	prefetchbench -engine -session 8   # GetMulti page-load sessions vs a per-key Get loop
+//	prefetchbench -engine -mmpp 2000,200,0.05,0.2   # bursty (MMPP-paced) arrivals
 //	prefetchbench -engine -json -o bench.json   # machine-readable results
 //	prefetchbench -engine -cpuprofile cpu.pprof -memprofile mem.pprof
 //	prefetchbench -trace t.jsonl       # replay a recorded trace through it
@@ -56,6 +58,8 @@ func run() (retErr error) {
 		eitems    = flag.Int("items", 2000, "engine mode: catalog size")
 		eshards   = flag.String("shards", "1,8", "engine/trace mode: comma-separated shard counts to sweep")
 		backends  = flag.Int("backends", 0, "engine/trace mode: simulated heterogeneous backends behind the fetch fabric (0 = direct fetcher; >= 2 in engine mode also runs a single-backend baseline)")
+		session   = flag.Int("session", 0, "engine mode: batched session benchmark with this fan-out — each request becomes one GetMulti page-load session of N correlated keys, compared against a per-key Get loop over the same streams (0 = per-key mode)")
+		mmpp      = flag.String("mmpp", "", "engine mode: pace each client's arrivals by a two-state MMPP, given as 'rateHigh,rateLow,meanHigh,meanLow' (rates in arrivals/s, sojourns in s; empty = closed loop)")
 		hedge     = flag.Bool("hedge", false, "engine mode: hedged retries across backends (p95-derived delay; needs -backends)")
 		watermark = flag.Float64("watermark", 0, "engine mode: idle-gate ρ̂ watermark deferring speculative dispatch (0 = off; needs -backends)")
 		asJSON    = flag.Bool("json", false, "engine/trace mode: emit one machine-readable JSON report (honours -o)")
@@ -145,6 +149,8 @@ func run() (retErr error) {
 			Backends:  *backends,
 			Hedge:     *hedge,
 			Watermark: *watermark,
+			Session:   *session,
+			MMPP:      *mmpp,
 			JSON:      *asJSON,
 		})
 	}

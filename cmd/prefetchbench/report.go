@@ -31,6 +31,8 @@ type benchConfig struct {
 	Backends  int     `json:"backends,omitempty"`
 	Hedge     bool    `json:"hedge,omitempty"`
 	Watermark float64 `json:"idle_watermark,omitempty"`
+	Session   int     `json:"session_fanout,omitempty"`
+	MMPP      string  `json:"mmpp,omitempty"`
 	Seed      uint64  `json:"seed,omitempty"`
 }
 
@@ -47,16 +49,26 @@ type perfReport struct {
 
 // runReport is one engine run within the shard/backend sweep.
 type runReport struct {
-	Shards            int             `json:"shards"`
-	BackendCount      int             `json:"backend_count,omitempty"`
-	Baseline          bool            `json:"baseline,omitempty"` // single-backend reference run
-	ThroughputRPS     float64         `json:"throughput_rps"`
-	WallMS            float64         `json:"wall_ms"`
-	Perf              perfReport      `json:"perf"`
-	Completed         int             `json:"completed_requests"`
-	Requests          int64           `json:"requests"`
-	HitRatio          float64         `json:"hit_ratio"`
-	Joins             int64           `json:"joins"`
+	Shards        int        `json:"shards"`
+	BackendCount  int        `json:"backend_count,omitempty"`
+	Baseline      bool       `json:"baseline,omitempty"` // single-backend reference run
+	ThroughputRPS float64    `json:"throughput_rps"`
+	WallMS        float64    `json:"wall_ms"`
+	Perf          perfReport `json:"perf"`
+	Completed     int        `json:"completed_requests"`
+	Requests      int64      `json:"requests"`
+	HitRatio      float64    `json:"hit_ratio"`
+	Joins         int64      `json:"joins"`
+	// Session-mode extras (-session): completed session count, keys per
+	// session, and the session wall-latency percentiles. In the session
+	// runs Baseline marks the per-key Get loop over the same streams.
+	Sessions          int             `json:"sessions,omitempty"`
+	SessionFanout     int             `json:"session_fanout,omitempty"`
+	SessionP50MS      float64         `json:"session_p50_ms,omitempty"`
+	SessionP95MS      float64         `json:"session_p95_ms,omitempty"`
+	MultiGets         int64           `json:"multi_gets,omitempty"`
+	BatchedKeys       int64           `json:"batched_keys,omitempty"`
+	MergedSessions    int64           `json:"merged_sessions,omitempty"`
 	Lambda            float64         `json:"lambda"`
 	MeanSize          float64         `json:"mean_size"`
 	HPrime            float64         `json:"h_prime"`
@@ -115,6 +127,9 @@ func newRunReport(st prefetcher.Stats, completed int, rps float64, elapsed time.
 		Requests:          st.Requests,
 		HitRatio:          st.HitRatio(),
 		Joins:             st.Joins,
+		MultiGets:         st.MultiGets,
+		BatchedKeys:       st.BatchedKeys,
+		MergedSessions:    st.MergedSessions,
 		Lambda:            st.Lambda,
 		MeanSize:          st.MeanSize,
 		HPrime:            st.HPrime,

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/rng"
+	"repro/internal/workload"
+	"repro/prefetcher"
+)
+
+// runSessionBench is the -session mode: page-load sessions of cfg.Session
+// correlated keys, issued either as one Engine.GetMultiInto call per
+// session (the batched demand path under test) or, in the baseline run,
+// as a per-key Get loop over the exact same streams. Both runs share
+// the workload seeds — identical per-client session sequences — so the
+// throughput ratio isolates what the batch path buys: one shard lock
+// per shard per session, misses coalesced into FetchBatch demand
+// batches, one speculative plan per session. The engine always sits on
+// the fetch fabric over batch-capable simulated backends (default 1) —
+// without a link that charges a batch one base latency there is nothing
+// for demand coalescing to win.
+func runSessionBench(w io.Writer, report *benchReport, cfg engineBenchConfig, mmpp *workload.MMPPConfig, text bool) error {
+	backends := cfg.Backends
+	if backends == 0 {
+		backends = 1
+	}
+	if text {
+		fmt.Fprintf(w, "batched session benchmark: %d clients × %d sessions of %d keys, %d workers, b=%g\n",
+			cfg.Clients, cfg.Requests, cfg.Session, cfg.Workers, cfg.Bandwidth)
+		for _, b := range simBackends(backends, cfg.Bandwidth, nil) {
+			sim := b.Fetcher.(*simBackend)
+			fmt.Fprintf(w, "  backend %-8s base latency %v, bandwidth %.3g (weight %.3f)\n",
+				b.Name, sim.base, b.Bandwidth, b.Weight)
+		}
+	}
+	for _, shards := range cfg.Shards {
+		base, err := runSessionBenchOnce(w, cfg, mmpp, shards, backends, true, text)
+		if err != nil {
+			return err
+		}
+		multi, err := runSessionBenchOnce(w, cfg, mmpp, shards, backends, false, text)
+		if err != nil {
+			return err
+		}
+		if text {
+			fmt.Fprintf(w, "  session speedup  %.2fx GetMulti vs per-key Get loop\n",
+				multi.rps/base.rps)
+		}
+		report.Runs = append(report.Runs, base.rep, multi.rep)
+	}
+	if cfg.JSON {
+		return report.emit(w)
+	}
+	return nil
+}
+
+// sessionPages derives the page count from the catalog size so the total
+// id universe (pages + the default 4×pages shared-object catalog)
+// matches -items, keeping the -session and per-key modes comparable
+// under the same -cache/-items budget.
+func sessionPages(items int) int {
+	pages := items / 5
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// runSessionBenchOnce measures one session-mode configuration. With
+// perKey (the baseline) each session's keys go through Engine.Get one
+// at a time, in order; otherwise the whole session is one GetMultiInto
+// call. Per-session wall durations feed the p50/p95 the report carries.
+func runSessionBenchOnce(w io.Writer, cfg engineBenchConfig, mmpp *workload.MMPPConfig, shards, backends int, perKey, text bool) (engineRun, error) {
+	eng, shards, err := newBenchEngine("engine", nil, cfg.Bandwidth, cfg.Workers,
+		cfg.CacheCap, shards, fabricOptions(cfg, backends)...)
+	if err != nil {
+		return engineRun{}, err
+	}
+	defer eng.Close()
+
+	pages := sessionPages(cfg.Items)
+	ctx := context.Background()
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		completed int
+		durs      []time.Duration
+	)
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// The seed matches the per-key baseline's exactly: both runs
+			// replay the same per-client session sequences.
+			src := rng.New(cfg.Seed + uint64(c)*1315423911)
+			site := workload.NewSessions(workload.SessionConfig{
+				Pages: pages, Fanout: cfg.Session,
+			}, src)
+			pace := newPacer(mmpp, cfg.Seed, c, start)
+			kbuf := make([]cache.ID, 0, cfg.Session)
+			keys := make([]prefetcher.ID, 0, cfg.Session)
+			dst := make([]prefetcher.Item, 0, cfg.Session)
+			clientDurs := make([]time.Duration, 0, cfg.Requests)
+			n := 0
+			var clientErr error
+			for i := 0; i < cfg.Requests; i++ {
+				if pace != nil {
+					pace.wait()
+				}
+				kbuf = site.NextInto(kbuf[:0])
+				keys = keys[:0]
+				for _, k := range kbuf {
+					keys = append(keys, prefetcher.ID(k))
+				}
+				t0 := time.Now()
+				if perKey {
+					for _, id := range keys {
+						if _, err := eng.Get(ctx, id); err != nil {
+							clientErr = fmt.Errorf("client %d after %d sessions: %w", c, i, err)
+							break
+						}
+						n++
+					}
+				} else {
+					var err error
+					dst, err = eng.GetMultiInto(ctx, keys, dst[:0])
+					if err != nil {
+						clientErr = fmt.Errorf("client %d after %d sessions: %w", c, i, err)
+					} else {
+						n += len(dst)
+					}
+				}
+				if clientErr != nil {
+					break
+				}
+				clientDurs = append(clientDurs, time.Since(t0))
+			}
+			mu.Lock()
+			completed += n
+			durs = append(durs, clientDurs...)
+			if clientErr != nil && firstErr == nil {
+				firstErr = clientErr
+			}
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+	if firstErr != nil {
+		return engineRun{}, firstErr
+	}
+	perf := measurePerf(&msBefore, &msAfter, completed, elapsed)
+	qctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = eng.Quiesce(qctx)
+	cancel()
+	if err != nil {
+		return engineRun{}, fmt.Errorf("engine mode: quiesce: %w", err)
+	}
+
+	st := eng.Stats()
+	rps := float64(completed) / elapsed.Seconds()
+	p50, p95 := sessionPercentiles(durs)
+	if text {
+		label := fmt.Sprintf("shards=%d backends=%d", st.Shards, backends)
+		if perKey {
+			label += " (per-key baseline)"
+		} else {
+			label += " (GetMulti)"
+		}
+		fmt.Fprintln(w, label)
+		fmt.Fprintf(w, "  sessions         %d × %d keys, p50 %v, p95 %v\n",
+			len(durs), cfg.Session, p50.Round(time.Microsecond), p95.Round(time.Microsecond))
+		reportRun(w, st, rps, elapsed, perf)
+	}
+	rep := newRunReport(st, completed, rps, elapsed, perKey, perf)
+	rep.Sessions = len(durs)
+	rep.SessionFanout = cfg.Session
+	rep.SessionP50MS = float64(p50.Microseconds()) / 1e3
+	rep.SessionP95MS = float64(p95.Microseconds()) / 1e3
+	return engineRun{rps: rps, shards: shards, rep: rep}, nil
+}
+
+// sessionPercentiles returns the p50 and p95 of the recorded session
+// durations (zeros when none completed).
+func sessionPercentiles(durs []time.Duration) (p50, p95 time.Duration) {
+	if len(durs) == 0 {
+		return 0, 0
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	idx := func(q float64) time.Duration {
+		i := int(q * float64(len(durs)))
+		if i >= len(durs) {
+			i = len(durs) - 1
+		}
+		return durs[i]
+	}
+	return idx(0.50), idx(0.95)
+}

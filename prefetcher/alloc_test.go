@@ -30,6 +30,49 @@ func TestGetHitAllocFree(t *testing.T) {
 	}
 }
 
+// TestGetMultiAllocFree pins the batched demand path's headline
+// property: an all-hit GetMultiInto session — the gather across
+// shards, the linearised predictor observation sequence, per-key
+// accounting and the session's one speculative plan — allocates
+// nothing when the caller reuses its result buffer.
+func TestGetMultiAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime drops sync.Pool Puts by design; pooled steady state is unreachable (CI runs this gate without -race)")
+	}
+	eng, ids := newHitEngine(t)
+	defer eng.Close()
+	ctx := context.Background()
+	const fanout = 8
+	session := make([]ID, fanout)
+	dst := make([]Item, 0, fanout)
+	fill := func(base int) {
+		for k := range session {
+			session[k] = ids[(base+k)%len(ids)]
+		}
+	}
+	// Warm passes grow the pooled session scratch to the fan-out.
+	for w := 0; w < 2; w++ {
+		fill(w)
+		var err error
+		if dst, err = eng.GetMultiInto(ctx, session, dst[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		fill(i)
+		var err error
+		dst, err = eng.GetMultiInto(ctx, session, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("all-hit GetMultiInto allocated %v times per session; want 0", allocs)
+	}
+}
+
 // TestFabricBatchDispatchAllocFree pins the routed-speculation
 // counterpart of TestGetHitAllocFree: with a multi-backend,
 // batch-capable fabric, a steady-state cache hit — prediction, backend

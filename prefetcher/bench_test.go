@@ -91,6 +91,34 @@ func BenchmarkGetHit(b *testing.B) {
 	}
 }
 
+// BenchmarkGetMultiHit measures the batched counterpart of
+// BenchmarkGetHit: an all-hit fan-out-8 session through GetMultiInto —
+// one gather across shards, one linearised observation sequence, one
+// speculative plan — with the caller reusing its result buffer. CI
+// asserts the 0 allocs/op property as a hard test via
+// TestGetMultiAllocFree; this benchmark tracks the per-session cost
+// against fan-out × BenchmarkGetHit.
+func BenchmarkGetMultiHit(b *testing.B) {
+	eng, ids := newHitEngine(b)
+	defer eng.Close()
+	ctx := context.Background()
+	const fanout = 8
+	session := make([]ID, fanout)
+	dst := make([]Item, 0, fanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range session {
+			session[k] = ids[(i+k)%len(ids)]
+		}
+		var err error
+		dst, err = eng.GetMultiInto(ctx, session, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // newHitEngine builds a single-shard engine whose whole catalog is
 // resident (and whose Markov rows predict only resident successors), so
 // driving it sequentially exercises the hit path exclusively.

@@ -29,6 +29,25 @@
 // refetching. Stats returns a snapshot of the live estimates (ĥ′,
 // ρ̂′, p̂_th) and the prefetch hit/waste counters.
 //
+// Correlated lookups go through GetMulti / GetMultiInto, the batched
+// demand path: the session's keys are grouped by shard so each shard
+// lock is taken once, hits are served and in-flight fetches joined per
+// key, and the remaining misses are coalesced into one BatchFetcher
+// demand batch per backend (degrading to per-key fetches when the
+// backend cannot batch or returns a malformed reply). Results align
+// index-for-index with the requested ids; failures are per key — a
+// *MultiError carries one KeyError per failed id while successful keys
+// are still filled in, and duplicate ids within a session are fetched
+// once. The predictor observes the session in request order exactly as
+// the equivalent Get loop would, with one speculative plan issued from
+// the session's last key. WithDemandCoalescing opens a short merge
+// window in which misses from concurrent sessions bound for the same
+// backend share one batch — off by default; the first contributing
+// session leads the window on its own goroutine, so the option adds no
+// background goroutine and Close/Quiesce cannot strand a window.
+// Stats.MultiGets, Stats.BatchedKeys and Stats.MergedSessions account
+// for the path.
+//
 // Internally the keyed state — cache, in-flight dedup, size and
 // used/wasted accounting — is partitioned across power-of-two shards
 // (WithShards, default GOMAXPROCS-derived), each behind its own mutex,
@@ -115,9 +134,14 @@
 //     tree permits is shard.mu → Engine.qmu: a shard may push a
 //     speculative candidate onto the engine's queue while holding its
 //     own mutex. Everything else — estimator stripes, the controller's
-//     history mutex, the fabric's queue and backend-state locks — is a
+//     history mutex, the fabric's queue and backend-state locks, the
+//     demand-merge window's demandMerger.mu — is a
 //     leaf: no code acquires any lock while holding one of them, and no
-//     code acquires a shard mutex while holding any other lock. Lock
+//     code acquires a shard mutex while holding any other lock. The
+//     batch path observes the same order by construction: gatherMulti
+//     holds at most one shard mutex at a time (keys are grouped so each
+//     shard's classification completes before the next lock), and batch
+//     completion re-locks each key's shard individually. Lock
 //     handoffs (serveResident unlocking the shard mutex its caller
 //     took) are modelled, not waived.
 //   - A field accessed through sync/atomic is atomic everywhere

@@ -120,9 +120,14 @@ type Engine struct {
 	// WithBreaker); nil for a plain single-fetcher engine. When set,
 	// fetcher is nil and every demand and speculative fetch goes
 	// through it.
-	fabric  *fetch.Fabric
-	pred    Predictor
-	predTop TopPredictor // non-nil when pred supports bounded top-k prediction
+	fabric *fetch.Fabric
+	// batchFetcher is the plain engine's batch capability: the fetcher
+	// re-asserted once at New so GetMulti's demand batching does not
+	// type-assert per session. nil when the fetcher doesn't batch or
+	// when a fabric is set (the fabric carries its own batch seam).
+	batchFetcher BatchFetcher
+	pred         Predictor
+	predTop      TopPredictor // non-nil when pred supports bounded top-k prediction
 	// predTopInto is the zero-allocation variant for external
 	// predictors that implement it.
 	predTopInto TopIntoPredictor
@@ -175,6 +180,22 @@ type Engine struct {
 	bufPool    sync.Pool
 	routePool  sync.Pool
 	batchPool  sync.Pool
+	// multiPool recycles GetMulti's per-session gather/dispatch scratch.
+	multiPool sync.Pool
+
+	// mergers is the demand-dedup merge machinery (WithDemandCoalescing):
+	// one merge window per backend, nil when coalescing is off. Each
+	// merger's mutex is a leaf in the engine's lock order — see doc.go.
+	mergers     []*demandMerger
+	mergeWindow time.Duration
+	mergeMax    int
+
+	// Session counters for the batched demand path (Stats.MultiGets,
+	// Stats.BatchedKeys, Stats.MergedSessions). Global atomics, not
+	// per-shard: a session spans shards by design.
+	multiGets      atomic.Int64
+	batchedKeys    atomic.Int64
+	mergedSessions atomic.Int64
 
 	closed atomic.Bool
 
@@ -340,6 +361,21 @@ func New(fetcher Fetcher, opts ...Option) (*Engine, error) {
 	e.fabric = fab
 	if fab != nil {
 		e.fetcher = nil // every fetch goes through the fabric
+	}
+	if e.fetcher != nil {
+		e.batchFetcher, _ = e.fetcher.(BatchFetcher)
+	}
+	e.multiPool.New = func() any { return &multiScratch{} }
+	if cfg.mergeWindow > 0 {
+		nb := 1
+		if e.fabric != nil {
+			nb = e.fabric.NumBackends()
+		}
+		e.mergeWindow, e.mergeMax = cfg.mergeWindow, cfg.mergeMax
+		e.mergers = make([]*demandMerger, nb)
+		for i := range e.mergers {
+			e.mergers[i] = &demandMerger{full: make(chan struct{}, 1)}
+		}
 	}
 	for i := 0; i < cfg.workers; i++ {
 		e.wg.Add(1)
@@ -658,14 +694,31 @@ func (e *Engine) finishJoined(sh *shard, id ID, item Item, cands []predict.Predi
 // demandFetch fetches id on the caller's goroutine; f is the flight the
 // caller registered for it. The arrival is already recorded.
 func (e *Engine) demandFetch(ctx context.Context, sh *shard, id ID, f *flight, cands []predict.Prediction) (Item, error) {
-	var item Item
-	var err error
-	if e.fabric != nil {
-		item, err = e.fabricDemandFetch(ctx, id)
-	} else {
-		item, err = e.fetcher.Fetch(ctx, id)
+	item, err := e.demandFetchOne(ctx, id)
+	item, err = e.completeDemand(sh, id, f, item, err)
+	if err != nil {
+		return Item{}, err
 	}
+	e.schedule(cands)
+	return item, nil
+}
 
+// demandFetchOne retrieves one id on the caller's goroutine through
+// whichever demand path the engine runs — the fetch fabric or the
+// plain fetcher.
+func (e *Engine) demandFetchOne(ctx context.Context, id ID) (Item, error) {
+	if e.fabric != nil {
+		return e.fabricDemandFetch(ctx, id)
+	}
+	return e.fetcher.Fetch(ctx, id)
+}
+
+// completeDemand lands one finished demand fetch for a flight this
+// caller owns: the flight is deregistered and resolved, the item
+// cached and accounted (or the error recorded) and the miss event
+// emitted outside the shard lock. Shared by the singleton demand path
+// and GetMulti's batched one, so both land a miss identically.
+func (e *Engine) completeDemand(sh *shard, id ID, f *flight, item Item, err error) (Item, error) {
 	if err != nil {
 		sh.mu.Lock()
 		if sh.inflight[id] == f {
@@ -697,7 +750,6 @@ func (e *Engine) demandFetch(ctx context.Context, sh *shard, id ID, f *flight, c
 
 	e.ctrl.RecordSize(item.Size)
 	e.emit(Event{Type: EventMiss, ID: id})
-	e.schedule(cands)
 	return item, nil
 }
 
@@ -939,6 +991,9 @@ func (e *Engine) Stats() Stats {
 		s.Requests += sh.requests.Load()
 	}
 	s.CacheLen = int(e.residents.Load())
+	s.MultiGets = e.multiGets.Load()
+	s.BatchedKeys = e.batchedKeys.Load()
+	s.MergedSessions = e.mergedSessions.Load()
 	if e.fabric != nil {
 		s.Backends = e.fabric.Stats(e.now())
 		for _, b := range s.Backends {

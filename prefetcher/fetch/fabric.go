@@ -81,17 +81,22 @@ type backendState struct {
 	est   *estimator
 	seed  uint64 // rendezvous-hash seed derived from the name
 
-	demand         atomic.Int64
-	speculative    atomic.Int64
-	errorsN        atomic.Int64
-	batchCalls     atomic.Int64
-	batchedItems   atomic.Int64
-	hedgesLaunched atomic.Int64
-	hedgesWon      atomic.Int64
-	retries        atomic.Int64
-	deferredN      atomic.Int64
-	released       atomic.Int64
-	deferDropped   atomic.Int64
+	demand       atomic.Int64
+	speculative  atomic.Int64
+	errorsN      atomic.Int64
+	batchCalls   atomic.Int64
+	batchedItems atomic.Int64
+	// Demand-batch traffic (FetchDemandBatch) is counted apart from the
+	// speculative coalescing above: the two paths have different
+	// failure semantics and the split is what BENCH_session measures.
+	demandBatchCalls   atomic.Int64
+	demandBatchedItems atomic.Int64
+	hedgesLaunched     atomic.Int64
+	hedgesWon          atomic.Int64
+	retries            atomic.Int64
+	deferredN          atomic.Int64
+	released           atomic.Int64
+	deferDropped       atomic.Int64
 
 	// Circuit-breaker state (unused when no Breaker is configured):
 	// consecutive non-cancelled failures, the tri-state breaker, when it
@@ -728,6 +733,101 @@ func (f *Fabric) fetchSequential(ctx context.Context, id ID, attempts int, backo
 	return Item{}, lastErr
 }
 
+// --- demand batch path ---------------------------------------------------
+
+// FetchDemandBatch dispatches one session's misses routed to a single
+// backend as one demand-priority FetchBatch call, filling the
+// caller-supplied out and errs slices (len(ids) each, index-aligned
+// with ids) so the engine's batched demand path allocates nothing. The
+// semantics are per-key: errs[i] reports key i's outcome, and one bad
+// key never fails the batch.
+//
+// Unlike the speculative batch, a batch-level problem — the backend
+// erroring the whole call, or violating the FetchBatch contract with a
+// short or misordered reply — degrades to per-key fallback fetches
+// through the full demand path (failover, hedging, breaker), not to a
+// batch-wide error: demand keys have a caller waiting on each of them.
+// Backends without batch support, single-key batches and batches
+// refused by the breaker take the per-key path directly.
+func (f *Fabric) FetchDemandBatch(ctx context.Context, backend int, ids []ID, out []Item, errs []error) {
+	if f.closed.Load() {
+		for i := range ids {
+			out[i], errs[i] = Item{}, ErrClosed
+		}
+		return
+	}
+	b := f.backends[backend]
+	if b.batch == nil || len(ids) < 2 {
+		f.demandFallback(ctx, ids, out, errs)
+		return
+	}
+	granted, probe := f.acquire(b)
+	if !granted {
+		// The routed backend's breaker is open: the per-key demand path
+		// fails over across the remaining backends (or fails fast when
+		// every breaker is open), exactly as a singleton fetch would.
+		f.demandFallback(ctx, ids, out, errs)
+		return
+	}
+	b.demand.Add(int64(len(ids)))
+	b.demandBatchCalls.Add(1)
+	b.demandBatchedItems.Add(int64(len(ids)))
+	// One link dispatch for the whole batch: the coalesced keys travel
+	// in one backend round trip, which is the point of the demand batch.
+	b.link.RecordDemand(f.nowf())
+	start := f.nowf()
+	items, err := b.batch.FetchBatch(ctx, ids)
+	if err == nil {
+		if len(items) != len(ids) {
+			err = fmt.Errorf("fetch: backend %q returned %d items for a %d-id demand batch", b.cfg.Name, len(items), len(ids))
+		} else {
+			for i, it := range items {
+				if it.ID != ids[i] {
+					err = fmt.Errorf("fetch: backend %q returned id %d at position %d of a demand batch (want %d)", b.cfg.Name, it.ID, i, ids[i])
+					break
+				}
+			}
+		}
+	}
+	var total Item
+	if err == nil {
+		for _, it := range items {
+			size := it.Size
+			if size <= 0 {
+				size = 1
+			}
+			total.Size += size
+		}
+	}
+	f.observe(b, start, total, err, true, probe)
+	if err != nil {
+		// Batch failure or contract violation: degrade to per-key
+		// fallback fetches so one bad reply cannot fail the session.
+		f.demandFallback(ctx, ids, out, errs)
+		return
+	}
+	copy(out, items)
+	for i := range ids {
+		errs[i] = nil
+	}
+}
+
+// demandFallback serves a demand batch key by key through the full
+// demand path (routing, failover, hedging, breaker), recording each
+// key's own outcome. A dead context fails the remaining keys without
+// dispatching them.
+func (f *Fabric) demandFallback(ctx context.Context, ids []ID, out []Item, errs []error) {
+	for i, id := range ids {
+		if err := ctx.Err(); err != nil {
+			for j := i; j < len(ids); j++ {
+				out[j], errs[j] = Item{}, err
+			}
+			return
+		}
+		out[i], errs[i] = f.Fetch(ctx, id)
+	}
+}
+
 // --- speculative path ----------------------------------------------------
 
 // FetchSpeculative runs one speculative fetch on the given backend
@@ -965,26 +1065,28 @@ func (f *Fabric) Stats(now float64) []BackendStats {
 		pending := len(b.parked)
 		b.mu.Unlock()
 		out[i] = BackendStats{
-			Name:              b.cfg.Name,
-			Demand:            b.demand.Load(),
-			Speculative:       b.speculative.Load(),
-			Errors:            b.errorsN.Load(),
-			BatchCalls:        b.batchCalls.Load(),
-			BatchedItems:      b.batchedItems.Load(),
-			HedgesLaunched:    b.hedgesLaunched.Load(),
-			HedgesWon:         b.hedgesWon.Load(),
-			Retries:           b.retries.Load(),
-			Deferred:          b.deferredN.Load(),
-			Released:          b.released.Load(),
-			DeferredDropped:   b.deferDropped.Load(),
-			Pending:           pending,
-			LatencySeconds:    b.est.latency(),
-			LatencyP95Seconds: b.est.p95Latency(),
-			Bandwidth:         b.link.Bandwidth(),
-			Rho:               b.link.Rho(now),
-			RhoPrime:          b.link.RhoPrime(now),
-			BreakerState:      f.breakerState(b),
-			BreakerOpens:      b.brOpens.Load(),
+			Name:               b.cfg.Name,
+			Demand:             b.demand.Load(),
+			Speculative:        b.speculative.Load(),
+			Errors:             b.errorsN.Load(),
+			BatchCalls:         b.batchCalls.Load(),
+			BatchedItems:       b.batchedItems.Load(),
+			DemandBatchCalls:   b.demandBatchCalls.Load(),
+			DemandBatchedItems: b.demandBatchedItems.Load(),
+			HedgesLaunched:     b.hedgesLaunched.Load(),
+			HedgesWon:          b.hedgesWon.Load(),
+			Retries:            b.retries.Load(),
+			Deferred:           b.deferredN.Load(),
+			Released:           b.released.Load(),
+			DeferredDropped:    b.deferDropped.Load(),
+			Pending:            pending,
+			LatencySeconds:     b.est.latency(),
+			LatencyP95Seconds:  b.est.p95Latency(),
+			Bandwidth:          b.link.Bandwidth(),
+			Rho:                b.link.Rho(now),
+			RhoPrime:           b.link.RhoPrime(now),
+			BreakerState:       f.breakerState(b),
+			BreakerOpens:       b.brOpens.Load(),
 		}
 	}
 	return out

@@ -540,3 +540,167 @@ func TestRoutingString(t *testing.T) {
 		t.Fatal("Routing.String misnames strategies")
 	}
 }
+
+// --- demand batch path ---------------------------------------------------
+
+// misorderedBatchFetcher answers batches with the ids reversed,
+// violating the request-order half of the FetchBatch contract.
+type misorderedBatchFetcher struct{ instantFetcher }
+
+func (f *misorderedBatchFetcher) FetchBatch(ctx context.Context, ids []ID) ([]Item, error) {
+	out := make([]Item, len(ids))
+	for i, id := range ids {
+		out[len(ids)-1-i] = Item{ID: id, Size: 1}
+	}
+	return out, nil
+}
+
+// pickyBatchFetcher refuses every batch call outright; its singleton
+// path works except for the one poisoned id — the shape that exercises
+// per-key partial failure through the fallback.
+type pickyBatchFetcher struct {
+	bad   ID
+	calls atomic.Int64
+}
+
+func (f *pickyBatchFetcher) Fetch(ctx context.Context, id ID) (Item, error) {
+	f.calls.Add(1)
+	if id == f.bad {
+		return Item{}, errors.New("poisoned id")
+	}
+	return Item{ID: id, Size: 1}, nil
+}
+
+func (f *pickyBatchFetcher) FetchBatch(ctx context.Context, ids []ID) ([]Item, error) {
+	return nil, errors.New("batch refused")
+}
+
+func demandBatch(f *Fabric, backend int, ids []ID) ([]Item, []error) {
+	out := make([]Item, len(ids))
+	errs := make([]error, len(ids))
+	f.FetchDemandBatch(context.Background(), backend, ids, out, errs)
+	return out, errs
+}
+
+func TestFetchDemandBatchCoalesces(t *testing.T) {
+	bf := &batchFetcher{}
+	f := newTestFabric(t, Config{Backends: []Backend{{Name: "batch", Fetcher: bf}}})
+	ids := []ID{7, 3, 9}
+	out, errs := demandBatch(f, 0, ids)
+	for i, id := range ids {
+		if errs[i] != nil || out[i].ID != id {
+			t.Fatalf("key %d: item=%+v err=%v", i, out[i], errs[i])
+		}
+	}
+	if bf.batches.Load() != 1 || bf.items.Load() != 3 {
+		t.Fatalf("backend saw %d calls / %d items, want 1/3", bf.batches.Load(), bf.items.Load())
+	}
+	if bf.calls.Load() != 0 {
+		t.Fatalf("singleton path saw %d calls, want 0", bf.calls.Load())
+	}
+	st := f.Stats(0)[0]
+	if st.DemandBatchCalls != 1 || st.DemandBatchedItems != 3 || st.Demand != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BatchCalls != 0 || st.Speculative != 0 {
+		t.Fatalf("demand batch leaked into speculative counters: %+v", st)
+	}
+}
+
+func TestFetchDemandBatchSingleKeyAndNoBatchSupport(t *testing.T) {
+	plain := &instantFetcher{size: 1}
+	bf := &batchFetcher{}
+	f := newTestFabric(t, Config{Backends: []Backend{
+		{Name: "batch", Fetcher: bf},
+		{Name: "plain", Fetcher: plain},
+	}})
+	// One key never pays the batch machinery.
+	if out, errs := demandBatch(f, 0, []ID{42}); errs[0] != nil || out[0].ID != 42 {
+		t.Fatalf("single key: %+v %v", out, errs)
+	}
+	if bf.batches.Load() != 0 {
+		t.Fatal("single-key demand batch must not call FetchBatch")
+	}
+	// A backend without batch support serves key by key.
+	// (Routing may fail the keys over to the batch backend's singleton
+	// path; only the per-key outcome is contractual.)
+	ids := []ID{1, 2}
+	out, errs := demandBatch(f, 1, ids)
+	for i, id := range ids {
+		if errs[i] != nil || out[i].ID != id {
+			t.Fatalf("key %d: item=%+v err=%v", i, out[i], errs[i])
+		}
+	}
+}
+
+func TestFetchDemandBatchShortReplyFallsBack(t *testing.T) {
+	sf := &shortBatchFetcher{}
+	f := newTestFabric(t, Config{Backends: []Backend{{Name: "short", Fetcher: sf}}})
+	ids := []ID{1, 2, 3}
+	out, errs := demandBatch(f, 0, ids)
+	for i, id := range ids {
+		if errs[i] != nil || out[i].ID != id {
+			t.Fatalf("key %d must be served by the per-key fallback: item=%+v err=%v", i, out[i], errs[i])
+		}
+	}
+	if sf.calls.Load() != int64(len(ids)) {
+		t.Fatalf("fallback made %d singleton fetches, want %d", sf.calls.Load(), len(ids))
+	}
+}
+
+func TestFetchDemandBatchMisorderedReplyFallsBack(t *testing.T) {
+	mf := &misorderedBatchFetcher{}
+	f := newTestFabric(t, Config{Backends: []Backend{{Name: "misordered", Fetcher: mf}}})
+	ids := []ID{5, 6}
+	out, errs := demandBatch(f, 0, ids)
+	for i, id := range ids {
+		if errs[i] != nil || out[i].ID != id {
+			t.Fatalf("key %d: item=%+v err=%v", i, out[i], errs[i])
+		}
+	}
+	if mf.calls.Load() != int64(len(ids)) {
+		t.Fatalf("fallback made %d singleton fetches, want %d", mf.calls.Load(), len(ids))
+	}
+}
+
+func TestFetchDemandBatchPartialFailure(t *testing.T) {
+	pf := &pickyBatchFetcher{bad: 2}
+	f := newTestFabric(t, Config{Backends: []Backend{{Name: "picky", Fetcher: pf}}})
+	ids := []ID{1, 2, 3}
+	out, errs := demandBatch(f, 0, ids)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good keys failed: %v %v", errs[0], errs[2])
+	}
+	if out[0].ID != 1 || out[2].ID != 3 {
+		t.Fatalf("good keys misdelivered: %+v", out)
+	}
+	if errs[1] == nil {
+		t.Fatal("poisoned key must keep its own error")
+	}
+}
+
+func TestFetchDemandBatchClosedAndDeadContext(t *testing.T) {
+	bf := &batchFetcher{}
+	f, err := New(Config{Backends: []Backend{{Name: "batch", Fetcher: bf}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := make([]Item, 2)
+	errs := make([]error, 2)
+	// A dead context on the fallback path fails the keys without
+	// dispatching them. (The batch path itself hands ctx to the
+	// backend, which decides.)
+	f.FetchDemandBatch(ctx, 0, []ID{1}, out[:1], errs[:1])
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Fatalf("dead ctx: err = %v", errs[0])
+	}
+	f.Close()
+	f.FetchDemandBatch(context.Background(), 0, []ID{1, 2}, out, errs)
+	for i := range errs {
+		if !errors.Is(errs[i], ErrClosed) {
+			t.Fatalf("key %d after Close: err = %v", i, errs[i])
+		}
+	}
+}

@@ -51,11 +51,15 @@ type FetcherFunc func(ctx context.Context, id ID) (Item, error)
 func (f FetcherFunc) Fetch(ctx context.Context, id ID) (Item, error) { return f(ctx, id) }
 
 // BatchFetcher is optionally implemented by a backend's Fetcher to
-// coalesce adjacent speculative candidates into one backend call.
-// FetchBatch must return exactly one Item per requested id, in request
-// order; an error fails the whole batch. The fabric only batches
-// speculative traffic — demand fetches stay single-item so they can be
-// hedged and cancelled individually.
+// coalesce several ids into one backend call. FetchBatch must return
+// exactly one Item per requested id, in request order. The fabric
+// batches two kinds of traffic through it: adjacent speculative
+// candidates (FetchSpeculativeBatch, where an error fails the whole
+// batch — a lost prefetch costs nothing) and a session's coalesced
+// demand misses (FetchDemandBatch, where a batch error or a short or
+// misordered reply degrades to per-key fallback fetches — demand keys
+// have callers waiting on each of them). Singleton demand fetches stay
+// single-item so they can be hedged and cancelled individually.
 type BatchFetcher interface {
 	FetchBatch(ctx context.Context, ids []ID) ([]Item, error)
 }
@@ -163,9 +167,13 @@ type BackendStats struct {
 	// fetches (batched items counted individually); Errors counts
 	// failed attempts (cancelled hedge losers are not errors).
 	Demand, Speculative, Errors int64
-	// BatchCalls counts FetchBatch invocations; BatchedItems the items
-	// they carried.
-	BatchCalls, BatchedItems int64
+	// BatchCalls counts speculative FetchBatch invocations;
+	// BatchedItems the items they carried. DemandBatchCalls and
+	// DemandBatchedItems count the demand-priority batches
+	// (FetchDemandBatch) and their coalesced keys separately — the two
+	// paths have different failure semantics.
+	BatchCalls, BatchedItems             int64
+	DemandBatchCalls, DemandBatchedItems int64
 	// HedgesLaunched counts hedge attempts raced against a slow
 	// primary; HedgesWon counts the hedges that returned first.
 	HedgesLaunched, HedgesWon int64

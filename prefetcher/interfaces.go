@@ -35,13 +35,18 @@ type FetcherFunc func(ctx context.Context, id ID) (Item, error)
 func (f FetcherFunc) Fetch(ctx context.Context, id ID) (Item, error) { return f(ctx, id) }
 
 // BatchFetcher is optionally implemented by a Fetcher to coalesce
-// adjacent speculative candidates into one origin call. FetchBatch
-// must return exactly one Item per requested id, in request order; an
-// error fails the whole batch. The engine only batches speculative
-// traffic — demand fetches stay single-item so they can be hedged and
-// cancelled individually — and only when the engine is running a
-// backend fetch fabric (WithBackends, or a single fetcher wrapped by
-// WithHedging/WithIdleWatermark).
+// several ids into one origin call. FetchBatch must return exactly one
+// Item per requested id, in request order. The engine batches two
+// kinds of traffic through it: adjacent speculative candidates (an
+// error fails the whole batch — a lost prefetch costs nothing a later
+// demand fetch won't recover), and the coalesced misses of a GetMulti
+// session (a batch error or a short/misordered reply degrades to
+// per-key fallback fetches, so one bad reply never fails the session).
+// Speculative batching requires a backend fetch fabric (WithBackends,
+// or a single fetcher wrapped by WithHedging/WithIdleWatermark/
+// WithBreaker); GetMulti's demand batching also works on a plain
+// single-fetcher engine. Singleton demand Gets stay single-item so
+// they can be hedged and cancelled individually.
 type BatchFetcher interface {
 	FetchBatch(ctx context.Context, ids []ID) ([]Item, error)
 }
