@@ -1,0 +1,128 @@
+// Command originsim is a stub HTTP origin for exercising prefetchd
+// and the httpfetch adapter without a real backend: it serves
+// deterministic payloads on GET /obj/{id}, the framed batch wire on
+// GET /batch?ids=…, and simulates origin behaviour with optional
+// per-request latency, payload size and error injection.
+//
+//	originsim -listen 127.0.0.1:9000 -latency 5ms -size 4096
+//
+// The payload for id k is k's decimal form repeated to -size bytes,
+// so clients can verify they got the right object without the
+// simulator keeping any state.
+package main
+
+import (
+	"flag"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/prefetcher/fetch/httpfetch"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9000", "address to serve on")
+		latency = flag.Duration("latency", 0, "simulated per-request origin latency")
+		size    = flag.Int("size", 64, "payload size in bytes")
+		errRate = flag.Float64("error-rate", 0, "fraction of requests answered 500 (0..1)")
+	)
+	flag.Parse()
+	if *size < 1 || *errRate < 0 || *errRate > 1 {
+		log.Fatal("originsim: -size must be >= 1 and -error-rate in [0,1]")
+	}
+
+	sim := &simulator{latency: *latency, size: *size, errRate: *errRate}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/obj/", sim.handleObj)
+	mux.HandleFunc("/batch", sim.handleBatch)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("originsim: %v", err)
+	}
+	hs := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("originsim: serving on %s (latency %v, size %d)", ln.Addr(), *latency, *size)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sigc:
+	case err := <-errc:
+		log.Fatalf("originsim: serve: %v", err)
+	}
+	hs.Close()
+}
+
+type simulator struct {
+	latency time.Duration
+	size    int
+	errRate float64
+}
+
+// payload renders id's deterministic object body.
+func payload(id int64, size int) []byte {
+	unit := strconv.FormatInt(id, 10) + "."
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = unit[i%len(unit)]
+	}
+	return b
+}
+
+// simulate applies the configured latency and error injection; it
+// reports whether the handler should continue.
+func (s *simulator) simulate(w http.ResponseWriter, r *http.Request) bool {
+	if s.latency > 0 {
+		select {
+		case <-time.After(s.latency):
+		case <-r.Context().Done():
+			return false
+		}
+	}
+	// The global rand source is safe under the mux's concurrency.
+	if s.errRate > 0 && rand.Float64() < s.errRate {
+		http.Error(w, "injected origin error", http.StatusInternalServerError)
+		return false
+	}
+	return true
+}
+
+func (s *simulator) handleObj(w http.ResponseWriter, r *http.Request) {
+	if !s.simulate(w, r) {
+		return
+	}
+	id, err := strconv.ParseInt(strings.TrimPrefix(r.URL.Path, "/obj/"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad id", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(payload(id, s.size))
+}
+
+func (s *simulator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.simulate(w, r) {
+		return
+	}
+	ids, err := httpfetch.ParseIDs(r.URL.Query().Get("ids"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	for _, id := range ids {
+		if err := httpfetch.WriteBatchItem(w, id, payload(int64(id), s.size)); err != nil {
+			return
+		}
+	}
+}

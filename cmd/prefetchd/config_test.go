@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleConfig = `{
+  "listen": ":0",
+  "shutdown_timeout": "5s",
+  "spaces": [
+    {
+      "name": "default",
+      "backends": [
+        {"name": "origin", "type": "http", "url": "http://origin:9000",
+         "batch_path": "/batch", "demand_timeout": "2s", "speculative_timeout": "500ms"},
+        {"name": "disk", "type": "fs", "root": "/", "weight": 2}
+      ],
+      "cache_capacity": 1024,
+      "predictor": "markov",
+      "policy": "adaptive-a",
+      "bandwidth": 1000000,
+      "routing": "latency",
+      "idle_watermark": 0.8,
+      "hedging": {"max_attempts": 2, "backoff": "10ms"},
+      "breaker": {"threshold": 5, "cooldown": "1s"}
+    },
+    {
+      "name": "cold",
+      "backends": [{"name": "o", "type": "http", "url": "http://cold:9000"}],
+      "policy": "none"
+    }
+  ]
+}`
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig([]byte(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Spaces) != 2 || cfg.Listen != ":0" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	d := cfg.Spaces[0]
+	if d.Backends[0].DemandTimeout != Duration(2*time.Second) {
+		t.Fatalf("demand_timeout = %v", d.Backends[0].DemandTimeout)
+	}
+	if d.Backends[0].SpeculativeTimeout != Duration(500*time.Millisecond) {
+		t.Fatalf("speculative_timeout = %v", d.Backends[0].SpeculativeTimeout)
+	}
+	if d.Hedging == nil || d.Hedging.MaxAttempts != 2 {
+		t.Fatalf("hedging = %+v", d.Hedging)
+	}
+	if d.Breaker == nil || d.Breaker.Cooldown != Duration(time.Second) {
+		t.Fatalf("breaker = %+v", d.Breaker)
+	}
+	// Duration round-trips through its string form.
+	out, err := json.Marshal(cfg.Spaces[0].Backends[0])
+	if err != nil || !strings.Contains(string(out), `"2s"`) {
+		t.Fatalf("marshal: %s, %v", out, err)
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":                   `{}`,
+		"no spaces":               `{"spaces": []}`,
+		"not json":                `nope`,
+		"trailing":                `{"spaces":[{"name":"a","backends":[{"name":"o","type":"fs","root":"/"}]}]} extra`,
+		"unknown field":           `{"spaces":[{"name":"a","backendz":[]}]}`,
+		"unnamed space":           `{"spaces":[{"backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"slash in space":          `{"spaces":[{"name":"a/b","backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"dup space":               `{"spaces":[{"name":"a","backends":[{"name":"o","type":"fs","root":"/"}]},{"name":"a","backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"no backends":             `{"spaces":[{"name":"a"}]}`,
+		"unnamed backend":         `{"spaces":[{"name":"a","backends":[{"type":"fs","root":"/"}]}]}`,
+		"dup backend":             `{"spaces":[{"name":"a","backends":[{"name":"o","type":"fs","root":"/"},{"name":"o","type":"fs","root":"/"}]}]}`,
+		"bad type":                `{"spaces":[{"name":"a","backends":[{"name":"o","type":"redis"}]}]}`,
+		"http sans url":           `{"spaces":[{"name":"a","backends":[{"name":"o","type":"http"}]}]}`,
+		"fs sans root":            `{"spaces":[{"name":"a","backends":[{"name":"o","type":"fs"}]}]}`,
+		"mixed fields":            `{"spaces":[{"name":"a","backends":[{"name":"o","type":"http","url":"http://x","root":"/"}]}]}`,
+		"neg timeout":             `{"spaces":[{"name":"a","backends":[{"name":"o","type":"fs","root":"/","demand_timeout":-1}]}]}`,
+		"bad duration":            `{"spaces":[{"name":"a","backends":[{"name":"o","type":"fs","root":"/","demand_timeout":"fast"}]}]}`,
+		"bad predictor":           `{"spaces":[{"name":"a","predictor":"oracle","backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"bad policy":              `{"spaces":[{"name":"a","policy":"yolo","backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"bad routing":             `{"spaces":[{"name":"a","routing":"random","backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"bad cache pol":           `{"spaces":[{"name":"a","cache_policy":"arc","backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"bad watermark":           `{"spaces":[{"name":"a","idle_watermark":1.5,"backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"bad static arg":          `{"spaces":[{"name":"a","policy":"static","policy_arg":2,"backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"bad topk arg":            `{"spaces":[{"name":"a","policy":"topk","policy_arg":1.5,"backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"adaptive sans bandwidth": `{"spaces":[{"name":"a","policy":"adaptive-a","backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ParseConfig([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzParseConfig asserts the parser's contract under arbitrary
+// input: no panics, and any accepted config re-validates and
+// re-parses from its own marshalled form.
+func FuzzParseConfig(f *testing.F) {
+	f.Add([]byte(sampleConfig))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"spaces":[{"name":"a","backends":[{"name":"o","type":"fs","root":"/"}]}]}`))
+	f.Add([]byte(`{"spaces":[{"name":"a","backends":[{"name":"o","type":"http","url":"http://x","demand_timeout":"1h"}]}]}`))
+	f.Add([]byte(`nope`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted config fails Validate: %v", err)
+		}
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("accepted config does not marshal: %v", err)
+		}
+		if _, err := ParseConfig(out); err != nil {
+			t.Fatalf("accepted config does not round-trip: %v\n%s", err, out)
+		}
+	})
+}
+
+func TestLoadConfigFlags(t *testing.T) {
+	base := flagConfig{
+		listen: ":0", cacheCap: 128, cachePolicy: "lru",
+		predictor: "markov", policy: "adaptive-a", bandwidth: 1e6,
+		drainTO: 5 * time.Second,
+	}
+	if _, err := loadConfig("", base); err == nil {
+		t.Fatal("no backend flags accepted")
+	}
+	f := base
+	f.origin = "http://origin:9000"
+	f.originBatch = "/batch"
+	f.hedgeMax = 2
+	f.breakerN = 5
+	f.demandTO = 2 * time.Second
+	cfg, err := loadConfig("", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cfg.Spaces[0]
+	if len(sp.Backends) != 1 || sp.Backends[0].Type != "http" || sp.Backends[0].BatchPath != "/batch" {
+		t.Fatalf("backends = %+v", sp.Backends)
+	}
+	if sp.Backends[0].DemandTimeout != Duration(2*time.Second) {
+		t.Fatalf("demand timeout = %v", sp.Backends[0].DemandTimeout)
+	}
+	if sp.Hedging == nil || sp.Breaker == nil {
+		t.Fatalf("hedging/breaker = %+v/%+v", sp.Hedging, sp.Breaker)
+	}
+	f2 := base
+	f2.fsRoot = t.TempDir()
+	cfg2, err := loadConfig("", f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Spaces[0].Backends[0].Type != "fs" {
+		t.Fatalf("backends = %+v", cfg2.Spaces[0].Backends)
+	}
+}

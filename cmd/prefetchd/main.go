@@ -1,0 +1,195 @@
+// Command prefetchd is a runnable caching proxy built on the prefetch
+// engine: it serves GET /obj/{key} (and the batched GET /batch?ids=…)
+// out of a per-space engine whose speculative prefetches, hedged
+// retries, circuit breakers and idle-watermark gating all run against
+// real backends — HTTP origins via prefetcher/fetch/httpfetch and
+// directory trees via prefetcher/fetch/fsfetch.
+//
+// Configure it either with flags (one space, one backend):
+//
+//	prefetchd -listen :8080 -origin http://origin:9000 -cache 4096
+//
+// or with a JSON config file defining several key spaces, each with
+// its own backends and engine knobs (-config path; see ParseConfig).
+// /stats serves per-space engine snapshots as JSON; /healthz is a
+// liveness probe. On SIGINT/SIGTERM the daemon stops accepting
+// connections, drains in-flight requests, quiesces each engine's
+// speculative work and closes it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":8080", "address to serve on")
+		configPath  = flag.String("config", "", "JSON config file (overrides the single-space flags)")
+		origin      = flag.String("origin", "", "HTTP origin base URL for the flag-built space")
+		originBatch = flag.String("origin-batch-path", "", "origin batch endpoint speaking the httpfetch wire (e.g. /batch)")
+		fsRoot      = flag.String("fs-root", "", "filesystem backend root for the flag-built space")
+		cacheCap    = flag.Int("cache", 4096, "cache capacity in items")
+		cachePolicy = flag.String("cache-policy", "lru", "cache replacement policy: lru, lfu, fifo or clock")
+		predictor   = flag.String("predictor", "markov", "access model: markov, lz, ppm, depgraph, popularity or none")
+		policy      = flag.String("policy", "adaptive-a", "prefetch policy: adaptive-a, adaptive-b, greedy, static, topk or none")
+		policyArg   = flag.Float64("policy-arg", 0, "policy parameter (static threshold or topk k)")
+		bandwidth   = flag.Float64("bandwidth", 1e6, "origin link capacity in payload-size units per second; the adaptive threshold's rho-prime normalises against it")
+		shards      = flag.Int("shards", 0, "engine shard count (0 = auto)")
+		workers     = flag.Int("workers", 0, "speculative worker count (0 = default)")
+		watermark   = flag.Float64("idle-watermark", 0, "park speculative fetches while link utilisation >= this (0 = off)")
+		hedgeMax    = flag.Int("hedge-attempts", 0, "max demand attempts incl. hedges (0 = no hedging)")
+		breakerN    = flag.Int("breaker-threshold", 0, "consecutive failures that open the breaker (0 = no breaker)")
+		demandTO    = flag.Duration("demand-timeout", 0, "per-attempt demand timeout on the flag-built backend (0 = none)")
+		specTO      = flag.Duration("speculative-timeout", 0, "per-attempt speculative timeout on the flag-built backend (0 = none)")
+		drainTO     = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	cfg, err := loadConfig(*configPath, flagConfig{
+		listen: *listen, origin: *origin, originBatch: *originBatch,
+		fsRoot: *fsRoot, cacheCap: *cacheCap, cachePolicy: *cachePolicy,
+		predictor: *predictor, policy: *policy, policyArg: *policyArg,
+		bandwidth: *bandwidth,
+		shards:    *shards, workers: *workers, watermark: *watermark,
+		hedgeMax: *hedgeMax, breakerN: *breakerN,
+		demandTO: *demandTO, specTO: *specTO, drainTO: *drainTO,
+	})
+	if err != nil {
+		log.Fatalf("prefetchd: %v", err)
+	}
+	if err := run(cfg); err != nil {
+		log.Fatalf("prefetchd: %v", err)
+	}
+}
+
+// flagConfig carries the single-space flag values into loadConfig.
+type flagConfig struct {
+	listen, origin, originBatch, fsRoot string
+	cacheCap                            int
+	cachePolicy, predictor, policy      string
+	policyArg, watermark, bandwidth     float64
+	shards, workers, hedgeMax, breakerN int
+	demandTO, specTO, drainTO           time.Duration
+}
+
+// loadConfig resolves the daemon config: a -config file wins wholesale
+// (flags other than -listen are ignored with it), otherwise the flags
+// assemble a one-space config.
+func loadConfig(path string, f flagConfig) (*Config, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Listen == "" {
+			cfg.Listen = f.listen
+		}
+		if cfg.ShutdownTimeout == 0 {
+			cfg.ShutdownTimeout = Duration(f.drainTO)
+		}
+		return cfg, nil
+	}
+	if f.origin == "" && f.fsRoot == "" {
+		return nil, errors.New("one of -origin, -fs-root or -config is required")
+	}
+	sp := SpaceConfig{
+		Name:          DefaultSpace,
+		CacheCapacity: f.cacheCap,
+		CachePolicy:   f.cachePolicy,
+		Predictor:     f.predictor,
+		Policy:        f.policy,
+		PolicyArg:     f.policyArg,
+		Bandwidth:     f.bandwidth,
+		Shards:        f.shards,
+		Workers:       f.workers,
+		IdleWatermark: f.watermark,
+	}
+	if f.origin != "" {
+		sp.Backends = append(sp.Backends, BackendConfig{
+			Name: "origin", Type: "http",
+			URL: f.origin, BatchPath: f.originBatch,
+			DemandTimeout:      Duration(f.demandTO),
+			SpeculativeTimeout: Duration(f.specTO),
+		})
+	}
+	if f.fsRoot != "" {
+		sp.Backends = append(sp.Backends, BackendConfig{
+			Name: "disk", Type: "fs", Root: f.fsRoot,
+			DemandTimeout:      Duration(f.demandTO),
+			SpeculativeTimeout: Duration(f.specTO),
+		})
+	}
+	if f.hedgeMax > 0 {
+		sp.Hedging = &HedgingConfig{MaxAttempts: f.hedgeMax}
+	}
+	if f.breakerN > 0 {
+		sp.Breaker = &BreakerConfig{Threshold: f.breakerN}
+	}
+	cfg := &Config{
+		Listen:          f.listen,
+		ShutdownTimeout: Duration(f.drainTO),
+		Spaces:          []SpaceConfig{sp},
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// run boots the server and blocks until a termination signal has been
+// handled: listener closed, in-flight requests drained, engines
+// quiesced and closed — in that order, so no demand traffic races the
+// engine teardown.
+func run(cfg *Config) error {
+	srv, err := NewServer(cfg, log.Printf)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		srv.Shutdown(context.Background())
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("prefetchd: serving on %s (%d spaces)", ln.Addr(), len(cfg.Spaces))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("prefetchd: %v: draining", sig)
+	case err := <-errc:
+		srv.Shutdown(context.Background())
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	budget := time.Duration(cfg.ShutdownTimeout)
+	if budget <= 0 {
+		budget = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("prefetchd: drain: %v", err)
+	}
+	srv.Shutdown(ctx)
+	log.Printf("prefetchd: stopped")
+	return nil
+}

@@ -1,0 +1,479 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+	"repro/prefetcher"
+	"repro/prefetcher/fetch"
+	"repro/prefetcher/fetch/httpfetch"
+)
+
+func newLocalListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func originPayload(id int64) []byte {
+	return []byte(fmt.Sprintf("origin-object-%d", id))
+}
+
+// newTestOrigin serves /obj/{id} and the framed /batch wire, counting
+// requests so tests can see which path the daemon exercised.
+func newTestOrigin(t *testing.T, singles, batches *atomic.Int64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/obj/", func(w http.ResponseWriter, r *http.Request) {
+		if singles != nil {
+			singles.Add(1)
+		}
+		var id int64
+		if _, err := fmt.Sscanf(r.URL.Path, "/obj/%d", &id); err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		w.Write(originPayload(id))
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if batches != nil {
+			batches.Add(1)
+		}
+		ids, err := httpfetch.ParseIDs(r.URL.Query().Get("ids"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, id := range ids {
+			if err := httpfetch.WriteBatchItem(w, id, originPayload(int64(id))); err != nil {
+				return
+			}
+		}
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func oneSpaceConfig(originURL string) *Config {
+	return &Config{
+		Listen: "127.0.0.1:0",
+		Spaces: []SpaceConfig{{
+			Name: DefaultSpace,
+			Backends: []BackendConfig{{
+				Name: "origin", Type: "http", URL: originURL, BatchPath: "/batch",
+				DemandTimeout:      Duration(5 * time.Second),
+				SpeculativeTimeout: Duration(2 * time.Second),
+			}},
+			// A deliberately tiny cache: the end-to-end test cycles a
+			// keyset much larger than it, so every revisit is a miss
+			// unless the prefetcher got there first — cache hits then
+			// measure prefetching, not mere residency.
+			CacheCapacity: 8,
+			Shards:        1,
+			Predictor:     "markov",
+			Policy:        "adaptive-a",
+			Bandwidth:     1e6,
+			Workers:       4,
+		}},
+	}
+}
+
+// The headline acceptance test: prefetchd booted in-process against a
+// live httptest origin, fed a repeated key stream, must show a
+// nonzero prefetch hit ratio and populated per-backend stats on its
+// stats endpoint, then shut down without leaking a goroutine.
+func TestDaemonEndToEnd(t *testing.T) {
+	defer testutil.ExpectNoLeaks(t)
+	origin := newTestOrigin(t, nil, nil)
+	srv, err := NewServer(oneSpaceConfig(origin.URL), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv.Handler())
+	// The engine must quiesce before the origin's httptest.Server
+	// closes, so register teardown in reverse order of dependency.
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		front.Close()
+		srv.Shutdown(ctx)
+	})
+
+	get := func(key int64) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/obj/%d", front.URL, key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("key %d: %d %s", key, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	// A strictly cyclic key stream over a keyset far larger than the
+	// cache: after the first lap the Markov model predicts each
+	// successor with probability ~1, far above the near-zero adaptive
+	// threshold of an unloaded link, and the cache is small enough
+	// that the successor is never still resident from the previous
+	// lap — any hit is a prefetch landing.
+	keys := make([]int64, 32)
+	for i := range keys {
+		keys[i] = int64(i + 1)
+	}
+	const laps = 15
+	for lap := 0; lap < laps; lap++ {
+		for _, k := range keys {
+			if got := get(k); !bytes.Equal(got, originPayload(k)) {
+				t.Fatalf("key %d: payload %q", k, got)
+			}
+			// A beat after each demand Get lets the speculative fetch
+			// it planned land before the next key asks for it.
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+
+	resp, err := http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsReply
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := stats.Spaces[DefaultSpace]
+	if !ok {
+		t.Fatalf("stats missing the default space: %+v", stats)
+	}
+	if st.Requests != int64(laps*len(keys)) {
+		t.Fatalf("requests = %d, want %d", st.Requests, laps*len(keys))
+	}
+	if st.PrefetchIssued == 0 {
+		t.Fatalf("no prefetches issued (stats %+v)", st)
+	}
+	// The prefetch hit ratio: prefetched items consumed by demand,
+	// either from cache (PrefetchUsed) or by joining the still
+	// in-flight speculative fetch (Joins).
+	if st.PrefetchUsed+st.Joins == 0 {
+		t.Fatalf("prefetch used/joins = %d/%d, want a nonzero hit ratio (stats %+v)",
+			st.PrefetchUsed, st.Joins, st)
+	}
+	if len(st.Backends) != 1 || st.Backends[0].Name != "origin" {
+		t.Fatalf("backends = %+v", st.Backends)
+	}
+	if st.Backends[0].Demand == 0 || st.Backends[0].Speculative == 0 {
+		t.Fatalf("backend demand/speculative = %d/%d, want both > 0",
+			st.Backends[0].Demand, st.Backends[0].Speculative)
+	}
+
+	// Health endpoint answers while serving.
+	hz, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hz.Body)
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hz.StatusCode)
+	}
+}
+
+// The daemon's /batch endpoint speaks the same wire the httpfetch
+// adapter consumes, so a second fabric can use prefetchd itself as a
+// batch-capable backend — the tiering property.
+func TestDaemonBatchEndpoint(t *testing.T) {
+	defer testutil.ExpectNoLeaks(t)
+	var originBatches atomic.Int64
+	origin := newTestOrigin(t, nil, &originBatches)
+	srv, err := NewServer(oneSpaceConfig(origin.URL), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		front.Close()
+		srv.Shutdown(ctx)
+	})
+
+	// Consume the daemon through the adapter: prefetchd as origin.
+	tier, err := httpfetch.New(httpfetch.Config{BaseURL: front.URL, BatchPath: "/batch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := tier.FetchBatch(context.Background(), []fetch.ID{7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []int64{7, 8, 9} {
+		if !bytes.Equal(items[i].Data.([]byte), originPayload(id)) {
+			t.Fatalf("item %d = %+v", i, items[i])
+		}
+	}
+
+	// The daemon's stats must account the keys as one multi-get.
+	resp, err := http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsReply
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if st := stats.Spaces[DefaultSpace]; st.MultiGets != 1 || st.Requests != 3 {
+		t.Fatalf("multigets/requests = %d/%d, want 1/3", st.MultiGets, st.Requests)
+	}
+}
+
+// Two key spaces with separate backends: /obj/{space}/{key} routes to
+// the right engine, and /stats reports each space separately.
+func TestDaemonSpaces(t *testing.T) {
+	defer testutil.ExpectNoLeaks(t)
+	origin := newTestOrigin(t, nil, nil)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "41"), []byte("from-disk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{
+		Listen: "127.0.0.1:0",
+		Spaces: []SpaceConfig{
+			{
+				Name:      DefaultSpace,
+				Bandwidth: 1e6,
+				Backends:  []BackendConfig{{Name: "origin", Type: "http", URL: origin.URL}},
+			},
+			{
+				Name:     "disk",
+				Policy:   "none",
+				Backends: []BackendConfig{{Name: "fs", Type: "fs", Root: dir}},
+			},
+		},
+	}
+	srv, err := NewServer(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		front.Close()
+		srv.Shutdown(ctx)
+	})
+
+	resp, err := http.Get(front.URL + "/obj/disk/41")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "from-disk" {
+		t.Fatalf("disk space: %d %q", resp.StatusCode, body)
+	}
+	resp, err = http.Get(front.URL + "/obj/23")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, originPayload(23)) {
+		t.Fatalf("default space: %d %q", resp.StatusCode, body)
+	}
+	// Unknown space and bad key are client errors, not engine errors.
+	for path, want := range map[string]int{
+		"/obj/nope/1": http.StatusNotFound,
+		"/obj/abc":    http.StatusBadRequest,
+	} {
+		resp, err := http.Get(front.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	resp, err = http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsReply
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Spaces) != 2 {
+		t.Fatalf("stats spaces = %v", stats.Spaces)
+	}
+	if st := stats.Spaces["disk"]; st.Requests != 1 || len(st.Backends) != 1 {
+		t.Fatalf("disk stats = %+v", st)
+	}
+}
+
+// A missing origin object maps to the origin's status code, not a
+// generic 502.
+func TestDaemonOriginErrorMapsStatus(t *testing.T) {
+	defer testutil.ExpectNoLeaks(t)
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(origin.Close)
+	cfg := oneSpaceConfig(origin.URL)
+	cfg.Spaces[0].Policy = "none"
+	cfg.Spaces[0].Backends[0].BatchPath = ""
+	srv, err := NewServer(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		front.Close()
+		srv.Shutdown(ctx)
+	})
+	resp, err := http.Get(front.URL + "/obj/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 passed through", resp.StatusCode)
+	}
+}
+
+// Graceful shutdown drains: a request in flight when Shutdown begins
+// completes with its payload; the engines quiesce and close after the
+// drain, and nothing leaks.
+func TestDaemonShutdownDrains(t *testing.T) {
+	defer testutil.ExpectNoLeaks(t)
+	release := make(chan struct{})
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // wedge the origin until the test releases it
+		w.Write([]byte("slow-payload"))
+	}))
+	t.Cleanup(origin.Close)
+	cfg := oneSpaceConfig(origin.URL)
+	cfg.Spaces[0].Policy = "none" // no speculative noise into the wedged origin
+	srv, err := NewServer(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	ln, err := newLocalListener()
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		hs.Serve(ln)
+	}()
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/obj/1", ln.Addr()))
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		got <- string(body)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the wedged origin
+
+	shutdownDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- hs.Shutdown(ctx) }()
+
+	// Shutdown must wait for the in-flight request, not abort it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if body := <-got; body != "slow-payload" {
+		t.Fatalf("in-flight request got %q", body)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	<-served
+	srv.Shutdown(ctx)
+}
+
+// NewServer cleans up engines already built when a later space fails
+// to construct.
+func TestNewServerPartialFailure(t *testing.T) {
+	defer testutil.ExpectNoLeaks(t)
+	origin := newTestOrigin(t, nil, nil)
+	cfg := &Config{
+		Listen: "127.0.0.1:0",
+		Spaces: []SpaceConfig{
+			{Name: "ok", Bandwidth: 1e6, Backends: []BackendConfig{{Name: "o", Type: "http", URL: origin.URL}}},
+			{Name: "broken", Backends: []BackendConfig{{Name: "fs", Type: "fs", Root: "/definitely/not/a/dir"}}},
+		},
+	}
+	if _, err := NewServer(cfg, t.Logf); err == nil {
+		t.Fatal("broken space accepted")
+	}
+}
+
+// The engine options a config names must all be buildable — this
+// catches a knob validated by ParseConfig but rejected by the engine.
+func TestBuildEngineKnobs(t *testing.T) {
+	defer testutil.ExpectNoLeaks(t)
+	dir := t.TempDir()
+	for _, sc := range []SpaceConfig{
+		{Name: "a", Predictor: "lz", Policy: "adaptive-b", CacheCapacity: 64, CachePolicy: "clock",
+			Shards: 4, Workers: 2, QueueDepth: 32, MaxPrefetch: 8, Bandwidth: 100,
+			Routing: "latency", IdleWatermark: 0.9,
+			Hedging: &HedgingConfig{MaxAttempts: 2}, Breaker: &BreakerConfig{Threshold: 3},
+			Backends: []BackendConfig{{Name: "fs", Type: "fs", Root: dir}}},
+		{Name: "b", Predictor: "ppm", PredictorArg: 3, Policy: "static", PolicyArg: 0.4,
+			Backends: []BackendConfig{{Name: "fs", Type: "fs", Root: dir}}},
+		{Name: "c", Predictor: "depgraph", Policy: "topk", PolicyArg: 4,
+			Backends: []BackendConfig{{Name: "fs", Type: "fs", Root: dir}}},
+		{Name: "d", Predictor: "popularity", Policy: "greedy", Bandwidth: 100,
+			Backends: []BackendConfig{{Name: "fs", Type: "fs", Root: dir}}},
+		{Name: "e", Predictor: "none", Policy: "none",
+			Backends: []BackendConfig{{Name: "fs", Type: "fs", Root: dir}}},
+	} {
+		eng, err := buildEngine(sc)
+		if err != nil {
+			t.Fatalf("space %q: %v", sc.Name, err)
+		}
+		if _, err := eng.Get(context.Background(), prefetcher.ID(404)); err == nil {
+			t.Fatalf("space %q: fetch of a missing file succeeded", sc.Name)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatalf("space %q: close: %v", sc.Name, err)
+		}
+	}
+}

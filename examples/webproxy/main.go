@@ -9,11 +9,13 @@
 // do not. Watch the waste column: the load-blind policies buy their
 // hits with far more speculative traffic.
 //
-// The second half runs the same proxy on the backend fetch fabric: the
-// site is served by an origin and a slower mirror, demand fetches are
-// hedged against the mirror when the origin's p95 stalls, and the idle
-// watermark defers speculative traffic out of busy periods — each link
-// reporting its own ρ̂′.
+// The second half runs the same proxy on the backend fetch fabric over
+// real HTTP: the site is served by two live in-process HTTP origins (a
+// fast one and a slower mirror) through the httpfetch adapter, demand
+// fetches are hedged against the mirror when the origin's p95 stalls,
+// speculative candidates coalesce into framed /batch requests, and the
+// idle watermark defers speculative traffic out of busy periods — each
+// link reporting its own ρ̂′.
 //
 // Run:
 //
@@ -26,6 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/rng"
@@ -33,6 +39,7 @@ import (
 	"repro/internal/workload"
 	"repro/prefetcher"
 	"repro/prefetcher/fetch"
+	"repro/prefetcher/fetch/httpfetch"
 )
 
 func main() {
@@ -79,34 +86,98 @@ func main() {
 	}
 }
 
-// originBackend simulates one origin link in wall time: a fixed
-// round-trip latency per fetch, cancelled promptly through ctx.
-type originBackend struct{ latency time.Duration }
+// pageBytes is the size every simulated page weighs; backend
+// bandwidths below are in the same bytes-per-second units.
+const pageBytes = 64
 
-func (b originBackend) Fetch(ctx context.Context, id fetch.ID) (fetch.Item, error) {
-	t := time.NewTimer(b.latency)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return fetch.Item{ID: id, Size: 1}, nil
-	case <-ctx.Done():
-		return fetch.Item{}, ctx.Err()
+// newSite starts a live in-process HTTP origin serving the site: a
+// fixed round-trip latency per request (cancelled promptly when the
+// client gives up — hedge losers release the handler), deterministic
+// pageBytes-sized payloads on /obj/{id}, and the framed httpfetch
+// batch wire on /batch.
+func newSite(latency time.Duration) *httptest.Server {
+	page := func(id int64) []byte {
+		unit := strconv.FormatInt(id, 10) + "."
+		b := make([]byte, pageBytes)
+		for i := range b {
+			b[i] = unit[i%len(unit)]
+		}
+		return b
 	}
+	wait := func(r *http.Request) bool {
+		t := time.NewTimer(latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return true
+		case <-r.Context().Done():
+			return false
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/obj/", func(w http.ResponseWriter, r *http.Request) {
+		if !wait(r) {
+			return
+		}
+		id, err := strconv.ParseInt(strings.TrimPrefix(r.URL.Path, "/obj/"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		w.Write(page(id))
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if !wait(r) {
+			return
+		}
+		ids, err := httpfetch.ParseIDs(r.URL.Query().Get("ids"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, id := range ids {
+			if err := httpfetch.WriteBatchItem(w, id, page(int64(id))); err != nil {
+				return
+			}
+		}
+	})
+	return httptest.NewServer(mux)
 }
 
-// driveFabric runs the proxy on a two-backend fetch fabric: origin +
-// slower mirror, hedged demand fetches, and the idle watermark
+// driveFabric runs the proxy on a two-backend fetch fabric over live
+// HTTP: origin + slower mirror behind the httpfetch adapter, hedged
+// demand fetches, per-path attempt timeouts, and the idle watermark
 // deferring speculative traffic out of busy periods.
 func driveFabric() error {
+	origin := newSite(500 * time.Microsecond)
+	defer origin.Close()
+	mirror := newSite(2 * time.Millisecond)
+	defer mirror.Close()
+
+	originC, err := httpfetch.New(httpfetch.Config{BaseURL: origin.URL, BatchPath: "/batch"})
+	if err != nil {
+		return err
+	}
+	mirrorC, err := httpfetch.New(httpfetch.Config{BaseURL: mirror.URL, BatchPath: "/batch"})
+	if err != nil {
+		return err
+	}
+
 	eng, err := prefetcher.New(nil,
 		prefetcher.WithBackends(
-			fetch.Backend{Name: "origin", Fetcher: originBackend{500 * time.Microsecond}, Bandwidth: 120},
-			fetch.Backend{Name: "mirror", Fetcher: originBackend{2 * time.Millisecond}, Bandwidth: 60},
+			// Demand attempts get a generous per-attempt budget (a stuck
+			// connection fails over instead of stalling the client);
+			// speculative traffic a much tighter one (an overdue prefetch
+			// is better abandoned than left occupying the link).
+			fetch.Backend{Name: "origin", Fetcher: originC, Bandwidth: 40 * pageBytes,
+				DemandTimeout: 2 * time.Second, SpeculativeTimeout: 500 * time.Millisecond},
+			fetch.Backend{Name: "mirror", Fetcher: mirrorC, Bandwidth: 20 * pageBytes,
+				DemandTimeout: 2 * time.Second, SpeculativeTimeout: 500 * time.Millisecond},
 		),
 		prefetcher.WithRouting(fetch.RouteLatency),
 		prefetcher.WithHedging(fetch.Hedging{}), // hedge delay from the origin's live p95
 		prefetcher.WithIdleWatermark(0.6),
-		prefetcher.WithBandwidth(180), // aggregate, for the global estimate
+		prefetcher.WithBandwidth(60*pageBytes), // aggregate, for the global estimate
 		prefetcher.WithCache(prefetcher.NewLRUCache(80)),
 		prefetcher.WithPolicy(prefetcher.StaticThreshold(0.05)),
 		prefetcher.WithMaxPrefetch(2),
@@ -131,7 +202,7 @@ func driveFabric() error {
 				return err
 			}
 		}
-		time.Sleep(30 * time.Millisecond) // idle period: the gate reopens
+		time.Sleep(200 * time.Millisecond) // idle period: the gate reopens
 	}
 	qctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
@@ -140,7 +211,7 @@ func driveFabric() error {
 	}
 
 	st := eng.Stats()
-	fmt.Printf("\ntwo-backend fetch fabric (origin + mirror, hedged, idle watermark 0.6):\n")
+	fmt.Printf("\ntwo-backend fetch fabric over live HTTP (origin + mirror, hedged, idle watermark 0.6):\n")
 	fmt.Printf("  requests=%d hit=%.3f prefetch[issued=%d used=%d deferred=%d]\n",
 		st.Requests, st.HitRatio(), st.PrefetchIssued, st.PrefetchUsed, st.PrefetchDeferred)
 	for _, b := range st.Backends {

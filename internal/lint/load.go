@@ -217,11 +217,26 @@ func (l *Loader) resolveDir(path string) (string, error) {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
 		return filepath.Join(l.moduleDir, filepath.FromSlash(rel)), nil
 	}
+	// Stdlib packages import their bundled third-party dependencies by
+	// unvendored path (net → golang.org/x/net/dns/dnsmessage, net/http
+	// → golang.org/x/net/http/httpguts, …); go/build resolves those
+	// through GOROOT/src/vendor only when the importing file is itself
+	// inside GOROOT, which this importer does not track — so consult
+	// that tree explicitly. The module has no external dependencies, so
+	// the vendor copy cannot shadow a real module import.
+	if vdir := filepath.Join(l.ctxt.GOROOT, "src", "vendor", filepath.FromSlash(path)); dirExists(vdir) {
+		return vdir, nil
+	}
 	bp, err := l.ctxt.Import(path, l.moduleDir, build.FindOnly)
 	if err != nil {
 		return "", fmt.Errorf("lint: cannot resolve import %q: %w", path, err)
 	}
 	return bp.Dir, nil
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
 }
 
 func (l *Loader) typecheck(path string, withTests bool) (*Package, error) {

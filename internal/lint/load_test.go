@@ -25,6 +25,30 @@ func TestLoadModulePackage(t *testing.T) {
 	}
 }
 
+// TestLoadStdlibVendoredImport proves the loader resolves the stdlib's
+// bundled third-party dependencies: package net imports
+// golang.org/x/net/dns/dnsmessage by its unvendored path, which lives
+// under GOROOT/src/vendor — a tree go/build only consults for files
+// inside GOROOT. The httpfetch adapter and the daemon pull net/http
+// (and through it net) into the module's import closure, so the
+// whole-tree gate depends on this resolution.
+func TestLoadStdlibVendoredImport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the net package from source")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Scope().Lookup("Dialer") == nil {
+		t.Fatal("net.Dialer not found in package scope")
+	}
+}
+
 // TestModulePackages checks pattern expansion against the module tree.
 func TestModulePackages(t *testing.T) {
 	l, err := NewLoader(".")

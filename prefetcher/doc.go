@@ -97,7 +97,29 @@
 // trips persistently failing backends open — routing steers around
 // them, fetches already routed there fail fast, and a half-open probe
 // after the cooldown re-admits a healed backend. Per-backend counters,
-// link estimates and breaker state appear in Stats.Backends.
+// link estimates and breaker state appear in Stats.Backends. Each
+// fetch.Backend can additionally bound its attempts: DemandTimeout
+// caps every demand attempt (each hedge, retry and demand batch gets
+// its own budget under the caller's context, so a stuck connection
+// becomes a failover) and SpeculativeTimeout independently caps
+// speculative fetches and batches.
+//
+// # Backend adapters
+//
+// Two real-backend adapters satisfy the fabric's Fetcher/BatchFetcher
+// contract out of the box. Package repro/prefetcher/fetch/httpfetch
+// maps ids onto GET requests against an HTTP origin over a pooled,
+// HTTP/2-capable transport, with bounded single-allocation body
+// reads, and batches either through a framed wire endpoint or bounded
+// parallel fan-out; repro/prefetcher/fetch/fsfetch maps ids onto
+// bounded whole-file reads under a root directory. An adapter must
+// honour ctx cancellation promptly (hedge losers and expired attempt
+// budgets cancel through it), be safe for concurrent use from demand,
+// hedge and speculative-worker goroutines at once, and return one
+// Item per requested id in request order from FetchBatch — a short,
+// misordered or failed batch fails whole, which the demand path then
+// degrades to per-key fallback fetches. Command cmd/prefetchd wires
+// these adapters into a runnable caching-proxy daemon.
 //
 // # Invariants
 //

@@ -208,6 +208,9 @@ func New(cfg Config) (*Fabric, error) {
 		if b.Weight < 0 || math.IsNaN(b.Weight) || b.Bandwidth < 0 || math.IsNaN(b.Bandwidth) {
 			return nil, fmt.Errorf("fetch: backend %q has a negative weight or bandwidth", b.Name)
 		}
+		if b.DemandTimeout < 0 || b.SpeculativeTimeout < 0 {
+			return nil, fmt.Errorf("fetch: backend %q has a negative timeout", b.Name)
+		}
 		if b.Weight == 0 {
 			b.Weight = 1
 		}
@@ -466,6 +469,25 @@ func (f *Fabric) routeOrder(id ID) []int {
 	return order
 }
 
+// --- per-attempt timeouts ------------------------------------------------
+
+// nopCancel is the shared no-op returned when a backend has no timeout
+// configured, so every dispatch site can defer the cancel uniformly.
+func nopCancel() {}
+
+// attemptCtx layers one backend's per-attempt timeout under ctx: with
+// d > 0 the attempt gets its own deadline (a timed-out attempt reads as
+// a failure — it feeds failover and the breaker, unlike a caller
+// cancellation); with d == 0 ctx passes through untouched. The returned
+// cancel must be called when the attempt finishes so the timer is
+// released.
+func attemptCtx(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, nopCancel
+	}
+	return context.WithTimeout(ctx, d)
+}
+
 // --- demand path: hedged, failing-over fetch -----------------------------
 
 type attemptResult struct {
@@ -597,7 +619,9 @@ func (f *Fabric) Fetch(ctx context.Context, id ID) (Item, error) {
 			b.link.RecordDemand(f.nowf())
 			start := f.nowf()
 			go func() {
-				item, err := b.cfg.Fetcher.Fetch(wctx, id)
+				actx, acancel := attemptCtx(wctx, b.cfg.DemandTimeout)
+				item, err := b.cfg.Fetcher.Fetch(actx, id)
+				acancel()
 				f.observe(b, start, item, err, true, probe)
 				results <- attemptResult{item: item, err: err, idx: b.idx, hedged: hedged}
 			}()
@@ -708,7 +732,9 @@ func (f *Fabric) fetchSequential(ctx context.Context, id ID, attempts int, backo
 		attempted++
 		b.link.RecordDemand(f.nowf())
 		start := f.nowf()
-		item, err := b.cfg.Fetcher.Fetch(ctx, id)
+		actx, acancel := attemptCtx(ctx, b.cfg.DemandTimeout)
+		item, err := b.cfg.Fetcher.Fetch(actx, id)
+		acancel()
 		f.observe(b, start, item, err, true, probe)
 		if err == nil {
 			return item, nil
@@ -776,7 +802,9 @@ func (f *Fabric) FetchDemandBatch(ctx context.Context, backend int, ids []ID, ou
 	// in one backend round trip, which is the point of the demand batch.
 	b.link.RecordDemand(f.nowf())
 	start := f.nowf()
-	items, err := b.batch.FetchBatch(ctx, ids)
+	actx, acancel := attemptCtx(ctx, b.cfg.DemandTimeout)
+	items, err := b.batch.FetchBatch(actx, ids)
+	acancel()
 	if err == nil {
 		if len(items) != len(ids) {
 			err = fmt.Errorf("fetch: backend %q returned %d items for a %d-id demand batch", b.cfg.Name, len(items), len(ids))
@@ -850,7 +878,9 @@ func (f *Fabric) FetchSpeculative(ctx context.Context, backend int, id ID) (Item
 	b.speculative.Add(1)
 	b.link.RecordSpeculative(f.nowf())
 	start := f.nowf()
-	item, err := b.cfg.Fetcher.Fetch(ctx, id)
+	actx, acancel := attemptCtx(ctx, b.cfg.SpeculativeTimeout)
+	item, err := b.cfg.Fetcher.Fetch(actx, id)
+	acancel()
 	f.observe(b, start, item, err, false, probe)
 	return item, err
 }
@@ -887,7 +917,9 @@ func (f *Fabric) FetchSpeculativeBatch(ctx context.Context, backend int, ids []I
 	// backend round trip, which is the point of coalescing.
 	b.link.RecordSpeculative(f.nowf())
 	start := f.nowf()
-	items, err := b.batch.FetchBatch(ctx, ids)
+	actx, acancel := attemptCtx(ctx, b.cfg.SpeculativeTimeout)
+	items, err := b.batch.FetchBatch(actx, ids)
+	acancel()
 	if err == nil && len(items) != len(ids) {
 		err = fmt.Errorf("fetch: backend %q returned %d items for a %d-id batch", b.cfg.Name, len(items), len(ids))
 	}

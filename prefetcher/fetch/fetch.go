@@ -82,6 +82,19 @@ type Backend struct {
 	// means unknown: the fabric then estimates it online from observed
 	// size/latency, so ρ̂ and ρ̂′ still converge.
 	Bandwidth float64
+	// DemandTimeout bounds each demand attempt dispatched to this
+	// backend — every hedge, retry and demand batch gets its own
+	// budget, layered under the caller's context, so one stuck origin
+	// connection turns into a failover instead of a stalled request.
+	// 0 means no per-attempt bound (the caller's ctx still applies).
+	DemandTimeout time.Duration
+	// SpeculativeTimeout independently bounds each speculative fetch or
+	// speculative batch dispatched to this backend. Speculative work is
+	// optional by definition, so it usually deserves a much shorter
+	// budget than demand traffic: a prefetch that cannot complete
+	// quickly is better abandoned than left occupying the link. 0 means
+	// unlimited (the engine's lifecycle context still applies).
+	SpeculativeTimeout time.Duration
 }
 
 // Routing selects how the fabric spreads ids across backends.

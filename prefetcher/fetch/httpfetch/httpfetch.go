@@ -1,0 +1,415 @@
+// Package httpfetch is the real HTTP origin adapter behind the fetch
+// fabric: a Client implements fetch.Fetcher and fetch.BatchFetcher
+// over a pooled, HTTP/2-capable http.Transport, so the engine's
+// routing, hedging, circuit breaking and idle-watermark gating operate
+// over actual network links instead of simulated ones.
+//
+// One Client wraps one origin (a base URL); a fabric mixes several
+// origins by giving each its own Client as a fetch.Backend. The
+// demand-vs-speculative budget split lives on the Backend
+// (Backend.DemandTimeout / Backend.SpeculativeTimeout): the fabric
+// layers the per-attempt deadline onto the context it hands the
+// adapter, and the adapter's only obligation — which http.Client
+// honours natively — is to abandon the request promptly when that
+// context dies. That promptness is what keeps hedged losers from
+// holding connections and lets the breaker see a wedged origin as fast
+// failures rather than a pile-up.
+//
+// Object fetches are plain GETs: id 42 becomes GET {BaseURL}/obj/42
+// (the path template is configurable). Response bodies are bounded by
+// MaxBodyBytes and land in a single []byte sized from Content-Length
+// when the origin provides one — no intermediate buffer, no copy — and
+// that slice is the Item's payload as cached by the engine and served
+// to hits.
+//
+// # The batch wire
+//
+// FetchBatch has two modes. Against an origin that implements the
+// batch endpoint (BatchPath), the whole batch travels as ONE request —
+// GET {BaseURL}{BatchPath}?ids=1,2,3 — whose response body is a framed
+// record stream, one record per requested id in request order:
+//
+//	8 bytes  big-endian uint64  id
+//	4 bytes  big-endian uint32  payload length n
+//	n bytes                     payload
+//
+// WriteBatchItem and ReadBatch implement the two ends. cmd/prefetchd
+// serves exactly this wire on its own /batch endpoint, so one
+// prefetchd can front another as a cache tier. Against an origin with
+// no batch endpoint, FetchBatch degrades to bounded-concurrency
+// parallel GETs over the shared connection pool (MaxParallel), still
+// returning one item per id in request order — the fabric's batch
+// contract either way.
+package httpfetch
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/prefetcher/fetch"
+)
+
+// DefaultMaxBodyBytes bounds one object's response body when Config
+// leaves MaxBodyBytes zero.
+const DefaultMaxBodyBytes = 16 << 20
+
+// DefaultMaxParallel bounds fan-out batch concurrency when Config
+// leaves MaxParallel zero.
+const DefaultMaxParallel = 8
+
+// Config assembles a Client. BaseURL is the only required field.
+type Config struct {
+	// BaseURL locates the origin, e.g. "http://origin.internal:9000".
+	// Scheme must be http or https; a trailing slash is stripped.
+	BaseURL string
+	// Path is the single-object GET template, containing exactly one
+	// %d verb the id is formatted into (default "/obj/%d").
+	Path string
+	// BatchPath, when non-empty, names the origin's batch endpoint:
+	// FetchBatch then issues one GET {BatchPath}?ids=... expecting the
+	// framed batch wire (see the package comment) instead of fanning
+	// out parallel single GETs.
+	BatchPath string
+	// MaxBodyBytes bounds one object's payload (default
+	// DefaultMaxBodyBytes); an origin reply past the bound is an error,
+	// not a truncation — a truncated object served as a cache hit would
+	// be silent corruption.
+	MaxBodyBytes int64
+	// MaxParallel bounds the concurrent GETs of a fan-out FetchBatch
+	// (default DefaultMaxParallel). Ignored when BatchPath is set.
+	MaxParallel int
+	// Header is added to every request (Host, auth, accept-encoding).
+	Header http.Header
+	// Client overrides the HTTP client. Default: a client over
+	// NewTransport() with no client-level timeout — attempt budgets
+	// come from the fabric's per-backend DemandTimeout /
+	// SpeculativeTimeout through the request context, where demand and
+	// speculative traffic can be bounded differently.
+	Client *http.Client
+}
+
+// NewTransport returns the pooled transport the default client uses:
+// keep-alive connection reuse sized for a fabric backend (many
+// concurrent demand + speculative fetches against one host), HTTP/2
+// negotiated via ALPN on TLS origins.
+func NewTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          256,
+		MaxIdleConnsPerHost:   64,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+}
+
+// StatusError reports a non-200 origin reply.
+type StatusError struct {
+	URL  string
+	Code int
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("httpfetch: GET %s: status %d", e.URL, e.Code)
+}
+
+// Client fetches objects from one HTTP origin. It implements
+// fetch.Fetcher and fetch.BatchFetcher and is safe for concurrent use
+// — the fabric calls it from demand goroutines, hedge goroutines and
+// the speculative worker pool at once, all multiplexed over the pooled
+// transport.
+type Client struct {
+	base        string
+	path        string
+	batchPath   string
+	maxBody     int64
+	maxParallel int
+	header      http.Header
+	hc          *http.Client
+}
+
+// New validates cfg and returns a Client for the origin.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("httpfetch: no base URL")
+	}
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("httpfetch: base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("httpfetch: base URL %q: scheme must be http or https", cfg.BaseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("httpfetch: base URL %q has no host", cfg.BaseURL)
+	}
+	path := cfg.Path
+	if path == "" {
+		path = "/obj/%d"
+	}
+	if strings.Count(path, "%") != 1 || !strings.Contains(path, "%d") {
+		return nil, fmt.Errorf("httpfetch: path template %q must contain exactly one %%d", path)
+	}
+	if cfg.MaxBodyBytes < 0 || cfg.MaxParallel < 0 {
+		return nil, fmt.Errorf("httpfetch: negative bound in config")
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	maxParallel := cfg.MaxParallel
+	if maxParallel == 0 {
+		maxParallel = DefaultMaxParallel
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Transport: NewTransport()}
+	}
+	return &Client{
+		base:        strings.TrimRight(cfg.BaseURL, "/"),
+		path:        path,
+		batchPath:   cfg.BatchPath,
+		maxBody:     maxBody,
+		maxParallel: maxParallel,
+		header:      cfg.Header,
+		hc:          hc,
+	}, nil
+}
+
+// get issues one GET and returns the bounded body.
+func (c *Client) get(ctx context.Context, u string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range c.header {
+		req.Header[k] = vs
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a bounded remainder so the connection can be reused.
+		_, _ = io.CopyN(io.Discard, resp.Body, 512)
+		return nil, &StatusError{URL: u, Code: resp.StatusCode}
+	}
+	return readBounded(resp.Body, resp.ContentLength, c.maxBody)
+}
+
+// readBounded reads at most maxBody payload bytes. With a declared
+// Content-Length the payload lands in one exactly-sized allocation and
+// is returned without copying; chunked replies fall back to a growing
+// read capped one byte past the bound so overflow is detected, not
+// truncated.
+func readBounded(r io.Reader, declared, maxBody int64) ([]byte, error) {
+	if declared > maxBody {
+		return nil, fmt.Errorf("httpfetch: body %d bytes exceeds bound %d", declared, maxBody)
+	}
+	if declared >= 0 {
+		buf := make([]byte, declared)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf, err := io.ReadAll(io.LimitReader(r, maxBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(buf)) > maxBody {
+		return nil, fmt.Errorf("httpfetch: body exceeds bound %d", maxBody)
+	}
+	return buf, nil
+}
+
+// objURL formats the single-object URL for id.
+func (c *Client) objURL(id fetch.ID) string {
+	return c.base + fmt.Sprintf(c.path, int64(id))
+}
+
+// Fetch implements fetch.Fetcher: one GET, body bytes as the payload,
+// Size = payload length in bytes (so configure Backend.Bandwidth in
+// bytes per second). Cancellation propagates through the request
+// context into the transport, which aborts the dial, the in-flight
+// request or the body read — whichever is current.
+func (c *Client) Fetch(ctx context.Context, id fetch.ID) (fetch.Item, error) {
+	u := c.objURL(id)
+	data, err := c.get(ctx, u)
+	if err != nil {
+		return fetch.Item{}, err
+	}
+	return fetch.Item{ID: id, Size: float64(len(data)), Data: data}, nil
+}
+
+// FetchBatch implements fetch.BatchFetcher: one wire-framed request
+// when the origin has a batch endpoint, bounded parallel GETs
+// otherwise. Either way the reply is one Item per id in request order,
+// and any failure fails the whole batch (the fabric's speculative
+// batches accept that; its demand batches degrade to per-key
+// fallback).
+func (c *Client) FetchBatch(ctx context.Context, ids []fetch.ID) ([]fetch.Item, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if c.batchPath != "" {
+		return c.fetchBatchWire(ctx, ids)
+	}
+	return c.fetchBatchFanout(ctx, ids)
+}
+
+// fetchBatchWire rides the whole batch on one request to the origin's
+// batch endpoint and decodes the framed reply.
+func (c *Client) fetchBatchWire(ctx context.Context, ids []fetch.ID) ([]fetch.Item, error) {
+	var sb strings.Builder
+	sb.WriteString(c.base)
+	sb.WriteString(c.batchPath)
+	sb.WriteString("?ids=")
+	for i, id := range ids {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatInt(int64(id), 10))
+	}
+	u := sb.String()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range c.header {
+		req.Header[k] = vs
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.CopyN(io.Discard, resp.Body, 512)
+		return nil, &StatusError{URL: u, Code: resp.StatusCode}
+	}
+	return ReadBatch(resp.Body, ids, c.maxBody)
+}
+
+// fetchBatchFanout serves the batch as parallel single GETs bounded by
+// MaxParallel. The first failure cancels the stragglers — a batch that
+// already failed should stop spending origin capacity.
+func (c *Client) fetchBatchFanout(ctx context.Context, ids []fetch.ID) ([]fetch.Item, error) {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	items := make([]fetch.Item, len(ids))
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, c.maxParallel)
+	var wg sync.WaitGroup
+	for i := range ids {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			items[i], errs[i] = c.Fetch(wctx, ids[i])
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return items, nil
+}
+
+// --- batch wire codec ----------------------------------------------------
+
+// batchHeaderLen is the fixed record header: 8-byte id + 4-byte length.
+const batchHeaderLen = 12
+
+// WriteBatchItem appends one framed record to w — the server half of
+// the batch wire. cmd/prefetchd and cmd/originsim use it to answer
+// /batch requests.
+func WriteBatchItem(w io.Writer, id fetch.ID, data []byte) error {
+	if int64(len(data)) > int64(^uint32(0)) {
+		return fmt.Errorf("httpfetch: batch payload %d bytes exceeds the wire's uint32 length", len(data))
+	}
+	var hdr [batchHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[:8], uint64(id))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// ReadBatch decodes a framed batch reply, requiring exactly one record
+// per requested id, in request order, each payload within maxBody. Any
+// violation — short stream, misordered id, oversized record, trailing
+// bytes — is an error: the fabric treats a broken batch reply as a
+// whole-batch failure (speculative) or falls back per key (demand),
+// and a lenient parse here would mask origin bugs as cache content.
+func ReadBatch(r io.Reader, ids []fetch.ID, maxBody int64) ([]fetch.Item, error) {
+	items := make([]fetch.Item, 0, len(ids))
+	var hdr [batchHeaderLen]byte
+	for i, want := range ids {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("httpfetch: batch record %d/%d: %w", i, len(ids), err)
+		}
+		id := fetch.ID(binary.BigEndian.Uint64(hdr[:8]))
+		n := int64(binary.BigEndian.Uint32(hdr[8:]))
+		if id != want {
+			return nil, fmt.Errorf("httpfetch: batch record %d has id %d, want %d", i, id, want)
+		}
+		if n > maxBody {
+			return nil, fmt.Errorf("httpfetch: batch record %d: %d bytes exceeds bound %d", i, n, maxBody)
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("httpfetch: batch record %d payload: %w", i, err)
+		}
+		items = append(items, fetch.Item{ID: id, Size: float64(n), Data: data})
+	}
+	var trail [1]byte
+	if _, err := r.Read(trail[:]); err != io.EOF {
+		return nil, fmt.Errorf("httpfetch: trailing bytes after %d batch records", len(ids))
+	}
+	return items, nil
+}
+
+// ParseIDs parses a comma-separated id list ("1,2,3") — the ?ids=
+// query parameter of the batch wire. Shared by the client (which
+// formats it) and the servers that answer it (cmd/prefetchd,
+// cmd/originsim).
+func ParseIDs(s string) ([]fetch.ID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("httpfetch: empty id list")
+	}
+	parts := strings.Split(s, ",")
+	ids := make([]fetch.ID, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("httpfetch: bad id %q: %w", p, err)
+		}
+		ids = append(ids, fetch.ID(n))
+	}
+	return ids, nil
+}
