@@ -1,8 +1,9 @@
 // Command benchdiff compares two prefetchbench -json reports (old vs
 // new) and flags performance regressions — a benchstat-style gate for
 // CI. Runs are matched by configuration (mode, shard count, backend
-// count, baseline flag) and compared on throughput, ns/op and
-// allocs/op.
+// count, baseline flag, and for values-mode reports the payload size
+// and slab/boxed split) and compared on throughput, ns/op, allocs/op
+// and the GC block (pause total, collection count, live heap objects).
 //
 // By default the gate is warn-only: regressions are reported loudly
 // (as ::warning:: annotations when running under GitHub Actions) but
@@ -39,17 +40,29 @@ type run struct {
 	Shards        int     `json:"shards"`
 	BackendCount  int     `json:"backend_count"`
 	Baseline      bool    `json:"baseline"`
+	ValueBytes    int     `json:"value_bytes"`
+	Slab          bool    `json:"slab"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	Perf          struct {
-		NsPerOp     float64 `json:"ns_per_op"`
-		AllocsPerOp float64 `json:"allocs_per_op"`
-		BytesPerOp  float64 `json:"bytes_per_op"`
+		NsPerOp        float64 `json:"ns_per_op"`
+		AllocsPerOp    float64 `json:"allocs_per_op"`
+		BytesPerOp     float64 `json:"bytes_per_op"`
+		GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+		NumGC          float64 `json:"num_gc"`
+		GCCPUFraction  float64 `json:"gc_cpu_fraction"`
+		HeapObjects    float64 `json:"heap_objects"`
 	} `json:"perf"`
 }
 
-// key identifies a run within a report for old/new matching.
+// key identifies a run within a report for old/new matching. The
+// values-mode fields only appear when set, so engine/trace/session
+// report keys are unchanged.
 func (r run) key() string {
-	return fmt.Sprintf("shards=%d/backends=%d/baseline=%t", r.Shards, r.BackendCount, r.Baseline)
+	k := fmt.Sprintf("shards=%d/backends=%d/baseline=%t", r.Shards, r.BackendCount, r.Baseline)
+	if r.ValueBytes > 0 {
+		k += fmt.Sprintf("/valuebytes=%d/slab=%t", r.ValueBytes, r.Slab)
+	}
+	return k
 }
 
 func loadReport(path string) (*report, error) {
@@ -107,6 +120,14 @@ func compare(w io.Writer, oldR, newR *report, threshold float64) []regression {
 			{"throughput_rps", or.ThroughputRPS, nr.ThroughputRPS, false, 0},
 			{"ns_per_op", or.Perf.NsPerOp, nr.Perf.NsPerOp, true, 0},
 			{"allocs_per_op", or.Perf.AllocsPerOp, nr.Perf.AllocsPerOp, true, 0.5},
+			// The GC block rides machine load and GOGC pacing much harder
+			// than the per-op figures, so each metric carries an absolute
+			// floor wide enough to swallow scheduler jitter: only a
+			// structural shift — payloads moving back onto the boxed heap,
+			// a pause regression visible to the eye — clears it.
+			{"gc_pause_total_ms", or.Perf.GCPauseTotalMS, nr.Perf.GCPauseTotalMS, true, 5},
+			{"num_gc", or.Perf.NumGC, nr.Perf.NumGC, true, 5},
+			{"heap_objects", or.Perf.HeapObjects, nr.Perf.HeapObjects, true, 50000},
 		}
 		for _, m := range metrics {
 			if m.oldVal == 0 && m.newVal == 0 {

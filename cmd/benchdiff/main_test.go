@@ -91,6 +91,86 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+func writeValuesReport(t *testing.T, dir, name string, boxedObjs, slabObjs, slabPauseMS float64) string {
+	t.Helper()
+	r := report{Mode: "values"}
+	boxed := run{Shards: 8, ValueBytes: 1024, Slab: false, ThroughputRPS: 100000}
+	boxed.Perf.NsPerOp = 1000
+	boxed.Perf.HeapObjects = boxedObjs
+	boxed.Perf.GCPauseTotalMS = 40
+	slab := run{Shards: 8, ValueBytes: 1024, Slab: true, ThroughputRPS: 100000}
+	slab.Perf.NsPerOp = 1000
+	slab.Perf.HeapObjects = slabObjs
+	slab.Perf.GCPauseTotalMS = slabPauseMS
+	r.Runs = []run{boxed, slab}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareValuesModeGCMetrics(t *testing.T) {
+	dir := t.TempDir()
+	oldR, err := loadReport(writeValuesReport(t, dir, "old.json", 66000, 1300, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The slab and boxed runs share shards/backends/baseline; only the
+	// values-mode key suffix separates them. Identical reports must
+	// match cleanly and flag nothing.
+	var sb strings.Builder
+	if regs := compare(&sb, oldR, oldR, 0.10); len(regs) != 0 {
+		t.Fatalf("self-comparison flagged: %+v", regs)
+	}
+	if strings.Contains(sb.String(), "no matching run") {
+		t.Fatalf("values runs failed to match by key:\n%s", sb.String())
+	}
+
+	// Slab run's live heap blowing up past the absolute floor (payloads
+	// back on the boxed heap) is the structural regression the gate
+	// exists for; the boxed run is unchanged.
+	regressed, err := loadReport(writeValuesReport(t, dir, "regressed.json", 66000, 130000, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	regs := compare(&sb, oldR, regressed, 0.10)
+	if len(regs) != 1 || regs[0].metric != "heap_objects" {
+		t.Fatalf("slab heap_objects regression not flagged: %+v", regs)
+	}
+	if !strings.Contains(regs[0].key, "slab=true") {
+		t.Fatalf("regression attributed to wrong run: %q", regs[0].key)
+	}
+
+	// GC pause wobble below the 5 ms absolute floor stays quiet even
+	// when the relative change is large.
+	wobble, err := loadReport(writeValuesReport(t, dir, "wobble.json", 66000, 1300, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if regs := compare(&sb, oldR, wobble, 0.10); len(regs) != 0 {
+		t.Fatalf("pause wobble below the floor flagged: %+v", regs)
+	}
+
+	// A pause regression past the floor fires.
+	paused, err := loadReport(writeValuesReport(t, dir, "paused.json", 66000, 1300, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	regs = compare(&sb, oldR, paused, 0.10)
+	if len(regs) != 1 || regs[0].metric != "gc_pause_total_ms" {
+		t.Fatalf("pause regression not flagged: %+v", regs)
+	}
+}
+
 func TestLoadReportRejectsEmpty(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "empty.json")

@@ -17,17 +17,31 @@ import (
 )
 
 // measurePerf turns the process-wide allocation deltas of one run into
-// per-request costs. Call runtime.ReadMemStats into before/after around
-// the timed section.
+// per-request costs, plus the garbage-collector's bill for the run.
+// Call runtime.ReadMemStats into before/after around the timed section.
+// The GC block is what the pointer-free slab store drives down: pause
+// time and collection count accumulated over the timed section, the
+// process-lifetime GC CPU fraction, and the live heap object count
+// after a forced collection — the mark load every future cycle pays.
 func measurePerf(before, after *runtime.MemStats, completed int, elapsed time.Duration) perfReport {
 	if completed <= 0 {
 		return perfReport{}
 	}
+	// The forced GC below is outside the timed window (after is already
+	// captured); it settles the heap so HeapObjects counts live objects,
+	// not float garbage.
+	runtime.GC()
+	var live runtime.MemStats
+	runtime.ReadMemStats(&live)
 	n := float64(completed)
 	return perfReport{
-		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
-		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
-		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / n,
+		GCPauseTotalMS: float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+		NumGC:          int64(after.NumGC - before.NumGC),
+		GCCPUFraction:  after.GCCPUFraction,
+		HeapObjects:    int64(live.HeapObjects),
 	}
 }
 

@@ -60,6 +60,7 @@ func run() (retErr error) {
 		backends  = flag.Int("backends", 0, "engine/trace mode: simulated heterogeneous backends behind the fetch fabric (0 = direct fetcher; >= 2 in engine mode also runs a single-backend baseline)")
 		session   = flag.Int("session", 0, "engine mode: batched session benchmark with this fan-out — each request becomes one GetMulti page-load session of N correlated keys, compared against a per-key Get loop over the same streams (0 = per-key mode)")
 		mmpp      = flag.String("mmpp", "", "engine mode: pace each client's arrivals by a two-state MMPP, given as 'rateHigh,rateLow,meanHigh,meanLow' (rates in arrivals/s, sojourns in s; empty = closed loop)")
+		valueb    = flag.Int("valuebytes", 0, "payload-store benchmark with this payload size: a hot-set GetBytes workload run over the boxed cache and again over the pointer-free slab store, diffing throughput and the GC bill (uses -cache as the resident entry budget)")
 		hedge     = flag.Bool("hedge", false, "engine mode: hedged retries across backends (p95-derived delay; needs -backends)")
 		watermark = flag.Float64("watermark", 0, "engine mode: idle-gate ρ̂ watermark deferring speculative dispatch (0 = off; needs -backends)")
 		asJSON    = flag.Bool("json", false, "engine/trace mode: emit one machine-readable JSON report (honours -o)")
@@ -114,6 +115,27 @@ func run() (retErr error) {
 			}
 		}()
 		w = f
+	}
+
+	if *valueb > 0 {
+		if *engine || *trace != "" {
+			return fmt.Errorf("-valuebytes is its own mode; drop -engine/-trace")
+		}
+		shards, err := parseShardList(*eshards)
+		if err != nil {
+			return err
+		}
+		return runValuesBench(w, valuesBenchConfig{
+			Clients:    *clients,
+			Requests:   *requests,
+			Bandwidth:  *ebw,
+			Workers:    *workers,
+			CacheCap:   *ecache,
+			ValueBytes: *valueb,
+			Seed:       *seed,
+			Shards:     shards,
+			JSON:       *asJSON,
+		})
 	}
 
 	if *trace != "" {

@@ -21,19 +21,21 @@ type benchReport struct {
 
 // benchConfig echoes the invocation parameters that shape the run.
 type benchConfig struct {
-	Clients   int     `json:"clients,omitempty"`
-	Requests  int     `json:"requests_per_client,omitempty"`
-	Trace     string  `json:"trace,omitempty"`
-	Bandwidth float64 `json:"bandwidth"`
-	Workers   int     `json:"workers"`
-	CacheCap  int     `json:"cache_capacity"`
-	Items     int     `json:"items,omitempty"`
-	Backends  int     `json:"backends,omitempty"`
-	Hedge     bool    `json:"hedge,omitempty"`
-	Watermark float64 `json:"idle_watermark,omitempty"`
-	Session   int     `json:"session_fanout,omitempty"`
-	MMPP      string  `json:"mmpp,omitempty"`
-	Seed      uint64  `json:"seed,omitempty"`
+	Clients    int     `json:"clients,omitempty"`
+	Requests   int     `json:"requests_per_client,omitempty"`
+	Trace      string  `json:"trace,omitempty"`
+	Bandwidth  float64 `json:"bandwidth"`
+	Workers    int     `json:"workers"`
+	CacheCap   int     `json:"cache_capacity"`
+	Items      int     `json:"items,omitempty"`
+	Backends   int     `json:"backends,omitempty"`
+	Hedge      bool    `json:"hedge,omitempty"`
+	Watermark  float64 `json:"idle_watermark,omitempty"`
+	Session    int     `json:"session_fanout,omitempty"`
+	MMPP       string  `json:"mmpp,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	ValueBytes int     `json:"value_bytes,omitempty"`
+	CacheBytes int     `json:"cache_bytes,omitempty"`
 }
 
 // perfReport is the per-request cost block: wall time per completed
@@ -41,10 +43,19 @@ type benchConfig struct {
 // by completed requests. The allocation figures include the engine's
 // speculative workers — they measure what one request costs the whole
 // process, which is the number the zero-allocation work drives down.
+// The gc_* block is per run, not per request: pause time and
+// collections over the timed section, the process-lifetime GC CPU
+// fraction, and the live heap objects after a forced post-run
+// collection (the GC's recurring mark load — the figure the
+// pointer-free slab store collapses).
 type perfReport struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	NumGC          int64   `json:"num_gc"`
+	GCCPUFraction  float64 `json:"gc_cpu_fraction"`
+	HeapObjects    int64   `json:"heap_objects"`
 }
 
 // runReport is one engine run within the shard/backend sweep.
@@ -62,6 +73,11 @@ type runReport struct {
 	// Session-mode extras (-session): completed session count, keys per
 	// session, and the session wall-latency percentiles. In the session
 	// runs Baseline marks the per-key Get loop over the same streams.
+	// Values-mode extras (-valuebytes): the payload size and whether
+	// this run stored payloads in the pointer-free slab arena (false =
+	// the boxed baseline it is diffed against).
+	ValueBytes        int             `json:"value_bytes,omitempty"`
+	Slab              bool            `json:"slab,omitempty"`
 	Sessions          int             `json:"sessions,omitempty"`
 	SessionFanout     int             `json:"session_fanout,omitempty"`
 	SessionP50MS      float64         `json:"session_p50_ms,omitempty"`

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/prefetcher"
+	"repro/prefetcher/bytestore"
+)
+
+// valuesBenchConfig parameterises the -valuebytes payload-store
+// benchmark: the same hot-set workload run twice, once over the boxed
+// LRU cache (payloads as individually heap-allocated []byte values the
+// GC must track one by one) and once over the slab byte store
+// (payloads packed into pointer-free segments). Both runs serve hits
+// through Engine.GetBytes into reused buffers, so the diff isolates
+// the storage representation: throughput, and above all the GC block —
+// pause time, collections, and the live heap objects every future mark
+// phase must walk.
+type valuesBenchConfig struct {
+	Clients    int
+	Requests   int // per client
+	Bandwidth  float64
+	Workers    int
+	CacheCap   int // resident entry budget (the hot set size)
+	ValueBytes int // payload size
+	Seed       uint64
+	Shards     []int
+	JSON       bool
+}
+
+// valuesCatalog derives the key-space shape from the entry budget: the
+// hot set is exactly the resident budget, and one extra eighth of tail
+// keys miss on every touch so the run keeps a steady allocation stream
+// (fetch results) in front of the resident set — that is what makes
+// the GC actually cycle during the timed section and bill the mark
+// cost of the chosen storage representation.
+func valuesCatalog(cacheCap int) (hot, total int) {
+	hot = cacheCap
+	tail := hot / 8
+	if tail < 1 {
+		tail = 1
+	}
+	return hot, hot + tail
+}
+
+// valuesPayload writes id's deterministic payload into a reusable
+// scratch slice (misses allocate the Item copy; the generator itself
+// must not distort the allocation profile).
+func valuesPayload(id prefetcher.ID, n int, scratch []byte) []byte {
+	scratch = scratch[:0]
+	for i := 0; i < n; i++ {
+		scratch = append(scratch, byte(int(id)*31+i*7+1))
+	}
+	return scratch
+}
+
+// noopPredictor learns nothing and predicts nothing: the values runs
+// measure payload storage, and a real model's per-key state would sit
+// in the live heap as noise common to both runs, diluting the very
+// ratio under test.
+type noopPredictor struct{}
+
+func (noopPredictor) Observe(prefetcher.ID)                  {}
+func (noopPredictor) Predict() []prefetcher.Prediction       { return nil }
+func (noopPredictor) PredictTop(int) []prefetcher.Prediction { return nil }
+func (noopPredictor) PredictTopInto(dst []prefetcher.Prediction, _ int) []prefetcher.Prediction {
+	return dst
+}
+func (noopPredictor) Name() string    { return "none" }
+func (noopPredictor) ConcurrentSafe() {}
+
+// runValuesBench runs the boxed-baseline/slab pair for every shard
+// count in the sweep.
+func runValuesBench(w io.Writer, cfg valuesBenchConfig) error {
+	if cfg.ValueBytes <= 0 {
+		return fmt.Errorf("values mode: -valuebytes must be > 0")
+	}
+	if cfg.CacheCap <= 0 || cfg.Clients <= 0 || cfg.Requests <= 0 {
+		return fmt.Errorf("values mode: -cache, -clients and -requests must be > 0")
+	}
+	report := benchReport{
+		Mode: "values",
+		Config: benchConfig{
+			Clients:    cfg.Clients,
+			Requests:   cfg.Requests,
+			Bandwidth:  cfg.Bandwidth,
+			Workers:    cfg.Workers,
+			CacheCap:   cfg.CacheCap,
+			ValueBytes: cfg.ValueBytes,
+			CacheBytes: slabBudget(cfg),
+			Seed:       cfg.Seed,
+		},
+	}
+	for _, shards := range cfg.Shards {
+		for _, slabMode := range []bool{false, true} {
+			run, err := runValuesOnce(cfg, shards, slabMode)
+			if err != nil {
+				return fmt.Errorf("values mode: shards=%d slab=%t: %w", shards, slabMode, err)
+			}
+			report.Runs = append(report.Runs, run)
+			if !cfg.JSON {
+				printValuesRun(w, run)
+			}
+		}
+	}
+	if cfg.JSON {
+		return report.emit(w)
+	}
+	return nil
+}
+
+// slabBudget sizes the slab run's byte budget to hold the same hot set
+// the boxed run's entry budget holds, with headroom for the per-entry
+// segment header and rotation slack.
+func slabBudget(cfg valuesBenchConfig) int {
+	return cfg.CacheCap * (cfg.ValueBytes + cfg.ValueBytes/8 + 64)
+}
+
+// runValuesOnce is one storage mode at one shard count: build, warm
+// the hot set to residency, then hammer it with a 7:1 hot:tail key mix
+// from closed-loop clients serving through GetBytes.
+func runValuesOnce(cfg valuesBenchConfig, shards int, slabMode bool) (runReport, error) {
+	hot, total := valuesCatalog(cfg.CacheCap)
+	scratchPool := sync.Pool{New: func() any {
+		b := make([]byte, 0, cfg.ValueBytes)
+		return &b
+	}}
+	fetch := prefetcher.FetcherFunc(func(_ context.Context, id prefetcher.ID) (prefetcher.Item, error) {
+		sp := scratchPool.Get().(*[]byte)
+		scratch := valuesPayload(id, cfg.ValueBytes, *sp)
+		data := make([]byte, len(scratch))
+		copy(data, scratch)
+		*sp = scratch
+		scratchPool.Put(sp)
+		return prefetcher.Item{ID: id, Size: float64(cfg.ValueBytes), Data: data}, nil
+	})
+
+	opts := []prefetcher.Option{
+		prefetcher.WithBandwidth(cfg.Bandwidth),
+		prefetcher.WithShards(shards),
+		prefetcher.WithWorkers(cfg.Workers),
+		// Storage is under test, not prediction: no speculative traffic,
+		// and a predictor that keeps no model at all — any of the real
+		// models' per-key state (Markov successor nodes, popularity
+		// counters) would swamp the live-heap diff the run exists to
+		// measure.
+		prefetcher.WithPolicy(prefetcher.NoPrefetch()),
+		prefetcher.WithPredictor(noopPredictor{}),
+	}
+	// Both stores replace through the clock policy: its ring-and-maps
+	// state allocates no per-entry node, so the per-entry heap objects
+	// that remain are exactly the payload representation under test —
+	// boxed (one interface box plus one backing array per value) versus
+	// slab (none).
+	if slabMode {
+		factory, err := bytestore.Factory(bytestore.Config{
+			CapacityBytes: slabBudget(cfg),
+			MaxEntries:    cfg.CacheCap,
+			Policy:        "clock",
+		})
+		if err != nil {
+			return runReport{}, err
+		}
+		opts = append(opts, prefetcher.WithCacheFactory(factory))
+	} else {
+		capacity := cfg.CacheCap
+		opts = append(opts, prefetcher.WithCacheFactory(func(_, n int) prefetcher.Cache {
+			per := (capacity + n - 1) / n
+			if per < 1 {
+				per = 1
+			}
+			c, err := prefetcher.NewCacheWithPolicy(per, "clock")
+			if err != nil {
+				panic(err) // "clock" is a known policy name
+			}
+			return c
+		}))
+	}
+	eng, err := prefetcher.New(fetch, opts...)
+	if err != nil {
+		return runReport{}, err
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	warmBuf := make([]byte, 0, cfg.ValueBytes)
+	for id := 0; id < hot; id++ {
+		if warmBuf, err = eng.GetBytes(ctx, prefetcher.ID(id), warmBuf[:0]); err != nil {
+			return runReport{}, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.Clients)
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC() // settle warmup garbage so the timed GC block is the workload's
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := rng.New(cfg.Seed + uint64(c)*0x9e3779b97f4a7c15)
+			dst := make([]byte, 0, cfg.ValueBytes)
+			var err error
+			for i := 0; i < cfg.Requests; i++ {
+				// 7 hot touches per tail touch: the tail keys overflow the
+				// entry budget, so they miss, allocate and churn — the GC
+				// load the two storage modes pay differently for.
+				var id prefetcher.ID
+				if i%8 == 7 {
+					id = prefetcher.ID(hot + src.Intn(total-hot))
+				} else {
+					id = prefetcher.ID(src.Intn(hot))
+				}
+				if dst, err = eng.GetBytes(ctx, id, dst[:0]); err != nil {
+					errc <- err
+					return
+				}
+				if len(dst) != cfg.ValueBytes {
+					errc <- fmt.Errorf("key %d: payload %d bytes, want %d", id, len(dst), cfg.ValueBytes)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+	close(errc)
+	for err := range errc {
+		return runReport{}, err
+	}
+
+	completed := cfg.Clients * cfg.Requests
+	perf := measurePerf(&msBefore, &msAfter, completed, elapsed)
+	rps := float64(completed) / elapsed.Seconds()
+	run := newRunReport(eng.Stats(), completed, rps, elapsed, !slabMode, perf)
+	run.ValueBytes = cfg.ValueBytes
+	run.Slab = slabMode
+	return run, nil
+}
+
+// printValuesRun is the text-mode summary line pair for one run.
+func printValuesRun(w io.Writer, r runReport) {
+	mode := "boxed"
+	if r.Slab {
+		mode = "slab"
+	}
+	fmt.Fprintf(w, "values store=%-5s shards=%d value=%dB: %.0f req/s, hit %.3f, %.0f ns/op, %.2f allocs/op\n",
+		mode, r.Shards, r.ValueBytes, r.ThroughputRPS, r.HitRatio, r.Perf.NsPerOp, r.Perf.AllocsPerOp)
+	fmt.Fprintf(w, "  gc: pause %.3f ms over %d cycles, cpu %.5f, live heap objects %d\n",
+		r.Perf.GCPauseTotalMS, r.Perf.NumGC, r.Perf.GCCPUFraction, r.Perf.HeapObjects)
+}

@@ -90,6 +90,10 @@ func TestParseConfigRejects(t *testing.T) {
 		"bad static arg":          `{"spaces":[{"name":"a","policy":"static","policy_arg":2,"backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
 		"bad topk arg":            `{"spaces":[{"name":"a","policy":"topk","policy_arg":1.5,"backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
 		"adaptive sans bandwidth": `{"spaces":[{"name":"a","policy":"adaptive-a","backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"neg cache bytes":         `{"spaces":[{"name":"a","cache_bytes":-1,"backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"neg segment bytes":       `{"spaces":[{"name":"a","cache_bytes":1024,"segment_bytes":-1,"backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"segment sans bytes":      `{"spaces":[{"name":"a","segment_bytes":1024,"backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
+		"slru sans bytes":         `{"spaces":[{"name":"a","cache_policy":"slru","backends":[{"name":"o","type":"fs","root":"/"}]}]}`,
 	}
 	for name, data := range cases {
 		if _, err := ParseConfig([]byte(data)); err == nil {
@@ -106,6 +110,7 @@ func FuzzParseConfig(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"spaces":[{"name":"a","backends":[{"name":"o","type":"fs","root":"/"}]}]}`))
 	f.Add([]byte(`{"spaces":[{"name":"a","backends":[{"name":"o","type":"http","url":"http://x","demand_timeout":"1h"}]}]}`))
+	f.Add([]byte(`{"spaces":[{"name":"a","cache_bytes":65536,"segment_bytes":4096,"cache_policy":"slru","backends":[{"name":"o","type":"fs","root":"/"}]}]}`))
 	f.Add([]byte(`nope`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg, err := ParseConfig(data)

@@ -39,7 +39,9 @@ func main() {
 		originBatch = flag.String("origin-batch-path", "", "origin batch endpoint speaking the httpfetch wire (e.g. /batch)")
 		fsRoot      = flag.String("fs-root", "", "filesystem backend root for the flag-built space")
 		cacheCap    = flag.Int("cache", 4096, "cache capacity in items")
-		cachePolicy = flag.String("cache-policy", "lru", "cache replacement policy: lru, lfu, fifo or clock")
+		cachePolicy = flag.String("cache-policy", "lru", "cache replacement policy: lru, lfu, fifo, clock, or slru (slab store only)")
+		cacheBytes  = flag.Int("cache-bytes", 0, "slab store byte budget; > 0 stores payloads in GC-immune pointer-free segments")
+		segBytes    = flag.Int("segment-bytes", 0, "slab segment size in bytes (0 = 1 MiB; needs -cache-bytes)")
 		predictor   = flag.String("predictor", "markov", "access model: markov, lz, ppm, depgraph, popularity or none")
 		policy      = flag.String("policy", "adaptive-a", "prefetch policy: adaptive-a, adaptive-b, greedy, static, topk or none")
 		policyArg   = flag.Float64("policy-arg", 0, "policy parameter (static threshold or topk k)")
@@ -58,6 +60,7 @@ func main() {
 	cfg, err := loadConfig(*configPath, flagConfig{
 		listen: *listen, origin: *origin, originBatch: *originBatch,
 		fsRoot: *fsRoot, cacheCap: *cacheCap, cachePolicy: *cachePolicy,
+		cacheBytes: *cacheBytes, segBytes: *segBytes,
 		predictor: *predictor, policy: *policy, policyArg: *policyArg,
 		bandwidth: *bandwidth,
 		shards:    *shards, workers: *workers, watermark: *watermark,
@@ -75,7 +78,7 @@ func main() {
 // flagConfig carries the single-space flag values into loadConfig.
 type flagConfig struct {
 	listen, origin, originBatch, fsRoot string
-	cacheCap                            int
+	cacheCap, cacheBytes, segBytes      int
 	cachePolicy, predictor, policy      string
 	policyArg, watermark, bandwidth     float64
 	shards, workers, hedgeMax, breakerN int
@@ -110,6 +113,8 @@ func loadConfig(path string, f flagConfig) (*Config, error) {
 		Name:          DefaultSpace,
 		CacheCapacity: f.cacheCap,
 		CachePolicy:   f.cachePolicy,
+		CacheBytes:    f.cacheBytes,
+		SegmentBytes:  f.segBytes,
 		Predictor:     f.predictor,
 		Policy:        f.policy,
 		PolicyArg:     f.policyArg,

@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/prefetcher"
+	"repro/prefetcher/bytestore"
 	"repro/prefetcher/fetch"
 	"repro/prefetcher/fetch/fsfetch"
 	"repro/prefetcher/fetch/httpfetch"
@@ -29,6 +31,7 @@ type space struct {
 //
 //	GET /obj/{key}            — default space, single key
 //	GET /obj/{space}/{key}    — named space, single key
+//	HEAD /obj/…               — Content-Length probe, no body copy
 //	GET /batch?ids=1,2,3      — default space, batched (framed wire)
 //	GET /batch/{space}?ids=…  — named space, batched
 //	GET /stats                — JSON engine stats per space
@@ -98,7 +101,22 @@ func buildEngine(sc SpaceConfig) (*prefetcher.Engine, error) {
 	if sc.Routing == "latency" {
 		opts = append(opts, prefetcher.WithRouting(fetch.RouteLatency))
 	}
-	if sc.CacheCapacity > 0 {
+	switch {
+	case sc.CacheBytes > 0:
+		// Slab store: payloads in pointer-free segments under a byte
+		// budget, entry count bounded by CacheCapacity when set. The
+		// factory ceil-splits both budgets across shards.
+		factory, err := bytestore.Factory(bytestore.Config{
+			CapacityBytes: sc.CacheBytes,
+			MaxEntries:    sc.CacheCapacity,
+			SegmentBytes:  sc.SegmentBytes,
+			Policy:        sc.CachePolicy,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+		opts = append(opts, prefetcher.WithCacheFactory(factory))
+	case sc.CacheCapacity > 0:
 		capacity, policy := sc.CacheCapacity, sc.CachePolicy
 		if policy == "" {
 			policy = "lru"
@@ -237,9 +255,26 @@ func (s *Server) resolve(spaceName string) (*space, bool) {
 	return sp, ok
 }
 
-// handleObj serves GET /obj/{key} and GET /obj/{space}/{key}.
+// bufPool recycles response-assembly buffers across requests so the
+// steady-state object path allocates neither a payload box nor a
+// scratch buffer per hit. Pointers to slices, per staticcheck SA6002
+// (a bare []byte would box on every Put).
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// handleObj serves GET and HEAD for /obj/{key} and /obj/{space}/{key}.
+// GET copies the payload through the engine's byte path into a pooled
+// buffer — on a slab-backed space a cache hit moves the bytes
+// arena→buffer→socket with no interface boxing and no per-hit
+// allocation. HEAD answers the Content-Length probe via GetBytesLen
+// without copying the payload at all (residency, recency and hit
+// accounting still behave as a GET hit).
 func (s *Server) handleObj(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
@@ -258,19 +293,29 @@ func (s *Server) handleObj(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown space", http.StatusNotFound)
 		return
 	}
-	item, err := sp.engine.Get(r.Context(), prefetcher.ID(key))
-	if err != nil {
-		writeFetchError(w, err)
+	if r.Method == http.MethodHead {
+		n, err := sp.engine.GetBytesLen(r.Context(), prefetcher.ID(key))
+		if err != nil {
+			writeFetchError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(n))
+		w.WriteHeader(http.StatusOK)
 		return
 	}
-	data, ok := item.Data.([]byte)
-	if !ok {
-		http.Error(w, "object has no byte payload", http.StatusBadGateway)
+	bp := bufPool.Get().(*[]byte)
+	data, err := sp.engine.GetBytes(r.Context(), prefetcher.ID(key), (*bp)[:0])
+	if err != nil {
+		bufPool.Put(bp)
+		writeFetchError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.Write(data)
+	*bp = data[:0]
+	bufPool.Put(bp)
 }
 
 // handleBatch serves GET /batch?ids=… and GET /batch/{space}?ids=…
@@ -294,24 +339,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	items, err := sp.engine.GetMulti(r.Context(), toEngineIDs(ids))
+	// The whole session's payloads pack into one pooled buffer via the
+	// engine's byte path; each record is then framed straight from its
+	// ByteRange — no per-item boxing, no per-item payload copy.
+	bp := bufPool.Get().(*[]byte)
+	buf, ranges, err := sp.engine.GetMultiBytes(r.Context(), toEngineIDs(ids), (*bp)[:0], nil)
+	*bp = buf[:0]
 	if err != nil {
+		bufPool.Put(bp)
 		writeFetchError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	for i, item := range items {
-		data, ok := item.Data.([]byte)
-		if !ok {
-			// Headers are gone; abort the connection mid-stream so the
-			// client sees a framing error, not a truncated success.
-			s.logf("prefetchd: batch key %d: object has no byte payload", ids[i])
-			panic(http.ErrAbortHandler)
-		}
-		if err := httpfetch.WriteBatchItem(w, ids[i], data); err != nil {
+	for i, rg := range ranges {
+		if err := httpfetch.WriteBatchItem(w, ids[i], buf[rg.Off:rg.Off+rg.Len]); err != nil {
+			bufPool.Put(bp)
 			return // client went away mid-reply
 		}
 	}
+	bufPool.Put(bp)
 }
 
 // statsReply is the /stats JSON shape: per-space engine snapshots

@@ -477,3 +477,154 @@ func TestBuildEngineKnobs(t *testing.T) {
 		}
 	}
 }
+
+// HEAD /obj/{key} is the Content-Length probe: same status mapping as
+// GET, correct length, no body.
+func TestDaemonHeadObj(t *testing.T) {
+	defer testutil.ExpectNoLeaks(t)
+	origin := newTestOrigin(t, nil, nil)
+	cfg := oneSpaceConfig(origin.URL)
+	cfg.Spaces[0].Policy = "none"
+	srv, err := NewServer(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		front.Close()
+		srv.Shutdown(ctx)
+	})
+
+	resp, err := http.Head(front.URL + "/obj/12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status = %d", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Fatalf("HEAD returned a %d-byte body", len(body))
+	}
+	if want := fmt.Sprint(len(originPayload(12))); resp.Header.Get("Content-Length") != want {
+		t.Fatalf("Content-Length = %q, want %q", resp.Header.Get("Content-Length"), want)
+	}
+
+	// The probe counts as a request and leaves the object resident: a
+	// following GET is a cache hit.
+	resp2, err := http.Get(front.URL + "/obj/12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !bytes.Equal(got, originPayload(12)) {
+		t.Fatalf("GET after HEAD = %q", got)
+	}
+	sresp, err := http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsReply
+	err = json.NewDecoder(sresp.Body).Decode(&stats)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stats.Spaces[DefaultSpace]
+	if st.Requests != 2 || st.Hits != 1 {
+		t.Fatalf("requests/hits = %d/%d, want 2/1 (HEAD then GET hit)", st.Requests, st.Hits)
+	}
+
+	// HEAD of a missing key maps the origin's status, like GET.
+	resp3, err := http.Head(front.URL + "/obj/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HEAD bad key = %d", resp3.StatusCode)
+	}
+}
+
+// A slab-backed space (cache_bytes set) serves the same wire as a
+// boxed one: GET, HEAD and the framed /batch all round-trip, and the
+// payload path stays byte-for-byte correct under the arena store.
+func TestDaemonSlabSpace(t *testing.T) {
+	defer testutil.ExpectNoLeaks(t)
+	origin := newTestOrigin(t, nil, nil)
+	cfg := oneSpaceConfig(origin.URL)
+	cfg.Spaces[0].CacheBytes = 1 << 20
+	cfg.Spaces[0].SegmentBytes = 64 << 10
+	cfg.Spaces[0].CacheCapacity = 256
+	cfg.Spaces[0].CachePolicy = "slru"
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		front.Close()
+		srv.Shutdown(ctx)
+	})
+
+	for lap := 0; lap < 3; lap++ {
+		for k := int64(1); k <= 20; k++ {
+			resp, err := http.Get(fmt.Sprintf("%s/obj/%d", front.URL, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || !bytes.Equal(body, originPayload(k)) {
+				t.Fatalf("lap %d key %d: %d %q", lap, k, resp.StatusCode, body)
+			}
+		}
+	}
+	resp, err := http.Head(front.URL + "/obj/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if want := fmt.Sprint(len(originPayload(5))); resp.Header.Get("Content-Length") != want {
+		t.Fatalf("slab HEAD Content-Length = %q, want %q", resp.Header.Get("Content-Length"), want)
+	}
+
+	tier, err := httpfetch.New(httpfetch.Config{BaseURL: front.URL, BatchPath: "/batch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := tier.FetchBatch(context.Background(), []fetch.ID{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []int64{3, 4, 5} {
+		if !bytes.Equal(items[i].Data.([]byte), originPayload(id)) {
+			t.Fatalf("slab batch item %d = %+v", i, items[i])
+		}
+	}
+
+	sresp, err := http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsReply
+	err = json.NewDecoder(sresp.Body).Decode(&stats)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := stats.Spaces[DefaultSpace]; st.Hits == 0 {
+		t.Fatalf("no hits through the slab space (stats %+v)", st)
+	}
+}

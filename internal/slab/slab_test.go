@@ -1,0 +1,348 @@
+package slab
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// payload builds a deterministic value for (id, n) so cross-checks can
+// regenerate the expected bytes without storing them.
+func payload(id int64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(uint64(id)*31 + uint64(i)*7 + 1)
+	}
+	return b
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New(1<<20, 4096)
+	for id := int64(0); id < 200; id++ {
+		if !s.Put(id, payload(id, int(id)%257)) {
+			t.Fatalf("Put(%d) refused", id)
+		}
+	}
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", s.Len())
+	}
+	dst := make([]byte, 0, 512)
+	for id := int64(0); id < 200; id++ {
+		got, ok := s.Get(id, dst[:0])
+		if !ok {
+			t.Fatalf("Get(%d) missing", id)
+		}
+		if want := payload(id, int(id)%257); !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d) = %x, want %x", id, got, want)
+		}
+		n, ok := s.BytesLen(id)
+		if !ok || n != int(id)%257 {
+			t.Fatalf("BytesLen(%d) = %d,%t; want %d,true", id, n, ok, int(id)%257)
+		}
+		view, ok := s.View(id)
+		if !ok || !bytes.Equal(view, payload(id, int(id)%257)) {
+			t.Fatalf("View(%d) mismatch", id)
+		}
+	}
+	if _, ok := s.Get(999, nil); ok {
+		t.Fatal("Get(999) found an entry that was never put")
+	}
+}
+
+// TestGetAppends pins the dst contract: Get appends, preserving what
+// the caller already accumulated (the GetMultiBytes gather relies on
+// this to pack a whole session into one buffer).
+func TestGetAppends(t *testing.T) {
+	s := New(1<<20, 4096)
+	s.Put(1, []byte("alpha"))
+	s.Put(2, []byte("beta"))
+	buf := []byte("x")
+	buf, ok := s.Get(1, buf)
+	if !ok {
+		t.Fatal("Get(1) missing")
+	}
+	buf, ok = s.Get(2, buf)
+	if !ok {
+		t.Fatal("Get(2) missing")
+	}
+	if string(buf) != "xalphabeta" {
+		t.Fatalf("accumulated buffer = %q, want %q", buf, "xalphabeta")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := New(1<<20, 4096)
+	var evicted []int64
+	s.OnEvict(func(id int64) { evicted = append(evicted, id) })
+	s.Put(7, []byte("old"))
+	s.Put(7, []byte("newer-value"))
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", s.Len())
+	}
+	got, ok := s.Get(7, nil)
+	if !ok || string(got) != "newer-value" {
+		t.Fatalf("Get(7) = %q,%t after overwrite", got, ok)
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("overwrite fired eviction callback for %v", evicted)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(1<<20, 4096)
+	s.Put(1, []byte("a"))
+	if !s.Delete(1) {
+		t.Fatal("Delete(1) = false for a present id")
+	}
+	if s.Delete(1) {
+		t.Fatal("Delete(1) = true for an absent id")
+	}
+	if _, ok := s.Get(1, nil); ok {
+		t.Fatal("Get(1) found a deleted entry")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after delete, want 0", s.Len())
+	}
+}
+
+func TestOversizedRefused(t *testing.T) {
+	s := New(4096, 256)
+	big := make([]byte, 256) // 256+12 > segment
+	if s.Put(1, big) {
+		t.Fatal("Put accepted a payload that cannot fit a segment")
+	}
+	if s.Fits(len(big)) {
+		t.Fatal("Fits accepted an oversized payload")
+	}
+	if !s.Fits(200) {
+		t.Fatal("Fits refused a payload that fits")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after refused put, want 0", s.Len())
+	}
+}
+
+// TestRotationEvicts fills a deliberately tiny arena far past its
+// capacity: the ring must recycle segments, every displaced id must be
+// reported exactly once while still live, and the survivors must be the
+// most recently written ids with intact payloads.
+func TestRotationEvicts(t *testing.T) {
+	s := New(1024, 256) // 4 segments of 256B
+	live := map[int64][]byte{}
+	s.OnEvict(func(id int64) {
+		if _, ok := live[id]; !ok {
+			t.Fatalf("evicted id %d that was not live", id)
+		}
+		delete(live, id)
+	})
+	const n = 500
+	for id := int64(0); id < n; id++ {
+		v := payload(id, 20+int(id)%40)
+		if !s.Put(id, v) {
+			t.Fatalf("Put(%d) refused", id)
+		}
+		live[id] = v
+	}
+	st := s.Stats()
+	if st.Rotations == 0 || st.RotateEvicted == 0 {
+		t.Fatalf("no rotation churn on an over-capacity fill: %+v", st)
+	}
+	if s.Len() != len(live) {
+		t.Fatalf("Len = %d, model has %d live", s.Len(), len(live))
+	}
+	if len(live) == 0 {
+		t.Fatal("rotation evicted everything, including the newest entries")
+	}
+	for id, want := range live {
+		got, ok := s.Get(id, nil)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("survivor %d: got %x,%t want %x", id, got, ok, want)
+		}
+	}
+	// The newest id is always among the survivors.
+	if _, ok := live[n-1]; !ok {
+		t.Fatal("newest id was evicted")
+	}
+}
+
+// TestRotationSkipsOverwrittenStaleRecords pins the header-walk
+// subtlety: an id overwritten into a later segment leaves a stale
+// in-segment record behind; rotating the old segment must not evict
+// the id's current copy.
+func TestRotationSkipsOverwrittenStaleRecords(t *testing.T) {
+	s := New(512, 256) // 2 segments
+	var evicted []int64
+	s.OnEvict(func(id int64) { evicted = append(evicted, id) })
+	s.Put(1, payload(1, 100)) // seg 0
+	s.Put(2, payload(2, 100)) // seg 0 (fills it)
+	s.Put(1, payload(1, 90))  // moves id 1 to seg 1
+	// Force rotation back onto seg 0: only id 2 still lives there.
+	s.Put(3, payload(3, 100))
+	s.Put(4, payload(4, 100))
+	for _, id := range evicted {
+		if id == 1 {
+			t.Fatalf("rotation evicted id 1 via its stale record (evicted: %v)", evicted)
+		}
+	}
+	if got, ok := s.Get(1, nil); !ok || !bytes.Equal(got, payload(1, 90)) {
+		t.Fatalf("id 1 lost after rotation over its stale record: %x,%t", got, ok)
+	}
+}
+
+func TestStatsLiveBytes(t *testing.T) {
+	s := New(1<<20, 4096)
+	s.Put(1, make([]byte, 100))
+	s.Put(2, make([]byte, 50))
+	if got, want := s.Stats().LiveBytes, int64(100+50+2*headerBytes); got != want {
+		t.Fatalf("LiveBytes = %d, want %d", got, want)
+	}
+	s.Delete(1)
+	if got, want := s.Stats().LiveBytes, int64(50+headerBytes); got != want {
+		t.Fatalf("LiveBytes after delete = %d, want %d", got, want)
+	}
+}
+
+func TestZeroLengthValue(t *testing.T) {
+	s := New(1<<20, 4096)
+	if !s.Put(5, nil) {
+		t.Fatal("Put(5, nil) refused")
+	}
+	got, ok := s.Get(5, nil)
+	if !ok || len(got) != 0 {
+		t.Fatalf("Get(5) = %x,%t; want empty,true", got, ok)
+	}
+	n, ok := s.BytesLen(5)
+	if !ok || n != 0 {
+		t.Fatalf("BytesLen(5) = %d,%t; want 0,true", n, ok)
+	}
+}
+
+// TestIndexChurnRehash hammers put/delete cycles over a small id space
+// so tombstones accumulate and the same-size rehash purge path runs.
+func TestIndexChurnRehash(t *testing.T) {
+	s := New(1<<20, 1<<16)
+	for round := 0; round < 2000; round++ {
+		id := int64(round % 97)
+		s.Put(id, payload(id, 16))
+		if round%3 == 0 {
+			s.Delete(int64((round * 7) % 97))
+		}
+	}
+	dst := make([]byte, 0, 32)
+	seen := 0
+	for id := int64(0); id < 97; id++ {
+		if got, ok := s.Get(id, dst[:0]); ok {
+			seen++
+			if !bytes.Equal(got, payload(id, 16)) {
+				t.Fatalf("id %d corrupted after churn", id)
+			}
+		}
+	}
+	if seen != s.Len() {
+		t.Fatalf("probed %d live ids, Len says %d", seen, s.Len())
+	}
+}
+
+// FuzzSlabStore interleaves put/get/delete (with rotation-driven
+// eviction folded in through the callback) against a map reference
+// model: after every op the store and model agree on membership,
+// payloads and length, and at the end the full live set round-trips.
+func FuzzSlabStore(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 200, 1, 200, 2, 1, 0, 31, 255})
+	f.Add(bytes.Repeat([]byte{0, 255}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New(2048, 256) // tiny: rotation fires constantly
+		model := map[int64][]byte{}
+		s.OnEvict(func(id int64) {
+			if _, ok := model[id]; !ok {
+				t.Fatalf("evicted id %d not in model", id)
+			}
+			delete(model, id)
+		})
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			id := int64(arg % 37) // small space: collisions and overwrites
+			switch op % 4 {
+			case 0, 1: // put, length from arg (kept under the segment size)
+				v := payload(id, int(arg)%200)
+				if !s.Put(id, v) {
+					t.Fatalf("Put(%d, %dB) refused", id, len(v))
+				}
+				model[id] = v
+			case 2:
+				got, ok := s.Get(id, nil)
+				want, wok := model[id]
+				if ok != wok {
+					t.Fatalf("Get(%d) presence %t, model %t", id, ok, wok)
+				}
+				if ok && !bytes.Equal(got, want) {
+					t.Fatalf("Get(%d) = %x, model %x", id, got, want)
+				}
+			case 3:
+				_, wok := model[id]
+				if s.Delete(id) != wok {
+					t.Fatalf("Delete(%d) disagreed with model presence %t", id, wok)
+				}
+				delete(model, id)
+			}
+			if s.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+			}
+		}
+		for id, want := range model {
+			got, ok := s.Get(id, nil)
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("final check id %d: %x,%t want %x", id, got, ok, want)
+			}
+			n, ok := s.BytesLen(id)
+			if !ok || n != len(want) {
+				t.Fatalf("final BytesLen(%d) = %d,%t want %d", id, n, ok, len(want))
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsDirect runs the seed corpus through the fuzz body so a
+// plain `go test` exercises it without the fuzzing engine.
+func TestFuzzSeedsDirect(t *testing.T) {
+	seeds := [][]byte{
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{1, 200, 1, 200, 2, 1, 0, 31, 255},
+		bytes.Repeat([]byte{0, 255}, 64),
+	}
+	for i, seed := range seeds {
+		t.Run(fmt.Sprint(i), func(t *testing.T) {
+			runRef(t, seed)
+		})
+	}
+}
+
+// runRef mirrors the FuzzSlabStore body for direct seed execution.
+func runRef(t *testing.T, data []byte) {
+	s := New(2048, 256)
+	model := map[int64][]byte{}
+	s.OnEvict(func(id int64) { delete(model, id) })
+	for i := 0; i+1 < len(data); i += 2 {
+		op, arg := data[i], data[i+1]
+		id := int64(arg % 37)
+		switch op % 4 {
+		case 0, 1:
+			v := payload(id, int(arg)%200)
+			s.Put(id, v)
+			model[id] = v
+		case 2:
+			got, ok := s.Get(id, nil)
+			want, wok := model[id]
+			if ok != wok || (ok && !bytes.Equal(got, want)) {
+				t.Fatalf("Get(%d) diverged from model", id)
+			}
+		case 3:
+			s.Delete(id)
+			delete(model, id)
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+		}
+	}
+}

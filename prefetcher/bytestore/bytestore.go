@@ -1,0 +1,237 @@
+// Package bytestore provides the slab-backed prefetcher.Cache: payload
+// bytes live in internal/slab's pointer-free segment arena while
+// residency, the replacement policy (LRU/SLRU/LFU/FIFO/clock) and hit
+// accounting stay in internal/cache.Store — so the engine's estimator
+// and policy layers behave exactly as they do over the boxed caches,
+// but the garbage collector no longer scans one pointer per cached
+// value. A Store implements prefetcher.ByteCache, which is what lets
+// Engine.GetBytes/GetMultiBytes serve hits by copying straight from
+// the arena into a caller-owned buffer: no interface boxing, no
+// per-hit allocation.
+//
+// Two eviction streams feed the one OnEvict callback the engine
+// installs: the policy layer's count-bound victims (an Admit past
+// capacity), and the slab's byte-bound rotation victims (the write
+// cursor reclaiming the oldest segment). Both remove the entry from
+// the other layer before reporting it, so the store's residency,
+// payload and the engine's ĥ′/used/wasted accounting never diverge.
+//
+// Values that cannot live in the arena — payloads larger than a
+// segment, or non-[]byte Data — fall back to a boxed overflow map so
+// Cache.Put never silently drops (the engine's resident accounting
+// assumes an admitted entry is resident). They are served through the
+// compatibility Get path and reported by GetBytes as non-byte.
+//
+// A Store is not goroutine-safe; the engine gives each shard its own
+// instance (use Factory with prefetcher.WithCacheFactory) and
+// serialises calls under the shard lock.
+package bytestore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/slab"
+	"repro/prefetcher"
+)
+
+// Config sizes one Store (per shard — Factory splits a global budget).
+type Config struct {
+	// CapacityBytes bounds the arena's memory. Required.
+	CapacityBytes int
+	// MaxEntries bounds the resident count (the policy layer's
+	// capacity). Defaults to CapacityBytes/64, at least 16.
+	MaxEntries int
+	// SegmentBytes is the arena segment size; 0 means the slab default
+	// (1 MiB).
+	SegmentBytes int
+	// Policy selects replacement: "lru" (default), "slru", "lfu",
+	// "fifo" or "clock".
+	Policy string
+}
+
+// Store is the slab-backed cache. Construct with New or Factory.
+type Store struct {
+	store    *cache.Store
+	slab     *slab.Store
+	overflow map[prefetcher.ID]any
+	onEvict  func(prefetcher.ID)
+}
+
+var (
+	_ prefetcher.Cache     = (*Store)(nil)
+	_ prefetcher.ByteCache = (*Store)(nil)
+)
+
+// newPolicy resolves a policy name, mapping the empty string to LRU
+// and sizing SLRU's protected segment to half the entry budget.
+func newPolicy(name string, maxEntries int) (cache.Policy, error) {
+	switch name {
+	case "", "lru":
+		return cache.NewLRU(), nil
+	case "slru":
+		protected := maxEntries / 2
+		if protected < 1 {
+			protected = 1
+		}
+		return cache.NewSLRU(protected), nil
+	default:
+		return cache.NewPolicy(name)
+	}
+}
+
+// New builds one Store from cfg.
+func New(cfg Config) (*Store, error) {
+	if cfg.CapacityBytes <= 0 {
+		return nil, errors.New("bytestore: CapacityBytes must be > 0")
+	}
+	maxEntries := cfg.MaxEntries
+	if maxEntries <= 0 {
+		maxEntries = cfg.CapacityBytes / 64
+		if maxEntries < 16 {
+			maxEntries = 16
+		}
+	}
+	policy, err := newPolicy(cfg.Policy, maxEntries)
+	if err != nil {
+		return nil, fmt.Errorf("bytestore: %w", err)
+	}
+	s := &Store{
+		store:    cache.NewStore(maxEntries, policy),
+		slab:     slab.New(cfg.CapacityBytes, cfg.SegmentBytes),
+		overflow: make(map[prefetcher.ID]any),
+	}
+	// Count-bound (policy) evictions: drop the payload wherever it
+	// lives, then report. Fires from store.Admit, i.e. from Put.
+	s.store.OnEvict(func(id cache.ID) {
+		s.slab.Delete(int64(id))
+		delete(s.overflow, prefetcher.ID(id))
+		if s.onEvict != nil {
+			s.onEvict(prefetcher.ID(id))
+		}
+	})
+	// Byte-bound (rotation) evictions: drop residency — Remove is the
+	// no-callback form, the report below is the only one — then
+	// forward. Fires from slab.Put, i.e. from Put.
+	s.slab.OnEvict(func(id int64) {
+		s.store.Remove(cache.ID(id))
+		if s.onEvict != nil {
+			s.onEvict(prefetcher.ID(id))
+		}
+	})
+	return s, nil
+}
+
+// Factory validates cfg once and returns a prefetcher.WithCacheFactory
+// function producing one Store per shard, with the byte and entry
+// budgets ceil-split across the shard count.
+func Factory(cfg Config) (func(shard, shards int) prefetcher.Cache, error) {
+	if _, err := New(probeConfig(cfg)); err != nil {
+		return nil, err
+	}
+	return func(_, shards int) prefetcher.Cache {
+		per := cfg
+		per.CapacityBytes = ceilDiv(cfg.CapacityBytes, shards)
+		if cfg.MaxEntries > 0 {
+			per.MaxEntries = ceilDiv(cfg.MaxEntries, shards)
+		}
+		s, err := New(per)
+		if err != nil {
+			// Unreachable: the probe validated the config and the
+			// per-shard split only shrinks positive budgets.
+			panic(err)
+		}
+		return s
+	}, nil
+}
+
+// probeConfig is the throwaway validation config: tiny budgets so the
+// probe Store costs nothing, same policy so name errors surface.
+func probeConfig(cfg Config) Config {
+	if cfg.CapacityBytes > 0 {
+		cfg.CapacityBytes = 1024
+	}
+	cfg.MaxEntries = 16
+	cfg.SegmentBytes = 1024
+	return cfg
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// Get implements prefetcher.Cache. For slab-resident values it copies
+// the payload into a fresh slice — the boxing compatibility path, which
+// allocates per hit; byte-path callers (the engine's GetBytes and
+// GetMultiBytes) use GetBytes instead.
+func (s *Store) Get(id prefetcher.ID) (any, bool) {
+	if !s.store.Access(cache.ID(id)) {
+		return nil, false
+	}
+	if v, ok := s.overflow[id]; ok {
+		return v, true
+	}
+	b, ok := s.slab.Get(int64(id), nil)
+	if !ok {
+		// Resident per the policy layer but in neither payload store —
+		// the sync invariant makes this unreachable.
+		return nil, false
+	}
+	return b, true
+}
+
+// GetBytes implements prefetcher.ByteCache: a slab hit is appended to
+// dst with no boxing and no allocation beyond dst's own growth.
+//
+//prefetch:hotpath
+func (s *Store) GetBytes(id prefetcher.ID, dst []byte) ([]byte, bool) {
+	out, ok := s.slab.Get(int64(id), dst)
+	if !ok {
+		return dst, false
+	}
+	s.store.Access(cache.ID(id))
+	return out, true
+}
+
+// BytesLen implements prefetcher.ByteCache.
+//
+//prefetch:hotpath
+func (s *Store) BytesLen(id prefetcher.ID) (int, bool) {
+	n, ok := s.slab.BytesLen(int64(id))
+	if !ok {
+		return 0, false
+	}
+	s.store.Access(cache.ID(id))
+	return n, true
+}
+
+// Put implements prefetcher.Cache. []byte payloads that fit a segment
+// go to the arena; everything else goes to the boxed overflow map, so
+// an admitted entry is always resident whatever its payload shape.
+func (s *Store) Put(id prefetcher.ID, value any) {
+	if b, ok := value.([]byte); ok && s.slab.Fits(len(b)) {
+		delete(s.overflow, id) // shape change: previous value may be boxed
+		s.slab.Put(int64(id), b)
+	} else {
+		s.slab.Delete(int64(id))
+		s.overflow[id] = value
+	}
+	s.store.Admit(cache.ID(id))
+}
+
+// Contains implements prefetcher.Cache (a peek: no recency refresh).
+func (s *Store) Contains(id prefetcher.ID) bool { return s.store.Contains(cache.ID(id)) }
+
+// Len implements prefetcher.Cache.
+func (s *Store) Len() int { return s.store.Len() }
+
+// OnEvict implements prefetcher.Cache. The callback receives victims
+// of both eviction streams — policy and segment rotation.
+func (s *Store) OnEvict(fn func(prefetcher.ID)) { s.onEvict = fn }
+
+// SlabStats exposes the arena's occupancy/churn counters.
+func (s *Store) SlabStats() slab.Stats { return s.slab.Stats() }

@@ -1,0 +1,292 @@
+package bytestore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/prefetcher"
+)
+
+func val(id prefetcher.ID, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(id)*13 + i)
+	}
+	return b
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := New(Config{CapacityBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := prefetcher.ID(0); id < 64; id++ {
+		s.Put(id, val(id, 100))
+	}
+	if s.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", s.Len())
+	}
+	for id := prefetcher.ID(0); id < 64; id++ {
+		v, ok := s.Get(id)
+		if !ok || !bytes.Equal(v.([]byte), val(id, 100)) {
+			t.Fatalf("Get(%d) = %v,%t", id, v, ok)
+		}
+		got, ok := s.GetBytes(id, nil)
+		if !ok || !bytes.Equal(got, val(id, 100)) {
+			t.Fatalf("GetBytes(%d) mismatch", id)
+		}
+		n, ok := s.BytesLen(id)
+		if !ok || n != 100 {
+			t.Fatalf("BytesLen(%d) = %d,%t", id, n, ok)
+		}
+	}
+	if _, ok := s.Get(999); ok {
+		t.Fatal("Get(999) hit")
+	}
+	if _, ok := s.GetBytes(999, nil); ok {
+		t.Fatal("GetBytes(999) hit")
+	}
+}
+
+// TestPolicyEvictionReported pins the count-bound stream: admitting
+// past MaxEntries must evict through the policy, drop the slab payload
+// and report each victim exactly once.
+func TestPolicyEvictionReported(t *testing.T) {
+	s, err := New(Config{CapacityBytes: 1 << 20, MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicted := map[prefetcher.ID]int{}
+	s.OnEvict(func(id prefetcher.ID) { evicted[id]++ })
+	for id := prefetcher.ID(0); id < 50; id++ {
+		s.Put(id, val(id, 32))
+	}
+	if s.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", s.Len())
+	}
+	if len(evicted) != 50-16 {
+		t.Fatalf("%d victims reported, want %d", len(evicted), 50-16)
+	}
+	for id, n := range evicted {
+		if n != 1 {
+			t.Fatalf("id %d reported %d times", id, n)
+		}
+		if _, ok := s.GetBytes(id, nil); ok {
+			t.Fatalf("victim %d still byte-resident", id)
+		}
+		if s.Contains(id) {
+			t.Fatalf("victim %d still resident", id)
+		}
+	}
+}
+
+// TestRotationEvictionReported pins the byte-bound stream: a byte
+// budget far below the entry budget forces segment rotation, whose
+// victims must leave the policy layer and be reported.
+func TestRotationEvictionReported(t *testing.T) {
+	s, err := New(Config{CapacityBytes: 2048, SegmentBytes: 512, MaxEntries: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[prefetcher.ID]bool{}
+	s.OnEvict(func(id prefetcher.ID) {
+		if !live[id] {
+			t.Fatalf("reported victim %d was not live", id)
+		}
+		delete(live, id)
+	})
+	for id := prefetcher.ID(0); id < 200; id++ {
+		s.Put(id, val(id, 64))
+		live[id] = true
+	}
+	if s.SlabStats().Rotations == 0 {
+		t.Fatal("no rotations on an over-budget fill")
+	}
+	if s.Len() != len(live) {
+		t.Fatalf("Len = %d, model %d", s.Len(), len(live))
+	}
+	for id := range live {
+		got, ok := s.GetBytes(id, nil)
+		if !ok || !bytes.Equal(got, val(id, 64)) {
+			t.Fatalf("survivor %d corrupt or missing", id)
+		}
+	}
+}
+
+// TestOverflowValues pins the fallback: non-[]byte and oversized
+// payloads are still resident (Put never drops), served through Get,
+// and declined by the byte path.
+func TestOverflowValues(t *testing.T) {
+	s, err := New(Config{CapacityBytes: 4096, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(1, "not bytes")
+	s.Put(2, make([]byte, 1024)) // > segment: boxed
+	if !s.Contains(1) || !s.Contains(2) {
+		t.Fatal("overflow values not resident")
+	}
+	if v, ok := s.Get(1); !ok || v.(string) != "not bytes" {
+		t.Fatalf("Get(1) = %v,%t", v, ok)
+	}
+	if v, ok := s.Get(2); !ok || len(v.([]byte)) != 1024 {
+		t.Fatalf("Get(2) = %v,%t", v, ok)
+	}
+	if _, ok := s.GetBytes(1, nil); ok {
+		t.Fatal("GetBytes served a non-byte payload")
+	}
+	if _, ok := s.BytesLen(2); ok {
+		t.Fatal("BytesLen served an oversized boxed payload")
+	}
+	// Shape changes move the payload between stores without duplicating.
+	s.Put(1, val(1, 10))
+	if got, ok := s.GetBytes(1, nil); !ok || !bytes.Equal(got, val(1, 10)) {
+		t.Fatal("byte payload after shape change not in slab")
+	}
+	s.Put(1, "boxed again")
+	if _, ok := s.GetBytes(1, nil); ok {
+		t.Fatal("stale slab payload survived shape change back to boxed")
+	}
+	if v, ok := s.Get(1); !ok || v.(string) != "boxed again" {
+		t.Fatalf("Get(1) after shape change = %v,%t", v, ok)
+	}
+}
+
+// TestGetBytesAppends pins the dst contract the multi-gather relies on.
+func TestGetBytesAppends(t *testing.T) {
+	s, err := New(Config{CapacityBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(1, []byte("aa"))
+	s.Put(2, []byte("bb"))
+	buf := []byte("x")
+	buf, _ = s.GetBytes(1, buf)
+	buf, _ = s.GetBytes(2, buf)
+	if string(buf) != "xaabb" {
+		t.Fatalf("accumulated = %q", buf)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	for _, pol := range []string{"", "lru", "slru", "lfu", "fifo", "clock"} {
+		t.Run("pol="+pol, func(t *testing.T) {
+			s, err := New(Config{CapacityBytes: 1 << 16, MaxEntries: 8, Policy: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := prefetcher.ID(0); id < 20; id++ {
+				s.Put(id, val(id, 16))
+			}
+			if s.Len() != 8 {
+				t.Fatalf("Len = %d, want 8", s.Len())
+			}
+		})
+	}
+	if _, err := New(Config{CapacityBytes: 1024, Policy: "nope"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero CapacityBytes accepted")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	fn, err := Factory(Config{CapacityBytes: 1 << 20, MaxEntries: 64, Policy: "slru"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	for i := 0; i < shards; i++ {
+		c := fn(i, shards)
+		st, ok := c.(*Store)
+		if !ok {
+			t.Fatalf("factory returned %T", c)
+		}
+		for id := prefetcher.ID(0); id < 100; id++ {
+			st.Put(id, val(id, 8))
+		}
+		if st.Len() != 16 { // 64 entries ceil-split 4 ways
+			t.Fatalf("shard %d Len = %d, want 16", i, st.Len())
+		}
+	}
+	if _, err := Factory(Config{CapacityBytes: 0}); err == nil {
+		t.Fatal("factory accepted zero capacity")
+	}
+	if _, err := Factory(Config{CapacityBytes: 1024, Policy: "nope"}); err == nil {
+		t.Fatal("factory accepted bad policy")
+	}
+}
+
+// TestEngineIntegration runs the store under a real engine: the
+// eviction streams must keep the engine's resident accounting exact,
+// and a churned workload must end with Stats' invariants intact.
+func TestEngineIntegration(t *testing.T) {
+	factory, err := Factory(Config{CapacityBytes: 64 << 10, MaxEntries: 128, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetcher := prefetcher.FetcherFunc(func(_ context.Context, id prefetcher.ID) (prefetcher.Item, error) {
+		return prefetcher.Item{ID: id, Size: 1, Data: val(id, 64+int(id)%128)}, nil
+	})
+	eng, err := prefetcher.New(fetcher,
+		prefetcher.WithBandwidth(1e6),
+		prefetcher.WithShards(4),
+		prefetcher.WithCacheFactory(factory),
+		prefetcher.WithWorkers(2),
+		prefetcher.WithMaxPrefetch(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	get := func(id prefetcher.ID) {
+		it, err := eng.Get(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := val(id, 64+int(id)%128)
+		if !bytes.Equal(it.Data.([]byte), want) {
+			t.Fatalf("Get(%d) payload mismatch", id)
+		}
+	}
+	// Churn phase: a scan far past both budgets drives policy and
+	// rotation evictions through the engine's accounting.
+	for i := 0; i < 5000; i++ {
+		get(prefetcher.ID(i % 700))
+	}
+	// Hot phase: a working set inside the entry budget must serve hits.
+	for i := 0; i < 500; i++ {
+		get(prefetcher.ID(i % 40))
+	}
+	if err := eng.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Hits == 0 {
+		t.Fatal("no hits through the slab store")
+	}
+	if st.CacheLen < 0 || st.CacheLen > 128 {
+		t.Fatalf("CacheLen = %d outside [0,128] — eviction streams diverged", st.CacheLen)
+	}
+	if st.PrefetchUsed+st.PrefetchWasted > st.PrefetchIssued {
+		t.Fatalf("used %d + wasted %d > issued %d", st.PrefetchUsed, st.PrefetchWasted, st.PrefetchIssued)
+	}
+}
+
+func TestFactoryShardSplitNames(t *testing.T) {
+	for shards := 1; shards <= 8; shards *= 2 {
+		t.Run(fmt.Sprint(shards), func(t *testing.T) {
+			fn, err := Factory(Config{CapacityBytes: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c := fn(0, shards); c == nil {
+				t.Fatal("nil cache from factory")
+			}
+		})
+	}
+}

@@ -1,0 +1,217 @@
+package bytestore
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"repro/prefetcher"
+)
+
+// newSlabHitEngine builds an engine whose cache is a slab Store sized
+// so the whole 64-id catalog stays resident, then warms it until
+// sequential walks hit exclusively — the slab mirror of the prefetcher
+// package's newHitEngine.
+func newSlabHitEngine(tb testing.TB) (*prefetcher.Engine, []prefetcher.ID) {
+	tb.Helper()
+	factory, err := Factory(Config{CapacityBytes: 1 << 20, MaxEntries: 4 * 64})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fetch := prefetcher.FetcherFunc(func(_ context.Context, id prefetcher.ID) (prefetcher.Item, error) {
+		return prefetcher.Item{ID: id, Size: 1, Data: val(id, 64+int(id)%64)}, nil
+	})
+	eng, err := prefetcher.New(fetch,
+		prefetcher.WithBandwidth(1e6),
+		prefetcher.WithShards(1),
+		prefetcher.WithCacheFactory(factory),
+		prefetcher.WithWorkers(1),
+		prefetcher.WithMaxPrefetch(2),
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := context.Background()
+	ids := make([]prefetcher.ID, 64)
+	for i := range ids {
+		ids[i] = prefetcher.ID(i)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range ids {
+			if _, err := eng.Get(ctx, id); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Quiesce(ctx); err != nil {
+		tb.Fatal(err)
+	}
+	return eng, ids
+}
+
+// TestEngineGetBytesRoundTrip pins the engine→bytestore byte path:
+// slab-resident hits are copied out through ByteCache with payloads
+// intact.
+func TestEngineGetBytesRoundTrip(t *testing.T) {
+	eng, ids := newSlabHitEngine(t)
+	defer eng.Close()
+	ctx := context.Background()
+	dst := make([]byte, 0, 256)
+	for _, id := range ids {
+		var err error
+		dst, err = eng.GetBytes(ctx, id, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := val(id, 64+int(id)%64); !bytes.Equal(dst, want) {
+			t.Fatalf("GetBytes(%d) mismatch", id)
+		}
+		n, err := eng.GetBytesLen(ctx, id)
+		if err != nil || n != 64+int(id)%64 {
+			t.Fatalf("GetBytesLen(%d) = %d, %v", id, n, err)
+		}
+	}
+	st := eng.Stats()
+	if st.Hits == 0 {
+		t.Fatal("no hits through the slab byte path")
+	}
+}
+
+// TestSlabGetBytesAllocFree is the tentpole's allocation gate: a
+// slab-backed cache hit through Engine.GetBytes — slab lookup, copy
+// into a reused buffer, accounting, planning — allocates nothing.
+func TestSlabGetBytesAllocFree(t *testing.T) {
+	eng, ids := newSlabHitEngine(t)
+	defer eng.Close()
+	ctx := context.Background()
+	dst := make([]byte, 0, 256)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		var err error
+		dst, err = eng.GetBytes(ctx, ids[i%len(ids)], dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("slab-hit GetBytes allocated %v times per call; want 0", allocs)
+	}
+}
+
+// TestSlabGetMultiBytesAllocFree: an all-hit byte session over the slab
+// store with reused buffers allocates nothing.
+func TestSlabGetMultiBytesAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime drops sync.Pool Puts by design; pooled steady state is unreachable (CI runs this gate without -race)")
+	}
+	eng, ids := newSlabHitEngine(t)
+	defer eng.Close()
+	ctx := context.Background()
+	const fanout = 8
+	session := make([]prefetcher.ID, fanout)
+	buf := make([]byte, 0, 4096)
+	ranges := make([]prefetcher.ByteRange, 0, fanout)
+	fill := func(base int) {
+		for k := range session {
+			session[k] = ids[(base+k)%len(ids)]
+		}
+	}
+	for w := 0; w < 2; w++ {
+		fill(w)
+		var err error
+		if buf, ranges, err = eng.GetMultiBytes(ctx, session, buf, ranges); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		fill(i)
+		var err error
+		buf, ranges, err = eng.GetMultiBytes(ctx, session, buf, ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("all-hit slab GetMultiBytes allocated %v times per session; want 0", allocs)
+	}
+}
+
+// TestConcurrentSlabAccess races byte readers on a deliberately tiny
+// slab store so every reader also drives policy evictions and segment
+// rotations in other readers' shards. Run under -race this pins the
+// per-shard locking discipline (the slab view is only touched under the
+// shard lock) and eviction-during-read safety: a payload the engine
+// returns must be complete and correct even when its slab entry was
+// rotated away concurrently.
+func TestConcurrentSlabAccess(t *testing.T) {
+	factory, err := Factory(Config{CapacityBytes: 16 << 10, MaxEntries: 64, SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := prefetcher.FetcherFunc(func(_ context.Context, id prefetcher.ID) (prefetcher.Item, error) {
+		return prefetcher.Item{ID: id, Size: 1, Data: val(id, 64+int(id)%128)}, nil
+	})
+	eng, err := prefetcher.New(fetch,
+		prefetcher.WithBandwidth(1e6),
+		prefetcher.WithShards(4),
+		prefetcher.WithCacheFactory(factory),
+		prefetcher.WithWorkers(2),
+		prefetcher.WithMaxPrefetch(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			dst := make([]byte, 0, 512)
+			session := make([]prefetcher.ID, 4)
+			ranges := make([]prefetcher.ByteRange, 0, 4)
+			for i := 0; i < 300; i++ {
+				// 500 ids over a 64-entry budget: constant churn.
+				id := prefetcher.ID((c*61 + i) % 500)
+				var err error
+				dst, err = eng.GetBytes(ctx, id, dst[:0])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := val(id, 64+int(id)%128); !bytes.Equal(dst, want) {
+					t.Errorf("torn slab payload for %d", id)
+					return
+				}
+				for k := range session {
+					session[k] = prefetcher.ID((c*61 + i + k*7) % 500)
+				}
+				dst, ranges, err = eng.GetMultiBytes(ctx, session, dst[:0], ranges)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for k, id := range session {
+					r := ranges[k]
+					if want := val(id, 64+int(id)%128); !bytes.Equal(dst[r.Off:r.Off+r.Len], want) {
+						t.Errorf("torn multi slab payload for %d", id)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := eng.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.CacheLen > 64 {
+		t.Fatalf("CacheLen = %d exceeds the 64-entry budget", st.CacheLen)
+	}
+}

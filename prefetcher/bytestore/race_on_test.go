@@ -1,0 +1,9 @@
+//go:build race
+
+package bytestore
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Alloc gates that depend on sync.Pool reuse skip under it:
+// the race runtime deliberately drops a fraction of Pool.Put calls, so
+// pooled steady state is unreachable by design.
+const raceEnabled = true

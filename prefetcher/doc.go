@@ -48,6 +48,42 @@
 // Stats.MultiGets, Stats.BatchedKeys and Stats.MergedSessions account
 // for the path.
 //
+// # Byte views and buffer ownership
+//
+// Payload-oriented callers use the byte path: GetBytes appends the
+// item's []byte payload to a caller-owned dst buffer and returns the
+// extended slice, GetBytesLen probes the stored length without copying
+// a body, and GetMultiBytes packs a whole session into one buffer with
+// a ByteRange per key. The ownership contract is strict and symmetric:
+//
+//   - The engine never retains dst or any slice derived from it. What
+//     GetBytes returns is the caller's buffer, safe to reuse, pool, or
+//     mutate freely — the copy happened under the shard lock, so the
+//     bytes cannot be torn by a concurrent eviction or overwrite.
+//   - The caller, in turn, never receives a view into the engine's
+//     storage. There is no zero-copy read through the public API —
+//     internal arena views (slab.View) die inside the shard critical
+//     section; by the time GetBytes returns, the payload has been
+//     copied out. Callers must not assume otherwise and must not
+//     retain slices handed to a Fetcher's Item.Data after returning
+//     it: once an item is admitted, the storage layer owns that copy.
+//
+// The byte path serves items whose Data is []byte; an item holding any
+// other payload type fails with ErrNotBytes after full hit accounting
+// (use Get for mixed-type workloads). With a pooled dst the whole path
+// — hit classification, copy, accounting, speculative planning — is
+// allocation-free in steady state, gated by TestGetBytesAllocFree.
+//
+// By default payloads live in the boxed per-shard cache. For large
+// resident sets, WithCacheFactory can mount repro/prefetcher/bytestore
+// instead: a pointer-free slab arena (repro/internal/slab) that packs
+// payloads into large segments and indexes them through flat integer
+// tables, so the garbage collector scans O(#segments) words instead of
+// O(#entries) boxed values. Byte-budgeted eviction happens by segment
+// rotation with per-id callbacks that keep the engine's size and waste
+// accounting exact; the entry-count policy layer (LRU/SLRU/clock/…)
+// keeps driving recency eviction on top.
+//
 // Internally the keyed state — cache, in-flight dedup, size and
 // used/wasted accounting — is partitioned across power-of-two shards
 // (WithShards, default GOMAXPROCS-derived), each behind its own mutex,

@@ -147,6 +147,25 @@ type Cache interface {
 	OnEvict(fn func(id ID))
 }
 
+// ByteCache is optionally implemented by a Cache whose payloads are
+// raw bytes servable without boxing through the any-typed Get — the
+// seam Engine.GetBytes/GetMultiBytes use to stay allocation-free on
+// hits (repro/prefetcher/bytestore provides the slab-backed
+// implementation). Like every Cache method, both extensions are called
+// only under the owning shard's lock.
+type ByteCache interface {
+	Cache
+	// GetBytes appends id's payload to dst and returns the extended
+	// slice, refreshing recency metadata exactly as Get would. ok is
+	// false when id cannot be served as bytes — absent, or resident
+	// with a non-[]byte payload (the caller distinguishes the two with
+	// Contains); dst is then returned unchanged.
+	GetBytes(id ID, dst []byte) ([]byte, bool)
+	// BytesLen reports the stored payload length without copying it,
+	// refreshing recency metadata like a hit. ok follows GetBytes.
+	BytesLen(id ID) (int, bool)
+}
+
 // Clock supplies the engine's notion of time. The default is the wall
 // clock; simulations and tests inject a ManualClock.
 type Clock interface {

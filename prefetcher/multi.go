@@ -89,6 +89,10 @@ type multiKey struct {
 	backend int
 	kind    uint8
 	used    bool // hit consumed a prefetched-unused entry
+	// Byte-mode (GetMultiBytes) outcome: inBuf marks a payload already
+	// appended to the session buffer at [off, off+blen).
+	off, blen int
+	inBuf     bool
 }
 
 // multiScratch is the pooled per-session state: the per-key
@@ -175,7 +179,7 @@ func (e *Engine) GetMultiInto(ctx context.Context, ids []ID, dst []Item) ([]Item
 	bufs := e.getBufs()
 	cands := e.observeMulti(ids, bufs)
 	sc := e.getMulti()
-	misses := e.gatherMulti(ids, now, sc)
+	misses := e.gatherMulti(ids, now, sc, nil)
 	if misses > 0 {
 		e.fetchMultiMisses(ctx, ids, sc)
 	}
@@ -272,8 +276,14 @@ func (e *Engine) observeOnly(id ID) {
 // before its outcome counter exactly like the singleton paths.
 // Returns how many keys still need the miss path.
 //
+// bsink selects the output mode: nil serves hits as boxed Items
+// (GetMulti); non-nil is GetMultiBytes' byte mode — hit payloads are
+// appended to *bsink inside the critical section (the slab view is
+// only stable under the shard lock) and located by off/blen in the
+// key's state.
+//
 //prefetch:hotpath
-func (e *Engine) gatherMulti(ids []ID, now float64, sc *multiScratch) int {
+func (e *Engine) gatherMulti(ids []ID, now float64, sc *multiScratch, bsink *[]byte) int {
 	states := sc.states[:0]
 	for _, id := range ids {
 		states = append(states, multiKey{sh: e.shardFor(id)})
@@ -291,7 +301,11 @@ func (e *Engine) gatherMulti(ids []ID, now float64, sc *multiScratch) int {
 				continue
 			}
 			id := ids[j]
-			if v, ok := sh.cache.Get(id); ok {
+			if bsink != nil {
+				if e.classifyBytesLocked(sh, id, &states[j], bsink) {
+					continue
+				}
+			} else if v, ok := sh.cache.Get(id); ok {
 				states[j].kind = mkHit
 				states[j].item = Item{ID: id, Size: sh.residentSize(id), Data: v}
 				states[j].used = sh.consumeUnusedLocked(id)

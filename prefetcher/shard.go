@@ -43,7 +43,11 @@ type counter struct {
 type shard struct {
 	mu sync.Mutex
 
-	cache    Cache
+	cache Cache
+	// bcache is cache when it additionally implements ByteCache (the
+	// slab-backed byte store does), nil otherwise; the GetBytes fast
+	// path type-asserts once at construction instead of per request.
+	bcache   ByteCache
 	inflight map[ID]*flight
 	// sizes remembers the last fetched size of each resident item so
 	// hits can report it without refetching.
@@ -72,8 +76,10 @@ type shard struct {
 const shardMapHint = 64
 
 func newShard(c Cache) *shard {
+	bc, _ := c.(ByteCache)
 	return &shard{
 		cache:    c,
+		bcache:   bc,
 		inflight: make(map[ID]*flight, shardMapHint),
 		sizes:    make(map[ID]float64, shardMapHint),
 		unused:   make(map[ID]struct{}, shardMapHint),
