@@ -266,6 +266,20 @@ var bufPool = sync.Pool{
 	},
 }
 
+// maxPooledBufBytes caps what putBuf returns to the pool: an outlier
+// response (one huge object, or a wide batch) must not pin a buffer of
+// that size per pool slot for the rest of the process.
+const maxPooledBufBytes = 1 << 20
+
+// putBuf recycles a response buffer, dropping ones that grew past the
+// pooling cap.
+func putBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBufBytes {
+		return
+	}
+	bufPool.Put(bp)
+}
+
 // handleObj serves GET and HEAD for /obj/{key} and /obj/{space}/{key}.
 // GET copies the payload through the engine's byte path into a pooled
 // buffer — on a slab-backed space a cache hit moves the bytes
@@ -307,7 +321,7 @@ func (s *Server) handleObj(w http.ResponseWriter, r *http.Request) {
 	bp := bufPool.Get().(*[]byte)
 	data, err := sp.engine.GetBytes(r.Context(), prefetcher.ID(key), (*bp)[:0])
 	if err != nil {
-		bufPool.Put(bp)
+		putBuf(bp)
 		writeFetchError(w, err)
 		return
 	}
@@ -315,7 +329,7 @@ func (s *Server) handleObj(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.Write(data)
 	*bp = data[:0]
-	bufPool.Put(bp)
+	putBuf(bp)
 }
 
 // handleBatch serves GET /batch?ids=… and GET /batch/{space}?ids=…
@@ -346,18 +360,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	buf, ranges, err := sp.engine.GetMultiBytes(r.Context(), toEngineIDs(ids), (*bp)[:0], nil)
 	*bp = buf[:0]
 	if err != nil {
-		bufPool.Put(bp)
+		putBuf(bp)
 		writeFetchError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	for i, rg := range ranges {
 		if err := httpfetch.WriteBatchItem(w, ids[i], buf[rg.Off:rg.Off+rg.Len]); err != nil {
-			bufPool.Put(bp)
+			putBuf(bp)
 			return // client went away mid-reply
 		}
 	}
-	bufPool.Put(bp)
+	putBuf(bp)
 }
 
 // statsReply is the /stats JSON shape: per-space engine snapshots

@@ -551,6 +551,78 @@ func TestDaemonHeadObj(t *testing.T) {
 	}
 }
 
+// Objects larger than segment_bytes live in the slab store's boxed
+// overflow, not the arena — and must still serve on every path once
+// cached. Regression test: /batch used to 502 such objects on the hit
+// request (the first, miss-driven request worked), because the multi
+// byte path reported a cached oversized []byte as non-byte.
+func TestDaemonSlabOversizedObject(t *testing.T) {
+	defer testutil.ExpectNoLeaks(t)
+	big := bytes.Repeat([]byte("payload!"), 1024) // 8 KiB > the 1 KiB segments below
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(big)
+	}))
+	t.Cleanup(origin.Close)
+	cfg := oneSpaceConfig(origin.URL)
+	cfg.Spaces[0].Policy = "none"
+	cfg.Spaces[0].Backends[0].BatchPath = ""
+	cfg.Spaces[0].CacheBytes = 1 << 20
+	cfg.Spaces[0].SegmentBytes = 1 << 10
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		front.Close()
+		srv.Shutdown(ctx)
+	})
+
+	// Twice: the first round misses to the origin, the second must be
+	// served from the overflow-resident cache entry.
+	for round := 0; round < 2; round++ {
+		resp, err := http.Get(front.URL + "/batch?ids=7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: /batch = %d %q", round, resp.StatusCode, body[:min(len(body), 128)])
+		}
+		items, err := httpfetch.ReadBatch(bytes.NewReader(body), []fetch.ID{7}, int64(len(big)))
+		if err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		if !bytes.Equal(items[0].Data.([]byte), big) {
+			t.Fatalf("round %d: oversized payload mismatch", round)
+		}
+		resp, err = http.Get(front.URL + "/obj/7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(body, big) {
+			t.Fatalf("round %d: /obj = %d, %d bytes", round, resp.StatusCode, len(body))
+		}
+		resp, err = http.Head(front.URL + "/obj/7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if want := fmt.Sprint(len(big)); resp.Header.Get("Content-Length") != want {
+			t.Fatalf("round %d: HEAD Content-Length = %q, want %q", round, resp.Header.Get("Content-Length"), want)
+		}
+	}
+}
+
 // A slab-backed space (cache_bytes set) serves the same wire as a
 // boxed one: GET, HEAD and the framed /batch all round-trip, and the
 // payload path stays byte-for-byte correct under the arena store.

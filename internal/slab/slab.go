@@ -46,8 +46,11 @@ const (
 	// 16-bit field of a packed reference.
 	maxSegments = 1 << 16
 
-	// Index slot states. A live reference packs the payload offset,
-	// which is ≥ headerBytes, so its low 24-bit field is never 0 or 1.
+	// Index slot states. A live reference's offset field (bits 24–47)
+	// is always ≥ headerBytes, which keeps the whole packed word
+	// disjoint from these sentinels; the low 24 bits hold the payload
+	// length and CAN be 0 or 1, so the invariant rests on the offset
+	// field alone.
 	refEmpty = 0
 	refTomb  = 1
 
@@ -147,8 +150,10 @@ func (s *Store) Stats() Stats {
 }
 
 // pack encodes (segment, payload offset, payload length) into one
-// word: seg<<48 | off<<24 | len. off ≥ headerBytes keeps live packed
-// values disjoint from the refEmpty/refTomb sentinels.
+// word: seg<<48 | off<<24 | len. The offset field carries the sentinel
+// invariant: off ≥ headerBytes makes every live word ≥ headerBytes<<24,
+// disjoint from refEmpty/refTomb even when len is 0 or 1. A layout
+// change that moves or shrinks the offset field must re-derive this.
 func pack(seg, off, n int) uint64 {
 	return uint64(seg)<<48 | uint64(off)<<24 | uint64(n)
 }

@@ -120,13 +120,16 @@ func (e *Engine) serveBytesFast(id ID, now float64, cands []predict.Prediction, 
 		return dst, false
 	}
 	var out []byte
+	served := false
 	if sh.bcache != nil {
-		var ok bool
-		if out, ok = sh.bcache.GetBytes(id, dst); !ok {
-			sh.mu.Unlock()
-			return dst, false
+		if o, ok := sh.bcache.GetBytes(id, dst); ok {
+			out, served = o, true
 		}
-	} else {
+		// A slab miss is not a cache miss: the entry may be resident in
+		// the store's boxed overflow (an oversized []byte, or a
+		// non-[]byte payload) — the boxed lookup below decides.
+	}
+	if !served {
 		v, ok := sh.cache.Get(id)
 		if !ok {
 			sh.mu.Unlock()
@@ -169,13 +172,15 @@ func (e *Engine) serveBytesLenFast(id ID, now float64, cands []predict.Predictio
 		return 0, false
 	}
 	var n int
+	probed := false
 	if sh.bcache != nil {
-		var ok bool
-		if n, ok = sh.bcache.BytesLen(id); !ok {
-			sh.mu.Unlock()
-			return 0, false
+		if m, ok := sh.bcache.BytesLen(id); ok {
+			n, probed = m, true
 		}
-	} else {
+		// Slab miss ≠ cache miss: fall through to the boxed lookup for
+		// overflow-resident payloads, as in serveBytesFast.
+	}
+	if !probed {
 		v, ok := sh.cache.Get(id)
 		if !ok {
 			sh.mu.Unlock()
@@ -298,16 +303,10 @@ func (e *Engine) classifyBytesLocked(sh *shard, id ID, st *multiKey, bsink *[]by
 			st.inBuf = true
 			return true
 		}
-		if !sh.cache.Contains(id) {
-			return false
-		}
-		// Resident in the overflow store: a hit the byte path cannot
-		// serve.
-		st.kind = mkHit
-		st.item = Item{ID: id, Size: sh.residentSize(id)}
-		st.used = sh.consumeUnusedLocked(id)
-		st.err = ErrNotBytes
-		return true
+		// A slab miss is not a cache miss: the entry may be resident in
+		// the store's boxed overflow — an oversized []byte, which the
+		// boxed lookup below serves as a normal byte hit, or a genuinely
+		// non-[]byte payload, which earns ErrNotBytes.
 	}
 	v, ok := sh.cache.Get(id)
 	if !ok {

@@ -19,8 +19,11 @@
 // Values that cannot live in the arena — payloads larger than a
 // segment, or non-[]byte Data — fall back to a boxed overflow map so
 // Cache.Put never silently drops (the engine's resident accounting
-// assumes an admitted entry is resident). They are served through the
-// compatibility Get path and reported by GetBytes as non-byte.
+// assumes an admitted entry is resident). They miss GetBytes/BytesLen
+// and are served through the compatibility Get path instead — the
+// engine's byte paths fall back to it under the same shard lock, so an
+// oversized []byte is still a byte hit. Overflow []byte usage is
+// charged against CapacityBytes (see Config).
 //
 // A Store is not goroutine-safe; the engine gives each shard its own
 // instance (use Factory with prefetcher.WithCacheFactory) and
@@ -38,7 +41,15 @@ import (
 
 // Config sizes one Store (per shard — Factory splits a global budget).
 type Config struct {
-	// CapacityBytes bounds the arena's memory. Required.
+	// CapacityBytes bounds the arena's memory. Required. Oversized
+	// []byte payloads (larger than a segment) bypass the arena into the
+	// boxed overflow map but are charged against the same budget: a Put
+	// that would push overflow bytes past CapacityBytes first evicts
+	// policy victims. Worst case the store holds CapacityBytes of arena
+	// plus CapacityBytes of overflow, plus one payload beyond that when
+	// a single value exceeds the whole budget (Put never drops the
+	// entry being inserted). Non-[]byte overflow values have no
+	// measurable size and are bounded only by MaxEntries.
 	CapacityBytes int
 	// MaxEntries bounds the resident count (the policy layer's
 	// capacity). Defaults to CapacityBytes/64, at least 16.
@@ -53,10 +64,20 @@ type Config struct {
 
 // Store is the slab-backed cache. Construct with New or Factory.
 type Store struct {
-	store    *cache.Store
-	slab     *slab.Store
-	overflow map[prefetcher.ID]any
-	onEvict  func(prefetcher.ID)
+	store         *cache.Store
+	slab          *slab.Store
+	overflow      map[prefetcher.ID]boxed
+	overflowBytes int
+	capacityBytes int
+	onEvict       func(prefetcher.ID)
+}
+
+// boxed is one overflow entry: the value plus the byte size it charges
+// against CapacityBytes (0 for non-[]byte values, whose footprint the
+// store cannot measure).
+type boxed struct {
+	val  any
+	size int
 }
 
 var (
@@ -98,15 +119,17 @@ func New(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("bytestore: %w", err)
 	}
 	s := &Store{
-		store:    cache.NewStore(maxEntries, policy),
-		slab:     slab.New(cfg.CapacityBytes, cfg.SegmentBytes),
-		overflow: make(map[prefetcher.ID]any),
+		store:         cache.NewStore(maxEntries, policy),
+		slab:          slab.New(cfg.CapacityBytes, cfg.SegmentBytes),
+		overflow:      make(map[prefetcher.ID]boxed),
+		capacityBytes: cfg.CapacityBytes,
 	}
 	// Count-bound (policy) evictions: drop the payload wherever it
-	// lives, then report. Fires from store.Admit, i.e. from Put.
+	// lives, then report. Fires from store.Admit and from the overflow
+	// byte-budget loop, i.e. from Put.
 	s.store.OnEvict(func(id cache.ID) {
 		s.slab.Delete(int64(id))
-		delete(s.overflow, prefetcher.ID(id))
+		s.dropOverflow(prefetcher.ID(id))
 		if s.onEvict != nil {
 			s.onEvict(prefetcher.ID(id))
 		}
@@ -172,8 +195,8 @@ func (s *Store) Get(id prefetcher.ID) (any, bool) {
 	if !s.store.Access(cache.ID(id)) {
 		return nil, false
 	}
-	if v, ok := s.overflow[id]; ok {
-		return v, true
+	if e, ok := s.overflow[id]; ok {
+		return e.val, true
 	}
 	b, ok := s.slab.Get(int64(id), nil)
 	if !ok {
@@ -212,15 +235,43 @@ func (s *Store) BytesLen(id prefetcher.ID) (int, bool) {
 // Put implements prefetcher.Cache. []byte payloads that fit a segment
 // go to the arena; everything else goes to the boxed overflow map, so
 // an admitted entry is always resident whatever its payload shape.
+// Overflow bytes bypass the arena's budget, so they are charged
+// against CapacityBytes here: victims are evicted through the policy
+// layer until the incoming payload fits (see Config.CapacityBytes for
+// the worst-case bound).
 func (s *Store) Put(id prefetcher.ID, value any) {
 	if b, ok := value.([]byte); ok && s.slab.Fits(len(b)) {
-		delete(s.overflow, id) // shape change: previous value may be boxed
+		s.dropOverflow(id) // shape change: previous value may be boxed
 		s.slab.Put(int64(id), b)
-	} else {
-		s.slab.Delete(int64(id))
-		s.overflow[id] = value
+		s.store.Admit(cache.ID(id))
+		return
 	}
+	size := 0
+	if b, ok := value.([]byte); ok {
+		size = len(b)
+	}
+	// Clear id's previous incarnation before making room (Remove is the
+	// no-callback form — an overwrite is not an eviction), so the budget
+	// loop can never choose the entry being inserted as its victim and
+	// Put never silently drops.
+	s.store.Remove(cache.ID(id))
+	s.slab.Delete(int64(id))
+	s.dropOverflow(id)
+	for s.overflowBytes+size > s.capacityBytes && s.store.Len() > 0 {
+		s.store.EvictVictim()
+	}
+	s.overflow[id] = boxed{val: value, size: size}
+	s.overflowBytes += size
 	s.store.Admit(cache.ID(id))
+}
+
+// dropOverflow removes id's boxed entry, if any, debiting its charge
+// against the overflow byte budget.
+func (s *Store) dropOverflow(id prefetcher.ID) {
+	if e, ok := s.overflow[id]; ok {
+		s.overflowBytes -= e.size
+		delete(s.overflow, id)
+	}
 }
 
 // Contains implements prefetcher.Cache (a peek: no recency refresh).

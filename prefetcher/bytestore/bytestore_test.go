@@ -154,6 +154,62 @@ func TestOverflowValues(t *testing.T) {
 	}
 }
 
+// TestOverflowByteBudget pins the overflow map's memory bound:
+// oversized payloads bypass the arena but are charged against
+// CapacityBytes, evicting policy victims instead of accumulating
+// MaxEntries full-size boxed values.
+func TestOverflowByteBudget(t *testing.T) {
+	const capacity = 8 << 10
+	s, err := New(Config{CapacityBytes: capacity, MaxEntries: 1024, SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicted := 0
+	s.OnEvict(func(prefetcher.ID) { evicted++ })
+	const payload = 2 << 10 // > segment: every Put lands in overflow
+	for id := prefetcher.ID(0); id < 64; id++ {
+		s.Put(id, val(id, payload))
+	}
+	if s.overflowBytes > capacity {
+		t.Fatalf("overflowBytes = %d exceeds CapacityBytes %d", s.overflowBytes, capacity)
+	}
+	if want := capacity / payload; s.Len() != want || evicted != 64-want {
+		t.Fatalf("Len/evicted = %d/%d, want %d/%d", s.Len(), evicted, want, 64-want)
+	}
+	// Survivors still serve byte-for-byte through the boxed path.
+	for id := prefetcher.ID(60); id < 64; id++ {
+		v, ok := s.Get(id)
+		if !ok || !bytes.Equal(v.([]byte), val(id, payload)) {
+			t.Fatalf("survivor %d corrupt or missing", id)
+		}
+	}
+	// Overwriting an overflow entry must not double-charge the budget.
+	before := s.overflowBytes
+	s.Put(63, val(63, payload))
+	if s.overflowBytes != before {
+		t.Fatalf("overwrite changed overflowBytes %d -> %d", before, s.overflowBytes)
+	}
+	// A shape change back to the slab debits the overflow charge.
+	s.Put(63, val(63, 64))
+	if s.overflowBytes != before-payload {
+		t.Fatalf("shape change left overflowBytes = %d, want %d", s.overflowBytes, before-payload)
+	}
+	// One payload larger than the whole budget is still admitted — Put
+	// never drops — and the next overflow Put reclaims it.
+	huge := val(999, 2*capacity)
+	s.Put(999, huge)
+	if v, ok := s.Get(999); !ok || !bytes.Equal(v.([]byte), huge) {
+		t.Fatal("over-budget payload not resident")
+	}
+	s.Put(1000, val(1000, payload))
+	if s.Contains(999) {
+		t.Fatal("over-budget payload survived the next overflow Put")
+	}
+	if s.overflowBytes > capacity {
+		t.Fatalf("overflowBytes = %d after reclaim, want <= %d", s.overflowBytes, capacity)
+	}
+}
+
 // TestGetBytesAppends pins the dst contract the multi-gather relies on.
 func TestGetBytesAppends(t *testing.T) {
 	s, err := New(Config{CapacityBytes: 1 << 16})

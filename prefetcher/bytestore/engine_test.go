@@ -140,6 +140,70 @@ func TestSlabGetMultiBytesAllocFree(t *testing.T) {
 	}
 }
 
+// TestEngineOversizedPayloadBytePath is the regression test for
+// overflow-resident byte hits: a []byte payload larger than a slab
+// segment lives in the store's boxed overflow map, and every byte
+// entry point — GetBytes, GetBytesLen and GetMultiBytes — must serve
+// it as a normal byte hit once cached (pass 1, after the pass-0 miss
+// populated the cache), not fail it with ErrNotBytes. Before the fix
+// the multi path did exactly that, so a prefetchd /batch of a cached
+// object larger than segment_bytes 502'd on every request after the
+// first.
+func TestEngineOversizedPayloadBytePath(t *testing.T) {
+	factory, err := Factory(Config{CapacityBytes: 64 << 10, MaxEntries: 32, SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := func(id prefetcher.ID) int {
+		if id%2 == 0 {
+			return 4 << 10 // > segment: boxed overflow
+		}
+		return 64 // fits the arena
+	}
+	fetch := prefetcher.FetcherFunc(func(_ context.Context, id prefetcher.ID) (prefetcher.Item, error) {
+		return prefetcher.Item{ID: id, Size: 1, Data: val(id, size(id))}, nil
+	})
+	eng, err := prefetcher.New(fetch,
+		prefetcher.WithBandwidth(1e6),
+		prefetcher.WithShards(1),
+		prefetcher.WithCacheFactory(factory),
+		prefetcher.WithWorkers(1),
+		prefetcher.WithMaxPrefetch(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	session := []prefetcher.ID{2, 1, 4} // oversized, slab-sized, oversized
+	for pass := 0; pass < 2; pass++ {
+		buf, ranges, err := eng.GetMultiBytes(ctx, session, nil, nil)
+		if err != nil {
+			t.Fatalf("pass %d: GetMultiBytes: %v", pass, err)
+		}
+		for i, id := range session {
+			r := ranges[i]
+			if r.Off < 0 {
+				t.Fatalf("pass %d: id %d failed (range %+v)", pass, id, r)
+			}
+			if !bytes.Equal(buf[r.Off:r.Off+r.Len], val(id, size(id))) {
+				t.Fatalf("pass %d: id %d payload mismatch", pass, id)
+			}
+		}
+		out, err := eng.GetBytes(ctx, 2, nil)
+		if err != nil || !bytes.Equal(out, val(2, 4<<10)) {
+			t.Fatalf("pass %d: GetBytes oversized = %d bytes, %v", pass, len(out), err)
+		}
+		n, err := eng.GetBytesLen(ctx, 2)
+		if err != nil || n != 4<<10 {
+			t.Fatalf("pass %d: GetBytesLen oversized = %d, %v", pass, n, err)
+		}
+	}
+	if st := eng.Stats(); st.Hits == 0 {
+		t.Fatalf("no hits recorded across the overflow byte path (stats %+v)", st)
+	}
+}
+
 // TestConcurrentSlabAccess races byte readers on a deliberately tiny
 // slab store so every reader also drives policy evictions and segment
 // rotations in other readers' shards. Run under -race this pins the
